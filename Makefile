@@ -1,0 +1,40 @@
+# Convenience targets. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short vet cover bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the multi-million-gate guarded tests (N=32/64 trace builds).
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table (E1-E21; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/tcbench
+
+# Brief fuzzing pass over the robustness-critical surfaces.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/circuit/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/circuit/
+	$(GO) test -fuzz=FuzzSumBits -fuzztime=30s ./internal/arith/
+	$(GO) test -fuzz=FuzzEncodeSigned -fuzztime=30s ./internal/arith/
+
+clean:
+	$(GO) clean ./...

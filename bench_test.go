@@ -1,0 +1,475 @@
+// Benchmarks regenerating the paper's quantitative content: one
+// Benchmark per experiment in DESIGN.md's index. Each reports
+// the relevant size/depth/gate figures via b.ReportMetric so the bench
+// log doubles as the experiment record (see EXPERIMENTS.md).
+package tcmm_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	tcmm "repro"
+)
+
+// E1 — Figure 1: Strassen's algorithm as a conventional recursive
+// executor (the baseline the circuits are compared to), 16x16 full
+// recursion: 7^4 = 2401 scalar multiplications.
+func BenchmarkE1_StrassenExecutor(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tcmm.RandomMatrix(rng, 16, 16, -9, 9)
+	y := tcmm.RandomMatrix(rng, 16, 16, -9, 9)
+	e := tcmm.NewExecutor(tcmm.Strassen(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e.Ops().ScalarMuls)/float64(b.N), "muls/op")
+}
+
+// E2 — Figure 2 / equation (3): coefficient-grid construction for every
+// node four levels deep, whose total nonzeros must be s_A^4 = 20736.
+func BenchmarkE2_TreeSparsity(b *testing.B) {
+	alg := tcmm.Strassen()
+	for i := 0; i < b.N; i++ {
+		est := tcmm.EstimateTraceGates(alg, 1, 4, tcmm.DirectSchedule(4))
+		if est.Total() <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// E3 — Section 4.3 constants: sparsity analysis of every registered
+// algorithm.
+func BenchmarkE3_Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, alg := range tcmm.Algorithms() {
+			p := alg.Params()
+			if p.S == 0 {
+				b.Fatal("bad params")
+			}
+		}
+	}
+	b.ReportMetric(tcmm.Strassen().Params().Gamma, "gamma")
+	b.ReportMetric(tcmm.Strassen().Params().CConst, "c")
+}
+
+// E4 — Section 1 baseline: build + evaluate the naive depth-2 triangle
+// circuit at N=32 (C(32,3)+1 = 4961 gates).
+func BenchmarkE4_NaiveTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := tcmm.ErdosRenyi(rng, 32, 0.3)
+	adj := g.Adjacency()
+	tc, err := tcmm.NewNaiveTriangle(32, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := tc.Assign(adj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Circuit.Eval(in)
+	}
+	b.ReportMetric(float64(tc.Circuit.Size()), "gates")
+	b.ReportMetric(float64(tc.Circuit.Depth()), "depth")
+}
+
+// E5 — Lemmas 3.1–3.3: the workhorse arithmetic — build and evaluate a
+// depth-2 Lemma 3.2 summation of 64 numbers (the inner loop of every
+// tree transition).
+func BenchmarkE5_ArithCircuits(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	// Exercise through the public surface: an 8x8 binary matmul circuit
+	// is a bundle of Lemma 3.1/3.2/3.3 instances.
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	in, err := mc.Assign(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Circuit.EvalParallel(in, 0)
+	}
+	b.ReportMetric(float64(mc.Circuit.Size()), "gates")
+}
+
+// E6 — Theorem 4.5: trace circuit at N=16, build once, decide per op.
+func BenchmarkE6_TraceCircuit(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := tcmm.ErdosRenyi(rng, 16, 0.4)
+	tc, err := tcmm.NewTrace(16, 6*g.Triangles(), tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adj := g.Adjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := tc.Decide(adj)
+		if err != nil || !got {
+			b.Fatal("wrong answer")
+		}
+	}
+	b.ReportMetric(float64(tc.Circuit.Size()), "gates")
+	b.ReportMetric(float64(tc.Circuit.Depth()), "depth")
+}
+
+// E6b — Theorem 4.5 build cost: constructing the N=16 trace circuit.
+func BenchmarkE6_TraceBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tcmm.NewTrace(16, 6, tcmm.Options{Alg: tcmm.Strassen()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — Theorem 4.9: matmul circuit at N=8, multiply per op.
+func BenchmarkE7_MatMulCircuit(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	want := x.Mul(y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := mc.Multiply(x, y)
+		if err != nil || !got.Equal(want) {
+			b.Fatal("wrong product")
+		}
+	}
+	b.ReportMetric(float64(mc.Circuit.Size()), "gates")
+	b.ReportMetric(float64(mc.Circuit.Depth()), "depth")
+}
+
+// E7b — Theorem 4.9 build cost: constructing the N=8 matmul circuit.
+func BenchmarkE7_MatMulBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8 — Theorem 4.4/4.8: loglog schedule generation + model evaluation
+// up to N = 2^32.
+func BenchmarkE8_LogLogSchedule(b *testing.B) {
+	alg := tcmm.Strassen()
+	gamma := alg.Params().Gamma
+	var t float64
+	for i := 0; i < b.N; i++ {
+		for _, l := range []int{8, 16, 32} {
+			sched := tcmm.LogLogSchedule(gamma, l)
+			t = float64(sched.Transitions())
+			if tcmm.EstimateTraceGates(alg, 1, l, sched).Total() <= 0 {
+				b.Fatal("bad estimate")
+			}
+		}
+	}
+	b.ReportMetric(t, "transitions@2^32")
+}
+
+// E9 — schedule ablation: model gates for geometric vs uniform vs
+// direct at N=2^20 (geometric must win; asserted in counting tests).
+func BenchmarkE9_ScheduleAblation(b *testing.B) {
+	alg := tcmm.Strassen()
+	gamma := alg.Params().Gamma
+	const l = 20
+	var geo, uni, dir float64
+	for i := 0; i < b.N; i++ {
+		gs := tcmm.ConstantDepthSchedule(gamma, l, 4)
+		geo = tcmm.EstimateTraceGates(alg, 1, l, gs).Total()
+		uni = tcmm.EstimateTraceGates(alg, 1, l, tcmm.UniformSchedule(l, gs.Transitions())).Total()
+		dir = tcmm.EstimateTraceGates(alg, 1, l, tcmm.DirectSchedule(l)).Total()
+	}
+	b.ReportMetric(uni/geo, "uniform/geometric")
+	b.ReportMetric(dir/geo, "direct/geometric")
+}
+
+// E10 — the headline crossover: fitted model exponent at L=48..64 for
+// d = 5 (must be < 3) and d = 1 (must be > 3).
+func BenchmarkE10_Crossover(b *testing.B) {
+	alg := tcmm.Strassen()
+	gamma := alg.Params().Gamma
+	fit := func(d int) float64 {
+		g1 := tcmm.EstimateTraceGates(alg, 1, 48, tcmm.ConstantDepthSchedule(gamma, 48, d)).Total()
+		g2 := tcmm.EstimateTraceGates(alg, 1, 64, tcmm.ConstantDepthSchedule(gamma, 64, d)).Total()
+		return math.Log(g2/g1) / (16 * math.Ln2)
+	}
+	var e1, e5 float64
+	for i := 0; i < b.N; i++ {
+		e1, e5 = fit(1), fit(5)
+	}
+	b.ReportMetric(e1, "exponent-d1")
+	b.ReportMetric(e5, "exponent-d5")
+}
+
+// E11 — Section 5 convolution: circuit GEMM for a 16-patch layer,
+// partitioned to 4 rows per piece.
+func BenchmarkE11_ConvFanIn(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	im := tcmm.NewImage(8, 8, 1)
+	for i := 0; i < 64; i++ {
+		im.Set(i/8, i%8, 0, rng.Int63n(4))
+	}
+	k := tcmm.NewKernel(2, 1)
+	k.Set(0, 0, 0, 1)
+	k.Set(1, 1, 0, -1)
+	kernels := []*tcmm.Kernel{k}
+	direct, err := tcmm.ConvDirect(im, kernels, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fanIn int
+	for i := 0; i < b.N; i++ {
+		res, err := tcmm.ConvViaCircuit(im, kernels, 2, tcmm.Options{Alg: tcmm.Strassen()}, 4)
+		if err != nil || !res.Scores.Equal(direct) {
+			b.Fatal("wrong scores")
+		}
+		fanIn = res.MaxFanIn
+	}
+	b.ReportMetric(float64(fanIn), "maxfanin")
+}
+
+// E12 — Sections 5–6: triangle query energy on a community graph:
+// evaluate the subcubic circuit and count firing gates.
+func BenchmarkE12_TrianglesEnergy(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := tcmm.PlantedCommunities(rng, 16, 4, 0.8, 0.05)
+	tc, err := tcmm.NewTrace(16, g.TauForClustering(0.4), tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := tc.Assign(g.Adjacency())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var energy int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := tc.Circuit.EvalParallel(in, 0)
+		energy = tc.Circuit.Energy(vals)
+	}
+	b.ReportMetric(float64(energy), "energy")
+	b.ReportMetric(float64(energy)/float64(tc.Circuit.Size()), "fired-fraction")
+}
+
+// E14 — constant depth vs PRAM log-span: the parallel fork-join
+// executor at N=16 (work = sequential ops, span = 1 + 3·log2 N).
+func BenchmarkE14_PRAMBaseline(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	x := tcmm.RandomBinaryMatrix(rng, 16, 16, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 16, 16, 0.5)
+	e := tcmm.NewPRAMExecutor(tcmm.Strassen(), 0, 1)
+	var m tcmm.PRAMMeasures
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, mm, err := e.Mul(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = mm
+	}
+	b.ReportMetric(float64(m.Work), "work")
+	b.ReportMetric(float64(m.Span), "span")
+}
+
+// E15 — Theorem 4.1: build the staged-adder trace circuit at N=16, d=2.
+func BenchmarkE15_Theorem41(b *testing.B) {
+	var depth, fanin int
+	for i := 0; i < b.N; i++ {
+		tc, err := tcmm.NewTheorem41Trace(16, 6, tcmm.Strassen(), 2, 1, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		depth = tc.Circuit.Depth()
+		fanin = tc.Circuit.MaxFanIn()
+	}
+	b.ReportMetric(float64(depth), "depth")
+	b.ReportMetric(float64(fanin), "maxfanin")
+}
+
+// E16 — placement ablation: locality placement of the N=8 matmul
+// circuit on a Loihi-like device.
+func BenchmarkE16_PlacementLocality(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	in, err := mc.Assign(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := tcmm.LoihiDevice()
+	var off int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tcmm.PlaceLocality(mc.Circuit, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st, err := tcmm.RunOnDevice(mc.Circuit, dev, p, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off = st.OffCoreEvents
+	}
+	b.ReportMetric(float64(off), "offcore")
+}
+
+// E17 — the exact-count extension at N=16: count triangles per op.
+func BenchmarkE17_CountCircuit(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	cc, err := tcmm.NewCount(16, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := tcmm.ErdosRenyi(rng, 16, 0.4)
+	adj := g.Adjacency()
+	want := g.Triangles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cc.Triangles(adj)
+		if err != nil || got != want {
+			b.Fatal("wrong count")
+		}
+	}
+	b.ReportMetric(float64(cc.Circuit.Size()), "gates")
+	b.ReportMetric(float64(cc.Circuit.Depth()), "depth")
+}
+
+// E18 — the MSB-sharing optimization: build the shared-layer trace
+// circuit and report the gate saving against the plain build.
+func BenchmarkE18_SharedMSB(b *testing.B) {
+	var plain, shared int
+	for i := 0; i < b.N; i++ {
+		p, err := tcmm.NewTrace(8, 6, tcmm.Options{Alg: tcmm.Strassen()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := tcmm.NewTrace(8, 6, tcmm.Options{Alg: tcmm.Strassen(), SharedMSB: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, shared = p.Circuit.Size(), s.Circuit.Size()
+	}
+	b.ReportMetric(float64(plain-shared)/float64(plain)*100, "saved-%")
+}
+
+// E19 — Section 6 energy: evaluate the trace circuit and report the
+// firing fraction.
+func BenchmarkE19_EnergyProfile(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	tc, err := tcmm.NewTrace(16, 6, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := tcmm.ErdosRenyi(rng, 16, 0.5)
+	in, err := tc.Assign(g.Adjacency())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var energy int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := tc.Circuit.EvalParallel(in, 0)
+		energy = tc.Circuit.Energy(vals)
+	}
+	b.ReportMetric(float64(energy)/float64(tc.Circuit.Size()), "fired-fraction")
+}
+
+// E20 — fused spiking CNN: forward pass through the single compiled
+// circuit.
+func BenchmarkE20_FusedCNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	k1 := tcmm.NewKernel(2, 1)
+	k1.Set(0, 0, 0, 1)
+	k1.Set(1, 1, 0, -1)
+	k2 := tcmm.NewKernel(2, 1)
+	k2.Set(0, 1, 0, 1)
+	k2.Set(1, 0, 0, -1)
+	net := &tcmm.ConvNetwork{Layers: []tcmm.ConvLayer{
+		{Kernels: []*tcmm.Kernel{k1, k2}, Stride: 2, Threshold: 1},
+	}}
+	opts := tcmm.Options{Alg: tcmm.Strassen(), SharedMSB: true}
+	fn, err := net.BuildFused(8, 8, 1, 3, &opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im := tcmm.NewImage(8, 8, 1)
+	for j := range im.Data {
+		im.Data[j] = rng.Int63n(4)
+	}
+	want, err := net.ForwardDirect(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := fn.Forward(im)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range want.Data {
+			if want.Data[j] != got.Data[j] {
+				b.Fatal("fused output wrong")
+			}
+		}
+	}
+	b.ReportMetric(float64(fn.Circuit.Size()), "gates")
+}
+
+// E21 — social-network scale: sparse triangle counting at 50k vertices.
+func BenchmarkE21_SparseTriangles(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	g := tcmm.SparseErdosRenyi(rng, 50000, 10.0/50000)
+	var tri int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tri = g.Triangles()
+	}
+	b.ReportMetric(float64(tri), "triangles")
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+// E13 — neuromorphic deployment: place + run the N=8 matmul circuit on
+// a Loihi-like device per op.
+func BenchmarkE13_NeuroMapping(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	in, err := mc.Assign(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats tcmm.DeviceStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := tcmm.Deploy(mc.Circuit, tcmm.LoihiDevice(), in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = st
+	}
+	b.ReportMetric(float64(stats.Cores), "cores")
+	b.ReportMetric(float64(stats.Spikes), "spikes")
+	b.ReportMetric(stats.Energy, "energy")
+}

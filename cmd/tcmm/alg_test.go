@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	tcmm "repro"
+)
+
+func TestResolveAlgRegistry(t *testing.T) {
+	alg, err := resolveAlg("strassen", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.R != 7 {
+		t.Errorf("r = %d, want 7", alg.R)
+	}
+	if _, err := resolveAlg("nope", ""); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestResolveAlgFile(t *testing.T) {
+	data, err := tcmm.EncodeAlgorithm(tcmm.Winograd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "alg.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	alg, err := resolveAlg("ignored", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name != "winograd" {
+		t.Errorf("loaded %q", alg.Name)
+	}
+	if _, err := resolveAlg("", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A file with a broken identity must be rejected.
+	bad := tcmm.Strassen()
+	bad.C[0][0] = 5
+	badData, err := tcmm.EncodeAlgorithm(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, badData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveAlg("", badPath); err == nil {
+		t.Error("algorithm violating the bilinear identity accepted")
+	}
+}

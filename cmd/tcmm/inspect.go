@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tcmm "repro"
+)
+
+// cmdInspect prints the anatomy of a saved circuit: per-level gate
+// counts and a fan-in histogram — the floor plan a hardware mapping
+// would start from.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "circuit.tcm", "saved circuit path")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := tcmm.ReadCircuit(f)
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("circuit: %d inputs, %d gates, depth %d, %d edges, max fan-in %d, %d outputs\n",
+		st.Inputs, st.Size, st.Depth, st.Edges, st.MaxFanIn, len(c.Outputs()))
+
+	fmt.Println("\ngates per level:")
+	for lvl, n := range c.LevelSizes() {
+		fmt.Printf("  level %2d: %9d %s\n", lvl+1, n, bar(n, st.Size))
+	}
+
+	// Fan-in histogram in powers of two.
+	hist := map[int]int{}
+	for g := 0; g < c.Size(); g++ {
+		f := c.FanIn(g)
+		bucket := 0
+		for (1 << bucket) < f {
+			bucket++
+		}
+		hist[bucket]++
+	}
+	buckets := make([]int, 0, len(hist))
+	for b := range hist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	fmt.Println("\nfan-in distribution:")
+	for _, b := range buckets {
+		lo := 0
+		if b > 0 {
+			lo = (1 << (b - 1)) + 1
+		}
+		fmt.Printf("  %7d..%-7d %9d %s\n", lo, 1<<b, hist[b], bar(hist[b], st.Size))
+	}
+	return nil
+}
+
+// bar renders a proportional ASCII bar.
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	w := n * 40 / total
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

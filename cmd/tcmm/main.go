@@ -1,0 +1,358 @@
+// Command tcmm is the command-line interface to the threshold-circuit
+// matrix multiplication library.
+//
+// Usage:
+//
+//	tcmm params                          algorithm constants table
+//	tcmm verify                          verify all built-in algorithms
+//	tcmm matmul  -n 8 -alg strassen ...  build + run a matmul circuit
+//	tcmm trace   -n 8 -tau 6 ...         build + run a trace circuit
+//	tcmm triangles -n 16 -p 0.3 -cc 0.4  graph clustering query pipeline
+//	tcmm counts  -L 16 -d 4 ...          analytic gate-count model
+//	tcmm neuro   -n 8 -device loihi ...  simulate neuromorphic deployment
+//	tcmm dot     -n 2 ...                emit a small circuit as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	tcmm "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "params":
+		err = cmdParams()
+	case "verify":
+		err = cmdVerify()
+	case "matmul":
+		err = cmdMatMul(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "triangles":
+		err = cmdTriangles(args)
+	case "counts":
+		err = cmdCounts(args)
+	case "neuro":
+		err = cmdNeuro(args)
+	case "dot":
+		err = cmdDot(args)
+	case "count":
+		err = cmdCount(args)
+	case "export":
+		err = cmdExport(args)
+	case "save":
+		err = cmdSave(args)
+	case "sim":
+		err = cmdSim(args)
+	case "inspect":
+		err = cmdInspect(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tcmm: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcmm %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `tcmm — threshold circuits for matrix multiplication (SPAA'18 reproduction)
+
+commands:
+  params      print T, r, ω, sparsity, α, β, γ, c for every built-in algorithm
+  verify      check the bilinear identity of every built-in algorithm
+  matmul      build an N x N matmul circuit, multiply random matrices, report stats
+  trace       build a trace(A³) >= τ circuit and run it on a random graph
+  triangles   clustering-coefficient query on a synthetic social graph
+  counts      analytic gate-count model for paper-scale N
+  neuro       simulate deployment on a neuromorphic device profile
+  dot         emit a small circuit in Graphviz DOT format
+  count       build the exact-count circuit and count triangles
+  export      write a built-in algorithm as JSON (feed back via -algfile)
+  save        build a circuit and cache it on disk (binary codec)
+  sim         profile a saved circuit on a device (placement, congestion)
+  inspect     print a saved circuit's level and fan-in anatomy
+
+run 'tcmm <command> -h' for flags`)
+}
+
+func cmdParams() error {
+	reg := tcmm.Algorithms()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s %3s %3s %7s %4s %4s %4s %7s %7s %7s %7s\n",
+		"algorithm", "T", "r", "ω", "s_A", "s_B", "s_C", "α", "β", "γ", "c")
+	for _, n := range names {
+		p := reg[n].Params()
+		fmt.Printf("%-10s %3d %3d %7.4f %4d %4d %4d %7.4f %7.4f %7.4f %7.4f\n",
+			n, p.T, p.R, p.Omega, p.SA, p.SB, p.SC, p.Alpha, p.Beta, p.Gamma, p.CConst)
+	}
+	return nil
+}
+
+func cmdVerify() error {
+	reg := tcmm.Algorithms()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := reg[n].Verify(); err != nil {
+			return err
+		}
+		fmt.Printf("%-10s bilinear identity verified (T=%d, r=%d)\n", n, reg[n].T, reg[n].R)
+	}
+	return nil
+}
+
+// algFlag resolves a -alg flag value.
+func algFlag(name string) (*tcmm.Algorithm, error) { return tcmm.LookupAlgorithm(name) }
+
+func cmdMatMul(args []string) error {
+	fs := flag.NewFlagSet("matmul", flag.ExitOnError)
+	n := fs.Int("n", 8, "matrix dimension (power of the algorithm's T)")
+	algName := fs.String("alg", "strassen", "algorithm: strassen|winograd|naive2|strassen2")
+	d := fs.Int("d", 2, "depth parameter (Theorem 4.9 schedule)")
+	bits := fs.Int("bits", 1, "entry bit width")
+	signed := fs.Bool("signed", false, "allow negative entries")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	alg, err := algFlag(*algName)
+	if err != nil {
+		return err
+	}
+	mc, err := tcmm.NewMatMul(*n, tcmm.Options{Alg: alg, Depth: *d, EntryBits: *bits, Signed: *signed})
+	if err != nil {
+		return err
+	}
+	st := mc.Circuit.Stats()
+	fmt.Printf("matmul circuit: N=%d alg=%s schedule=%v\n", *n, alg.Name, mc.Schedule)
+	fmt.Printf("  gates=%d depth=%d (bound %d) edges=%d maxfanin=%d inputs=%d\n",
+		st.Size, st.Depth, mc.DepthBound(), st.Edges, st.MaxFanIn, st.Inputs)
+	fmt.Printf("  audit: downA=%v downB=%v product=%d up=%v\n",
+		mc.Audit.DownA, mc.Audit.DownB, mc.Audit.Product, mc.Audit.Up)
+
+	rng := rand.New(rand.NewSource(*seed))
+	lo := int64(0)
+	hi := int64(1)<<uint(*bits) - 1
+	if *signed {
+		lo = -hi
+	}
+	a := tcmm.RandomMatrix(rng, *n, *n, lo, hi)
+	b := tcmm.RandomMatrix(rng, *n, *n, lo, hi)
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  random product correct: %v\n", got.Equal(a.Mul(b)))
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 8, "matrix dimension (power of the algorithm's T)")
+	algName := fs.String("alg", "strassen", "algorithm")
+	d := fs.Int("d", 2, "depth parameter")
+	tau := fs.Int64("tau", 6, "trace threshold τ")
+	p := fs.Float64("p", 0.5, "edge probability of the random test graph")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	alg, err := algFlag(*algName)
+	if err != nil {
+		return err
+	}
+	tc, err := tcmm.NewTrace(*n, *tau, tcmm.Options{Alg: alg, Depth: *d})
+	if err != nil {
+		return err
+	}
+	st := tc.Circuit.Stats()
+	fmt.Printf("trace circuit: N=%d alg=%s τ=%d schedule=%v\n", *n, alg.Name, *tau, tc.Schedule)
+	fmt.Printf("  gates=%d depth=%d (bound %d) edges=%d maxfanin=%d\n",
+		st.Size, st.Depth, tc.DepthBound(), st.Edges, st.MaxFanIn)
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := tcmm.ErdosRenyi(rng, *n, *p)
+	adj := g.Adjacency()
+	got, err := tc.Decide(adj)
+	if err != nil {
+		return err
+	}
+	trace := adj.TraceCube()
+	fmt.Printf("  random graph: trace(A³)=%d (%d triangles); circuit says trace>=τ: %v (correct: %v)\n",
+		trace, trace/6, got, got == (trace >= *tau))
+	return nil
+}
+
+func cmdTriangles(args []string) error {
+	fs := flag.NewFlagSet("triangles", flag.ExitOnError)
+	n := fs.Int("n", 16, "vertices (power of 2 for the circuit)")
+	p := fs.Float64("p", 0.3, "edge probability (Erdős–Rényi) or intra-community density")
+	communities := fs.Int("communities", 0, "planted communities (0 = Erdős–Rényi)")
+	cc := fs.Float64("cc", 0.4, "clustering-coefficient query threshold")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *tcmm.Graph
+	if *communities > 0 {
+		g = tcmm.PlantedCommunities(rng, *n, *communities, *p, *p/10)
+	} else {
+		g = tcmm.ErdosRenyi(rng, *n, *p)
+	}
+	fmt.Printf("graph: %d vertices %d edges %d wedges %d triangles cc=%.3f\n",
+		g.N, g.NumEdges(), g.Wedges(), g.Triangles(), g.ClusteringCoefficient())
+	tau := g.TauForClustering(*cc)
+	fmt.Printf("query: cc >= %.2f  ⟺  trace(A³) >= %d\n", *cc, tau)
+
+	trace, err := tcmm.NewTrace(*n, tau, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		return err
+	}
+	naive, err := tcmm.NewNaiveTriangle(*n, (tau+5)/6)
+	if err != nil {
+		return err
+	}
+	adj := g.Adjacency()
+	fast, err := trace.Decide(adj)
+	if err != nil {
+		return err
+	}
+	slow, err := naive.Decide(adj)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answers: subcubic=%v naive=%v\n", fast, slow)
+	fmt.Printf("subcubic: %v\nnaive:    %v\n", trace.Circuit.Stats(), naive.Circuit.Stats())
+	return nil
+}
+
+func cmdCounts(args []string) error {
+	fs := flag.NewFlagSet("counts", flag.ExitOnError)
+	algName := fs.String("alg", "strassen", "algorithm")
+	L := fs.Int("L", 16, "log_T N")
+	bits := fs.Int("bits", 1, "entry bit width")
+	fs.Parse(args)
+
+	alg, err := algFlag(*algName)
+	if err != nil {
+		return err
+	}
+	p := alg.Params()
+	nf := 1.0
+	for i := 0; i < *L; i++ {
+		nf *= float64(alg.T)
+	}
+	fmt.Printf("model: alg=%s N=%s^%d=%.3g bits=%d\n", alg.Name, fmt.Sprint(alg.T), *L, nf, *bits)
+	fmt.Printf("naive triangle baseline: %.3g gates\n", tcmm.NaiveTriangleGates(nf))
+	fmt.Printf("%4s %-26s %14s %14s %10s\n", "d", "schedule", "trace gates", "matmul gates", "exponent")
+	for d := 1; d <= 8; d++ {
+		sched := tcmm.ConstantDepthSchedule(p.Gamma, *L, d)
+		tr := tcmm.EstimateTraceGates(alg, *bits, *L, sched).Total()
+		mm := tcmm.EstimateMatMulGates(alg, *bits, *L, sched).Total()
+		fmt.Printf("%4d %-26s %14.4g %14.4g %10.4f\n", d, fmt.Sprint(sched), tr, mm, tcmm.TheoremExponent(alg, d))
+	}
+	ll := tcmm.LogLogSchedule(p.Gamma, *L)
+	fmt.Printf("%4s %-26s %14.4g %14.4g %10s\n", "ll",
+		fmt.Sprint(ll), tcmm.EstimateTraceGates(alg, *bits, *L, ll).Total(),
+		tcmm.EstimateMatMulGates(alg, *bits, *L, ll).Total(), "ω+o(1)")
+	return nil
+}
+
+func cmdNeuro(args []string) error {
+	fs := flag.NewFlagSet("neuro", flag.ExitOnError)
+	n := fs.Int("n", 8, "matrix dimension")
+	device := fs.String("device", "unlimited", "device profile: truenorth|loihi|unlimited")
+	group := fs.Int("group", 0, "fan-in group size (0 = unbounded fan-in)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var dev tcmm.Device
+	switch *device {
+	case "truenorth":
+		dev = tcmm.TrueNorthDevice()
+	case "loihi":
+		dev = tcmm.LoihiDevice()
+	case "unlimited":
+		dev = tcmm.UnlimitedDevice()
+	default:
+		return fmt.Errorf("unknown device %q", *device)
+	}
+
+	mc, err := tcmm.NewMatMul(*n, tcmm.Options{Alg: tcmm.Strassen(), GroupSize: *group})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	a := tcmm.RandomBinaryMatrix(rng, *n, *n, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, *n, *n, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		return err
+	}
+	vals, stats, err := tcmm.Deploy(mc.Circuit, dev, in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %d-gate matmul circuit on %s\n", mc.Circuit.Size(), dev.Name)
+	fmt.Printf("  product correct: %v\n", mc.Decode(vals).Equal(a.Mul(b)))
+	fmt.Printf("  timesteps=%d cores=%d spikes=%d energy=%.1f\n",
+		stats.Timesteps, stats.Cores, stats.Spikes, stats.Energy)
+	fmt.Printf("  traffic: on-core=%d off-core=%d\n", stats.OnCoreEvents, stats.OffCoreEvents)
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	n := fs.Int("n", 2, "matrix dimension (keep tiny)")
+	kind := fs.String("kind", "matmul", "matmul|trace|naive")
+	fs.Parse(args)
+
+	var c *tcmm.Circuit
+	switch *kind {
+	case "matmul":
+		mc, err := tcmm.NewMatMul(*n, tcmm.Options{Alg: tcmm.Strassen()})
+		if err != nil {
+			return err
+		}
+		c = mc.Circuit
+	case "trace":
+		tc, err := tcmm.NewTrace(*n, 1, tcmm.Options{Alg: tcmm.Strassen()})
+		if err != nil {
+			return err
+		}
+		c = tc.Circuit
+	case "naive":
+		tc, err := tcmm.NewNaiveTriangle(*n, 1)
+		if err != nil {
+			return err
+		}
+		c = tc.Circuit
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if c.Size() > 5000 {
+		return fmt.Errorf("circuit has %d gates; DOT export is for small circuits", c.Size())
+	}
+	return c.WriteDOT(os.Stdout, *kind)
+}

@@ -1,0 +1,98 @@
+package tcmm_test
+
+import (
+	"fmt"
+
+	tcmm "repro"
+)
+
+// Build a threshold circuit for 4x4 binary matrix multiplication and
+// run it.
+func ExampleNewMatMul() {
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		panic(err)
+	}
+	a := tcmm.MatrixFromRows([][]int64{
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	})
+	b := tcmm.MatrixFromRows([][]int64{
+		{1, 1, 0, 0},
+		{0, 1, 1, 0},
+		{0, 0, 1, 1},
+		{1, 0, 0, 1},
+	})
+	c, err := mc.Multiply(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Equal(a.Mul(b)))
+	fmt.Println(mc.Circuit.Depth() <= mc.DepthBound())
+	// Output:
+	// true
+	// true
+}
+
+// Decide whether a graph has at least two triangles via the trace
+// circuit (trace(A³) = 6·#triangles).
+func ExampleNewTrace() {
+	k4 := tcmm.CompleteGraph(4) // 4 triangles
+	tc, err := tcmm.NewTrace(4, 6*2, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		panic(err)
+	}
+	atLeastTwo, err := tc.Decide(k4.Adjacency())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(atLeastTwo)
+	// Output:
+	// true
+}
+
+// Inspect the circuit constants of Strassen's algorithm (Section 4.3 of
+// the paper).
+func ExampleAlgorithm_Params() {
+	p := tcmm.Strassen().Params()
+	fmt.Printf("T=%d r=%d s=%d\n", p.T, p.R, p.S)
+	fmt.Printf("gamma=%.3f c=%.3f\n", p.Gamma, p.CConst)
+	// Output:
+	// T=2 r=7 s=12
+	// gamma=0.491 c=1.585
+}
+
+// Count triangles exactly with the counting extension.
+func ExampleNewCount() {
+	cc, err := tcmm.NewCount(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		panic(err)
+	}
+	triangles, err := cc.Triangles(tcmm.CompleteGraph(4).Adjacency())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(triangles)
+	// Output:
+	// 4
+}
+
+// The paper's headline exponent: ω + c·γ^d dips below 3 once d > 3.
+func ExampleTheoremExponent() {
+	alg := tcmm.Strassen()
+	fmt.Printf("d=1: %.3f\n", tcmm.TheoremExponent(alg, 1))
+	fmt.Printf("d=4: %.3f\n", tcmm.TheoremExponent(alg, 4))
+	// Output:
+	// d=1: 3.585
+	// d=4: 2.899
+}
+
+// Constant-depth schedules select a geometric set of tree levels.
+func ExampleConstantDepthSchedule() {
+	gamma := tcmm.Strassen().Params().Gamma
+	fmt.Println(tcmm.ConstantDepthSchedule(gamma, 16, 3))
+	// Output:
+	// [0 11 15 16]
+}

@@ -1,0 +1,92 @@
+// The algorithm toolkit: everything this library can do with bilinear
+// fast matrix multiplication algorithms as algebraic objects —
+// verification, sparsity analysis, tensor rotations, solver-backed
+// completion of partial decompositions, composition, and JSON
+// interchange. Every algorithm that survives these transformations is
+// usable directly in the circuit builders.
+//
+//	go run ./examples/algorithms
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tcmm "repro"
+)
+
+func main() {
+	// 1. The built-in registry, with the Section 4.3 circuit constants.
+	fmt.Println("built-in algorithms:")
+	for name, alg := range tcmm.Algorithms() {
+		p := alg.Params()
+		fmt.Printf("  %-10s T=%d r=%-3d ω=%.3f s=(%d,%d,%d) γ=%.3f\n",
+			name, p.T, p.R, p.Omega, p.SA, p.SB, p.SC, p.Gamma)
+	}
+
+	// 2. Tensor rotations: the matrix multiplication tensor's cyclic
+	// symmetry turns one verified algorithm into two more, with the
+	// sparsity triple rotated.
+	r1, r2, err := tcmm.AlgorithmRotations(tcmm.Strassen())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStrassen under the tensor's cyclic symmetry:")
+	for _, alg := range []*tcmm.Algorithm{tcmm.Strassen(), r1, r2} {
+		p := alg.Params()
+		fmt.Printf("  %-16s s=(%d,%d,%d), verifies: %v\n",
+			alg.Name, p.SA, p.SB, p.SC, alg.Verify() == nil)
+	}
+
+	// 3. Completion: erase Strassen's output combinations and recover
+	// them from the M expressions by exact rational solving.
+	d := tcmm.AlgorithmToTensor(tcmm.Strassen())
+	d.W = nil
+	completed, err := tcmm.CompleteDecomposition(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompletion: recovered Strassen's C-combinations from its M expressions\n")
+	fmt.Printf("  completed decomposition verifies: %v (rank %d)\n",
+		completed.Verify() == nil, completed.Rank())
+
+	// ... and the solver refutes impossible ranks: 2x2 multiplication
+	// has no rank-6 decomposition (Strassen's 7 is optimal).
+	d6 := tcmm.AlgorithmToTensor(tcmm.Strassen())
+	d6.U = d6.U[:6]
+	d6.V = d6.V[:6]
+	d6.R = 6
+	d6.W = nil
+	_, err = tcmm.CompleteDecomposition(d6)
+	fmt.Printf("  rank-6 completion of ⟨2,2,2⟩ refused: %v\n", err != nil)
+
+	// 4. Composition: Strassen⊗Winograd is a T=4, r=49 algorithm.
+	comp := tcmm.ComposeAlgorithms(tcmm.Strassen(), tcmm.Winograd())
+	fmt.Printf("\ncomposition %s: T=%d r=%d verifies: %v\n",
+		comp.Name, comp.T, comp.R, comp.Verify() == nil)
+
+	// 5. Interchange: rotated algorithms round-trip through JSON and
+	// plug straight into a circuit.
+	data, err := tcmm.EncodeAlgorithm(r1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := tcmm.DecodeAlgorithm(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: loaded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncircuit built from the JSON round-tripped rotation multiplies correctly: %v\n",
+		got.Equal(a.Mul(b)))
+}

@@ -1,0 +1,121 @@
+// Convolution-as-GEMM through threshold circuits — the paper's
+// deep-learning motivation (Section 5): a convolutional layer is a
+// matrix multiplication of the im2col patch matrix with the kernel
+// matrix; running it as a threshold circuit keeps the work "on-chip" on
+// a neuromorphic device instead of off-loading to a GPU. The example
+// also demonstrates the paper's fan-in remedy: when the hardware
+// supports only fan-in x, split the patch rows into independent pieces
+// that run in parallel at the same depth.
+//
+//	go run ./examples/cnnconv
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tcmm "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	// An 8x8 single-channel image with 2-bit pixels and two 2x2 edge
+	// detector kernels, stride 2: P = 16 patches, Q = 4, K = 2.
+	im := tcmm.NewImage(8, 8, 1)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			im.Set(y, x, 0, rng.Int63n(4))
+		}
+	}
+	horiz := tcmm.NewKernel(2, 1)
+	horiz.Set(0, 0, 0, 1)
+	horiz.Set(0, 1, 0, 1)
+	horiz.Set(1, 0, 0, -1)
+	horiz.Set(1, 1, 0, -1)
+	vert := tcmm.NewKernel(2, 1)
+	vert.Set(0, 0, 0, 1)
+	vert.Set(1, 0, 0, 1)
+	vert.Set(0, 1, 0, -1)
+	vert.Set(1, 1, 0, -1)
+	kernels := []*tcmm.Kernel{horiz, vert}
+
+	direct, err := tcmm.ConvDirect(im, kernels, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layer: %d patches x %d kernels\n", direct.Rows, direct.Cols)
+
+	// One circuit over the whole patch matrix.
+	whole, err := tcmm.ConvViaCircuit(im, kernels, 2, tcmm.Options{Alg: tcmm.Strassen()}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhole-layer circuit: scores correct=%v\n", whole.Scores.Equal(direct))
+	fmt.Printf("  gates=%d depth=%d max fan-in=%d\n", whole.Gates, whole.Depth, whole.MaxFanIn)
+
+	// Partitioned: at most 4 patch rows per piece — four independent
+	// circuits that a fan-in-limited architecture can run in parallel.
+	parts, err := tcmm.ConvViaCircuit(im, kernels, 2, tcmm.Options{Alg: tcmm.Strassen()}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npartitioned (<=4 rows/piece): scores correct=%v, %d pieces\n",
+		parts.Scores.Equal(direct), len(parts.Stats))
+	fmt.Printf("  total gates=%d wall depth=%d max fan-in=%d\n",
+		parts.Gates, parts.Depth, parts.MaxFanIn)
+	for i, st := range parts.Stats {
+		fmt.Printf("  piece %d: rows=%d gates=%d depth=%d fan-in=%d\n",
+			i, st.Rows, st.Gates, st.Depth, st.MaxFanIn)
+	}
+
+	fmt.Printf("\nfan-in reduction: %d -> %d at equal wall-clock depth\n",
+		whole.MaxFanIn, parts.MaxFanIn)
+
+	// Feature map for the horizontal kernel (patch scores reshaped to
+	// the 4x4 output grid).
+	fmt.Println("\nhorizontal-edge feature map:")
+	for gy := 0; gy < 4; gy++ {
+		for gx := 0; gx < 4; gx++ {
+			fmt.Printf("%4d", parts.Scores.At(gy*4+gx, 0))
+		}
+		fmt.Println()
+	}
+
+	// A two-layer spiking network: scores threshold into binary
+	// activations (one threshold gate per unit — the natural
+	// nonlinearity in this model), which feed a second convolution.
+	pool := tcmm.NewKernel(2, 2)
+	for c := 0; c < 2; c++ {
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				pool.Set(y, x, c, 1)
+			}
+		}
+	}
+	net := &tcmm.ConvNetwork{Layers: []tcmm.ConvLayer{
+		{Kernels: kernels, Stride: 2, Threshold: 2},
+		{Kernels: []*tcmm.Kernel{pool}, Stride: 2, Threshold: 3},
+	}}
+	res, err := net.Forward(im, tcmm.Options{Alg: tcmm.Strassen()}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := net.ForwardDirect(im)
+	if err != nil {
+		log.Fatal(err)
+	}
+	match := true
+	for i := range ref.Data {
+		if ref.Data[i] != res.Output.Data[i] {
+			match = false
+		}
+	}
+	fmt.Printf("\ntwo-layer spiking network: output %dx%dx%d, correct=%v\n",
+		res.Output.H, res.Output.W, res.Output.C, match)
+	for i, lr := range res.Layers {
+		fmt.Printf("  layer %d: gates=%d depth=%d spikes=%d\n", i, lr.Gates, lr.Depth, lr.Spikes)
+	}
+	fmt.Printf("  network total: gates=%d depth=%d\n", res.Gates, res.Depth)
+}

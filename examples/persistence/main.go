@@ -1,0 +1,78 @@
+// Circuit persistence: building a large threshold circuit costs far
+// more than evaluating it, so production deployments build once and
+// cache the compiled circuit on disk. This example builds an 8x8 matmul
+// circuit, saves it with the versioned binary codec, reloads it, and
+// verifies the loaded copy computes the same products.
+//
+//	go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	tcmm "repro"
+)
+
+func main() {
+	start := time.Now()
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen(), EntryBits: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("built: %d gates, depth %d in %v\n",
+		mc.Circuit.Size(), mc.Circuit.Depth(), buildTime.Round(time.Millisecond))
+
+	path := filepath.Join(os.TempDir(), "tcmm-matmul8.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := mc.Circuit.WriteTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved %d bytes to %s\n", n, path)
+
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start = time.Now()
+	loaded, err := tcmm.ReadCircuit(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded (with full structural validation) in %v\n",
+		time.Since(start).Round(time.Millisecond))
+
+	// The loaded circuit is wire-for-wire identical, so the original
+	// builder's encode/decode maps still apply.
+	rng := rand.New(rand.NewSource(9))
+	a := tcmm.RandomMatrix(rng, 8, 8, 0, 3)
+	b := tcmm.RandomMatrix(rng, 8, 8, 0, 3)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals := loaded.EvalParallel(in, 0)
+	fmt.Printf("loaded circuit multiplies correctly: %v\n",
+		mc.Decode(vals).Equal(a.Mul(b)))
+
+	// Dead-gate audit: the core constructions carry no unused gates.
+	_, removed := loaded.Prune()
+	fmt.Printf("dead gates: %d of %d\n", removed, loaded.Size())
+
+	if err := os.Remove(path); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a threshold circuit that multiplies two 8x8 integer
+// matrices (Theorem 4.9), run it, and inspect its complexity measures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tcmm "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Strassen's algorithm (Figure 1 of the paper) and its circuit
+	// constants: sparsity s = 12, γ ≈ 0.491, c ≈ 1.585.
+	alg := tcmm.Strassen()
+	p := alg.Params()
+	fmt.Printf("algorithm %s: T=%d r=%d ω=%.3f s=%d γ=%.3f c=%.3f\n",
+		alg.Name, p.T, p.R, p.Omega, p.S, p.Gamma, p.CConst)
+
+	// Build the matmul circuit for 8x8 matrices with 3-bit signed
+	// entries, using the constant-depth schedule for d = 2.
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{
+		Alg:       alg,
+		Depth:     2,
+		EntryBits: 3,
+		Signed:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mc.Circuit.Stats()
+	fmt.Printf("circuit: %d gates, depth %d (bound %d), %d edges, max fan-in %d\n",
+		st.Size, st.Depth, mc.DepthBound(), st.Edges, st.MaxFanIn)
+	fmt.Printf("schedule (tree levels materialized): %v\n", mc.Schedule)
+
+	// Multiply two random matrices through the circuit and check
+	// against the exact product.
+	a := tcmm.RandomMatrix(rng, 8, 8, -7, 7)
+	b := tcmm.RandomMatrix(rng, 8, 8, -7, 7)
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := a.Mul(b)
+	fmt.Printf("circuit product matches exact product: %v\n", got.Equal(want))
+	fmt.Printf("C[0] row: %v\n", got.Data[:8])
+
+	// The same circuit is reusable for any input pair of this shape.
+	a2 := tcmm.RandomMatrix(rng, 8, 8, -7, 7)
+	got2, err := mc.Multiply(a2, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second multiply matches: %v\n", got2.Equal(a2.Mul(b)))
+}

@@ -1,0 +1,58 @@
+// Scaling study through the analytic gate-count model: how the
+// constant-depth circuits' cost grows with N for each depth parameter
+// d, where the theorem exponent ω + c·γ^d crosses below 3, and how the
+// level schedules compare — the quantitative heart of the paper,
+// evaluated at sizes no circuit could be materialized at.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"math"
+
+	tcmm "repro"
+)
+
+func main() {
+	alg := tcmm.Strassen()
+	p := alg.Params()
+
+	fmt.Println("Theorem 4.5/4.9 gate exponents ω + c·γ^d (Strassen: ω≈2.807):")
+	for d := 1; d <= 8; d++ {
+		e := tcmm.TheoremExponent(alg, d)
+		marker := ""
+		if e < 3 {
+			marker = "   <- subcubic"
+		}
+		fmt.Printf("  d=%d: %.4f%s\n", d, e, marker)
+	}
+
+	fmt.Println("\nModeled trace-circuit gates vs the naive C(N,3)+1 baseline (b=1):")
+	fmt.Printf("%8s %14s %14s %14s %14s\n", "N", "naive", "d=2", "d=5", "loglog")
+	for _, L := range []int{8, 12, 16, 20, 24} {
+		n := math.Pow(2, float64(L))
+		naive := tcmm.NaiveTriangleGates(n)
+		d2 := tcmm.EstimateTraceGates(alg, 1, L, tcmm.ConstantDepthSchedule(p.Gamma, L, 2)).Total()
+		d5 := tcmm.EstimateTraceGates(alg, 1, L, tcmm.ConstantDepthSchedule(p.Gamma, L, 5)).Total()
+		ll := tcmm.EstimateTraceGates(alg, 1, L, tcmm.LogLogSchedule(p.Gamma, L)).Total()
+		fmt.Printf("%8.0g %14.3g %14.3g %14.3g %14.3g\n", n, naive, d2, d5, ll)
+	}
+
+	fmt.Println("\nSchedule ablation at N = 2^20, equal transition count:")
+	const L = 20
+	geo := tcmm.ConstantDepthSchedule(p.Gamma, L, 4)
+	uni := tcmm.UniformSchedule(L, geo.Transitions())
+	dir := tcmm.DirectSchedule(L)
+	fmt.Printf("  geometric %v : %.3g gates\n", geo, tcmm.EstimateTraceGates(alg, 1, L, geo).Total())
+	fmt.Printf("  uniform   %v : %.3g gates\n", uni, tcmm.EstimateTraceGates(alg, 1, L, uni).Total())
+	fmt.Printf("  direct    %v : %.3g gates\n", dir, tcmm.EstimateTraceGates(alg, 1, L, dir).Total())
+
+	fmt.Println("\nSparsity matters more than addition count (Winograd vs Strassen, d=4, N=2^20):")
+	for _, a := range []*tcmm.Algorithm{tcmm.Strassen(), tcmm.Winograd()} {
+		ap := a.Params()
+		sched := tcmm.ConstantDepthSchedule(ap.Gamma, L, 4)
+		fmt.Printf("  %-9s s=%2d γ=%.3f : %.3g gates\n",
+			a.Name, ap.S, ap.Gamma, tcmm.EstimateTraceGates(a, 1, L, sched).Total())
+	}
+}

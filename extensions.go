@@ -1,0 +1,191 @@
+package tcmm
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/arith"
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/neuro"
+	"repro/internal/pram"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// This file exposes the library's extensions beyond the paper's literal
+// statements: the exact-count circuit, the Theorem 4.1 construction,
+// circuit persistence and pruning, and placement strategies for the
+// device simulator.
+
+// CountCircuit computes trace(A³)/2 exactly in binary — the counting
+// extension of the paper's decision circuit (depth 2t+3): one circuit
+// answers every τ query and yields exact triangle counts.
+type CountCircuit = core.CountCircuit
+
+// NewCount builds the exact-trace circuit.
+func NewCount(n int, opts Options) (*CountCircuit, error) { return core.BuildCount(n, opts) }
+
+// NewTheorem41Trace builds the paper's warm-up Theorem 4.1 trace
+// circuit: direct leaf computation with depth-d staged adders
+// (Õ(d·N^{ω+1/d}) gates).
+func NewTheorem41Trace(n int, tau int64, alg *Algorithm, d, entryBits int, signed bool) (*TraceCircuit, error) {
+	return core.BuildTheorem41Trace(n, tau, alg, d, entryBits, signed)
+}
+
+// NewTheorem41MatMul builds the Theorem 4.1 matmul circuit.
+func NewTheorem41MatMul(n int, alg *Algorithm, d, entryBits int, signed bool) (*MatMulCircuit, error) {
+	return core.BuildTheorem41MatMul(n, alg, d, entryBits, signed)
+}
+
+// ReadCircuit deserializes a circuit written with Circuit.WriteTo,
+// fully validating its structural invariants.
+func ReadCircuit(r io.Reader) (*Circuit, error) { return circuit.Read(r) }
+
+// Placement maps circuit gates to device cores.
+type Placement = neuro.Placement
+
+// PlaceLevelOrder packs gates onto cores in level order (the simple
+// baseline placement).
+func PlaceLevelOrder(c *Circuit, d Device) (*Placement, error) { return neuro.Place(c, d) }
+
+// PlaceLocality places gates by consumer affinity, minimizing off-core
+// spike traffic.
+func PlaceLocality(c *Circuit, d Device) (*Placement, error) { return neuro.PlaceLocality(c, d) }
+
+// RunOnDevice executes one inference under an explicit placement.
+func RunOnDevice(c *Circuit, d Device, p *Placement, inputs []bool) ([]bool, DeviceStats, error) {
+	return neuro.Run(c, d, p, inputs)
+}
+
+// MeshStats extends DeviceStats with 2D-mesh Manhattan-distance traffic
+// accounting (cores on a ⌈√C⌉² grid, per-hop energy).
+type MeshStats = neuro.MeshStats
+
+// RunOnMesh executes one inference with mesh-distance accounting.
+func RunOnMesh(c *Circuit, d Device, p *Placement, inputs []bool) ([]bool, MeshStats, error) {
+	return neuro.RunMesh(c, d, p, inputs)
+}
+
+// Theorem41Options derives the Options used by the Theorem 4.1 builders
+// (Direct schedule + staged adders), exposed for composition.
+func Theorem41Options(alg *bilinear.Algorithm, n, d, entryBits int, signed bool) (Options, error) {
+	return core.Theorem41Options(alg, n, d, entryBits, signed)
+}
+
+// PRAMExecutor is the conventional parallel (fork-join) baseline the
+// paper compares its circuits against: O(log N)-span execution of a
+// fast matrix multiplication with exact work/span accounting.
+type PRAMExecutor = pram.Executor
+
+// PRAMMeasures carries PRAM work (total scalar ops) and span (critical
+// path) for one execution.
+type PRAMMeasures = pram.Measures
+
+// NewPRAMExecutor returns a parallel executor with the given worker
+// bound (<= 0: unbounded fork-join) and recursion cutoff.
+func NewPRAMExecutor(alg *Algorithm, workers, cutoff int) *PRAMExecutor {
+	return pram.NewExecutor(alg, workers, cutoff)
+}
+
+// PRAMSpanBound returns the analytic critical-path length of a full
+// recursion on N = T^L (for Strassen: 1 + 3·log2 N).
+func PRAMSpanBound(alg *Algorithm, n int) int64 { return pram.SpanBound(alg, n) }
+
+// TensorDecomposition is a rank decomposition of the matrix
+// multiplication tensor ⟨T,T,T⟩ in trace coordinates — the "tensor
+// perspective" of fast matrix multiplication the paper points to.
+type TensorDecomposition = tensor.Decomposition
+
+// AlgorithmToTensor converts a bilinear algorithm to its tensor
+// decomposition.
+func AlgorithmToTensor(alg *Algorithm) *TensorDecomposition { return tensor.FromAlgorithm(alg) }
+
+// CompleteDecomposition fills in the single nil factor of a partial
+// rank decomposition by exact rational linear solving and verifies the
+// result — e.g. recover a fast algorithm's C-combinations from its M
+// expressions. It also refutes impossible completions (the rank of
+// ⟨2,2,2⟩ being 7 falls out as a corollary).
+func CompleteDecomposition(d *TensorDecomposition) (*TensorDecomposition, error) {
+	return tensor.Complete(d)
+}
+
+// AlgorithmRotations returns the two cyclic rotations of an algorithm
+// under the matrix multiplication tensor's symmetry: automatically
+// correct new algorithms with cyclically-shifted sparsity profiles
+// (s_A, s_B, s_C).
+func AlgorithmRotations(alg *Algorithm) (*Algorithm, *Algorithm, error) {
+	return tensor.Rotations(alg)
+}
+
+// ConvLayer is one convolution + spiking-activation stage: kernel
+// scores thresholded into binary activations (a linear threshold
+// function per unit, so whole networks live in the circuit model).
+type ConvLayer = conv.Layer
+
+// ConvNetwork is a feed-forward stack of spiking convolution layers
+// executed through threshold matmul circuits.
+type ConvNetwork = conv.Network
+
+// ConvNetworkResult aggregates a network forward pass (per-layer
+// scores, activations, gates, depth, spikes).
+type ConvNetworkResult = conv.NetworkResult
+
+// FusedConvNetwork is an entire spiking convolution network compiled
+// into one threshold circuit (ConvNetwork.BuildFused): image bits in,
+// final activation bits out, fixed depth end to end.
+type FusedConvNetwork = conv.FusedNetwork
+
+// SparseGraph is a CSR graph for social-network-scale triangle and
+// clustering analysis (10^5+ vertices) — the conventional baseline at
+// sizes the paper concedes circuits cannot reach yet.
+type SparseGraph = sparse.Graph
+
+// SparseFromEdges builds a CSR graph from an edge list.
+func SparseFromEdges(n int, edges [][2]int) (*SparseGraph, error) {
+	return sparse.FromEdges(n, edges)
+}
+
+// SparseErdosRenyi samples G(n, p) in expected O(p·n²) time via
+// geometric skipping, suitable for very sparse large graphs.
+func SparseErdosRenyi(rng *rand.Rand, n int, p float64) *SparseGraph {
+	return sparse.ErdosRenyi(rng, n, p)
+}
+
+// SparseFromGraph converts a dense Graph to CSR form.
+func SparseFromGraph(g *Graph) *SparseGraph { return sparse.FromDense(g) }
+
+// RectMatMulCircuit multiplies rectangular P x Q by Q x K matrices
+// through a padded square circuit — the shape the convolutional
+// application needs (Section 5).
+type RectMatMulCircuit = core.RectMatMulCircuit
+
+// NewRectMatMul builds the rectangular product circuit.
+func NewRectMatMul(p, q, k int, opts Options) (*RectMatMulCircuit, error) {
+	return core.BuildRectMatMul(p, q, k, opts)
+}
+
+// NewParity builds the classic TC0 parity circuit on n inputs (the
+// single marked output is the parity bit). groupSize <= 1 gives the
+// flat depth-2 block; 2 <= groupSize < n trades depth for per-gate
+// fan-in and near-linear wiring, as in the sublinear constructions the
+// paper cites.
+func NewParity(n, groupSize int) *Circuit {
+	b := circuit.NewBuilder(n)
+	ws := make([]circuit.Wire, n)
+	for i := range ws {
+		ws[i] = b.Input(i)
+	}
+	b.MarkOutput(arith.Parity(b, ws, groupSize))
+	return b.Build()
+}
+
+// OptimalTraceSchedule exhaustively searches all t-transition level
+// schedules and returns the model-optimal one with its cost — the
+// benchmark Lemma 4.3's closed-form geometric rule is judged against.
+func OptimalTraceSchedule(alg *Algorithm, entryBits, height, t int) (Schedule, float64) {
+	return counting.OptimalTraceSchedule(alg, entryBits, height, t)
+}

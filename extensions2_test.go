@@ -1,0 +1,112 @@
+package tcmm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	tcmm "repro"
+)
+
+func TestFacadeRectMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rc, err := tcmm.NewRectMatMul(3, 5, 2, tcmm.Options{Alg: tcmm.Strassen(), EntryBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomMatrix(rng, 3, 5, 0, 3)
+	b := tcmm.RandomMatrix(rng, 5, 2, 0, 3)
+	got, err := rc.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Error("rectangular facade product wrong")
+	}
+}
+
+func TestFacadeParity(t *testing.T) {
+	for _, g := range []int{0, 4} {
+		c := tcmm.NewParity(9, g)
+		in := make([]bool, 9)
+		in[0], in[3], in[7] = true, true, true // odd
+		if !c.OutputValues(c.Eval(in))[0] {
+			t.Errorf("g=%d: parity of 3 ones should be 1", g)
+		}
+		in[7] = false // even
+		if c.OutputValues(c.Eval(in))[0] {
+			t.Errorf("g=%d: parity of 2 ones should be 0", g)
+		}
+	}
+}
+
+func TestFacadeMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tcmm.Device{Name: "mesh-test", NeuronsPerCore: 256, EnergyPerSpike: 1, EnergyPerHop: 0.5}
+	p, err := tcmm.PlaceLocality(mc.Circuit, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ms, err := tcmm.RunOnMesh(mc.Circuit, dev, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Decode(vals).Equal(a.Mul(b)) {
+		t.Error("mesh run changed product")
+	}
+	if ms.Side < 1 || ms.TotalHops < ms.OffCoreEvents {
+		t.Errorf("mesh stats implausible: %+v", ms)
+	}
+}
+
+func TestFacadeSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	dense := tcmm.ErdosRenyi(rng, 30, 0.3)
+	sg := tcmm.SparseFromGraph(dense)
+	if sg.Triangles() != dense.Triangles() {
+		t.Error("sparse/dense disagreement through facade")
+	}
+	g2 := tcmm.SparseErdosRenyi(rng, 1000, 0.01)
+	if g2.NumEdges() == 0 {
+		t.Error("sparse generator produced no edges")
+	}
+	eg, err := tcmm.SparseFromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.Triangles() != 1 {
+		t.Error("triangle not counted")
+	}
+}
+
+func TestFacadeBandwidthCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tcmm.LoihiDevice()
+	dev.LinkBandwidth = 100
+	_, stats, err := tcmm.Deploy(mc.Circuit, dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WallTimesteps <= int64(stats.Timesteps) {
+		t.Errorf("congestion did not stretch wall time: %d vs %d", stats.WallTimesteps, stats.Timesteps)
+	}
+}

@@ -1,0 +1,164 @@
+package tcmm_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	tcmm "repro"
+)
+
+func TestFacadeCountCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cc, err := tcmm.NewCount(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tcmm.ErdosRenyi(rng, 8, 0.5)
+	got, err := cc.Triangles(g.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g.Triangles() {
+		t.Errorf("counted %d triangles, want %d", got, g.Triangles())
+	}
+}
+
+func TestFacadeTheorem41(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	mc, err := tcmm.NewTheorem41MatMul(4, tcmm.Strassen(), 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Error("theorem 4.1 product wrong")
+	}
+	tc, err := tcmm.NewTheorem41Trace(4, 6, tcmm.Strassen(), 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4 := tcmm.CompleteGraph(4)
+	ans, err := tc.Decide(k4.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("K4 has 24 >= 6 trace")
+	}
+}
+
+// Persistence: a built matmul circuit round-trips through the binary
+// codec and still multiplies correctly.
+func TestFacadeCircuitPersistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := mc.Circuit.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := tcmm.ReadCircuit(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate through the loaded circuit, decode through the original
+	// (wire numbering is identical by construction).
+	vals := loaded.EvalParallel(in, 0)
+	if !mc.Decode(vals).Equal(a.Mul(b)) {
+		t.Error("loaded circuit computes wrong product")
+	}
+}
+
+// The core constructions carry essentially no dead gates.
+func TestFacadeCoreCircuitsAreLean(t *testing.T) {
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, removed := mc.Circuit.Prune()
+	if frac := float64(removed) / float64(mc.Circuit.Size()); frac > 0.01 {
+		t.Errorf("matmul circuit has %.1f%% dead gates", 100*frac)
+	}
+}
+
+// Rotated algorithms plug straight into the circuit builders and
+// produce correct products — the tensor symmetry exercised end to end.
+func TestFacadeRotatedAlgorithmCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	r1, r2, err := tcmm.AlgorithmRotations(tcmm.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	want := a.Mul(b)
+	for _, alg := range []*tcmm.Algorithm{r1, r2} {
+		mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: circuit product wrong", alg.Name)
+		}
+	}
+	d := tcmm.AlgorithmToTensor(tcmm.Strassen())
+	if d.Rank() != 7 {
+		t.Errorf("Strassen tensor rank %d, want 7", d.Rank())
+	}
+	if err := d.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadePlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tcmm.LoihiDevice()
+	level, err := tcmm.PlaceLevelOrder(mc.Circuit, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := tcmm.PlaceLocality(mc.Circuit, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLevel, err := tcmm.RunOnDevice(mc.Circuit, dev, level, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLocal, err := tcmm.RunOnDevice(mc.Circuit, dev, local, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLocal.OffCoreEvents >= sLevel.OffCoreEvents {
+		t.Errorf("locality placement did not reduce traffic: %d vs %d",
+			sLocal.OffCoreEvents, sLevel.OffCoreEvents)
+	}
+}

@@ -1,0 +1,265 @@
+// Package arith implements the paper's Section 3: the elementary TC0
+// arithmetic circuits from which every construction in this library is
+// composed.
+//
+//   - Lemma 3.1: the k-th most significant bit of an integer-weighted sum
+//     of bits, as a depth-2 threshold circuit with 2^k + 1 gates.
+//   - Lemma 3.2: all bits of a nonnegative integer-weighted sum of
+//     nonnegative numbers, depth 2.
+//   - Lemma 3.3: depth-1 *representations* (not binary forms) of products
+//     of two or three numbers.
+//   - The (x⁺, x⁻) signed-pair convention of the "Negative numbers"
+//     subsection, including signed sums, signed products and the final
+//     comparison gate.
+//
+// The central datatype is Rep: a nonnegative integer represented as a
+// weighted sum of boolean wires, x = Σ w_i·x_i with w_i > 0. Binary
+// representations are the special case where the weights are distinct
+// powers of two; Lemma 3.3 products produce general representations, which
+// is exactly why the paper introduces the notion.
+//
+// One deliberate refinement over the paper's text: Lemma 3.2's proof
+// truncates each summand to its j low-order bits before extracting bit j.
+// We implement the equivalent reduction of each term weight mod 2^j,
+// which preserves the value mod 2^j, keeps every term nonnegative, and
+// works for arbitrary term weights (the paper's form assumes summands
+// arrive in binary). The gate count only improves: bit j costs
+// 2^{bits(n_j)+1} + 1 gates where n_j is the number of surviving terms.
+package arith
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// Term is one weighted wire of a representation. Weight must be positive;
+// sign is carried by the Signed pair, never by term weights.
+type Term struct {
+	Wire   circuit.Wire
+	Weight int64
+}
+
+// Rep represents a nonnegative integer as Σ Weight_i · wire_i over
+// boolean wires. Max is a sound upper bound on the represented value
+// (at most the sum of weights; possibly tighter when the producer knows
+// more).
+type Rep struct {
+	Terms []Term
+	Max   int64
+}
+
+// FromBits builds the standard binary representation over the given
+// wires: bits[i] has weight 2^i.
+func FromBits(bits []circuit.Wire) Rep {
+	r := Rep{Terms: make([]Term, len(bits))}
+	for i, w := range bits {
+		r.Terms[i] = Term{Wire: w, Weight: int64(1) << uint(i)}
+	}
+	if len(bits) > 0 {
+		r.Max = int64(1)<<uint(len(bits)) - 1
+	}
+	return r
+}
+
+// WeightSum returns the sum of all term weights (the attainable maximum).
+func (r Rep) WeightSum() int64 {
+	var s int64
+	for _, t := range r.Terms {
+		s = bitio.AddCheck(s, t.Weight)
+	}
+	return s
+}
+
+// validate panics on nonpositive weights; internal sanity check.
+func (r Rep) validate() {
+	for _, t := range r.Terms {
+		if t.Weight <= 0 {
+			panic(fmt.Sprintf("arith: nonpositive term weight %d", t.Weight))
+		}
+	}
+}
+
+// Scale returns the representation of c·x for c > 0 (no gates needed:
+// weights scale).
+func (r Rep) Scale(c int64) Rep {
+	if c <= 0 {
+		panic(fmt.Sprintf("arith: Scale requires positive factor, got %d", c))
+	}
+	out := Rep{Terms: make([]Term, len(r.Terms)), Max: bitio.MulCheck(r.Max, c)}
+	for i, t := range r.Terms {
+		out.Terms[i] = Term{Wire: t.Wire, Weight: bitio.MulCheck(t.Weight, c)}
+	}
+	return out
+}
+
+// Concat returns the representation of the sum of the given values
+// (no gates needed: representations are closed under union).
+func Concat(reps ...Rep) Rep {
+	var out Rep
+	for _, r := range reps {
+		out.Terms = append(out.Terms, r.Terms...)
+		out.Max = bitio.AddCheck(out.Max, r.Max)
+	}
+	return out
+}
+
+// Value evaluates the representation under a wire assignment (host-side;
+// used by tests and output decoding, not by circuits).
+func (r Rep) Value(vals []bool) int64 {
+	var s int64
+	for _, t := range r.Terms {
+		if vals[t.Wire] {
+			s += t.Weight
+		}
+	}
+	return s
+}
+
+// ExtractBit implements Lemma 3.1: given s = Σ w_i·x_i with s ∈ [0, 2^l),
+// it returns a wire computing the k-th most significant bit of s
+// (1 <= k <= l) using a depth-2 circuit with exactly 2^k + 1 gates.
+//
+// Layer 1 computes y_i = [s >= i·2^{l-k}] for 1 <= i <= 2^k; the output
+// gate computes [Σ_{i odd}(y_i − y_{i+1}) >= 1].
+func ExtractBit(b *circuit.Builder, r Rep, l, k int) circuit.Wire {
+	if k < 1 || k > l {
+		panic(fmt.Sprintf("arith: ExtractBit k=%d out of range [1,%d]", k, l))
+	}
+	if l >= 62 {
+		panic(fmt.Sprintf("arith: ExtractBit l=%d too large for int64 thresholds", l))
+	}
+	r.validate()
+	wires := make([]circuit.Wire, len(r.Terms))
+	weights := make([]int64, len(r.Terms))
+	for i, t := range r.Terms {
+		wires[i] = t.Wire
+		weights[i] = t.Weight
+	}
+	step := int64(1) << uint(l-k)
+	count := int64(1) << uint(k)
+	// The y_i gates all read the same weighted sum and differ only in
+	// threshold: build them as one gate group (identical circuit, shared
+	// storage and evaluation).
+	thresholds := make([]int64, count)
+	for i := int64(1); i <= count; i++ {
+		thresholds[i-1] = bitio.MulCheck(i, step)
+	}
+	ys := b.GateGroup(wires, weights, thresholds)
+	outW := make([]int64, count)
+	for i := int64(1); i <= count; i++ {
+		if i%2 == 1 {
+			outW[i-1] = 1
+		} else {
+			outW[i-1] = -1
+		}
+	}
+	return b.Gate(ys, outW, 1)
+}
+
+// ExtractBitGateCount returns the exact number of gates ExtractBit adds:
+// 2^k + 1 (Lemma 3.1's bound, met with equality).
+func ExtractBitGateCount(k int) int64 {
+	return (int64(1) << uint(k)) + 1
+}
+
+// SumBits implements Lemma 3.2: given a representation of a nonnegative
+// integer s, it returns the standard binary representation of s, built in
+// depth 2. Bit j (weight 2^{j-1}) is extracted from the weight-truncated
+// sum s_j = Σ (w_i mod 2^j)·x_i via Lemma 3.1.
+//
+// The result's wires are genuine bits of s; bits that are provably zero
+// are omitted from the returned representation.
+func SumBits(b *circuit.Builder, r Rep) Rep {
+	r.validate()
+	if len(r.Terms) == 0 || r.Max == 0 {
+		return Rep{}
+	}
+	L := bitio.Bits(r.Max)
+	out := Rep{Max: r.Max}
+	for j := 1; j <= L; j++ {
+		mod := int64(1) << uint(j)
+		var trunc Rep
+		var maxSj int64
+		for _, t := range r.Terms {
+			w := t.Weight % mod
+			if w == 0 {
+				continue
+			}
+			trunc.Terms = append(trunc.Terms, Term{Wire: t.Wire, Weight: w})
+			maxSj += w
+		}
+		if maxSj < mod/2 {
+			// s_j can never reach 2^{j-1}: bit j of s is identically 0.
+			continue
+		}
+		trunc.Max = maxSj
+		l := bitio.Bits(maxSj)
+		k := l - j + 1 // bit with weight 2^{j-1} is the (l-j+1)-th MSB
+		bit := ExtractBit(b, trunc, l, k)
+		out.Terms = append(out.Terms, Term{Wire: bit, Weight: mod / 2})
+	}
+	return out
+}
+
+// SumBitsGateCount predicts the exact gate count of SumBits for a given
+// multiset of term weights and bound, without building anything. Tests
+// assert it matches the builder, and the counting package uses it for
+// large-N projections.
+func SumBitsGateCount(weights []int64, max int64) int64 {
+	if len(weights) == 0 || max == 0 {
+		return 0
+	}
+	L := bitio.Bits(max)
+	var gates int64
+	for j := 1; j <= L; j++ {
+		mod := int64(1) << uint(j)
+		var maxSj int64
+		for _, w := range weights {
+			maxSj += w % mod
+		}
+		if maxSj < mod/2 {
+			continue
+		}
+		l := bitio.Bits(maxSj)
+		gates += ExtractBitGateCount(l - j + 1)
+	}
+	return gates
+}
+
+// Product2 implements the two-factor case of Lemma 3.3: a depth-1
+// representation of x·y using |x.Terms|·|y.Terms| gates, each computing
+// x_i AND y_j (threshold x_i + y_j >= 2) with weight w_i·w_j.
+func Product2(b *circuit.Builder, x, y Rep) Rep {
+	x.validate()
+	y.validate()
+	out := Rep{Max: bitio.MulCheck(x.Max, y.Max)}
+	for _, tx := range x.Terms {
+		for _, ty := range y.Terms {
+			g := b.Gate([]circuit.Wire{tx.Wire, ty.Wire}, []int64{1, 1}, 2)
+			out.Terms = append(out.Terms, Term{Wire: g, Weight: bitio.MulCheck(tx.Weight, ty.Weight)})
+		}
+	}
+	return out
+}
+
+// Product3 implements Lemma 3.3 exactly as stated: a depth-1
+// representation of x·y·z with one gate x_i + y_j + z_k >= 3 per term
+// triple (m³ gates for three m-bit numbers).
+func Product3(b *circuit.Builder, x, y, z Rep) Rep {
+	x.validate()
+	y.validate()
+	z.validate()
+	out := Rep{Max: bitio.MulCheck(bitio.MulCheck(x.Max, y.Max), z.Max)}
+	for _, tx := range x.Terms {
+		for _, ty := range y.Terms {
+			for _, tz := range z.Terms {
+				g := b.Gate([]circuit.Wire{tx.Wire, ty.Wire, tz.Wire}, []int64{1, 1, 1}, 3)
+				w := bitio.MulCheck(bitio.MulCheck(tx.Weight, ty.Weight), tz.Weight)
+				out.Terms = append(out.Terms, Term{Wire: g, Weight: w})
+			}
+		}
+	}
+	return out
+}

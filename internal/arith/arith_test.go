@@ -1,0 +1,379 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// buildInputRep creates a circuit with `width` input wires and a binary
+// rep over them, plus the input assignment encoding value v.
+func buildInputRep(width int, v int64) (*circuit.Builder, Rep, []bool) {
+	b := circuit.NewBuilder(width)
+	wires := make([]circuit.Wire, width)
+	in := make([]bool, width)
+	for i := 0; i < width; i++ {
+		wires[i] = b.Input(i)
+		in[i] = v&(1<<uint(i)) != 0
+	}
+	return b, FromBits(wires), in
+}
+
+func TestFromBitsValue(t *testing.T) {
+	for v := int64(0); v < 32; v++ {
+		b, rep, in := buildInputRep(5, v)
+		c := b.Build()
+		_ = c
+		vals := make([]bool, 5)
+		copy(vals, in)
+		if got := rep.Value(vals); got != v {
+			t.Errorf("FromBits value = %d, want %d", got, v)
+		}
+	}
+}
+
+// Lemma 3.1: extract each bit of a directly-presented binary number and
+// compare against the integer's true bits, exhaustively for 6-bit values.
+func TestExtractBitExhaustive(t *testing.T) {
+	const width = 6
+	for v := int64(0); v < 1<<width; v++ {
+		b, rep, in := buildInputRep(width, v)
+		l := width
+		outs := make([]circuit.Wire, l)
+		for k := 1; k <= l; k++ {
+			outs[k-1] = ExtractBit(b, rep, l, k)
+		}
+		c := b.Build()
+		vals := c.Eval(in)
+		for k := 1; k <= l; k++ {
+			want := v&(1<<uint(l-k)) != 0 // k-th MSB has weight 2^{l-k}
+			if got := vals[outs[k-1]]; got != want {
+				t.Fatalf("v=%d k=%d: got %v want %v", v, k, got, want)
+			}
+		}
+	}
+}
+
+// Lemma 3.1 gate count: exactly 2^k + 1 gates.
+func TestExtractBitGateCount(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		b, rep, _ := buildInputRep(6, 0)
+		before := b.Size()
+		ExtractBit(b, rep, 6, k)
+		added := int64(b.Size() - before)
+		if added != ExtractBitGateCount(k) {
+			t.Errorf("k=%d: added %d gates, want 2^k+1 = %d", k, added, ExtractBitGateCount(k))
+		}
+	}
+}
+
+// Lemma 3.1 depth: the construction is depth 2 regardless of k.
+func TestExtractBitDepth(t *testing.T) {
+	b, rep, _ := buildInputRep(6, 0)
+	ExtractBit(b, rep, 6, 3)
+	if d := b.Build().Depth(); d != 2 {
+		t.Errorf("ExtractBit depth = %d, want 2", d)
+	}
+}
+
+// Lemma 3.1 on weighted (non-binary) sums: s = 3a + 5b + 2c with bits
+// a, b, c. Check all MSBs for all 8 assignments.
+func TestExtractBitWeighted(t *testing.T) {
+	weights := []int64{3, 5, 2}
+	maxS := int64(10)
+	l := bitio.Bits(maxS) // 4
+	for mask := 0; mask < 8; mask++ {
+		b := circuit.NewBuilder(3)
+		rep := Rep{Max: maxS}
+		var s int64
+		in := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: weights[i]})
+			if mask&(1<<i) != 0 {
+				in[i] = true
+				s += weights[i]
+			}
+		}
+		outs := make([]circuit.Wire, l)
+		for k := 1; k <= l; k++ {
+			outs[k-1] = ExtractBit(b, rep, l, k)
+		}
+		vals := b.Build().Eval(in)
+		for k := 1; k <= l; k++ {
+			want := s&(1<<uint(l-k)) != 0
+			if vals[outs[k-1]] != want {
+				t.Fatalf("mask=%d s=%d k=%d: wrong bit", mask, s, k)
+			}
+		}
+	}
+}
+
+// Lemma 3.2: SumBits recovers the exact value, exhaustively over small
+// weighted sums.
+func TestSumBitsExhaustive(t *testing.T) {
+	weights := []int64{1, 3, 4, 7, 9}
+	var maxS int64
+	for _, w := range weights {
+		maxS += w
+	}
+	for mask := 0; mask < 1<<len(weights); mask++ {
+		b := circuit.NewBuilder(len(weights))
+		rep := Rep{Max: maxS}
+		in := make([]bool, len(weights))
+		var s int64
+		for i, w := range weights {
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+			if mask&(1<<i) != 0 {
+				in[i] = true
+				s += w
+			}
+		}
+		binRep := SumBits(b, rep)
+		c := b.Build()
+		vals := c.Eval(in)
+		if got := binRep.Value(vals); got != s {
+			t.Fatalf("mask=%d: SumBits value %d, want %d", mask, got, s)
+		}
+		// Every output term must be a power-of-two weight, distinct.
+		seen := map[int64]bool{}
+		for _, term := range binRep.Terms {
+			if term.Weight&(term.Weight-1) != 0 {
+				t.Fatalf("non-power-of-two output weight %d", term.Weight)
+			}
+			if seen[term.Weight] {
+				t.Fatalf("duplicate output weight %d", term.Weight)
+			}
+			seen[term.Weight] = true
+		}
+		if c.Depth() > 2 {
+			t.Fatalf("SumBits depth %d > 2", c.Depth())
+		}
+	}
+}
+
+// SumBits gate count matches the predictor exactly.
+func TestSumBitsGateCountPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		weights := make([]int64, n)
+		var max int64
+		for i := range weights {
+			weights[i] = 1 + rng.Int63n(50)
+			max += weights[i]
+		}
+		b := circuit.NewBuilder(n)
+		rep := Rep{Max: max}
+		for i, w := range weights {
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+		}
+		before := b.Size()
+		SumBits(b, rep)
+		got := int64(b.Size() - before)
+		want := SumBitsGateCount(weights, max)
+		if got != want {
+			t.Fatalf("trial %d: built %d gates, predictor says %d", trial, got, want)
+		}
+	}
+}
+
+// Property-based: SumBits is correct on random weighted sums.
+func TestSumBitsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		b := circuit.NewBuilder(n)
+		rep := Rep{}
+		in := make([]bool, n)
+		var s int64
+		for i := 0; i < n; i++ {
+			w := 1 + rng.Int63n(1000)
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+			rep.Max += w
+			if rng.Intn(2) == 1 {
+				in[i] = true
+				s += w
+			}
+		}
+		out := SumBits(b, rep)
+		vals := b.Build().Eval(in)
+		return out.Value(vals) == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumBitsEmpty(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	out := SumBits(b, Rep{})
+	if len(out.Terms) != 0 || b.Size() != 0 {
+		t.Error("empty SumBits should produce nothing")
+	}
+}
+
+// Lemma 3.3, two factors: product representation is exact; gate count is
+// |x|·|y|; depth 1.
+func TestProduct2(t *testing.T) {
+	for x := int64(0); x < 8; x++ {
+		for y := int64(0); y < 8; y++ {
+			b := circuit.NewBuilder(6)
+			xw := []circuit.Wire{0, 1, 2}
+			yw := []circuit.Wire{3, 4, 5}
+			xr := FromBits(xw)
+			yr := FromBits(yw)
+			before := b.Size()
+			pr := Product2(b, xr, yr)
+			if added := b.Size() - before; added != 9 {
+				t.Fatalf("Product2 gates = %d, want 3*3 = 9", added)
+			}
+			in := make([]bool, 6)
+			for i := 0; i < 3; i++ {
+				in[i] = x&(1<<uint(i)) != 0
+				in[3+i] = y&(1<<uint(i)) != 0
+			}
+			c := b.Build()
+			if c.Depth() != 1 {
+				t.Fatalf("Product2 depth = %d, want 1", c.Depth())
+			}
+			vals := c.Eval(in)
+			if got := pr.Value(vals); got != x*y {
+				t.Fatalf("%d*%d = %d, got %d", x, y, x*y, got)
+			}
+		}
+	}
+}
+
+// Lemma 3.3, three factors: m³ gates, depth 1, exact value.
+func TestProduct3(t *testing.T) {
+	const m = 2
+	for x := int64(0); x < 1<<m; x++ {
+		for y := int64(0); y < 1<<m; y++ {
+			for z := int64(0); z < 1<<m; z++ {
+				b := circuit.NewBuilder(3 * m)
+				xr := FromBits([]circuit.Wire{0, 1})
+				yr := FromBits([]circuit.Wire{2, 3})
+				zr := FromBits([]circuit.Wire{4, 5})
+				before := b.Size()
+				pr := Product3(b, xr, yr, zr)
+				if added := b.Size() - before; added != m*m*m {
+					t.Fatalf("Product3 gates = %d, want %d", added, m*m*m)
+				}
+				in := make([]bool, 3*m)
+				for i := 0; i < m; i++ {
+					in[i] = x&(1<<uint(i)) != 0
+					in[m+i] = y&(1<<uint(i)) != 0
+					in[2*m+i] = z&(1<<uint(i)) != 0
+				}
+				vals := b.Build().Eval(in)
+				if got := pr.Value(vals); got != x*y*z {
+					t.Fatalf("%d*%d*%d: got %d", x, y, z, got)
+				}
+			}
+		}
+	}
+}
+
+// A product representation is itself a valid SumBits input: compose
+// Lemma 3.3 with Lemma 3.2 and recover the binary product.
+func TestProductThenSumBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		x := rng.Int63n(16)
+		y := rng.Int63n(16)
+		b := circuit.NewBuilder(8)
+		xr := FromBits([]circuit.Wire{0, 1, 2, 3})
+		yr := FromBits([]circuit.Wire{4, 5, 6, 7})
+		pr := Product2(b, xr, yr)
+		bits := SumBits(b, pr)
+		in := make([]bool, 8)
+		for i := 0; i < 4; i++ {
+			in[i] = x&(1<<uint(i)) != 0
+			in[4+i] = y&(1<<uint(i)) != 0
+		}
+		c := b.Build()
+		vals := c.Eval(in)
+		if got := bits.Value(vals); got != x*y {
+			t.Fatalf("binary product = %d, want %d", got, x*y)
+		}
+		if c.Depth() != 3 {
+			t.Fatalf("product+sum depth = %d, want 3", c.Depth())
+		}
+	}
+}
+
+func TestScaleConcat(t *testing.T) {
+	b := circuit.NewBuilder(4)
+	r1 := FromBits([]circuit.Wire{0, 1})
+	r2 := FromBits([]circuit.Wire{2, 3})
+	sum := Concat(r1.Scale(3), r2)
+	in := []bool{true, true, false, true} // r1 = 3, r2 = 2
+	_ = b
+	vals := make([]bool, 4)
+	copy(vals, in)
+	if got := sum.Value(vals); got != 3*3+2 {
+		t.Errorf("Concat(Scale) value = %d, want 11", got)
+	}
+	if sum.Max != 3*3+3 {
+		t.Errorf("Concat Max = %d, want 12", sum.Max)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale(0) did not panic")
+		}
+	}()
+	Rep{}.Scale(0)
+}
+
+// The paper's remark after Lemma 3.1: "if s ∉ [0, 2^l), the circuit for
+// any k outputs 0" — when the sum saturates past 2^l, every first-layer
+// pair y_i − y_{i+1} telescopes to zero.
+func TestExtractBitOutOfRangeOutputsZero(t *testing.T) {
+	// Claim l = 3 (s < 8) but feed values up to 7*3 = 21.
+	weights := []int64{7, 7, 7}
+	for mask := 1; mask < 8; mask++ {
+		var s int64
+		b := circuit.NewBuilder(3)
+		rep := Rep{Max: 7} // deliberately understated bound
+		in := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: weights[i]})
+			if mask&(1<<i) != 0 {
+				in[i] = true
+				s += weights[i]
+			}
+		}
+		outs := make([]circuit.Wire, 3)
+		for k := 1; k <= 3; k++ {
+			outs[k-1] = ExtractBit(b, rep, 3, k)
+		}
+		vals := b.Build().Eval(in)
+		if s >= 8 {
+			for k := 1; k <= 3; k++ {
+				if vals[outs[k-1]] {
+					t.Errorf("s=%d >= 2^3: bit %d fired, paper says all outputs 0", s, k)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractBitBadK(t *testing.T) {
+	for _, k := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExtractBit k=%d did not panic", k)
+				}
+			}()
+			b, rep, _ := buildInputRep(6, 0)
+			ExtractBit(b, rep, 6, k)
+		}()
+	}
+}

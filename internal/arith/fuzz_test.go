@@ -1,0 +1,73 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// FuzzSumBits: for arbitrary weight/assignment vectors, the Lemma 3.2
+// circuit (both variants) recovers the exact weighted sum.
+func FuzzSumBits(f *testing.F) {
+	f.Add(int64(1), uint8(5))
+	f.Add(int64(99), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%16
+		weights := make([]int64, n)
+		assign := make([]bool, n)
+		var want, max int64
+		for i := range weights {
+			weights[i] = 1 + rng.Int63n(1<<12)
+			max += weights[i]
+			assign[i] = rng.Intn(2) == 1
+			if assign[i] {
+				want += weights[i]
+			}
+		}
+		for _, variant := range []func(*circuit.Builder, Rep) Rep{SumBits, SumBitsShared} {
+			b := circuit.NewBuilder(n)
+			rep := Rep{Max: max}
+			for i, w := range weights {
+				rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+			}
+			out := variant(b, rep)
+			c := b.Build()
+			if got := out.Value(c.Eval(assign)); got != want {
+				t.Fatalf("sum = %d, want %d (weights %v assign %v)", got, want, weights, assign)
+			}
+			if c.Depth() > 2 {
+				t.Fatalf("depth %d > 2", c.Depth())
+			}
+		}
+	})
+}
+
+// FuzzEncodeSigned: EncodeSigned/InputSigned round-trips every value in
+// range and the Threshold gate agrees with direct comparison.
+func FuzzEncodeSigned(f *testing.F) {
+	f.Add(int64(-5), int64(3))
+	f.Add(int64(100), int64(-100))
+	f.Fuzz(func(t *testing.T, v, tau int64) {
+		const width = 12
+		v %= 1 << (width - 1)
+		tau %= 1 << (width + 1)
+		b := circuit.NewBuilder(2 * width)
+		pos := make([]circuit.Wire, width)
+		neg := make([]circuit.Wire, width)
+		for i := 0; i < width; i++ {
+			pos[i] = b.Input(i)
+			neg[i] = b.Input(width + i)
+		}
+		x := InputSigned(pos, neg)
+		out := Threshold(b, x, tau)
+		b.MarkOutput(out)
+		pb, nb := EncodeSigned(v, width)
+		in := append(append([]bool{}, pb...), nb...)
+		c := b.Build()
+		if got := c.OutputValues(c.Eval(in))[0]; got != (v >= tau) {
+			t.Fatalf("[%d >= %d] = %v", v, tau, got)
+		}
+	})
+}

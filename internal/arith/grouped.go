@@ -1,0 +1,49 @@
+package arith
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// GroupedSumBits computes the binary representation of a nonnegative
+// represented value in multiple depth-2 stages: the terms are split into
+// groups of at most groupSize, each group is summed with Lemma 3.2, and
+// the (much shorter) group results are concatenated and summed again,
+// recursing until one group remains.
+//
+// A single SumBits call is the stages=1 case. More stages trade depth
+// (2 per stage) for bounded first-layer fan-in — each Lemma 3.1 gate
+// reads at most groupSize terms instead of all of them — which is the
+// knob the paper's Section 5 fan-in discussion and the Siu-et-al.-based
+// Theorem 4.1 construction both turn. Stage counts are reported by
+// GroupedStages so callers can assert depth = 2·stages.
+func GroupedSumBits(b *circuit.Builder, r Rep, groupSize int) Rep {
+	if groupSize < 2 {
+		panic(fmt.Sprintf("arith: GroupedSumBits groupSize %d < 2", groupSize))
+	}
+	r.validate()
+	if len(r.Terms) == 0 || r.Max == 0 {
+		return Rep{}
+	}
+	for len(r.Terms) > groupSize {
+		var next Rep
+		next.Max = r.Max
+		for lo := 0; lo < len(r.Terms); lo += groupSize {
+			hi := lo + groupSize
+			if hi > len(r.Terms) {
+				hi = len(r.Terms)
+			}
+			group := Rep{Terms: r.Terms[lo:hi]}
+			group.Max = group.WeightSum()
+			next.Terms = append(next.Terms, SumBits(b, group).Terms...)
+		}
+		if len(next.Terms) >= len(r.Terms) {
+			// Grouping is no longer shrinking the representation
+			// (short groups of already-binary terms); finish directly.
+			return SumBits(b, next)
+		}
+		r = next
+	}
+	return SumBits(b, r)
+}

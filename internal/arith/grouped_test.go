@@ -1,0 +1,118 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// GroupedSumBits must agree with SumBits on value, at any group size.
+func TestGroupedSumBitsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, groupSize := range []int{2, 3, 4, 8, 16} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(24)
+			b := circuit.NewBuilder(n)
+			rep := Rep{}
+			in := make([]bool, n)
+			var want int64
+			for i := 0; i < n; i++ {
+				w := 1 + rng.Int63n(30)
+				rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+				rep.Max += w
+				if rng.Intn(2) == 1 {
+					in[i] = true
+					want += w
+				}
+			}
+			out := GroupedSumBits(b, rep, groupSize)
+			c := b.Build()
+			vals := c.Eval(in)
+			if got := out.Value(vals); got != want {
+				t.Fatalf("g=%d trial=%d: got %d want %d", groupSize, trial, got, want)
+			}
+			// Depth grows in increments of 2 per stage.
+			if c.Depth()%2 != 0 {
+				t.Fatalf("g=%d: depth %d not a multiple of 2", groupSize, c.Depth())
+			}
+		}
+	}
+}
+
+// Grouping bounds the first-layer fan-in: each Lemma 3.1 gate in stage 1
+// reads at most groupSize term wires (the inputs), so gates at level 1
+// have fan-in <= groupSize.
+func TestGroupedSumBitsFanIn(t *testing.T) {
+	const n = 64
+	const groupSize = 8
+	b := circuit.NewBuilder(n)
+	rep := Rep{}
+	for i := 0; i < n; i++ {
+		rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: 1})
+		rep.Max++
+	}
+	GroupedSumBits(b, rep, groupSize)
+	c := b.Build()
+	for g := 0; g < c.Size(); g++ {
+		if c.GateLevel(g) == 1 && c.FanIn(g) > groupSize {
+			t.Fatalf("level-1 gate %d has fan-in %d > %d", g, c.FanIn(g), groupSize)
+		}
+	}
+	// Ungrouped comparison: a single SumBits gate at level 1 reads all
+	// n terms.
+	b2 := circuit.NewBuilder(n)
+	rep2 := Rep{}
+	for i := 0; i < n; i++ {
+		rep2.Terms = append(rep2.Terms, Term{Wire: b2.Input(i), Weight: 1})
+		rep2.Max++
+	}
+	SumBits(b2, rep2)
+	c2 := b2.Build()
+	if c2.MaxFanIn() < n {
+		t.Errorf("ungrouped max fan-in %d, expected >= %d", c2.MaxFanIn(), n)
+	}
+	if c.MaxFanIn() >= c2.MaxFanIn() {
+		t.Errorf("grouping did not reduce max fan-in: %d vs %d", c.MaxFanIn(), c2.MaxFanIn())
+	}
+}
+
+// Depth/width tradeoff: more stages (smaller groups) means more depth.
+func TestGroupedSumBitsDepthTradeoff(t *testing.T) {
+	depthAt := func(groupSize int) int {
+		const n = 64
+		b := circuit.NewBuilder(n)
+		rep := Rep{}
+		for i := 0; i < n; i++ {
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: 1})
+			rep.Max++
+		}
+		GroupedSumBits(b, rep, groupSize)
+		return b.Build().Depth()
+	}
+	d2 := depthAt(2)
+	d64 := depthAt(64)
+	if d64 != 2 {
+		t.Errorf("group=all depth = %d, want 2", d64)
+	}
+	if d2 <= d64 {
+		t.Errorf("small groups should be deeper: d2=%d d64=%d", d2, d64)
+	}
+}
+
+func TestGroupedSumBitsEmpty(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	if out := GroupedSumBits(b, Rep{}, 4); len(out.Terms) != 0 {
+		t.Error("empty grouped sum should be empty")
+	}
+}
+
+func TestGroupedSumBitsBadGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("groupSize 1 did not panic")
+		}
+	}()
+	b := circuit.NewBuilder(1)
+	GroupedSumBits(b, FromBits([]circuit.Wire{0}), 1)
+}

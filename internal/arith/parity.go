@@ -1,0 +1,56 @@
+package arith
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// Parity builds a TC0 circuit for the parity of the given wires — the
+// classic result the paper cites as context ("a TC0 threshold-gate
+// circuit of sublinear size to compute the parity of n bits", Siu et
+// al.). Parity is the least significant bit of Σ x_i, so it falls out
+// of the Lemma 3.1/3.2 machinery:
+//
+//   - groupSize <= 1 or >= n: one depth-2 block (Lemma 3.1 on the full
+//     sum; Θ(n) first-layer gates, each reading all n inputs — Θ(n²)
+//     edges);
+//   - 2 <= groupSize < n: parity of block parities, recursively — depth
+//     2 per stage with per-gate fan-in bounded by groupSize and
+//     near-linear total wiring, the depth-for-resources trade behind
+//     the sublinear constructions.
+func Parity(b *circuit.Builder, wires []circuit.Wire, groupSize int) circuit.Wire {
+	if len(wires) == 0 {
+		return b.Const(false)
+	}
+	if len(wires) == 1 {
+		return wires[0]
+	}
+	if groupSize < 2 || groupSize >= len(wires) {
+		return parityBlock(b, wires)
+	}
+	var next []circuit.Wire
+	for lo := 0; lo < len(wires); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(wires) {
+			hi = len(wires)
+		}
+		if hi-lo == 1 {
+			next = append(next, wires[lo])
+			continue
+		}
+		next = append(next, parityBlock(b, wires[lo:hi]))
+	}
+	return Parity(b, next, groupSize)
+}
+
+// parityBlock computes the parity of up to a block of wires as the LSB
+// of their sum via Lemma 3.1: k = bits(n) MSB index... the LSB of s
+// with s < 2^l is the l-th most significant bit.
+func parityBlock(b *circuit.Builder, wires []circuit.Wire) circuit.Wire {
+	rep := Rep{Max: int64(len(wires))}
+	for _, w := range wires {
+		rep.Terms = append(rep.Terms, Term{Wire: w, Weight: 1})
+	}
+	l := bitio.Bits(rep.Max)
+	return ExtractBit(b, rep, l, l)
+}

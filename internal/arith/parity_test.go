@@ -1,0 +1,103 @@
+package arith
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// Exhaustive parity check for small n, both block and grouped forms.
+func TestParityExhaustive(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for _, groupSize := range []int{0, 2, 3, 4} {
+			for mask := 0; mask < 1<<n; mask++ {
+				b := circuit.NewBuilder(n)
+				ws := make([]circuit.Wire, n)
+				in := make([]bool, n)
+				for i := 0; i < n; i++ {
+					ws[i] = b.Input(i)
+					in[i] = mask&(1<<i) != 0
+				}
+				out := Parity(b, ws, groupSize)
+				b.MarkOutput(out)
+				c := b.Build()
+				want := bits.OnesCount(uint(mask))%2 == 1
+				if got := c.OutputValues(c.Eval(in))[0]; got != want {
+					t.Fatalf("n=%d g=%d mask=%b: parity %v want %v", n, groupSize, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The grouped construction trades depth for width: smaller groups mean
+// deeper circuits with smaller per-gate fan-in.
+func TestParityTradeoff(t *testing.T) {
+	build := func(n, g int) *circuit.Circuit {
+		b := circuit.NewBuilder(n)
+		ws := make([]circuit.Wire, n)
+		for i := range ws {
+			ws[i] = b.Input(i)
+		}
+		b.MarkOutput(Parity(b, ws, g))
+		return b.Build()
+	}
+	const n = 64
+	flat := build(n, 0)
+	grouped := build(n, 4)
+	if flat.Depth() != 2 {
+		t.Errorf("flat parity depth %d, want 2", flat.Depth())
+	}
+	if grouped.Depth() <= flat.Depth() {
+		t.Error("grouped parity should be deeper")
+	}
+	if grouped.MaxFanIn() >= flat.MaxFanIn() {
+		t.Errorf("grouped fan-in %d not below flat %d", grouped.MaxFanIn(), flat.MaxFanIn())
+	}
+	// The resource the grouping shrinks is wiring: the flat block's
+	// 2^{bits(n)} first-layer gates each read all n inputs (Θ(n²)
+	// edges), while grouped blocks keep edges near-linear.
+	if grouped.Edges() >= flat.Edges() {
+		t.Errorf("grouped edges %d not below flat %d at n=%d", grouped.Edges(), flat.Edges(), n)
+	}
+}
+
+// Property: random widths, group sizes and assignments.
+func TestParityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := rng.Intn(8)
+		b := circuit.NewBuilder(n)
+		ws := make([]circuit.Wire, n)
+		in := make([]bool, n)
+		ones := 0
+		for i := 0; i < n; i++ {
+			ws[i] = b.Input(i)
+			if rng.Intn(2) == 1 {
+				in[i] = true
+				ones++
+			}
+		}
+		out := Parity(b, ws, g)
+		b.MarkOutput(out)
+		c := b.Build()
+		return c.OutputValues(c.Eval(in))[0] == (ones%2 == 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityDegenerate(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	if w := Parity(b, nil, 0); b.WireLevel(w) != 1 {
+		t.Error("empty parity should be a constant gate")
+	}
+	if w := Parity(b, []circuit.Wire{b.Input(0)}, 0); w != 0 {
+		t.Error("single-wire parity should be the wire itself")
+	}
+}

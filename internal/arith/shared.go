@@ -1,0 +1,113 @@
+package arith
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// SumBitsShared is SumBits with the optimization the paper describes at
+// the end of Lemma 3.2's proof: "this is improved in practice by
+// observing that the functions y_i computed for k = bits(n) + bits(w)
+// in the proof of Lemma 3.1 include those required for all the most
+// significant bits of s."
+//
+// Once 2^j exceeds every term weight, the truncated sum s_j equals s
+// itself, so all remaining output bits read the *same* weighted sum and
+// need only differently-spaced selections of one shared y_i layer: one
+// Lemma 3.1 first layer at the finest granularity k_max serves every
+// top bit, each costing just its single output gate. Low-order bits
+// (whose truncations differ) are built exactly as in SumBits.
+//
+// The output is bit-identical to SumBits on every input; only the gate
+// count changes (tests assert both).
+func SumBitsShared(b *circuit.Builder, r Rep) Rep {
+	r.validate()
+	if len(r.Terms) == 0 || r.Max == 0 {
+		return Rep{}
+	}
+	var maxWeight int64
+	for _, t := range r.Terms {
+		if t.Weight > maxWeight {
+			maxWeight = t.Weight
+		}
+	}
+	L := bitio.Bits(r.Max)
+	// jFull: first bit index at which no weight is truncated.
+	jFull := bitio.Bits(maxWeight)
+	out := Rep{Max: r.Max}
+
+	// Low bits: per-bit truncated layers, exactly as SumBits.
+	for j := 1; j < jFull && j <= L; j++ {
+		mod := int64(1) << uint(j)
+		var trunc Rep
+		var maxSj int64
+		for _, t := range r.Terms {
+			w := t.Weight % mod
+			if w == 0 {
+				continue
+			}
+			trunc.Terms = append(trunc.Terms, Term{Wire: t.Wire, Weight: w})
+			maxSj += w
+		}
+		if maxSj < mod/2 {
+			continue
+		}
+		trunc.Max = maxSj
+		l := bitio.Bits(maxSj)
+		bit := ExtractBit(b, trunc, l, l-j+1)
+		out.Terms = append(out.Terms, Term{Wire: bit, Weight: mod / 2})
+	}
+	if jFull > L {
+		return out
+	}
+
+	// Top bits: one shared first layer over the untruncated sum.
+	maxS := r.WeightSum()
+	l := bitio.Bits(maxS)
+	kmax := l - jFull + 1 // finest granularity needed (bit jFull)
+	if kmax < 1 {
+		return out
+	}
+	wires := make([]circuit.Wire, len(r.Terms))
+	weights := make([]int64, len(r.Terms))
+	for i, t := range r.Terms {
+		wires[i] = t.Wire
+		weights[i] = t.Weight
+	}
+	step := int64(1) << uint(l-kmax)
+	count := int64(1) << uint(kmax)
+	thresholds := make([]int64, count)
+	for i := int64(1); i <= count; i++ {
+		thresholds[i-1] = bitio.MulCheck(i, step)
+	}
+	ys := b.GateGroup(wires, weights, thresholds)
+
+	// Output gate for bit j (weight 2^{j-1}): k = l-j+1, selecting every
+	// 2^{j-jFull}-th y of the shared layer with alternating signs.
+	for j := jFull; j <= L; j++ {
+		stride := int64(1) << uint(j-jFull)
+		k := l - j + 1
+		if k < 1 {
+			break
+		}
+		pairs := int64(1) << uint(k) // number of selected ys
+		ins := make([]circuit.Wire, 0, pairs)
+		ws := make([]int64, 0, pairs)
+		for i := int64(1); i <= pairs; i++ {
+			ins = append(ins, ys[i*stride-1])
+			if i%2 == 1 {
+				ws = append(ws, 1)
+			} else {
+				ws = append(ws, -1)
+			}
+		}
+		bit := b.Gate(ins, ws, 1)
+		out.Terms = append(out.Terms, Term{Wire: bit, Weight: int64(1) << uint(j-1)})
+	}
+	return out
+}
+
+// SignedSumBitsShared applies SumBitsShared to both halves.
+func SignedSumBitsShared(b *circuit.Builder, s Signed) Signed {
+	return Signed{Pos: SumBitsShared(b, s.Pos), Neg: SumBitsShared(b, s.Neg)}
+}

@@ -1,0 +1,128 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// SumBitsShared is value-identical to SumBits on exhaustive small
+// domains.
+func TestSharedMatchesSumBitsExhaustive(t *testing.T) {
+	weights := []int64{1, 3, 4, 7, 9}
+	var maxS int64
+	for _, w := range weights {
+		maxS += w
+	}
+	for mask := 0; mask < 1<<len(weights); mask++ {
+		build := func(f func(*circuit.Builder, Rep) Rep) int64 {
+			b := circuit.NewBuilder(len(weights))
+			rep := Rep{Max: maxS}
+			in := make([]bool, len(weights))
+			for i, w := range weights {
+				rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+				if mask&(1<<i) != 0 {
+					in[i] = true
+				}
+			}
+			out := f(b, rep)
+			return out.Value(b.Build().Eval(in))
+		}
+		plain := build(SumBits)
+		shared := build(SumBitsShared)
+		if plain != shared {
+			t.Fatalf("mask %d: shared %d != plain %d", mask, shared, plain)
+		}
+	}
+}
+
+// The optimization saves gates whenever several top bits exist, and
+// never costs more.
+func TestSharedSavesGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	saved := false
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		weights := make([]int64, n)
+		var max int64
+		for i := range weights {
+			weights[i] = 1 + rng.Int63n(64)
+			max += weights[i]
+		}
+		count := func(f func(*circuit.Builder, Rep) Rep) int {
+			b := circuit.NewBuilder(n)
+			rep := Rep{Max: max}
+			for i, w := range weights {
+				rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+			}
+			f(b, rep)
+			return b.Size()
+		}
+		plain := count(SumBits)
+		shared := count(SumBitsShared)
+		if shared > plain {
+			t.Fatalf("trial %d: shared %d > plain %d gates", trial, shared, plain)
+		}
+		if shared < plain {
+			saved = true
+		}
+	}
+	if !saved {
+		t.Error("sharing never saved a gate across 30 trials")
+	}
+}
+
+// Property: value equality on random weighted sums, including
+// power-of-two-only weights (binary summands).
+func TestSharedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		b := circuit.NewBuilder(n)
+		rep := Rep{}
+		in := make([]bool, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			var w int64
+			if rng.Intn(2) == 0 {
+				w = int64(1) << uint(rng.Intn(8)) // power of two
+			} else {
+				w = 1 + rng.Int63n(200)
+			}
+			rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: w})
+			rep.Max += w
+			if rng.Intn(2) == 1 {
+				in[i] = true
+				want += w
+			}
+		}
+		out := SumBitsShared(b, rep)
+		return out.Value(b.Build().Eval(in)) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedEmpty(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	if out := SumBitsShared(b, Rep{}); len(out.Terms) != 0 || b.Size() != 0 {
+		t.Error("empty shared sum should be empty")
+	}
+}
+
+// Depth stays 2.
+func TestSharedDepth(t *testing.T) {
+	b := circuit.NewBuilder(6)
+	rep := Rep{}
+	for i := 0; i < 6; i++ {
+		rep.Terms = append(rep.Terms, Term{Wire: b.Input(i), Weight: int64(i*3 + 1)})
+		rep.Max += int64(i*3 + 1)
+	}
+	SumBitsShared(b, rep)
+	if d := b.Build().Depth(); d != 2 {
+		t.Errorf("shared depth = %d, want 2", d)
+	}
+}

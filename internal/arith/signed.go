@@ -1,0 +1,164 @@
+package arith
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// Signed represents an integer x as x = Pos − Neg with Pos, Neg >= 0,
+// the paper's (x⁺, x⁻) convention ("Negative numbers", Section 3). The
+// representation is not canonical: Pos and Neg may both be nonzero.
+type Signed struct {
+	Pos Rep
+	Neg Rep
+}
+
+// SignedFromRep wraps a nonnegative representation as a signed value.
+func SignedFromRep(r Rep) Signed { return Signed{Pos: r} }
+
+// Value evaluates the signed value under a wire assignment (host-side).
+func (s Signed) Value(vals []bool) int64 {
+	return s.Pos.Value(vals) - s.Neg.Value(vals)
+}
+
+// MaxMagnitude returns a bound on |value|.
+func (s Signed) MaxMagnitude() int64 {
+	return bitio.Max64(s.Pos.Max, s.Neg.Max)
+}
+
+// ScaledSigned is one addend of a signed linear combination: Coeff·X.
+type ScaledSigned struct {
+	X     Signed
+	Coeff int64
+}
+
+// SignedCombine forms the signed linear combination Σ coeff_i·x_i without
+// adding any gates: positive-coefficient terms contribute (Pos→Pos,
+// Neg→Neg), negative-coefficient terms contribute crossed, exactly as the
+// paper's s⁺/s⁻ split prescribes. Zero coefficients are skipped.
+//
+// The result is assembled in one pass with exact preallocation — this
+// function runs once per circuit entry over thousands of addends, so
+// incremental concatenation would be quadratic.
+func SignedCombine(terms []ScaledSigned) Signed {
+	var posN, negN int
+	for _, t := range terms {
+		switch {
+		case t.Coeff > 0:
+			posN += len(t.X.Pos.Terms)
+			negN += len(t.X.Neg.Terms)
+		case t.Coeff < 0:
+			posN += len(t.X.Neg.Terms)
+			negN += len(t.X.Pos.Terms)
+		}
+	}
+	out := Signed{
+		Pos: Rep{Terms: make([]Term, 0, posN)},
+		Neg: Rep{Terms: make([]Term, 0, negN)},
+	}
+	appendScaled := func(dst *Rep, src Rep, c int64) {
+		for _, term := range src.Terms {
+			dst.Terms = append(dst.Terms, Term{Wire: term.Wire, Weight: bitio.MulCheck(term.Weight, c)})
+		}
+		dst.Max = bitio.AddCheck(dst.Max, bitio.MulCheck(src.Max, c))
+	}
+	for _, t := range terms {
+		switch {
+		case t.Coeff > 0:
+			appendScaled(&out.Pos, t.X.Pos, t.Coeff)
+			appendScaled(&out.Neg, t.X.Neg, t.Coeff)
+		case t.Coeff < 0:
+			appendScaled(&out.Pos, t.X.Neg, -t.Coeff)
+			appendScaled(&out.Neg, t.X.Pos, -t.Coeff)
+		}
+	}
+	return out
+}
+
+// SignedSumBits re-binarizes both halves of a signed value with two
+// parallel Lemma 3.2 circuits (depth 2, applied "in parallel without
+// increasing the depth of the resulting overall circuit").
+func SignedSumBits(b *circuit.Builder, s Signed) Signed {
+	return Signed{Pos: SumBits(b, s.Pos), Neg: SumBits(b, s.Neg)}
+}
+
+// SignedProduct2 multiplies two signed values in depth 1:
+// (x⁺−x⁻)(y⁺−y⁻) = (x⁺y⁺ + x⁻y⁻) − (x⁺y⁻ + x⁻y⁺), four Lemma 3.3
+// instances (the paper's constant-factor overhead for signs).
+func SignedProduct2(b *circuit.Builder, x, y Signed) Signed {
+	return Signed{
+		Pos: Concat(Product2(b, x.Pos, y.Pos), Product2(b, x.Neg, y.Neg)),
+		Neg: Concat(Product2(b, x.Pos, y.Neg), Product2(b, x.Neg, y.Pos)),
+	}
+}
+
+// SignedProduct3 multiplies three signed values in depth 1: the eight
+// sign combinations of Lemma 3.3's proof, four positive, four negative.
+func SignedProduct3(b *circuit.Builder, x, y, z Signed) Signed {
+	return Signed{
+		Pos: Concat(
+			Product3(b, x.Pos, y.Pos, z.Pos),
+			Product3(b, x.Pos, y.Neg, z.Neg),
+			Product3(b, x.Neg, y.Pos, z.Neg),
+			Product3(b, x.Neg, y.Neg, z.Pos),
+		),
+		Neg: Concat(
+			Product3(b, x.Pos, y.Pos, z.Neg),
+			Product3(b, x.Pos, y.Neg, z.Pos),
+			Product3(b, x.Neg, y.Pos, z.Pos),
+			Product3(b, x.Neg, y.Neg, z.Neg),
+		),
+	}
+}
+
+// Threshold adds the final comparison gate [x >= tau] for a signed x:
+// positive terms keep their weights, negative terms are negated, and tau
+// becomes the gate threshold. Depth 1.
+func Threshold(b *circuit.Builder, x Signed, tau int64) circuit.Wire {
+	n := len(x.Pos.Terms) + len(x.Neg.Terms)
+	wires := make([]circuit.Wire, 0, n)
+	weights := make([]int64, 0, n)
+	for _, t := range x.Pos.Terms {
+		wires = append(wires, t.Wire)
+		weights = append(weights, t.Weight)
+	}
+	for _, t := range x.Neg.Terms {
+		wires = append(wires, t.Wire)
+		weights = append(weights, -t.Weight)
+	}
+	return b.Gate(wires, weights, tau)
+}
+
+// GreaterEqual adds the single gate computing [x >= y] for two signed
+// values: Σ(x⁺) − Σ(x⁻) − Σ(y⁺) + Σ(y⁻) >= 0. Depth 1.
+func GreaterEqual(b *circuit.Builder, x, y Signed) circuit.Wire {
+	return Threshold(b, SignedCombine([]ScaledSigned{{X: x, Coeff: 1}, {X: y, Coeff: -1}}), 0)
+}
+
+// InputSigned loads a constant-free signed input: the caller supplies
+// wires holding the binary encodings of x⁺ (posBits) and x⁻ (negBits).
+func InputSigned(posBits, negBits []circuit.Wire) Signed {
+	return Signed{Pos: FromBits(posBits), Neg: FromBits(negBits)}
+}
+
+// EncodeSigned splits an integer into the (x⁺, x⁻) bit assignment used
+// by InputSigned: x >= 0 sets posBits to the binary encoding of x,
+// x < 0 sets negBits to the encoding of −x. Host-side helper for
+// preparing circuit inputs.
+func EncodeSigned(x int64, width int) (pos, neg []bool) {
+	pos = make([]bool, width)
+	neg = make([]bool, width)
+	mag := x
+	dst := pos
+	if x < 0 {
+		mag = -x
+		dst = neg
+	}
+	if bitio.Bits(mag) > width {
+		panic("arith: EncodeSigned value exceeds width")
+	}
+	for i := 0; i < width; i++ {
+		dst[i] = mag&(1<<uint(i)) != 0
+	}
+	return pos, neg
+}

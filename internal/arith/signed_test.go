@@ -1,0 +1,244 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// signedInput builds a circuit with a signed input of the given width
+// and returns the builder, the signed value, and an input assignment
+// setter.
+func signedInput(b *circuit.Builder, base, width int) Signed {
+	pos := make([]circuit.Wire, width)
+	neg := make([]circuit.Wire, width)
+	for i := 0; i < width; i++ {
+		pos[i] = b.Input(base + i)
+		neg[i] = b.Input(base + width + i)
+	}
+	return InputSigned(pos, neg)
+}
+
+func TestEncodeSignedRoundTrip(t *testing.T) {
+	for v := int64(-15); v <= 15; v++ {
+		pos, neg := EncodeSigned(v, 4)
+		var pv, nv int64
+		for i := 0; i < 4; i++ {
+			if pos[i] {
+				pv |= 1 << uint(i)
+			}
+			if neg[i] {
+				nv |= 1 << uint(i)
+			}
+		}
+		if pv-nv != v {
+			t.Errorf("EncodeSigned(%d) decodes to %d", v, pv-nv)
+		}
+		if pv != 0 && nv != 0 {
+			t.Errorf("EncodeSigned(%d) set both halves", v)
+		}
+	}
+}
+
+func TestEncodeSignedOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EncodeSigned(16, 4) did not panic")
+		}
+	}()
+	EncodeSigned(16, 4)
+}
+
+// SignedCombine computes exact integer linear combinations.
+func TestSignedCombineExhaustive(t *testing.T) {
+	const width = 3
+	coeffs := []int64{2, -3, 1}
+	vals := []int64{-5, 3, -7}
+	b := circuit.NewBuilder(len(vals) * 2 * width)
+	xs := make([]Signed, len(vals))
+	inputs := make([]bool, len(vals)*2*width)
+	for i := range vals {
+		xs[i] = signedInput(b, i*2*width, width)
+		pos, neg := EncodeSigned(vals[i], width)
+		copy(inputs[i*2*width:], pos)
+		copy(inputs[i*2*width+width:], neg)
+	}
+	terms := make([]ScaledSigned, len(vals))
+	var want int64
+	for i := range vals {
+		terms[i] = ScaledSigned{X: xs[i], Coeff: coeffs[i]}
+		want += coeffs[i] * vals[i]
+	}
+	combo := SignedCombine(terms)
+	c := b.Build()
+	wireVals := c.Eval(inputs)
+	if got := combo.Value(wireVals); got != want {
+		t.Errorf("SignedCombine = %d, want %d", got, want)
+	}
+	if c.Size() != 0 {
+		t.Errorf("SignedCombine added %d gates, want 0", c.Size())
+	}
+}
+
+// SignedSumBits preserves the value and has depth 2.
+func TestSignedSumBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		const width = 4
+		n := 1 + rng.Intn(5)
+		b := circuit.NewBuilder(n * 2 * width)
+		inputs := make([]bool, n*2*width)
+		terms := make([]ScaledSigned, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			x := signedInput(b, i*2*width, width)
+			v := rng.Int63n(31) - 15
+			pos, neg := EncodeSigned(v, width)
+			copy(inputs[i*2*width:], pos)
+			copy(inputs[i*2*width+width:], neg)
+			coeff := rng.Int63n(7) - 3
+			terms[i] = ScaledSigned{X: x, Coeff: coeff}
+			want += coeff * v
+		}
+		combined := SignedCombine(terms)
+		out := SignedSumBits(b, combined)
+		c := b.Build()
+		wireVals := c.Eval(inputs)
+		if got := out.Value(wireVals); got != want {
+			t.Fatalf("trial %d: SignedSumBits = %d, want %d", trial, got, want)
+		}
+		if c.Depth() > 2 {
+			t.Fatalf("SignedSumBits depth = %d, want <= 2", c.Depth())
+		}
+	}
+}
+
+// SignedProduct2/3 compute exact products of signed values.
+func TestSignedProducts(t *testing.T) {
+	const width = 3
+	for _, vals := range [][]int64{{3, -5}, {-3, -5}, {0, 7}, {-6, 0}, {7, 7}} {
+		b := circuit.NewBuilder(2 * 2 * width)
+		inputs := make([]bool, 2*2*width)
+		xs := make([]Signed, 2)
+		for i, v := range vals {
+			xs[i] = signedInput(b, i*2*width, width)
+			pos, neg := EncodeSigned(v, width)
+			copy(inputs[i*2*width:], pos)
+			copy(inputs[i*2*width+width:], neg)
+		}
+		prod := SignedProduct2(b, xs[0], xs[1])
+		c := b.Build()
+		wv := c.Eval(inputs)
+		if got := prod.Value(wv); got != vals[0]*vals[1] {
+			t.Errorf("%d * %d = %d, got %d", vals[0], vals[1], vals[0]*vals[1], got)
+		}
+		if c.Depth() != 1 {
+			t.Errorf("SignedProduct2 depth = %d", c.Depth())
+		}
+	}
+	for _, vals := range [][]int64{{3, -5, 2}, {-1, -1, -1}, {0, 5, -5}, {7, 7, 7}} {
+		b := circuit.NewBuilder(3 * 2 * width)
+		inputs := make([]bool, 3*2*width)
+		xs := make([]Signed, 3)
+		for i, v := range vals {
+			xs[i] = signedInput(b, i*2*width, width)
+			pos, neg := EncodeSigned(v, width)
+			copy(inputs[i*2*width:], pos)
+			copy(inputs[i*2*width+width:], neg)
+		}
+		prod := SignedProduct3(b, xs[0], xs[1], xs[2])
+		c := b.Build()
+		wv := c.Eval(inputs)
+		want := vals[0] * vals[1] * vals[2]
+		if got := prod.Value(wv); got != want {
+			t.Errorf("%v product = %d, got %d", vals, want, got)
+		}
+	}
+}
+
+// Threshold: [x >= tau] over the full signed range.
+func TestThreshold(t *testing.T) {
+	const width = 4
+	for v := int64(-10); v <= 10; v++ {
+		for tau := int64(-12); tau <= 12; tau += 3 {
+			b := circuit.NewBuilder(2 * width)
+			x := signedInput(b, 0, width)
+			out := Threshold(b, x, tau)
+			b.MarkOutput(out)
+			pos, neg := EncodeSigned(v, width)
+			inputs := append(append([]bool{}, pos...), neg...)
+			c := b.Build()
+			got := c.OutputValues(c.Eval(inputs))[0]
+			if got != (v >= tau) {
+				t.Errorf("[%d >= %d] = %v", v, tau, got)
+			}
+		}
+	}
+}
+
+// Property: random signed pipelines (combine -> sumbits -> product ->
+// threshold) agree with direct arithmetic.
+func TestSignedPipelineProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const width = 3
+		b := circuit.NewBuilder(4 * 2 * width)
+		inputs := make([]bool, 4*2*width)
+		vs := make([]int64, 4)
+		xs := make([]Signed, 4)
+		for i := range xs {
+			xs[i] = signedInput(b, i*2*width, width)
+			vs[i] = rng.Int63n(15) - 7
+			pos, neg := EncodeSigned(vs[i], width)
+			copy(inputs[i*2*width:], pos)
+			copy(inputs[i*2*width+width:], neg)
+		}
+		// u = 2*x0 - x1, v = x2 + 3*x3 (rebinarized), p = u*v
+		u := SignedSumBits(b, SignedCombine([]ScaledSigned{{xs[0], 2}, {xs[1], -1}}))
+		w := SignedSumBits(b, SignedCombine([]ScaledSigned{{xs[2], 1}, {xs[3], 3}}))
+		p := SignedProduct2(b, u, w)
+		tau := rng.Int63n(41) - 20
+		out := Threshold(b, p, tau)
+		b.MarkOutput(out)
+		c := b.Build()
+		got := c.OutputValues(c.Eval(inputs))[0]
+		uw := (2*vs[0] - vs[1]) * (vs[2] + 3*vs[3])
+		return got == (uw >= tau)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// GreaterEqual compares two circuit-borne signed values exactly.
+func TestGreaterEqual(t *testing.T) {
+	const width = 4
+	for x := int64(-9); x <= 9; x += 3 {
+		for y := int64(-9); y <= 9; y += 2 {
+			b := circuit.NewBuilder(4 * width)
+			xs := signedInput(b, 0, width)
+			ys := signedInput(b, 2*width, width)
+			out := GreaterEqual(b, xs, ys)
+			b.MarkOutput(out)
+			xp, xn := EncodeSigned(x, width)
+			yp, yn := EncodeSigned(y, width)
+			in := append(append(append(append([]bool{}, xp...), xn...), yp...), yn...)
+			c := b.Build()
+			if got := c.OutputValues(c.Eval(in))[0]; got != (x >= y) {
+				t.Errorf("[%d >= %d] = %v", x, y, got)
+			}
+			if c.Depth() != 1 {
+				t.Fatalf("GreaterEqual depth %d, want 1", c.Depth())
+			}
+		}
+	}
+}
+
+func TestMaxMagnitude(t *testing.T) {
+	s := Signed{Pos: Rep{Max: 5}, Neg: Rep{Max: 9}}
+	if s.MaxMagnitude() != 9 {
+		t.Errorf("MaxMagnitude = %d, want 9", s.MaxMagnitude())
+	}
+}

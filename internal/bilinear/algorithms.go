@@ -1,0 +1,250 @@
+package bilinear
+
+import "fmt"
+
+// Block index helpers for T=2 coefficient vectors: row-major over
+// {11, 12, 21, 22}.
+const (
+	b11 = 0
+	b12 = 1
+	b21 = 2
+	b22 = 3
+)
+
+// vec2 builds a length-4 coefficient vector from (index, weight) pairs.
+func vec2(pairs ...[2]int64) []int64 {
+	v := make([]int64, 4)
+	for _, p := range pairs {
+		v[p[0]] = p[1]
+	}
+	return v
+}
+
+// Strassen returns Strassen's algorithm exactly as written in Figure 1
+// of the paper:
+//
+//	M1 = A11(B12 − B22)         C11 = M3 + M4 − M5 + M7
+//	M2 = (A21 + A22)B11         C12 = M1 + M5
+//	M3 = (A11 + A22)(B11 + B22) C21 = M2 + M4
+//	M4 = A22(B21 − B11)         C22 = M1 − M2 + M3 + M6
+//	M5 = (A11 + A12)B22
+//	M6 = (A21 − A11)(B11 + B12)
+//	M7 = (A12 − A22)(B21 + B22)
+func Strassen() *Algorithm {
+	return &Algorithm{
+		Name: "strassen",
+		T:    2,
+		R:    7,
+		A: [][]int64{
+			vec2([2]int64{b11, 1}),                    // M1: A11
+			vec2([2]int64{b21, 1}, [2]int64{b22, 1}),  // M2: A21+A22
+			vec2([2]int64{b11, 1}, [2]int64{b22, 1}),  // M3: A11+A22
+			vec2([2]int64{b22, 1}),                    // M4: A22
+			vec2([2]int64{b11, 1}, [2]int64{b12, 1}),  // M5: A11+A12
+			vec2([2]int64{b21, 1}, [2]int64{b11, -1}), // M6: A21−A11
+			vec2([2]int64{b12, 1}, [2]int64{b22, -1}), // M7: A12−A22
+		},
+		B: [][]int64{
+			vec2([2]int64{b12, 1}, [2]int64{b22, -1}), // M1: B12−B22
+			vec2([2]int64{b11, 1}),                    // M2: B11
+			vec2([2]int64{b11, 1}, [2]int64{b22, 1}),  // M3: B11+B22
+			vec2([2]int64{b21, 1}, [2]int64{b11, -1}), // M4: B21−B11
+			vec2([2]int64{b22, 1}),                    // M5: B22
+			vec2([2]int64{b11, 1}, [2]int64{b12, 1}),  // M6: B11+B12
+			vec2([2]int64{b21, 1}, [2]int64{b22, 1}),  // M7: B21+B22
+		},
+		C: [][]int64{
+			{0, 0, 1, 1, -1, 0, 1}, // C11 = M3+M4−M5+M7
+			{1, 0, 0, 0, 1, 0, 0},  // C12 = M1+M5
+			{0, 1, 0, 1, 0, 0, 0},  // C21 = M2+M4
+			{1, -1, 1, 0, 0, 1, 0}, // C22 = M1−M2+M3+M6
+		},
+	}
+}
+
+// Winograd returns Winograd's 7-multiplication variant of Strassen's
+// algorithm. It performs fewer additions than Strassen's when run as a
+// conventional recursive algorithm (15 vs 18), but its bilinear forms are
+// denser: s_A = s_B = s_C = 14 versus Strassen's 12, so it yields a
+// *worse* γ for the threshold-circuit construction — a concrete instance
+// of the paper's observation that its results "exploit different features
+// of fast matrix multiplication techniques than those traditionally
+// used".
+//
+//	P1 = A11·B11                      C11 = P1 + P2
+//	P2 = A12·B21                      C12 = P1 + P3 + P5 + P6
+//	P3 = (A11+A12−A21−A22)·B22        C21 = P1 − P4 + P6 + P7
+//	P4 = A22·(B11−B12−B21+B22)        C22 = P1 + P5 + P6 + P7
+//	P5 = (A21+A22)·(B12−B11)
+//	P6 = (A21+A22−A11)·(B11−B12+B22)
+//	P7 = (A11−A21)·(B22−B12)
+func Winograd() *Algorithm {
+	return &Algorithm{
+		Name: "winograd",
+		T:    2,
+		R:    7,
+		A: [][]int64{
+			vec2([2]int64{b11, 1}), // P1: A11
+			vec2([2]int64{b12, 1}), // P2: A12
+			vec2([2]int64{b11, 1}, [2]int64{b12, 1}, [2]int64{b21, -1}, [2]int64{b22, -1}), // P3
+			vec2([2]int64{b22, 1}),                                      // P4: A22
+			vec2([2]int64{b21, 1}, [2]int64{b22, 1}),                    // P5: A21+A22
+			vec2([2]int64{b21, 1}, [2]int64{b22, 1}, [2]int64{b11, -1}), // P6
+			vec2([2]int64{b11, 1}, [2]int64{b21, -1}),                   // P7: A11−A21
+		},
+		B: [][]int64{
+			vec2([2]int64{b11, 1}), // P1: B11
+			vec2([2]int64{b21, 1}), // P2: B21
+			vec2([2]int64{b22, 1}), // P3: B22
+			vec2([2]int64{b11, 1}, [2]int64{b12, -1}, [2]int64{b21, -1}, [2]int64{b22, 1}), // P4
+			vec2([2]int64{b12, 1}, [2]int64{b11, -1}),                                      // P5: B12−B11
+			vec2([2]int64{b11, 1}, [2]int64{b12, -1}, [2]int64{b22, 1}),                    // P6
+			vec2([2]int64{b22, 1}, [2]int64{b12, -1}),                                      // P7: B22−B12
+		},
+		C: [][]int64{
+			{1, 1, 0, 0, 0, 0, 0},  // C11 = P1+P2
+			{1, 0, 1, 0, 1, 1, 0},  // C12 = P1+P3+P5+P6
+			{1, 0, 0, -1, 0, 1, 1}, // C21 = P1−P4+P6+P7
+			{1, 0, 0, 0, 1, 1, 1},  // C22 = P1+P5+P6+P7
+		},
+	}
+}
+
+// Naive returns the definitional 8-multiplication algorithm for 2x2
+// blocks: M_{(x,j,y)} = A_xj · B_jy, C_xy = Σ_j M_{(x,j,y)}. Its ω is 3;
+// it exists as a correctness baseline and as the degenerate case γ = 0.
+func Naive() *Algorithm {
+	alg := &Algorithm{Name: "naive2", T: 2, R: 8}
+	for x := 0; x < 2; x++ {
+		for j := 0; j < 2; j++ {
+			for y := 0; y < 2; y++ {
+				a := make([]int64, 4)
+				b := make([]int64, 4)
+				a[x*2+j] = 1
+				b[j*2+y] = 1
+				alg.A = append(alg.A, a)
+				alg.B = append(alg.B, b)
+			}
+		}
+	}
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			c := make([]int64, 8)
+			for j := 0; j < 2; j++ {
+				// product index for (x, j, y) in the loops above
+				c[x*4+j*2+y] = 1
+			}
+			alg.C = append(alg.C, c)
+		}
+	}
+	return alg
+}
+
+// Compose returns the tensor product of two bilinear algorithms: a
+// T1·T2 x T1·T2 algorithm with r1·r2 products. Composing Strassen with
+// itself yields the T=4, r=49 algorithm corresponding to taking two
+// Strassen recursion levels at once; the paper's framework treats it as a
+// distinct base algorithm with its own sparsity (s_A = 144, α = 49/144,
+// β = 9, identical γ — a useful self-consistency check).
+func Compose(a1, a2 *Algorithm) *Algorithm {
+	T := a1.T * a2.T
+	R := a1.R * a2.R
+	out := &Algorithm{
+		Name: fmt.Sprintf("%s⊗%s", a1.Name, a2.Name),
+		T:    T,
+		R:    R,
+	}
+	// Composite block index: (i1, i2) x (j1, j2) -> (i1*T2+i2)*T + (j1*T2+j2).
+	blockIndex := func(i1, j1, i2, j2 int) int {
+		return (i1*a2.T+i2)*T + (j1*a2.T + j2)
+	}
+	for k1 := 0; k1 < a1.R; k1++ {
+		for k2 := 0; k2 < a2.R; k2++ {
+			av := make([]int64, T*T)
+			bv := make([]int64, T*T)
+			for i1 := 0; i1 < a1.T; i1++ {
+				for j1 := 0; j1 < a1.T; j1++ {
+					w1a := a1.A[k1][i1*a1.T+j1]
+					w1b := a1.B[k1][i1*a1.T+j1]
+					for i2 := 0; i2 < a2.T; i2++ {
+						for j2 := 0; j2 < a2.T; j2++ {
+							idx := blockIndex(i1, j1, i2, j2)
+							if w1a != 0 {
+								av[idx] = w1a * a2.A[k2][i2*a2.T+j2]
+							}
+							if w1b != 0 {
+								bv[idx] = w1b * a2.B[k2][i2*a2.T+j2]
+							}
+						}
+					}
+				}
+			}
+			out.A = append(out.A, av)
+			out.B = append(out.B, bv)
+		}
+	}
+	for x1 := 0; x1 < a1.T; x1++ {
+		for y1 := 0; y1 < a1.T; y1++ {
+			for x2 := 0; x2 < a2.T; x2++ {
+				for y2 := 0; y2 < a2.T; y2++ {
+					cv := make([]int64, R)
+					for k1 := 0; k1 < a1.R; k1++ {
+						w1 := a1.C[x1*a1.T+y1][k1]
+						if w1 == 0 {
+							continue
+						}
+						for k2 := 0; k2 < a2.R; k2++ {
+							cv[k1*a2.R+k2] = w1 * a2.C[x2*a2.T+y2][k2]
+						}
+					}
+					out.C = append(out.C, cv)
+				}
+			}
+		}
+	}
+	// Reorder C to row-major over composite (x, y): the loop above emits
+	// in (x1, y1, x2, y2) order but composite row is x1*T2+x2 and column
+	// y1*T2+y2, so re-index.
+	ordered := make([][]int64, T*T)
+	idx := 0
+	for x1 := 0; x1 < a1.T; x1++ {
+		for y1 := 0; y1 < a1.T; y1++ {
+			for x2 := 0; x2 < a2.T; x2++ {
+				for y2 := 0; y2 < a2.T; y2++ {
+					x := x1*a2.T + x2
+					y := y1*a2.T + y2
+					ordered[x*T+y] = out.C[idx]
+					idx++
+				}
+			}
+		}
+	}
+	out.C = ordered
+	return out
+}
+
+// Registry returns the built-in verified algorithms keyed by name,
+// including the composed Strassen⊗Strassen (T=4, r=49).
+func Registry() map[string]*Algorithm {
+	s := Strassen()
+	return map[string]*Algorithm{
+		"strassen":  s,
+		"winograd":  Winograd(),
+		"naive2":    Naive(),
+		"strassen2": renamed(Compose(s, Strassen()), "strassen2"),
+	}
+}
+
+func renamed(alg *Algorithm, name string) *Algorithm {
+	alg.Name = name
+	return alg
+}
+
+// Lookup returns a registered algorithm by name.
+func Lookup(name string) (*Algorithm, error) {
+	alg, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("bilinear: unknown algorithm %q", name)
+	}
+	return alg, nil
+}

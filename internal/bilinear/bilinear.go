@@ -1,0 +1,274 @@
+// Package bilinear represents fast matrix multiplication algorithms in
+// the form the paper assumes (Section 2.3): an algorithm that multiplies
+// two T x T matrices using r scalar multiplications
+//
+//	M_k = (Σ_{ij} u_k[i,j] A_ij) * (Σ_{pq} v_k[p,q] B_pq),   1 <= k <= r
+//	C_xy = Σ_k c_xy[k] M_k,                                   x,y in [T]
+//
+// together with the sparsity parameters of Definition 2.1 and the derived
+// constants ω, α, β, γ, c of Section 4.3 that drive the threshold-circuit
+// constructions.
+//
+// The package ships verified descriptions of Strassen's algorithm
+// (Figure 1 of the paper), Winograd's 7-multiplication variant, the naive
+// 8-multiplication algorithm, and arbitrary tensor compositions of these
+// (e.g. Strassen⊗Strassen with T=4, r=49). Every algorithm can be checked
+// against the exact bilinear identity with Verify.
+package bilinear
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+)
+
+// Algorithm is a bilinear fast matrix multiplication algorithm over
+// T x T matrices using R scalar products.
+//
+// Coefficient layout: A[k] and B[k] are length T*T vectors over the block
+// grid in row-major order; C[x*T+y] is a length-R vector giving the
+// weights of M_1..M_R in output block (x, y).
+type Algorithm struct {
+	Name string    `json:"name"`
+	T    int       `json:"t"`
+	R    int       `json:"r"`
+	A    [][]int64 `json:"a"` // R x T²: A-side linear forms
+	B    [][]int64 `json:"b"` // R x T²: B-side linear forms
+	C    [][]int64 `json:"c"` // T² x R: output combinations
+}
+
+// Validate checks structural well-formedness (shapes only, not the
+// bilinear identity; see Verify for that).
+func (alg *Algorithm) Validate() error {
+	if alg.T < 2 || alg.T > 64 {
+		return fmt.Errorf("bilinear: %s: T = %d outside [2, 64]", alg.Name, alg.T)
+	}
+	if alg.R < 1 || alg.R > int(bitio.Pow(alg.T, 3)) {
+		// More than T³ products is never useful (the naive algorithm
+		// achieves T³), and the cap bounds Verify's T⁶·R work on
+		// untrusted inputs.
+		return fmt.Errorf("bilinear: %s: R = %d outside [1, T³]", alg.Name, alg.R)
+	}
+	t2 := alg.T * alg.T
+	if len(alg.A) != alg.R || len(alg.B) != alg.R {
+		return fmt.Errorf("bilinear: %s: want %d A/B forms, have %d/%d", alg.Name, alg.R, len(alg.A), len(alg.B))
+	}
+	for k := 0; k < alg.R; k++ {
+		if len(alg.A[k]) != t2 || len(alg.B[k]) != t2 {
+			return fmt.Errorf("bilinear: %s: form %d has wrong width", alg.Name, k)
+		}
+	}
+	if len(alg.C) != t2 {
+		return fmt.Errorf("bilinear: %s: want %d C expressions, have %d", alg.Name, t2, len(alg.C))
+	}
+	for e := 0; e < t2; e++ {
+		if len(alg.C[e]) != alg.R {
+			return fmt.Errorf("bilinear: %s: C expression %d has width %d, want %d", alg.Name, e, len(alg.C[e]), alg.R)
+		}
+	}
+	return nil
+}
+
+// Verify checks the exact bilinear identity: for all block indices,
+//
+//	Σ_k C[x,y][k] * A[k][i,j] * B[k][p,q]  ==  [j==p && x==i && y==q].
+//
+// This is verification "by substitution and expansion" as Figure 1's
+// caption describes, done exactly over the integers.
+func (alg *Algorithm) Verify() error {
+	if err := alg.Validate(); err != nil {
+		return err
+	}
+	T := alg.T
+	for x := 0; x < T; x++ {
+		for y := 0; y < T; y++ {
+			for i := 0; i < T; i++ {
+				for j := 0; j < T; j++ {
+					for p := 0; p < T; p++ {
+						for q := 0; q < T; q++ {
+							var sum int64
+							for k := 0; k < alg.R; k++ {
+								sum += alg.C[x*T+y][k] * alg.A[k][i*T+j] * alg.B[k][p*T+q]
+							}
+							var want int64
+							if j == p && x == i && y == q {
+								want = 1
+							}
+							if sum != want {
+								return fmt.Errorf("bilinear: %s: identity fails at C[%d,%d] term A[%d,%d]B[%d,%d]: got %d want %d",
+									alg.Name, x, y, i, j, p, q, sum, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxWeight returns the largest absolute coefficient appearing anywhere
+// in the algorithm. Strassen/Winograd/naive use only {-1,0,1}; tensor
+// compositions of them do too. The circuit constructions accept any
+// integer weights (the w_i of Lemma 3.2).
+func (alg *Algorithm) MaxWeight() int64 {
+	var mx int64
+	scan := func(rows [][]int64) {
+		for _, row := range rows {
+			for _, w := range row {
+				if a := bitio.Abs(w); a > mx {
+					mx = a
+				}
+			}
+		}
+	}
+	scan(alg.A)
+	scan(alg.B)
+	scan(alg.C)
+	return mx
+}
+
+// Params holds Definition 2.1's sparsity measures and the Section 4.3
+// derived constants for one algorithm.
+type Params struct {
+	T int // base matrix dimension
+	R int // number of scalar multiplications
+
+	Omega float64 // ω = log_T r, exponent of the arithmetic operation count
+
+	SA int // s_A = Σ_k a_k, a_k = #distinct A-blocks in M_k
+	SB int // s_B = Σ_k b_k
+	SC int // s_C = Σ_k c_k, c_k = #C-expressions containing M_k
+	S  int // s = max{s_A, s_B, s_C} (Definition 2.1)
+
+	// A/B-side tree constants (Section 4.3): α = r/s_A, β = s_A/T².
+	Alpha float64
+	Beta  float64
+	// C-side (T_AB) constants (Section 4.4): α_C = r/s_C, β_C = s_C/T².
+	AlphaC float64
+	BetaC  float64
+
+	// γ = log_β(1/α) with 0 < γ < 1 whenever r > T² (αβ > 1). For
+	// Strassen γ ≈ 0.491. GammaC is the analogous C-side value.
+	Gamma  float64
+	GammaC float64
+
+	// c = log_T(αβ)/(1−γ), the multiplier of γ^d in the gate-count
+	// exponent of Theorems 4.5 and 4.9. For Strassen c ≈ 1.585.
+	CConst float64
+}
+
+// SparsityA returns a_k for each product: the number of distinct blocks
+// of A appearing in M_k.
+func (alg *Algorithm) SparsityA() []int {
+	return countNonzero(alg.A)
+}
+
+// SparsityB returns b_k for each product.
+func (alg *Algorithm) SparsityB() []int {
+	return countNonzero(alg.B)
+}
+
+// SparsityC returns c_k for each product: the number of C expressions in
+// which M_k appears with a nonzero weight.
+func (alg *Algorithm) SparsityC() []int {
+	out := make([]int, alg.R)
+	for _, expr := range alg.C {
+		for k, w := range expr {
+			if w != 0 {
+				out[k]++
+			}
+		}
+	}
+	return out
+}
+
+// CPrime returns c'_j for each of the T² output expressions: the number
+// of M terms appearing in expression j (appendix, proof of Lemma 4.6).
+// Σ_j c'_j = s_C.
+func (alg *Algorithm) CPrime() []int {
+	return countNonzero(alg.C)
+}
+
+func countNonzero(rows [][]int64) []int {
+	out := make([]int, len(rows))
+	for i, row := range rows {
+		for _, w := range row {
+			if w != 0 {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// Params computes all sparsity measures and derived constants.
+func (alg *Algorithm) Params() Params {
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	sa := sum(alg.SparsityA())
+	sb := sum(alg.SparsityB())
+	sc := sum(alg.SparsityC())
+	s := sa
+	if sb > s {
+		s = sb
+	}
+	if sc > s {
+		s = sc
+	}
+	t2 := float64(alg.T * alg.T)
+	p := Params{
+		T:     alg.T,
+		R:     alg.R,
+		Omega: math.Log(float64(alg.R)) / math.Log(float64(alg.T)),
+		SA:    sa, SB: sb, SC: sc, S: s,
+		Alpha:  float64(alg.R) / float64(sa),
+		Beta:   float64(sa) / t2,
+		AlphaC: float64(alg.R) / float64(sc),
+		BetaC:  float64(sc) / t2,
+	}
+	p.Gamma = gamma(p.Alpha, p.Beta)
+	p.GammaC = gamma(p.AlphaC, p.BetaC)
+	if p.Gamma > 0 && p.Gamma < 1 {
+		p.CConst = math.Log(p.Alpha*p.Beta) / math.Log(float64(alg.T)) / (1 - p.Gamma)
+	}
+	return p
+}
+
+// gamma computes log_β(1/α), clamped to [0, 1). When α = 1 (every product
+// touches one block per level, as in the naive algorithm) the schedule
+// degenerates and γ = 0.
+func gamma(alpha, beta float64) float64 {
+	if beta <= 1 || alpha >= 1 {
+		return 0
+	}
+	g := math.Log(1/alpha) / math.Log(beta)
+	if g < 0 {
+		return 0
+	}
+	if g >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return g
+}
+
+// Subcubic reports whether the algorithm is genuinely fast in the
+// paper's sense: r > T², equivalently αβ > 1, equivalently ω < 3 ... no:
+// r > T² means ω > 2; fast means r < T³. Subcubic returns r < T³ (ω < 3)
+// and Nontrivial returns r > T² (the condition Lemma 4.3's analysis
+// requires, see the remark before Lemma 4.3).
+func (alg *Algorithm) Subcubic() bool {
+	return int64(alg.R) < bitio.Pow(alg.T, 3)
+}
+
+// Nontrivial reports r > T², the assumption under which γ ∈ (0,1) and
+// the level-selection theorems are stated.
+func (alg *Algorithm) Nontrivial() bool {
+	return int64(alg.R) > bitio.Pow(alg.T, 2)
+}

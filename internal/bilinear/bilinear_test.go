@@ -1,0 +1,313 @@
+package bilinear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// Every registered algorithm must satisfy the exact bilinear identity —
+// this is the machine-checked version of Figure 1's caption: "One can
+// verify by substitution and expansion that the entries of C are set to
+// the proper expressions involving entries of A and B."
+func TestRegistryVerifies(t *testing.T) {
+	for name, alg := range Registry() {
+		if err := alg.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	alg := Strassen()
+	alg.C[0][0] = 1 // corrupt C11
+	if err := alg.Verify(); err == nil {
+		t.Error("Verify accepted a corrupted Strassen")
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	cases := []func(*Algorithm){
+		func(a *Algorithm) { a.T = 1 },
+		func(a *Algorithm) { a.R = 0 },
+		func(a *Algorithm) { a.T = 1000 },
+		func(a *Algorithm) { a.R = 9 }, // > T³ = 8
+	}
+	cases = append(cases, []func(*Algorithm){
+		func(a *Algorithm) { a.A = a.A[:3] },
+		func(a *Algorithm) { a.B[2] = a.B[2][:1] },
+		func(a *Algorithm) { a.C = a.C[:2] },
+		func(a *Algorithm) { a.C[1] = a.C[1][:3] },
+	}...)
+	for i, corrupt := range cases {
+		alg := Strassen()
+		corrupt(alg)
+		if err := alg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted malformed algorithm", i)
+		}
+	}
+}
+
+// Strassen sparsity from the paper: s_A = 12, α = 7/12, β = 3,
+// γ ≈ 0.491, c ≈ 1.585 (Sections 4.3 and the Theorem 4.5 proof).
+func TestStrassenParams(t *testing.T) {
+	p := Strassen().Params()
+	if p.SA != 12 || p.SB != 12 || p.SC != 12 || p.S != 12 {
+		t.Errorf("Strassen sparsity = A:%d B:%d C:%d, want 12 each", p.SA, p.SB, p.SC)
+	}
+	if math.Abs(p.Alpha-7.0/12.0) > 1e-12 {
+		t.Errorf("alpha = %v, want 7/12", p.Alpha)
+	}
+	if math.Abs(p.Beta-3) > 1e-12 {
+		t.Errorf("beta = %v, want 3", p.Beta)
+	}
+	if math.Abs(p.Gamma-0.4906) > 5e-4 {
+		t.Errorf("gamma = %v, want ≈0.491", p.Gamma)
+	}
+	if math.Abs(p.CConst-1.585) > 5e-3 {
+		t.Errorf("c = %v, want ≈1.585", p.CConst)
+	}
+	if math.Abs(p.Omega-math.Log2(7)) > 1e-12 {
+		t.Errorf("omega = %v, want log2 7", p.Omega)
+	}
+}
+
+// Strassen's c'_j values from the appendix: c'_1 = 4, c'_2 = 2,
+// c'_3 = 2, c'_4 = 4, summing to s_C = 12.
+func TestStrassenCPrime(t *testing.T) {
+	cp := Strassen().CPrime()
+	want := []int{4, 2, 2, 4}
+	for i := range want {
+		if cp[i] != want[i] {
+			t.Errorf("c'_%d = %d, want %d", i+1, cp[i], want[i])
+		}
+	}
+}
+
+// Winograd's variant is denser: s = 14 > 12, hence worse γ — the
+// circuit-relevant cost differs from the classic addition count.
+func TestWinogradSparsity(t *testing.T) {
+	p := Winograd().Params()
+	if p.SA != 14 || p.SB != 14 || p.SC != 14 {
+		t.Errorf("Winograd sparsity = A:%d B:%d C:%d, want 14 each", p.SA, p.SB, p.SC)
+	}
+	sp := Strassen().Params()
+	if p.Gamma <= sp.Gamma {
+		t.Errorf("Winograd gamma %v should exceed Strassen gamma %v", p.Gamma, sp.Gamma)
+	}
+}
+
+func TestNaiveParams(t *testing.T) {
+	p := Naive().Params()
+	if p.SA != 8 || p.SB != 8 || p.SC != 8 {
+		t.Errorf("naive sparsity = %d/%d/%d, want 8", p.SA, p.SB, p.SC)
+	}
+	if p.Gamma != 0 {
+		t.Errorf("naive gamma = %v, want 0", p.Gamma)
+	}
+	if math.Abs(p.Omega-3) > 1e-12 {
+		t.Errorf("naive omega = %v, want 3", p.Omega)
+	}
+	if Naive().Subcubic() {
+		t.Error("naive should not be subcubic")
+	}
+	if !Strassen().Subcubic() || !Strassen().Nontrivial() {
+		t.Error("strassen should be subcubic and nontrivial")
+	}
+}
+
+// Composition: Strassen⊗Strassen has T=4, r=49, s_A = 12² = 144 and the
+// same γ as Strassen (sparsity is multiplicative under tensoring, and
+// log_{β²}(1/α²) = log_β(1/α)).
+func TestComposeParams(t *testing.T) {
+	c := Compose(Strassen(), Strassen())
+	if c.T != 4 || c.R != 49 {
+		t.Fatalf("composed T=%d r=%d, want 4, 49", c.T, c.R)
+	}
+	p := c.Params()
+	if p.SA != 144 || p.SB != 144 || p.SC != 144 {
+		t.Errorf("composed sparsity = %d/%d/%d, want 144", p.SA, p.SB, p.SC)
+	}
+	sp := Strassen().Params()
+	if math.Abs(p.Gamma-sp.Gamma) > 1e-9 {
+		t.Errorf("composed gamma %v != strassen gamma %v", p.Gamma, sp.Gamma)
+	}
+	if math.Abs(p.Omega-sp.Omega) > 1e-9 {
+		t.Errorf("composed omega %v != strassen omega %v", p.Omega, sp.Omega)
+	}
+}
+
+func TestComposeVerifies(t *testing.T) {
+	// Heterogeneous composition exercises the index arithmetic.
+	cases := []*Algorithm{
+		Compose(Strassen(), Naive()),
+		Compose(Naive(), Strassen()),
+		Compose(Winograd(), Strassen()),
+	}
+	for _, alg := range cases {
+		if err := alg.Verify(); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+// Executor correctness: every algorithm, every cutoff, vs naive product.
+func TestExecutorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, alg := range Registry() {
+		for _, n := range []int{alg.T, alg.T * alg.T} {
+			for _, cutoff := range []int{1, 2} {
+				e := NewExecutor(alg, cutoff)
+				for trial := 0; trial < 10; trial++ {
+					a := matrix.Random(rng, n, n, -9, 9)
+					b := matrix.Random(rng, n, n, -9, 9)
+					got, err := e.Mul(a, b)
+					if err != nil {
+						t.Fatalf("%s n=%d: %v", name, n, err)
+					}
+					if !got.Equal(a.Mul(b)) {
+						t.Fatalf("%s n=%d cutoff=%d: product mismatch", name, n, cutoff)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExecutorLargerPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewExecutor(Strassen(), 1)
+	a := matrix.Random(rng, 16, 16, -5, 5)
+	b := matrix.Random(rng, 16, 16, -5, 5)
+	got, err := e.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Fatal("16x16 Strassen product mismatch")
+	}
+}
+
+// Property-based: Strassen executor agrees with naive on random
+// matrices of random power-of-two sizes.
+func TestExecutorProperty(t *testing.T) {
+	e := NewExecutor(Strassen(), 1)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(3)) // 2, 4, 8
+		a := matrix.Random(rng, n, n, -20, 20)
+		b := matrix.Random(rng, n, n, -20, 20)
+		got, err := e.Mul(a, b)
+		return err == nil && got.Equal(a.Mul(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scalar multiplication counts: full recursion on N = 2^l performs
+// exactly 7^l base products (paper Section 2.1: 7^{log2 N} = N^{log2 7}).
+func TestScalarMulCount(t *testing.T) {
+	e := NewExecutor(Strassen(), 1)
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(rng, 8, 8, -3, 3)
+	b := matrix.Random(rng, 8, 8, -3, 3)
+	if _, err := e.Mul(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if e.Ops().ScalarMuls != 343 {
+		t.Errorf("8x8 Strassen scalar muls = %d, want 7^3 = 343", e.Ops().ScalarMuls)
+	}
+	if ScalarMulsFor(Strassen(), 8) != 343 {
+		t.Error("ScalarMulsFor wrong")
+	}
+	// Strassen does fewer multiplications than naive even at 2x2.
+	e.Reset()
+	a2 := matrix.Random(rng, 2, 2, -3, 3)
+	b2 := matrix.Random(rng, 2, 2, -3, 3)
+	if _, err := e.Mul(a2, b2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Ops().ScalarMuls != 7 {
+		t.Errorf("2x2 scalar muls = %d, want 7", e.Ops().ScalarMuls)
+	}
+	if e.Ops().ScalarAdds != 18 {
+		t.Errorf("2x2 scalar adds = %d, want 18 (the paper's 18·(N/2)² term)", e.Ops().ScalarAdds)
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	e := NewExecutor(Strassen(), 1)
+	if _, err := e.Mul(matrix.New(2, 3), matrix.New(3, 2)); err == nil {
+		t.Error("non-square inputs accepted")
+	}
+	if _, err := e.Mul(matrix.New(3, 3), matrix.New(3, 3)); err == nil {
+		t.Error("non-power-of-T dimension accepted")
+	}
+}
+
+func TestMulPadded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewExecutor(Strassen(), 1)
+	for _, n := range []int{1, 3, 5, 6, 7} {
+		a := matrix.Random(rng, n, n, -9, 9)
+		b := matrix.Random(rng, n, n, -9, 9)
+		got, err := e.MulPadded(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(a.Mul(b)) {
+			t.Errorf("padded product mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	data, err := Encode(Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.T != 2 || alg.R != 7 {
+		t.Error("round trip lost shape")
+	}
+	if err := alg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadAlgorithms(t *testing.T) {
+	if _, err := Decode([]byte(`{"name":"x"`)); err == nil {
+		t.Error("syntactically invalid JSON accepted")
+	}
+	bad := Strassen()
+	bad.C[0][0] = 9 // breaks the identity but not the shape
+	data, err := Encode(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("Decode accepted an algorithm violating the bilinear identity")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("strassen"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("does-not-exist"); err == nil {
+		t.Error("Lookup accepted unknown name")
+	}
+}
+
+func TestMaxWeight(t *testing.T) {
+	if Strassen().MaxWeight() != 1 {
+		t.Errorf("Strassen max weight = %d, want 1", Strassen().MaxWeight())
+	}
+}

@@ -1,0 +1,147 @@
+package bilinear
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+)
+
+// OpCount tallies the arithmetic work of a conventional (non-circuit)
+// execution of a fast matrix multiplication algorithm. The paper's
+// recurrence for Strassen is T(N) = 7·T(N/2) + 18·(N/2)², giving
+// O(N^{log2 7}) scalar multiplications and additions.
+type OpCount struct {
+	ScalarMuls int64 // base-case scalar multiplications (r^l when cutoff=1)
+	ScalarAdds int64 // scalar additions/subtractions in linear passes
+}
+
+// Total returns the total arithmetic operation count.
+func (o OpCount) Total() int64 { return o.ScalarMuls + o.ScalarAdds }
+
+// Executor runs a bilinear algorithm as a conventional recursive
+// divide-and-conquer matrix multiplication, the baseline the circuits
+// are compared against.
+type Executor struct {
+	Alg *Algorithm
+	// Cutoff is the dimension at or below which the recursion switches
+	// to the naive cubic product. Cutoff 1 performs the full r^l scalar
+	// products. Values below 1 are treated as 1.
+	Cutoff int
+
+	ops OpCount
+}
+
+// NewExecutor returns an executor for alg with the given base-case
+// cutoff.
+func NewExecutor(alg *Algorithm, cutoff int) *Executor {
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	return &Executor{Alg: alg, Cutoff: cutoff}
+}
+
+// Ops returns the operation counts accumulated since the last Reset.
+func (e *Executor) Ops() OpCount { return e.ops }
+
+// Reset clears the accumulated operation counts.
+func (e *Executor) Reset() { e.ops = OpCount{} }
+
+// Mul multiplies two n x n matrices where n must be a power of
+// e.Alg.T (use matrix.Pad otherwise). It returns the exact product.
+func (e *Executor) Mul(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, fmt.Errorf("bilinear: Mul requires equal square matrices, got %dx%d and %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return matrix.New(0, 0), nil
+	}
+	if !bitio.IsPow(e.Alg.T, n) && n != 1 {
+		return nil, fmt.Errorf("bilinear: dimension %d is not a power of T=%d (pad first)", n, e.Alg.T)
+	}
+	return e.mul(a, b), nil
+}
+
+func (e *Executor) mul(a, b *matrix.Matrix) *matrix.Matrix {
+	n := a.Rows
+	if n <= e.Cutoff {
+		e.ops.ScalarMuls += int64(n) * int64(n) * int64(n)
+		e.ops.ScalarAdds += int64(n) * int64(n) * int64(n-1)
+		return a.Mul(b)
+	}
+	T := e.Alg.T
+	half := n / T
+
+	// Extract blocks once.
+	ablocks := make([]*matrix.Matrix, T*T)
+	bblocks := make([]*matrix.Matrix, T*T)
+	for i := 0; i < T; i++ {
+		for j := 0; j < T; j++ {
+			ablocks[i*T+j] = a.Block(i, j, half)
+			bblocks[i*T+j] = b.Block(i, j, half)
+		}
+	}
+
+	// Compute the r products of weighted block sums.
+	products := make([]*matrix.Matrix, e.Alg.R)
+	for k := 0; k < e.Alg.R; k++ {
+		as := e.combine(ablocks, e.Alg.A[k], half)
+		bs := e.combine(bblocks, e.Alg.B[k], half)
+		products[k] = e.mul(as, bs)
+	}
+
+	// Combine products into output blocks.
+	out := matrix.New(n, n)
+	for x := 0; x < T; x++ {
+		for y := 0; y < T; y++ {
+			out.SetBlock(x, y, e.combine(products, e.Alg.C[x*T+y], half))
+		}
+	}
+	return out
+}
+
+// combine returns the weighted sum of blocks with the given coefficient
+// vector, counting scalar additions.
+func (e *Executor) combine(blocks []*matrix.Matrix, coef []int64, size int) *matrix.Matrix {
+	sum := matrix.New(size, size)
+	terms := 0
+	for i, w := range coef {
+		if w == 0 {
+			continue
+		}
+		sum.AddInPlace(blocks[i], w)
+		terms++
+	}
+	if terms > 1 {
+		e.ops.ScalarAdds += int64(terms-1) * int64(size) * int64(size)
+	}
+	return sum
+}
+
+// MulPadded multiplies two equal-size square matrices of arbitrary
+// dimension by padding up to the next power of T and shrinking the
+// result.
+func (e *Executor) MulPadded(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, fmt.Errorf("bilinear: MulPadded requires equal square matrices")
+	}
+	n := a.Rows
+	if n == 0 {
+		return matrix.New(0, 0), nil
+	}
+	target := int(bitio.Pow(e.Alg.T, bitio.CeilLog(e.Alg.T, n)))
+	c, err := e.Mul(a.Pad(target), b.Pad(target))
+	if err != nil {
+		return nil, err
+	}
+	return c.Shrink(n, n), nil
+}
+
+// ScalarMulsFor returns the number of base-case scalar multiplications a
+// full recursion (cutoff 1) performs on N = T^l: r^l = N^{log_T r}.
+func ScalarMulsFor(alg *Algorithm, n int) int64 {
+	l := bitio.Log(alg.T, n)
+	return bitio.Pow(alg.R, l)
+}

@@ -1,0 +1,28 @@
+package bilinear
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes must never panic the algorithm decoder,
+// and anything it accepts must satisfy the bilinear identity (Decode
+// verifies by construction — this pins that the check cannot be
+// bypassed by odd JSON).
+func FuzzDecode(f *testing.F) {
+	if data, err := Encode(Strassen()); err == nil {
+		f.Add(data)
+	}
+	if data, err := Encode(Naive()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","t":2,"r":1,"a":[[1,0,0,0]],"b":[[1,0,0,0]],"c":[[1],[0],[0],[0]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := alg.Verify(); err != nil {
+			t.Fatalf("Decode accepted an invalid algorithm: %v", err)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package bilinear
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON-compatible persistence lives on the Algorithm struct tags;
+// this file adds validated decode helpers so external algorithm files can
+// be plugged into the circuit builders safely.
+
+// Decode parses an Algorithm from JSON, validates its shape, and verifies
+// the exact bilinear identity. Malformed or incorrect algorithms are
+// rejected — a circuit built from a wrong algorithm would silently
+// compute the wrong product.
+func Decode(data []byte) (*Algorithm, error) {
+	var alg Algorithm
+	if err := json.Unmarshal(data, &alg); err != nil {
+		return nil, fmt.Errorf("bilinear: decode: %w", err)
+	}
+	if err := alg.Verify(); err != nil {
+		return nil, err
+	}
+	return &alg, nil
+}
+
+// Encode serializes an algorithm to indented JSON.
+func Encode(alg *Algorithm) ([]byte, error) {
+	if err := alg.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(alg, "", "  ")
+}

@@ -1,0 +1,155 @@
+// Package bitio provides the small integer and bit-width helpers used
+// throughout the threshold-circuit constructions.
+//
+// The central function is Bits, the paper's bits(m) (Section 2.3): the
+// minimum number of binary digits needed to write the nonnegative integer
+// m, i.e. the least l with m < 2^l.
+package bitio
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bits returns the paper's bits(m): the least l such that m < 2^l.
+// Bits(0) = 0, Bits(1) = 1, Bits(2) = 2, Bits(3) = 2, Bits(4) = 3.
+// It panics if m is negative, matching the paper's restriction to
+// nonnegative integers.
+func Bits(m int64) int {
+	if m < 0 {
+		panic(fmt.Sprintf("bitio.Bits: negative argument %d", m))
+	}
+	return bits.Len64(uint64(m))
+}
+
+// Pow returns base**exp for nonnegative exp, panicking on overflow of
+// int64. Circuit constructions use it for T^h and r^h level counts where
+// silent wraparound would corrupt gate-count accounting.
+func Pow(base, exp int) int64 {
+	if exp < 0 {
+		panic(fmt.Sprintf("bitio.Pow: negative exponent %d", exp))
+	}
+	result := int64(1)
+	b := int64(base)
+	for i := 0; i < exp; i++ {
+		result = MulCheck(result, b)
+	}
+	return result
+}
+
+// MulCheck multiplies two int64 values, panicking on overflow.
+func MulCheck(a, b int64) int64 {
+	hi, lo := bits.Mul64(uint64(abs64(a)), uint64(abs64(b)))
+	if hi != 0 || lo > uint64(1)<<62 {
+		panic(fmt.Sprintf("bitio.MulCheck: overflow multiplying %d * %d", a, b))
+	}
+	r := int64(lo)
+	if (a < 0) != (b < 0) {
+		r = -r
+	}
+	return r
+}
+
+// AddCheck adds two int64 values, panicking on overflow.
+func AddCheck(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(fmt.Sprintf("bitio.AddCheck: overflow adding %d + %d", a, b))
+	}
+	return s
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// CeilLog returns the least integer l with base^l >= n, for base >= 2 and
+// n >= 1. It is used to pad matrix dimensions up to a power of T.
+func CeilLog(base, n int) int {
+	if base < 2 {
+		panic(fmt.Sprintf("bitio.CeilLog: base %d < 2", base))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("bitio.CeilLog: n %d < 1", n))
+	}
+	l := 0
+	p := int64(1)
+	for p < int64(n) {
+		p *= int64(base)
+		l++
+	}
+	return l
+}
+
+// IsPow reports whether n is an exact power of base (base >= 2), i.e.
+// n = base^l for some integer l >= 0.
+func IsPow(base, n int) bool {
+	if base < 2 || n < 1 {
+		return false
+	}
+	for n%base == 0 {
+		n /= base
+	}
+	return n == 1
+}
+
+// Log returns l such that base^l = n exactly, panicking if n is not an
+// exact power of base. Circuit builders require N = T^l.
+func Log(base, n int) int {
+	if !IsPow(base, n) {
+		panic(fmt.Sprintf("bitio.Log: %d is not a power of %d", n, base))
+	}
+	l := 0
+	for n > 1 {
+		n /= base
+		l++
+	}
+	return l
+}
+
+// Abs returns the absolute value of a.
+func Abs(a int64) int64 { return abs64(a) }
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max64 returns the larger of a and b.
+func Max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Binomial returns C(n, k) as an int64, panicking on overflow. The naive
+// triangle-counting circuit has exactly C(N,3)+1 gates.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := int64(1)
+	for i := 0; i < k; i++ {
+		result = MulCheck(result, int64(n-i))
+		result /= int64(i + 1)
+	}
+	return result
+}

@@ -1,0 +1,158 @@
+package bitio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		m    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1023, 10}, {1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := Bits(c.m); got != c.want {
+			t.Errorf("Bits(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+// Bits(m) is the least l with m < 2^l: check the defining property.
+func TestBitsDefiningProperty(t *testing.T) {
+	prop := func(m int64) bool {
+		if m < 0 {
+			m = -m
+		}
+		m %= 1 << 40
+		l := Bits(m)
+		// m < 2^l and (l == 0 or m >= 2^(l-1))
+		if m >= int64(1)<<uint(l) {
+			return false
+		}
+		if l > 0 && m < int64(1)<<uint(l-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bits(-1) did not panic")
+		}
+	}()
+	Bits(-1)
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		base, exp int
+		want      int64
+	}{
+		{2, 0, 1}, {2, 10, 1024}, {7, 3, 343}, {3, 4, 81}, {49, 2, 2401},
+	}
+	for _, c := range cases {
+		if got := Pow(c.base, c.exp); got != c.want {
+			t.Errorf("Pow(%d,%d) = %d, want %d", c.base, c.exp, got, c.want)
+		}
+	}
+}
+
+func TestPowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pow(7, 40) did not panic on overflow")
+		}
+	}()
+	Pow(7, 40)
+}
+
+func TestCeilLog(t *testing.T) {
+	cases := []struct {
+		base, n, want int
+	}{
+		{2, 1, 0}, {2, 2, 1}, {2, 3, 2}, {2, 4, 2}, {2, 5, 3},
+		{3, 1, 0}, {3, 3, 1}, {3, 4, 2}, {3, 9, 2}, {3, 10, 3},
+		{7, 343, 3}, {7, 344, 4},
+	}
+	for _, c := range cases {
+		if got := CeilLog(c.base, c.n); got != c.want {
+			t.Errorf("CeilLog(%d,%d) = %d, want %d", c.base, c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPowAndLog(t *testing.T) {
+	if !IsPow(2, 16) || !IsPow(3, 27) || !IsPow(7, 1) {
+		t.Error("IsPow false negative")
+	}
+	if IsPow(2, 12) || IsPow(3, 10) || IsPow(2, 0) {
+		t.Error("IsPow false positive")
+	}
+	if Log(2, 16) != 4 || Log(3, 27) != 3 || Log(5, 1) != 0 {
+		t.Error("Log wrong")
+	}
+}
+
+func TestLogPanicsOnNonPower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log(2, 10) did not panic")
+		}
+	}()
+	Log(2, 10)
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{3, 3, 1}, {4, 3, 4}, {10, 3, 120}, {64, 3, 41664},
+		{5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// Pascal's rule as a property test.
+func TestBinomialPascal(t *testing.T) {
+	prop := func(n, k uint8) bool {
+		nn := int(n%40) + 1
+		kk := int(k) % (nn + 1)
+		if kk == 0 {
+			return Binomial(nn, 0) == 1
+		}
+		return Binomial(nn, kk) == Binomial(nn-1, kk-1)+Binomial(nn-1, kk)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddCheck(t *testing.T) {
+	if MulCheck(-3, 4) != -12 || MulCheck(-3, -4) != 12 {
+		t.Error("MulCheck sign handling wrong")
+	}
+	if AddCheck(1<<40, 1<<40) != 1<<41 {
+		t.Error("AddCheck wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(1, 2) != 2 || Min(1, 2) != 1 || Max64(3, 4) != 4 || Abs(-5) != 5 {
+		t.Error("min/max/abs helpers wrong")
+	}
+}

@@ -1,0 +1,414 @@
+// Package circuit implements the boolean threshold-circuit model the
+// paper computes in: directed acyclic circuits of McCulloch-Pitts gates,
+// each with unbounded fan-in, integer weights w_i and an integer
+// threshold t, firing iff Σ w_i·y_i >= t.
+//
+// The representation is a flat arena tuned for circuits with millions of
+// gates. Gates are organized into *groups* sharing one input span: the
+// constructions of Lemma 3.1 create 2^k gates that read the same
+// weighted sum and differ only in threshold, so the span (and the sum,
+// during evaluation) is shared. Grouping changes neither the gate count
+// nor any complexity measure — Edges() counts every gate's fan-in
+// individually, exactly as the paper would — it only deduplicates
+// storage and work.
+//
+// Wires are numbered 0..NumInputs-1 for circuit inputs and NumInputs+g
+// for the output of gate g; gates may only reference wires created
+// before them, so every circuit is acyclic by construction.
+//
+// The package provides the complexity measures the paper studies — size
+// (gate count), depth, edges and fan-in — plus the energy measure of
+// Uchizawa et al. discussed in Section 6 (a gate is charged one unit iff
+// it fires).
+package circuit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Wire identifies an input or a gate output. Inputs occupy
+// [0, NumInputs); the output of gate g is Wire(NumInputs + g).
+type Wire = int32
+
+// group is a set of consecutive gates sharing one input span, differing
+// only in threshold.
+type group struct {
+	inStart, inEnd int64 // span into wires/weights
+	gateStart      int32 // first gate index
+	gateCount      int32
+	level          int32
+}
+
+// Circuit is an immutable threshold circuit produced by a Builder.
+type Circuit struct {
+	numInputs int
+
+	wires      []Wire
+	weights    []int64
+	groups     []group
+	thresholds []int64 // per gate
+	gateGroup  []int32 // gate -> group index
+
+	depth       int
+	levelGroups [][]int32 // group indices by level
+
+	outputs []Wire
+}
+
+// NumInputs returns the number of circuit input wires.
+func (c *Circuit) NumInputs() int { return c.numInputs }
+
+// Size returns the total number of gates, the paper's "size" measure.
+func (c *Circuit) Size() int { return len(c.thresholds) }
+
+// Depth returns the length of the longest input-to-output path measured
+// in gates, the paper's "depth" measure.
+func (c *Circuit) Depth() int { return c.depth }
+
+// Edges returns the total number of connections, the paper's "edges":
+// every gate contributes its full fan-in, whether or not its input span
+// is shared with other gates in storage.
+func (c *Circuit) Edges() int64 {
+	var e int64
+	for _, g := range c.groups {
+		e += int64(g.inEnd-g.inStart) * int64(g.gateCount)
+	}
+	return e
+}
+
+// StoredEdges returns the number of physically stored connections after
+// span sharing (a storage statistic, not a circuit-complexity measure).
+func (c *Circuit) StoredEdges() int64 { return int64(len(c.wires)) }
+
+// MaxFanIn returns the maximum number of inputs to any gate.
+func (c *Circuit) MaxFanIn() int {
+	mx := int64(0)
+	for _, g := range c.groups {
+		if f := g.inEnd - g.inStart; f > mx {
+			mx = f
+		}
+	}
+	return int(mx)
+}
+
+// Outputs returns the designated output wires in marking order.
+func (c *Circuit) Outputs() []Wire { return c.outputs }
+
+// GateLevel returns the topological level of gate g (inputs are level 0).
+func (c *Circuit) GateLevel(g int) int { return int(c.groups[c.gateGroup[g]].level) }
+
+// FanIn returns the fan-in of gate g.
+func (c *Circuit) FanIn(g int) int {
+	gr := c.groups[c.gateGroup[g]]
+	return int(gr.inEnd - gr.inStart)
+}
+
+// LevelSizes returns the number of gates at each level 1..Depth.
+func (c *Circuit) LevelSizes() []int {
+	sizes := make([]int, c.depth)
+	for _, gr := range c.groups {
+		sizes[gr.level-1] += int(gr.gateCount)
+	}
+	return sizes
+}
+
+// Builder constructs circuits. Gates must be added after all wires they
+// reference, which makes cycles unrepresentable.
+type Builder struct {
+	c        Circuit
+	numWires int32
+	built    bool
+}
+
+// NewBuilder returns a builder for a circuit with numInputs input wires.
+func NewBuilder(numInputs int) *Builder {
+	b := &Builder{}
+	b.c.numInputs = numInputs
+	b.numWires = int32(numInputs)
+	return b
+}
+
+// Input returns the wire for circuit input i.
+func (b *Builder) Input(i int) Wire {
+	if i < 0 || i >= b.c.numInputs {
+		panic(fmt.Sprintf("circuit: input %d out of range [0,%d)", i, b.c.numInputs))
+	}
+	return Wire(i)
+}
+
+// Gate appends a threshold gate computing Σ weights[i]·wire(inputs[i]) >=
+// threshold and returns its output wire. inputs must reference existing
+// wires. A gate with no inputs is a constant: it fires iff 0 >= threshold.
+func (b *Builder) Gate(inputs []Wire, weights []int64, threshold int64) Wire {
+	return b.GateGroup(inputs, weights, []int64{threshold})[0]
+}
+
+// GateGroup appends len(thresholds) gates that all compute the same
+// weighted input sum and compare it against the respective thresholds.
+// The input span is stored once. Returns the output wires in threshold
+// order.
+func (b *Builder) GateGroup(inputs []Wire, weights []int64, thresholds []int64) []Wire {
+	if b.built {
+		panic("circuit: builder reused after Build")
+	}
+	if len(inputs) != len(weights) {
+		panic(fmt.Sprintf("circuit: %d inputs but %d weights", len(inputs), len(weights)))
+	}
+	if len(thresholds) == 0 {
+		panic("circuit: GateGroup with no thresholds")
+	}
+	lvl := int32(0)
+	for _, w := range inputs {
+		if w < 0 || w >= b.numWires {
+			panic(fmt.Sprintf("circuit: gate references wire %d, have %d wires", w, b.numWires))
+		}
+		if wl := b.wireLevel(w); wl > lvl {
+			lvl = wl
+		}
+	}
+	start := int64(len(b.c.wires))
+	b.c.wires = append(b.c.wires, inputs...)
+	b.c.weights = append(b.c.weights, weights...)
+	gidx := int32(len(b.c.groups))
+	gateStart := int32(len(b.c.thresholds))
+	b.c.groups = append(b.c.groups, group{
+		inStart:   start,
+		inEnd:     int64(len(b.c.wires)),
+		gateStart: gateStart,
+		gateCount: int32(len(thresholds)),
+		level:     lvl + 1,
+	})
+	if int(lvl+1) > b.c.depth {
+		b.c.depth = int(lvl + 1)
+	}
+	outs := make([]Wire, len(thresholds))
+	for i, t := range thresholds {
+		b.c.thresholds = append(b.c.thresholds, t)
+		b.c.gateGroup = append(b.c.gateGroup, gidx)
+		outs[i] = b.numWires
+		b.numWires++
+	}
+	return outs
+}
+
+func (b *Builder) wireLevel(w Wire) int32 {
+	if int(w) < b.c.numInputs {
+		return 0
+	}
+	return b.c.groups[b.c.gateGroup[int(w)-b.c.numInputs]].level
+}
+
+// WireLevel returns the level of any existing wire (0 for inputs).
+func (b *Builder) WireLevel(w Wire) int { return int(b.wireLevel(w)) }
+
+// Const returns a constant wire: a zero-fan-in gate firing iff v.
+func (b *Builder) Const(v bool) Wire {
+	if v {
+		return b.Gate(nil, nil, 0) // 0 >= 0: always fires
+	}
+	return b.Gate(nil, nil, 1) // 0 >= 1: never fires
+}
+
+// MarkOutput designates w as a circuit output. Outputs may be marked in
+// any order and read back from Circuit.Outputs in that order.
+func (b *Builder) MarkOutput(w Wire) {
+	if w < 0 || w >= b.numWires {
+		panic(fmt.Sprintf("circuit: output wire %d does not exist", w))
+	}
+	b.c.outputs = append(b.c.outputs, w)
+}
+
+// Size returns the number of gates added so far.
+func (b *Builder) Size() int { return len(b.c.thresholds) }
+
+// Build finalizes the circuit. The builder must not be reused.
+func (b *Builder) Build() *Circuit {
+	if b.built {
+		panic("circuit: Build called twice")
+	}
+	b.built = true
+	c := b.c
+	c.levelGroups = make([][]int32, c.depth)
+	for gi, gr := range c.groups {
+		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
+	}
+	b.c = Circuit{} // release the builder's reference
+	return &c
+}
+
+// Eval evaluates the circuit sequentially on the given input assignment
+// and returns the value of every wire. It panics if len(inputs) differs
+// from NumInputs.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	vals := c.newWireVals(inputs)
+	for gi := range c.groups {
+		c.evalGroup(int32(gi), vals)
+	}
+	return vals
+}
+
+func (c *Circuit) newWireVals(inputs []bool) []bool {
+	if len(inputs) != c.numInputs {
+		panic(fmt.Sprintf("circuit: %d inputs supplied, want %d", len(inputs), c.numInputs))
+	}
+	vals := make([]bool, c.numInputs+c.Size())
+	copy(vals, inputs)
+	return vals
+}
+
+// evalGroup computes the shared weighted sum once and applies every
+// member gate's threshold.
+func (c *Circuit) evalGroup(gi int32, vals []bool) {
+	gr := c.groups[gi]
+	var sum int64
+	for i := gr.inStart; i < gr.inEnd; i++ {
+		if vals[c.wires[i]] {
+			sum += c.weights[i]
+		}
+	}
+	base := c.numInputs + int(gr.gateStart)
+	for k := int32(0); k < gr.gateCount; k++ {
+		vals[base+int(k)] = sum >= c.thresholds[gr.gateStart+k]
+	}
+}
+
+// EvalParallel evaluates the circuit level-by-level, fanning each level's
+// gate groups across workers goroutines (default GOMAXPROCS when
+// workers <= 0). Gates within a level are independent by construction,
+// so this is the circuit-model notion of constant-time parallel
+// execution: wall-clock steps equal depth.
+func (c *Circuit) EvalParallel(inputs []bool, workers int) []bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	vals := c.newWireVals(inputs)
+	var wg sync.WaitGroup
+	for _, gis := range c.levelGroups {
+		if len(gis) < 4*workers {
+			for _, gi := range gis {
+				c.evalGroup(gi, vals)
+			}
+			continue
+		}
+		chunk := (len(gis) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(gis) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(gis) {
+				hi = len(gis)
+			}
+			wg.Add(1)
+			go func(part []int32) {
+				defer wg.Done()
+				for _, gi := range part {
+					c.evalGroup(gi, vals)
+				}
+			}(gis[lo:hi])
+		}
+		wg.Wait()
+	}
+	return vals
+}
+
+// OutputValues extracts the designated outputs from a wire assignment
+// returned by Eval or EvalParallel.
+func (c *Circuit) OutputValues(vals []bool) []bool {
+	out := make([]bool, len(c.outputs))
+	for i, w := range c.outputs {
+		out[i] = vals[w]
+	}
+	return out
+}
+
+// Energy returns the number of gates that fire under the given wire
+// assignment — the energy measure of Uchizawa, Douglas and Maass that
+// Section 6 poses as an open problem for these circuits.
+func (c *Circuit) Energy(vals []bool) int64 {
+	var e int64
+	for g := 0; g < c.Size(); g++ {
+		if vals[c.numInputs+g] {
+			e++
+		}
+	}
+	return e
+}
+
+// EnergyByLevel returns the number of firing gates at each level
+// 1..Depth under the given wire assignment — the per-timestep power
+// profile a neuromorphic deployment would draw.
+func (c *Circuit) EnergyByLevel(vals []bool) []int64 {
+	out := make([]int64, c.depth)
+	for _, gr := range c.groups {
+		base := c.numInputs + int(gr.gateStart)
+		for k := int32(0); k < gr.gateCount; k++ {
+			if vals[base+int(k)] {
+				out[gr.level-1]++
+			}
+		}
+	}
+	return out
+}
+
+// Stats bundles the complexity measures of a circuit.
+type Stats struct {
+	Inputs   int
+	Size     int
+	Depth    int
+	Edges    int64
+	MaxFanIn int
+}
+
+// Stats returns the circuit's complexity measures.
+func (c *Circuit) Stats() Stats {
+	return Stats{
+		Inputs:   c.numInputs,
+		Size:     c.Size(),
+		Depth:    c.Depth(),
+		Edges:    c.Edges(),
+		MaxFanIn: c.MaxFanIn(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("gates=%d depth=%d edges=%d maxfanin=%d inputs=%d",
+		s.Size, s.Depth, s.Edges, s.MaxFanIn, s.Inputs)
+}
+
+// GateSpec describes one gate for inspection/export.
+type GateSpec struct {
+	Inputs    []Wire
+	Weights   []int64
+	Threshold int64
+	Level     int
+}
+
+// VisitEdges calls f for every semantic edge (gate, source wire,
+// weight), expanding shared spans so each gate's full fan-in is visited.
+// Iteration order is by gate, then input position.
+func (c *Circuit) VisitEdges(f func(gate int, src Wire, weight int64)) {
+	for gi := range c.groups {
+		gr := &c.groups[gi]
+		for k := int32(0); k < gr.gateCount; k++ {
+			g := int(gr.gateStart + k)
+			for i := gr.inStart; i < gr.inEnd; i++ {
+				f(g, c.wires[i], c.weights[i])
+			}
+		}
+	}
+}
+
+// Gate returns a copy of gate g's description.
+func (c *Circuit) Gate(g int) GateSpec {
+	gr := c.groups[c.gateGroup[g]]
+	return GateSpec{
+		Inputs:    append([]Wire(nil), c.wires[gr.inStart:gr.inEnd]...),
+		Weights:   append([]int64(nil), c.weights[gr.inStart:gr.inEnd]...),
+		Threshold: c.thresholds[g],
+		Level:     int(gr.level),
+	}
+}

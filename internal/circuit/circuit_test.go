@@ -1,0 +1,313 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Build the paper's introductory example: gate g_ijk fires iff
+// x_ij + x_ik + x_jk >= 3 (an AND of three edge variables).
+func buildAnd3() *Circuit {
+	b := NewBuilder(3)
+	g := b.Gate([]Wire{0, 1, 2}, []int64{1, 1, 1}, 3)
+	b.MarkOutput(g)
+	return b.Build()
+}
+
+func TestAnd3(t *testing.T) {
+	c := buildAnd3()
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		got := c.OutputValues(c.Eval(in))[0]
+		want := mask == 7
+		if got != want {
+			t.Errorf("mask %03b: got %v want %v", mask, got, want)
+		}
+	}
+	if c.Size() != 1 || c.Depth() != 1 || c.Edges() != 3 || c.MaxFanIn() != 3 {
+		t.Errorf("stats wrong: %v", c.Stats())
+	}
+}
+
+// Majority-of-5 via a single threshold gate.
+func TestMajority(t *testing.T) {
+	b := NewBuilder(5)
+	g := b.Gate([]Wire{0, 1, 2, 3, 4}, []int64{1, 1, 1, 1, 1}, 3)
+	b.MarkOutput(g)
+	c := b.Build()
+	for mask := 0; mask < 32; mask++ {
+		in := make([]bool, 5)
+		ones := 0
+		for i := 0; i < 5; i++ {
+			in[i] = mask&(1<<i) != 0
+			if in[i] {
+				ones++
+			}
+		}
+		if got := c.OutputValues(c.Eval(in))[0]; got != (ones >= 3) {
+			t.Errorf("mask %05b: got %v", mask, got)
+		}
+	}
+}
+
+// Negative weights: x0 - x1 >= 1 computes x0 AND NOT x1.
+func TestNegativeWeights(t *testing.T) {
+	b := NewBuilder(2)
+	g := b.Gate([]Wire{0, 1}, []int64{1, -1}, 1)
+	b.MarkOutput(g)
+	c := b.Build()
+	cases := map[[2]bool]bool{
+		{false, false}: false,
+		{true, false}:  true,
+		{false, true}:  false,
+		{true, true}:   false,
+	}
+	for in, want := range cases {
+		if got := c.OutputValues(c.Eval(in[:]))[0]; got != want {
+			t.Errorf("%v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	b := NewBuilder(1)
+	one := b.Const(true)
+	zero := b.Const(false)
+	b.MarkOutput(one)
+	b.MarkOutput(zero)
+	c := b.Build()
+	out := c.OutputValues(c.Eval([]bool{false}))
+	if !out[0] || out[1] {
+		t.Errorf("constants wrong: %v", out)
+	}
+	if c.Depth() != 1 {
+		t.Errorf("constants should be level 1, depth = %d", c.Depth())
+	}
+}
+
+// Two-layer parity of two bits (XOR): layer 1 computes OR and AND,
+// layer 2 computes OR - AND >= 1.
+func buildXor() *Circuit {
+	b := NewBuilder(2)
+	or := b.Gate([]Wire{0, 1}, []int64{1, 1}, 1)
+	and := b.Gate([]Wire{0, 1}, []int64{1, 1}, 2)
+	out := b.Gate([]Wire{or, and}, []int64{1, -1}, 1)
+	b.MarkOutput(out)
+	return b.Build()
+}
+
+func TestXorDepthLevels(t *testing.T) {
+	c := buildXor()
+	if c.Depth() != 2 || c.Size() != 3 {
+		t.Fatalf("depth=%d size=%d, want 2, 3", c.Depth(), c.Size())
+	}
+	for mask := 0; mask < 4; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0}
+		want := in[0] != in[1]
+		if got := c.OutputValues(c.Eval(in))[0]; got != want {
+			t.Errorf("xor(%v) = %v", in, got)
+		}
+	}
+	sizes := c.LevelSizes()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 1 {
+		t.Errorf("level sizes = %v, want [2 1]", sizes)
+	}
+	if c.GateLevel(0) != 1 || c.GateLevel(2) != 2 {
+		t.Error("gate levels wrong")
+	}
+}
+
+// EvalParallel must agree with Eval on random circuits.
+func TestEvalParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		nin := 4 + rng.Intn(8)
+		b := NewBuilder(nin)
+		nGates := 50 + rng.Intn(400)
+		for g := 0; g < nGates; g++ {
+			avail := int32(nin + g)
+			fanin := 1 + rng.Intn(6)
+			ins := make([]Wire, fanin)
+			ws := make([]int64, fanin)
+			for i := range ins {
+				ins[i] = Wire(rng.Int31n(avail))
+				ws[i] = int64(rng.Intn(7) - 3)
+			}
+			w := b.Gate(ins, ws, int64(rng.Intn(5)-2))
+			if g%7 == 0 {
+				b.MarkOutput(w)
+			}
+		}
+		c := b.Build()
+		for e := 0; e < 5; e++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			seq := c.Eval(in)
+			par := c.EvalParallel(in, 4)
+			for w := range seq {
+				if seq[w] != par[w] {
+					t.Fatalf("trial %d: wire %d differs", trial, w)
+				}
+			}
+		}
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	c := buildXor()
+	// Input (1,0): OR fires, AND doesn't, XOR fires -> energy 2.
+	vals := c.Eval([]bool{true, false})
+	if e := c.Energy(vals); e != 2 {
+		t.Errorf("energy = %d, want 2", e)
+	}
+	// Input (1,1): OR, AND fire, XOR doesn't -> energy 2.
+	if e := c.Energy(c.Eval([]bool{true, true})); e != 2 {
+		t.Errorf("energy = %d, want 2", e)
+	}
+	// Input (0,0): nothing fires.
+	if e := c.Energy(c.Eval([]bool{false, false})); e != 0 {
+		t.Errorf("energy = %d, want 0", e)
+	}
+}
+
+// EnergyByLevel sums to Energy and respects level sizes.
+func TestEnergyByLevel(t *testing.T) {
+	c := buildXor()
+	vals := c.Eval([]bool{true, false})
+	byLevel := c.EnergyByLevel(vals)
+	if len(byLevel) != c.Depth() {
+		t.Fatalf("profile length %d != depth %d", len(byLevel), c.Depth())
+	}
+	var sum int64
+	for lvl, e := range byLevel {
+		sum += e
+		if e > int64(c.LevelSizes()[lvl]) {
+			t.Errorf("level %d energy %d exceeds its gate count", lvl+1, e)
+		}
+	}
+	if sum != c.Energy(vals) {
+		t.Errorf("per-level sum %d != total energy %d", sum, c.Energy(vals))
+	}
+	// (1,0): OR fires at level 1, XOR at level 2.
+	if byLevel[0] != 1 || byLevel[1] != 1 {
+		t.Errorf("profile %v, want [1 1]", byLevel)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuilder(2).Gate([]Wire{5}, []int64{1}, 0) },    // future wire
+		func() { NewBuilder(2).Gate([]Wire{0}, []int64{1, 2}, 0) }, // arity mismatch
+		func() { NewBuilder(2).Input(2) },                          // bad input
+		func() { NewBuilder(2).MarkOutput(2) },                     // nonexistent output
+		func() { NewBuilder(2).Gate([]Wire{-1}, []int64{1}, 0) },   // negative wire
+		func() { buildXor().Eval([]bool{true}) },                   // wrong input count
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Depth is 1 + max input level — chain of gates has depth = length.
+func TestDepthChain(t *testing.T) {
+	b := NewBuilder(1)
+	w := b.Input(0)
+	for i := 0; i < 10; i++ {
+		w = b.Gate([]Wire{w}, []int64{1}, 1) // identity gate
+	}
+	b.MarkOutput(w)
+	c := b.Build()
+	if c.Depth() != 10 {
+		t.Errorf("depth = %d, want 10", c.Depth())
+	}
+	// Identity chain preserves the input.
+	if got := c.OutputValues(c.Eval([]bool{true}))[0]; !got {
+		t.Error("identity chain lost the signal")
+	}
+}
+
+// Property: gate g's level always exceeds the level of each of its
+// inputs, on randomly built circuits.
+func TestLevelInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nin := 2 + rng.Intn(5)
+		b := NewBuilder(nin)
+		n := 20 + rng.Intn(100)
+		for g := 0; g < n; g++ {
+			avail := int32(nin + g)
+			fanin := 1 + rng.Intn(4)
+			ins := make([]Wire, fanin)
+			ws := make([]int64, fanin)
+			for i := range ins {
+				ins[i] = Wire(rng.Int31n(avail))
+				ws[i] = 1
+			}
+			b.Gate(ins, ws, 1)
+		}
+		c := b.Build()
+		for g := 0; g < c.Size(); g++ {
+			spec := c.Gate(g)
+			for _, in := range spec.Inputs {
+				inLvl := 0
+				if int(in) >= c.NumInputs() {
+					inLvl = c.GateLevel(int(in) - c.NumInputs())
+				}
+				if spec.Level <= inLvl {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateSpecAndStatsString(t *testing.T) {
+	c := buildXor()
+	spec := c.Gate(2)
+	if spec.Threshold != 1 || len(spec.Inputs) != 2 || spec.Level != 2 {
+		t.Errorf("GateSpec wrong: %+v", spec)
+	}
+	if !strings.Contains(c.Stats().String(), "gates=3") {
+		t.Error("Stats.String missing gate count")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := buildXor().WriteDOT(&sb, "xor"); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	for _, frag := range []string{"digraph", "x0", "x1", "g2", "doublecircle", "-1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("DOT output missing %q", frag)
+		}
+	}
+}
+
+func TestEvalParallelSmallLevels(t *testing.T) {
+	// Exercise the inline path (levels smaller than 4*workers).
+	c := buildXor()
+	seq := c.Eval([]bool{true, false})
+	par := c.EvalParallel([]bool{true, false}, 8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatal("parallel small-level mismatch")
+		}
+	}
+}

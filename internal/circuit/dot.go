@@ -1,0 +1,51 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the circuit in Graphviz DOT format for inspection.
+// Intended for small circuits (the quickstart example and docs); a
+// million-gate circuit produces a DOT file of the same order.
+func (c *Circuit) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < c.numInputs; i++ {
+		if _, err := fmt.Fprintf(w, "  x%d [shape=box,label=\"x%d\"];\n", i, i); err != nil {
+			return err
+		}
+	}
+	isOut := make(map[Wire]bool, len(c.outputs))
+	for _, o := range c.outputs {
+		isOut[o] = true
+	}
+	for g := 0; g < c.Size(); g++ {
+		spec := c.Gate(g)
+		shape := "ellipse"
+		if isOut[Wire(c.numInputs+g)] {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  g%d [shape=%s,label=\">=%d\"];\n", g, shape, spec.Threshold); err != nil {
+			return err
+		}
+		for i, src := range spec.Inputs {
+			var from string
+			if int(src) < c.numInputs {
+				from = fmt.Sprintf("x%d", src)
+			} else {
+				from = fmt.Sprintf("g%d", int(src)-c.numInputs)
+			}
+			label := ""
+			if spec.Weights[i] != 1 {
+				label = fmt.Sprintf(" [label=\"%d\"]", spec.Weights[i])
+			}
+			if _, err := fmt.Fprintf(w, "  %s -> g%d%s;\n", from, g, label); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,113 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Chain two XOR circuits: xor(xor(a,b), c) is 3-input parity.
+func TestEmbedChain(t *testing.T) {
+	xor := buildXor()
+	b := NewBuilder(3)
+	mid := b.Embed(xor, []Wire{b.Input(0), b.Input(1)})
+	out := b.Embed(xor, []Wire{mid[0], b.Input(2)})
+	b.MarkOutput(out[0])
+	c := b.Build()
+	if c.Size() != 2*xor.Size() {
+		t.Errorf("size %d, want %d", c.Size(), 2*xor.Size())
+	}
+	if c.Depth() != 2*xor.Depth() {
+		t.Errorf("depth %d, want %d", c.Depth(), 2*xor.Depth())
+	}
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := in[0] != in[1] != in[2]
+		if got := c.OutputValues(c.Eval(in))[0]; got != want {
+			t.Errorf("parity(%v) = %v", in, got)
+		}
+	}
+}
+
+// Embedding preserves behaviour gate-for-gate on random circuits: an
+// identity embedding evaluates identically.
+func TestEmbedIdentityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomCircuit(rng)
+		b := NewBuilder(src.NumInputs())
+		ins := make([]Wire, src.NumInputs())
+		for i := range ins {
+			ins[i] = b.Input(i)
+		}
+		outs := b.Embed(src, ins)
+		for _, o := range outs {
+			b.MarkOutput(o)
+		}
+		c := b.Build()
+		if c.Size() != src.Size() || c.Depth() != src.Depth() || c.Edges() != src.Edges() {
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			in := make([]bool, src.NumInputs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := src.OutputValues(src.Eval(in))
+			got := c.OutputValues(c.Eval(in))
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Embedding into a circuit with pre-existing gates keeps levels
+// consistent (depth = host wire level + embedded depth).
+func TestEmbedDepthStacking(t *testing.T) {
+	xor := buildXor()
+	b := NewBuilder(2)
+	// A depth-3 identity chain in the host first.
+	w := b.Input(0)
+	for i := 0; i < 3; i++ {
+		w = b.Gate([]Wire{w}, []int64{1}, 1)
+	}
+	outs := b.Embed(xor, []Wire{w, b.Input(1)})
+	b.MarkOutput(outs[0])
+	c := b.Build()
+	if c.Depth() != 3+xor.Depth() {
+		t.Errorf("depth %d, want %d", c.Depth(), 3+xor.Depth())
+	}
+	// Function: xor(chained a, b) = xor(a, b).
+	for mask := 0; mask < 4; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0}
+		want := in[0] != in[1]
+		if got := c.OutputValues(c.Eval(in))[0]; got != want {
+			t.Errorf("mask %d wrong", mask)
+		}
+	}
+}
+
+func TestEmbedPanics(t *testing.T) {
+	xor := buildXor()
+	cases := []func(){
+		func() { NewBuilder(2).Embed(xor, []Wire{0}) },     // wrong arity
+		func() { NewBuilder(2).Embed(xor, []Wire{0, 99}) }, // missing wire
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

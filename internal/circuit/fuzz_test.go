@@ -1,0 +1,69 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRead ensures the circuit deserializer never panics or produces an
+// invalid circuit from arbitrary bytes: it either errors or yields a
+// circuit whose invariants hold (Eval on a zero input must not panic).
+func FuzzRead(f *testing.F) {
+	// Seed with valid circuits of a few shapes.
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("TCM1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c.NumInputs() > 1<<20 || c.Size() > 1<<22 {
+			t.Skip("implausibly huge accepted circuit; skip evaluation")
+		}
+		in := make([]bool, c.NumInputs())
+		vals := c.Eval(in)
+		c.OutputValues(vals)
+		_ = c.Energy(vals)
+		_ = c.Stats()
+	})
+}
+
+// FuzzRoundTrip: every circuit the builder can produce must round-trip
+// bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		in := make([]bool, c.NumInputs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		a := c.Eval(in)
+		b := c2.Eval(in)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("round trip changed behaviour")
+			}
+		}
+	})
+}

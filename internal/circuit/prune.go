@@ -1,0 +1,87 @@
+package circuit
+
+// Prune returns an equivalent circuit containing only the gates
+// reachable backwards from the designated outputs, together with the
+// number of gates removed. Circuits built by the core constructions are
+// nearly dead-free (tests pin this), but user-assembled or transformed
+// circuits may carry unused scaffolding.
+//
+// Pruning is group-aware: a group's shared input span is kept once if
+// any member survives; dead members of a surviving group are dropped
+// individually.
+func (c *Circuit) Prune() (*Circuit, int) {
+	live := make([]bool, c.Size())
+	stack := make([]int32, 0, len(c.outputs))
+	for _, o := range c.outputs {
+		if int(o) >= c.numInputs {
+			g := o - int32(c.numInputs)
+			if !live[g] {
+				live[g] = true
+				stack = append(stack, g)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		gr := c.groups[c.gateGroup[g]]
+		for p := gr.inStart; p < gr.inEnd; p++ {
+			w := c.wires[p]
+			if int(w) < c.numInputs {
+				continue
+			}
+			src := w - int32(c.numInputs)
+			if !live[src] {
+				live[src] = true
+				stack = append(stack, src)
+			}
+		}
+	}
+
+	removed := 0
+	for _, l := range live {
+		if !l {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return c, 0
+	}
+
+	b := NewBuilder(c.numInputs)
+	// old wire -> new wire (inputs map to themselves).
+	remap := make([]Wire, c.numInputs+c.Size())
+	for i := 0; i < c.numInputs; i++ {
+		remap[i] = Wire(i)
+	}
+	for gi := range c.groups {
+		gr := c.groups[gi]
+		var thresholds []int64
+		var members []int32
+		for k := int32(0); k < gr.gateCount; k++ {
+			g := gr.gateStart + k
+			if live[g] {
+				thresholds = append(thresholds, c.thresholds[g])
+				members = append(members, g)
+			}
+		}
+		if len(thresholds) == 0 {
+			continue
+		}
+		span := int(gr.inEnd - gr.inStart)
+		inputs := make([]Wire, span)
+		weights := make([]int64, span)
+		for i := 0; i < span; i++ {
+			inputs[i] = remap[c.wires[gr.inStart+int64(i)]]
+			weights[i] = c.weights[gr.inStart+int64(i)]
+		}
+		outs := b.GateGroup(inputs, weights, thresholds)
+		for i, g := range members {
+			remap[int32(c.numInputs)+g] = outs[i]
+		}
+	}
+	for _, o := range c.outputs {
+		b.MarkOutput(remap[o])
+	}
+	return b.Build(), removed
+}

@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary circuit format, versioned: circuits with millions of gates
+// round-trip in a few hundred milliseconds, so a built matmul circuit
+// can be cached on disk instead of reconstructed.
+//
+// Layout (little endian):
+//
+//	magic "TCM1" | numInputs | numGroups | numGates | numWires(stored)
+//	per group: inStart inEnd gateStart gateCount level
+//	wires[] | weights[] | thresholds[] | gateGroup[] | numOutputs | outputs[]
+
+const magic = "TCM1"
+
+// WriteTo serializes the circuit. It implements io.WriterTo.
+func (c *Circuit) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	header := []int64{
+		int64(c.numInputs), int64(len(c.groups)), int64(len(c.thresholds)), int64(len(c.wires)),
+	}
+	if err := write(header); err != nil {
+		return cw.n, err
+	}
+	for _, g := range c.groups {
+		if err := write([]int64{g.inStart, g.inEnd, int64(g.gateStart), int64(g.gateCount), int64(g.level)}); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, arr := range []any{c.wires, c.weights, c.thresholds, c.gateGroup} {
+		if err := write(arr); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(int64(len(c.outputs))); err != nil {
+		return cw.n, err
+	}
+	if err := write(c.outputs); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserializes a circuit written by WriteTo, validating structural
+// invariants so a corrupted stream cannot produce an inconsistent
+// circuit.
+func Read(r io.Reader) (*Circuit, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("circuit: read magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("circuit: bad magic %q", head)
+	}
+	var header [4]int64
+	if err := read(&header); err != nil {
+		return nil, fmt.Errorf("circuit: read header: %w", err)
+	}
+	numInputs, numGroups, numGates, numWires := header[0], header[1], header[2], header[3]
+	const limit = int64(1) << 34
+	if numInputs < 0 || numGroups < 0 || numGates < 0 || numWires < 0 ||
+		numGroups > numGates || numGates > limit || numWires > limit || numInputs > limit {
+		return nil, fmt.Errorf("circuit: implausible header %v", header)
+	}
+
+	// Never allocate on the header's say-so alone: a hostile stream can
+	// claim 2^34 gates. Slices grow chunk by chunk as data actually
+	// arrives, so a lying header fails at EOF with bounded memory.
+	const chunk = 1 << 16
+	readWires := func(n int64) ([]Wire, error) {
+		var out []Wire
+		for n > 0 {
+			step := n
+			if step > chunk {
+				step = chunk
+			}
+			buf := make([]Wire, step)
+			if err := read(buf); err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+			n -= step
+		}
+		return out, nil
+	}
+	readInt64s := func(n int64) ([]int64, error) {
+		var out []int64
+		for n > 0 {
+			step := n
+			if step > chunk {
+				step = chunk
+			}
+			buf := make([]int64, step)
+			if err := read(buf); err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+			n -= step
+		}
+		return out, nil
+	}
+
+	c := &Circuit{numInputs: int(numInputs)}
+	for i := int64(0); i < numGroups; i++ {
+		var g [5]int64
+		if err := read(&g); err != nil {
+			return nil, fmt.Errorf("circuit: read group %d: %w", i, err)
+		}
+		c.groups = append(c.groups, group{
+			inStart: g[0], inEnd: g[1],
+			gateStart: int32(g[2]), gateCount: int32(g[3]), level: int32(g[4]),
+		})
+	}
+	var err error
+	if c.wires, err = readWires(numWires); err != nil {
+		return nil, fmt.Errorf("circuit: read wires: %w", err)
+	}
+	if c.weights, err = readInt64s(numWires); err != nil {
+		return nil, fmt.Errorf("circuit: read weights: %w", err)
+	}
+	if c.thresholds, err = readInt64s(numGates); err != nil {
+		return nil, fmt.Errorf("circuit: read thresholds: %w", err)
+	}
+	gg, err := readWires(numGates) // int32s, same shape as wires
+	if err != nil {
+		return nil, fmt.Errorf("circuit: read gate groups: %w", err)
+	}
+	c.gateGroup = gg
+	var nOut int64
+	if err := read(&nOut); err != nil {
+		return nil, fmt.Errorf("circuit: read output count: %w", err)
+	}
+	if nOut < 0 || nOut > numInputs+numGates {
+		return nil, fmt.Errorf("circuit: implausible output count %d", nOut)
+	}
+	if c.outputs, err = readWires(nOut); err != nil {
+		return nil, fmt.Errorf("circuit: read outputs: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	// Rebuild derived state.
+	for _, g := range c.groups {
+		if int(g.level) > c.depth {
+			c.depth = int(g.level)
+		}
+	}
+	c.levelGroups = make([][]int32, c.depth)
+	for gi, gr := range c.groups {
+		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
+	}
+	return c, nil
+}
+
+// validate checks the invariants Build guarantees by construction.
+func (c *Circuit) validate() error {
+	nw := int64(len(c.wires))
+	covered := int32(0)
+	for i, g := range c.groups {
+		if g.inStart < 0 || g.inEnd < g.inStart || g.inEnd > nw {
+			return fmt.Errorf("circuit: group %d has bad span [%d,%d)", i, g.inStart, g.inEnd)
+		}
+		if g.gateStart != covered || g.gateCount < 1 {
+			return fmt.Errorf("circuit: group %d gates not contiguous", i)
+		}
+		if g.level < 1 {
+			return fmt.Errorf("circuit: group %d has level %d", i, g.level)
+		}
+		covered += g.gateCount
+	}
+	if int(covered) != len(c.thresholds) {
+		return fmt.Errorf("circuit: groups cover %d gates, have %d", covered, len(c.thresholds))
+	}
+	for g, gi := range c.gateGroup {
+		if gi < 0 || int(gi) >= len(c.groups) {
+			return fmt.Errorf("circuit: gate %d in unknown group %d", g, gi)
+		}
+		gr := c.groups[gi]
+		if int32(g) < gr.gateStart || int32(g) >= gr.gateStart+gr.gateCount {
+			return fmt.Errorf("circuit: gate %d outside its group's range", g)
+		}
+	}
+	maxWire := int32(c.numInputs + len(c.thresholds))
+	for i, g := range c.groups {
+		for p := g.inStart; p < g.inEnd; p++ {
+			w := c.wires[p]
+			if w < 0 || w >= maxWire {
+				return fmt.Errorf("circuit: group %d references wire %d out of range", i, w)
+			}
+			// Acyclicity: inputs must precede the group's first gate.
+			if int(w) >= c.numInputs && int(w)-c.numInputs >= int(g.gateStart) {
+				return fmt.Errorf("circuit: group %d references non-earlier wire %d", i, w)
+			}
+			// Level consistency.
+			wl := int32(0)
+			if int(w) >= c.numInputs {
+				wl = c.groups[c.gateGroup[int(w)-c.numInputs]].level
+			}
+			if wl >= g.level {
+				return fmt.Errorf("circuit: group %d level %d not above input level %d", i, g.level, wl)
+			}
+		}
+	}
+	for _, o := range c.outputs {
+		if o < 0 || o >= maxWire {
+			return fmt.Errorf("circuit: output wire %d out of range", o)
+		}
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteVCD dumps an evaluation as a Value Change Dump waveform, the
+// interchange format hardware waveform viewers (GTKWave et al.) read.
+// Time is the circuit's own notion of time: timestep 0 applies the
+// inputs, timestep L clocks level-L gates — matching the one-level-per-
+// tick execution of a neuromorphic deployment.
+//
+// Wires are named x<i> for inputs and g<i> for gates; outputs
+// additionally appear under out<i> aliases. Intended for small-to-
+// medium circuits (the file carries one change record per wire).
+func (c *Circuit) WriteVCD(w io.Writer, name string, inputs []bool) error {
+	vals := c.Eval(inputs)
+
+	// VCD identifier codes: printable ASCII starting at '!'.
+	ident := func(i int) string {
+		const lo, hi = 33, 127
+		var buf []byte
+		for {
+			buf = append(buf, byte(lo+i%(hi-lo)))
+			i /= (hi - lo)
+			if i == 0 {
+				break
+			}
+		}
+		return string(buf)
+	}
+
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < c.numInputs; i++ {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s x%d $end\n", ident(i), i); err != nil {
+			return err
+		}
+	}
+	for g := 0; g < c.Size(); g++ {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s g%d $end\n", ident(c.numInputs+g), g); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "$upscope $end\n$enddefinitions $end"); err != nil {
+		return err
+	}
+
+	// Timestep 0: all wires start low, then inputs switch.
+	if _, err := fmt.Fprintln(w, "#0"); err != nil {
+		return err
+	}
+	for i := 0; i < c.numInputs; i++ {
+		bit := '0'
+		if vals[i] {
+			bit = '1'
+		}
+		if _, err := fmt.Fprintf(w, "%c%s\n", bit, ident(i)); err != nil {
+			return err
+		}
+	}
+	for g := 0; g < c.Size(); g++ {
+		if _, err := fmt.Fprintf(w, "0%s\n", ident(c.numInputs+g)); err != nil {
+			return err
+		}
+	}
+	// One tick per level: gates at level l change at time l.
+	for lvl := 1; lvl <= c.depth; lvl++ {
+		if _, err := fmt.Fprintf(w, "#%d\n", lvl); err != nil {
+			return err
+		}
+		for _, gi := range c.levelGroups[lvl-1] {
+			gr := c.groups[gi]
+			for k := int32(0); k < gr.gateCount; k++ {
+				g := int(gr.gateStart + k)
+				if vals[c.numInputs+g] {
+					if _, err := fmt.Fprintf(w, "1%s\n", ident(c.numInputs+g)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", c.depth+1)
+	return err
+}
+
+// EqualFunction exhaustively checks that two circuits with the same
+// input count compute identical designated outputs on every assignment.
+// Only feasible for small input counts; it refuses more than 24 inputs.
+func EqualFunction(a, b *Circuit) (bool, error) {
+	if a.NumInputs() != b.NumInputs() {
+		return false, fmt.Errorf("circuit: input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
+	}
+	if len(a.Outputs()) != len(b.Outputs()) {
+		return false, fmt.Errorf("circuit: output counts differ: %d vs %d", len(a.Outputs()), len(b.Outputs()))
+	}
+	n := a.NumInputs()
+	if n > 24 {
+		return false, fmt.Errorf("circuit: %d inputs too many for exhaustive check", n)
+	}
+	in := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			in[i] = mask&(1<<uint(i)) != 0
+		}
+		oa := a.OutputValues(a.Eval(in))
+		ob := b.OutputValues(b.Eval(in))
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

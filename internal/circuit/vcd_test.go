@@ -1,0 +1,87 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	c := buildXor()
+	var sb strings.Builder
+	if err := c.WriteVCD(&sb, "xor", []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	for _, frag := range []string{
+		"$timescale", "$scope module xor", "$var wire 1", "x0", "g2",
+		"$enddefinitions", "#0", "#1", "#2",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("VCD missing %q", frag)
+		}
+	}
+	// Input (1,0): OR fires at #1, XOR at #2 — both '1' records exist
+	// after the respective timestamps.
+	or := strings.Index(s, "#1\n")
+	xor := strings.Index(s, "#2\n")
+	if or < 0 || xor < 0 || or > xor {
+		t.Error("timestep ordering wrong")
+	}
+	if !strings.Contains(s[or:xor], "1") {
+		t.Error("level-1 firing not recorded at #1")
+	}
+}
+
+func TestEqualFunction(t *testing.T) {
+	a := buildXor()
+	b := buildXor()
+	eq, err := EqualFunction(a, b)
+	if err != nil || !eq {
+		t.Errorf("identical circuits not equal: %v %v", eq, err)
+	}
+	// An AND circuit differs from XOR.
+	bb := NewBuilder(2)
+	bb.MarkOutput(bb.Gate([]Wire{0, 1}, []int64{1, 1}, 2))
+	and := bb.Build()
+	eq, err = EqualFunction(a, and)
+	if err != nil || eq {
+		t.Errorf("xor == and reported: %v %v", eq, err)
+	}
+	// Pruned circuits are equal to their originals.
+	big := NewBuilder(3)
+	u := big.Gate([]Wire{0, 1}, []int64{1, 1}, 1)
+	big.Gate([]Wire{2}, []int64{1}, 1) // dead
+	big.MarkOutput(u)
+	c := big.Build()
+	pruned, _ := c.Prune()
+	eq, err = EqualFunction(c, pruned)
+	if err != nil || !eq {
+		t.Errorf("prune changed function: %v %v", eq, err)
+	}
+}
+
+func TestEqualFunctionErrors(t *testing.T) {
+	a := buildXor()
+	bb := NewBuilder(3)
+	bb.MarkOutput(bb.Gate([]Wire{0}, []int64{1}, 1))
+	threeIn := bb.Build()
+	if _, err := EqualFunction(a, threeIn); err == nil {
+		t.Error("input mismatch accepted")
+	}
+	wide := NewBuilder(30)
+	wide.MarkOutput(wide.Gate([]Wire{0}, []int64{1}, 1))
+	w1 := wide.Build()
+	wide2 := NewBuilder(30)
+	wide2.MarkOutput(wide2.Gate([]Wire{0}, []int64{1}, 1))
+	w2 := wide2.Build()
+	if _, err := EqualFunction(w1, w2); err == nil {
+		t.Error("30-input exhaustive check accepted")
+	}
+	b2 := NewBuilder(2)
+	b2.MarkOutput(b2.Gate([]Wire{0}, []int64{1}, 1))
+	b2.MarkOutput(b2.Input(1))
+	two := b2.Build()
+	if _, err := EqualFunction(a, two); err == nil {
+		t.Error("output-count mismatch accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package conv implements the paper's motivating deep-learning
+// application (Section 5): convolutional layers computed as matrix
+// multiplication ("why GEMM is at the heart of deep learning").
+//
+// An n x n image with ℓ channels and K kernels of size q x q x ℓ applied
+// at a given stride becomes a P x Q patch matrix (P patches, Q = q·q·ℓ
+// kernel elements) times a Q x K kernel matrix; the P x K product scores
+// every patch against every kernel. The package provides the im2col
+// transformation, a direct-convolution reference, the threshold-circuit
+// GEMM path, and the fan-in-limited row partitioning the paper sketches
+// ("if the particular architecture can only support fan-in x, we can
+// break the matrix multiplication into independent pieces... These can
+// run in parallel, so they have the same depth").
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Image is an H x W image with C channels, row-major with channel
+// innermost: Data[(y*W+x)*C + c].
+type Image struct {
+	H, W, C int
+	Data    []int64
+}
+
+// NewImage allocates a zero image.
+func NewImage(h, w, c int) *Image {
+	return &Image{H: h, W: w, C: c, Data: make([]int64, h*w*c)}
+}
+
+// At returns pixel (y, x) channel c.
+func (im *Image) At(y, x, c int) int64 { return im.Data[(y*im.W+x)*im.C+c] }
+
+// Set assigns pixel (y, x) channel c.
+func (im *Image) Set(y, x, c int, v int64) { im.Data[(y*im.W+x)*im.C+c] = v }
+
+// Kernel is a q x q x C filter, laid out like Image.
+type Kernel struct {
+	Q, C int
+	Data []int64
+}
+
+// NewKernel allocates a zero kernel.
+func NewKernel(q, c int) *Kernel {
+	return &Kernel{Q: q, C: c, Data: make([]int64, q*q*c)}
+}
+
+// At returns weight (y, x, c).
+func (k *Kernel) At(y, x, c int) int64 { return k.Data[(y*k.Q+x)*k.C+c] }
+
+// Set assigns weight (y, x, c).
+func (k *Kernel) Set(y, x, c int, v int64) { k.Data[(y*k.Q+x)*k.C+c] = v }
+
+// Patches returns the number of patch positions per axis for kernel
+// size q and the given stride, and the total patch count P.
+func (im *Image) Patches(q, stride int) (perAxisY, perAxisX, total int, err error) {
+	if q < 1 || q > im.H || q > im.W {
+		return 0, 0, 0, fmt.Errorf("conv: kernel size %d does not fit %dx%d image", q, im.H, im.W)
+	}
+	if stride < 1 {
+		return 0, 0, 0, fmt.Errorf("conv: stride %d < 1", stride)
+	}
+	perAxisY = (im.H-q)/stride + 1
+	perAxisX = (im.W-q)/stride + 1
+	return perAxisY, perAxisX, perAxisY * perAxisX, nil
+}
+
+// Im2Col builds the P x Q patch matrix: row p lists the q·q·C pixels of
+// patch p in kernel layout order.
+func Im2Col(im *Image, q, stride int) (*matrix.Matrix, error) {
+	py, px, total, err := im.Patches(q, stride)
+	if err != nil {
+		return nil, err
+	}
+	qq := q * q * im.C
+	out := matrix.New(total, qq)
+	p := 0
+	for gy := 0; gy < py; gy++ {
+		for gx := 0; gx < px; gx++ {
+			col := 0
+			for y := 0; y < q; y++ {
+				for x := 0; x < q; x++ {
+					for c := 0; c < im.C; c++ {
+						out.Set(p, col, im.At(gy*stride+y, gx*stride+x, c))
+						col++
+					}
+				}
+			}
+			p++
+		}
+	}
+	return out, nil
+}
+
+// KernelMatrix builds the Q x K matrix whose column k is kernel k's
+// weights in the same layout Im2Col uses.
+func KernelMatrix(kernels []*Kernel) (*matrix.Matrix, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("conv: no kernels")
+	}
+	q, c := kernels[0].Q, kernels[0].C
+	qq := q * q * c
+	out := matrix.New(qq, len(kernels))
+	for k, kn := range kernels {
+		if kn.Q != q || kn.C != c {
+			return nil, fmt.Errorf("conv: kernel %d has shape (%d,%d), want (%d,%d)", k, kn.Q, kn.C, q, c)
+		}
+		for i, v := range kn.Data {
+			out.Set(i, k, v)
+		}
+	}
+	return out, nil
+}
+
+// Direct computes the convolution scores by definition: the P x K matrix
+// of patch-kernel dot products. This is the reference the GEMM paths are
+// checked against.
+func Direct(im *Image, kernels []*Kernel, stride int) (*matrix.Matrix, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("conv: no kernels")
+	}
+	q := kernels[0].Q
+	py, px, total, err := im.Patches(q, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(total, len(kernels))
+	for k, kn := range kernels {
+		p := 0
+		for gy := 0; gy < py; gy++ {
+			for gx := 0; gx < px; gx++ {
+				var dot int64
+				for y := 0; y < q; y++ {
+					for x := 0; x < q; x++ {
+						for c := 0; c < im.C; c++ {
+							dot += im.At(gy*stride+y, gx*stride+x, c) * kn.At(y, x, c)
+						}
+					}
+				}
+				out.Set(p, k, dot)
+				p++
+			}
+		}
+	}
+	return out, nil
+}
+
+// GEMM computes the convolution as Im2Col(image) x KernelMatrix(kernels)
+// with exact integer arithmetic (the conventional baseline).
+func GEMM(im *Image, kernels []*Kernel, stride int) (*matrix.Matrix, error) {
+	patches, err := Im2Col(im, kernels[0].Q, stride)
+	if err != nil {
+		return nil, err
+	}
+	km, err := KernelMatrix(kernels)
+	if err != nil {
+		return nil, err
+	}
+	return patches.Mul(km), nil
+}
+
+// CircuitResult carries the circuit-path output together with the
+// circuit's complexity measures, for the fan-in experiments.
+type CircuitResult struct {
+	Scores   *matrix.Matrix
+	Stats    []CircuitStats // one per partition piece
+	MaxFanIn int
+	Depth    int
+	Gates    int64
+}
+
+// CircuitStats records one piece's measures.
+type CircuitStats struct {
+	Rows     int
+	Gates    int
+	Depth    int
+	MaxFanIn int
+}
+
+// ViaCircuit computes the convolution through a threshold matmul
+// circuit. maxRows <= 0 runs one circuit over all patches; maxRows > 0
+// partitions the patch matrix into row blocks of at most maxRows
+// (Section 5's fan-in-limiting decomposition) and runs an independent
+// circuit per block — identical depth, bounded instance size.
+//
+// The rectangular P x Q by Q x K product is embedded into square
+// power-of-T matrices, the standard padding.
+func ViaCircuit(im *Image, kernels []*Kernel, stride int, opts core.Options, maxRows int) (*CircuitResult, error) {
+	patches, err := Im2Col(im, kernels[0].Q, stride)
+	if err != nil {
+		return nil, err
+	}
+	km, err := KernelMatrix(kernels)
+	if err != nil {
+		return nil, err
+	}
+	if opts.EntryBits == 0 {
+		need := bitio.Max64(patches.MaxAbs(), km.MaxAbs())
+		opts.EntryBits = bitio.Bits(need)
+		if opts.EntryBits == 0 {
+			opts.EntryBits = 1
+		}
+	}
+	if km.MaxAbs() > 0 && !opts.Signed {
+		// Kernels routinely carry negative weights.
+		opts.Signed = true
+	}
+
+	P := patches.Rows
+	if maxRows <= 0 || maxRows > P {
+		maxRows = P
+	}
+	result := &CircuitResult{Scores: matrix.New(P, km.Cols)}
+	// Cache circuits by padded size: partition pieces share shapes.
+	circuits := map[int]*core.MatMulCircuit{}
+	for lo := 0; lo < P; lo += maxRows {
+		hi := lo + maxRows
+		if hi > P {
+			hi = P
+		}
+		rows := hi - lo
+		dims := []int{rows, patches.Cols, km.Cols}
+		side := 1
+		for _, d := range dims {
+			if d > side {
+				side = d
+			}
+		}
+		padded := int(bitio.Pow(opts.Alg.T, bitio.CeilLog(opts.Alg.T, side)))
+		mc, ok := circuits[padded]
+		if !ok {
+			mc, err = core.BuildMatMul(padded, opts)
+			if err != nil {
+				return nil, err
+			}
+			circuits[padded] = mc
+		}
+		block := matrix.New(rows, patches.Cols)
+		for r := 0; r < rows; r++ {
+			copy(block.Data[r*patches.Cols:(r+1)*patches.Cols],
+				patches.Data[(lo+r)*patches.Cols:(lo+r+1)*patches.Cols])
+		}
+		prod, err := mc.Multiply(padSquare(block, padded), padSquare(km, padded))
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < rows; r++ {
+			for k := 0; k < km.Cols; k++ {
+				result.Scores.Set(lo+r, k, prod.At(r, k))
+			}
+		}
+		st := mc.Circuit.Stats()
+		result.Stats = append(result.Stats, CircuitStats{
+			Rows: rows, Gates: st.Size, Depth: st.Depth, MaxFanIn: st.MaxFanIn,
+		})
+		result.Gates += int64(st.Size)
+		if st.Depth > result.Depth {
+			result.Depth = st.Depth
+		}
+		if st.MaxFanIn > result.MaxFanIn {
+			result.MaxFanIn = st.MaxFanIn
+		}
+	}
+	return result, nil
+}
+
+// padSquare embeds an arbitrary rectangular matrix into the top-left of
+// an n x n zero matrix.
+func padSquare(m *matrix.Matrix, n int) *matrix.Matrix {
+	out := matrix.New(n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+)
+
+// randomImage fills an image with small nonnegative pixel values.
+func randomImage(rng *rand.Rand, h, w, c int, max int64) *Image {
+	im := NewImage(h, w, c)
+	for i := range im.Data {
+		im.Data[i] = rng.Int63n(max + 1)
+	}
+	return im
+}
+
+// randomKernels draws signed kernel weights.
+func randomKernels(rng *rand.Rand, k, q, c int, span int64) []*Kernel {
+	out := make([]*Kernel, k)
+	for i := range out {
+		kn := NewKernel(q, c)
+		for j := range kn.Data {
+			kn.Data[j] = rng.Int63n(2*span+1) - span
+		}
+		out[i] = kn
+	}
+	return out
+}
+
+// GEMM (im2col) equals direct convolution across shapes, strides and
+// channel counts.
+func TestGEMMMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ h, w, c, q, stride, k int }{
+		{4, 4, 1, 2, 1, 2},
+		{4, 4, 1, 2, 2, 3},
+		{6, 6, 2, 3, 3, 2},
+		{5, 7, 1, 3, 2, 1},
+		{8, 8, 3, 2, 2, 4},
+	}
+	for _, cse := range cases {
+		im := randomImage(rng, cse.h, cse.w, cse.c, 3)
+		ks := randomKernels(rng, cse.k, cse.q, cse.c, 2)
+		direct, err := Direct(im, ks, cse.stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gemm, err := GEMM(im, ks, cse.stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gemm.Equal(direct) {
+			t.Errorf("%+v: GEMM != direct", cse)
+		}
+	}
+}
+
+func TestIm2ColShape(t *testing.T) {
+	im := NewImage(6, 6, 2)
+	patches, err := Im2Col(im, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patches.Rows != 4 || patches.Cols != 18 {
+		t.Errorf("patch matrix %dx%d, want 4x18", patches.Rows, patches.Cols)
+	}
+}
+
+func TestIm2ColValues(t *testing.T) {
+	im := NewImage(3, 3, 1)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			im.Set(y, x, 0, int64(y*3+x))
+		}
+	}
+	patches, err := Im2Col(im, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch (0,0) covers pixels 0,1,3,4; patch (1,1) covers 4,5,7,8.
+	want0 := []int64{0, 1, 3, 4}
+	want3 := []int64{4, 5, 7, 8}
+	for i := range want0 {
+		if patches.At(0, i) != want0[i] {
+			t.Errorf("patch 0 col %d = %d, want %d", i, patches.At(0, i), want0[i])
+		}
+		if patches.At(3, i) != want3[i] {
+			t.Errorf("patch 3 col %d = %d, want %d", i, patches.At(3, i), want3[i])
+		}
+	}
+}
+
+// The circuit path computes the same scores as direct convolution.
+func TestViaCircuitMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	im := randomImage(rng, 4, 4, 1, 3)
+	ks := randomKernels(rng, 2, 2, 1, 2)
+	direct, err := Direct(im, ks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ViaCircuit(im, ks, 2, core.Options{Alg: bilinear.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Scores.Equal(direct) {
+		t.Errorf("circuit conv wrong:\n%v\nwant\n%v", res.Scores, direct)
+	}
+	if res.Depth == 0 || res.Gates == 0 || len(res.Stats) != 1 {
+		t.Errorf("missing stats: %+v", res)
+	}
+}
+
+// Row partitioning (Section 5's fan-in decomposition). The paper's
+// scenario: Q and K are constants, P (the patch count) is the dimension
+// that grows, so splitting the patch rows shrinks each piece. Pieces run
+// in parallel, so wall-clock depth does not grow, and per-gate fan-in
+// drops.
+func TestViaCircuitPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	im := randomImage(rng, 8, 8, 1, 3)
+	ks := randomKernels(rng, 2, 2, 1, 2)
+	direct, err := Direct(im, ks, 2) // P = 16 patches, Q = 4, K = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := ViaCircuit(im, ks, 2, core.Options{Alg: bilinear.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ViaCircuit(im, ks, 2, core.Options{Alg: bilinear.Strassen()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !whole.Scores.Equal(direct) || !parts.Scores.Equal(direct) {
+		t.Fatal("partitioned or whole scores wrong")
+	}
+	if len(parts.Stats) != 4 {
+		t.Errorf("expected 4 pieces, got %d", len(parts.Stats))
+	}
+	// Pieces run in parallel: wall depth <= whole depth; fan-in shrinks.
+	if parts.Depth > whole.Depth {
+		t.Errorf("partitioned depth %d > whole depth %d", parts.Depth, whole.Depth)
+	}
+	if parts.MaxFanIn >= whole.MaxFanIn {
+		t.Errorf("partitioning did not reduce fan-in: %d vs %d", parts.MaxFanIn, whole.MaxFanIn)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	im := NewImage(4, 4, 1)
+	if _, err := Im2Col(im, 5, 1); err == nil {
+		t.Error("oversized kernel accepted")
+	}
+	if _, err := Im2Col(im, 2, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := KernelMatrix(nil); err == nil {
+		t.Error("empty kernel list accepted")
+	}
+	mixed := []*Kernel{NewKernel(2, 1), NewKernel(3, 1)}
+	if _, err := KernelMatrix(mixed); err == nil {
+		t.Error("mixed kernel shapes accepted")
+	}
+	if _, err := Direct(im, nil, 1); err == nil {
+		t.Error("Direct with no kernels accepted")
+	}
+}
+
+// Image and kernel accessors round-trip.
+func TestAccessors(t *testing.T) {
+	im := NewImage(2, 3, 2)
+	im.Set(1, 2, 1, 42)
+	if im.At(1, 2, 1) != 42 {
+		t.Error("image accessor broken")
+	}
+	k := NewKernel(2, 2)
+	k.Set(1, 0, 1, -7)
+	if k.At(1, 0, 1) != -7 {
+		t.Error("kernel accessor broken")
+	}
+}

@@ -1,0 +1,109 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// classifierNet: conv (8x8 -> 4x4x2) -> dense head (32 -> 3 classes).
+func classifierNet(rng *rand.Rand) *Network {
+	kernels := make([]*Kernel, 2)
+	for i := range kernels {
+		k := NewKernel(2, 1)
+		for j := range k.Data {
+			k.Data[j] = rng.Int63n(5) - 2
+		}
+		kernels[i] = k
+	}
+	head := matrix.New(4*4*2, 3)
+	for i := range head.Data {
+		head.Data[i] = rng.Int63n(3) - 1
+	}
+	return &Network{Layers: []Layer{
+		{Kernels: kernels, Stride: 2, Threshold: 1},
+		{Dense: head, Threshold: 2},
+	}}
+}
+
+// The conv+dense pipeline matches the direct reference both layerwise
+// and fused.
+func TestDenseHeadMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	nw := classifierNet(rng)
+	shapes, err := nw.Validate(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shapes[1] != [3]int{1, 1, 3} {
+		t.Fatalf("head output shape %v, want (1,1,3)", shapes[1])
+	}
+	im := randomImage(rng, 8, 8, 1, 3)
+	want, err := nw.ForwardDirect(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nw.Forward(im, core.Options{Alg: bilinear.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Output.Data[i] {
+			t.Fatalf("class activation %d differs", i)
+		}
+	}
+	if len(got.Layers) != 2 {
+		t.Error("layer stats missing")
+	}
+}
+
+// The fused single-circuit build supports the dense head too.
+func TestDenseHeadFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	nw := classifierNet(rng)
+	opts := core.Options{Alg: bilinear.Strassen(), SharedMSB: true}
+	fn, err := nw.BuildFused(8, 8, 1, 3, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.OutShape != [3]int{1, 1, 3} {
+		t.Fatalf("fused output shape %v", fn.OutShape)
+	}
+	for trial := 0; trial < 3; trial++ {
+		im := randomImage(rng, 8, 8, 1, 3)
+		want, err := nw.ForwardDirect(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fn.Forward(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("trial %d: fused class %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// Dense shape mismatches are rejected at validation.
+func TestDenseValidation(t *testing.T) {
+	bad := &Network{Layers: []Layer{
+		{Dense: matrix.New(10, 2), Threshold: 0}, // input is 8*8*1=64
+	}}
+	if _, err := bad.Validate(8, 8, 1); err == nil {
+		t.Error("dense shape mismatch accepted")
+	}
+	rng := rand.New(rand.NewSource(103))
+	im := randomImage(rng, 8, 8, 1, 3)
+	if _, err := bad.ForwardDirect(im); err == nil {
+		t.Error("direct forward accepted bad dense shape")
+	}
+	if _, err := bad.Forward(im, core.Options{Alg: bilinear.Strassen()}, 0); err == nil {
+		t.Error("circuit forward accepted bad dense shape")
+	}
+}

@@ -1,0 +1,264 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// FusedNetwork compiles an entire spiking convolution network into ONE
+// threshold circuit: image pixel bits in, final-layer activation bits
+// out. Each layer's GEMM circuit is embedded (circuit.Builder.Embed)
+// with its kernel-matrix inputs tied to constant wires, patch
+// extraction is pure rewiring, and each activation is a single
+// threshold gate — so the whole network is a fixed-depth threshold
+// circuit, the deployment story the paper's deep-learning section
+// sketches.
+type FusedNetwork struct {
+	Circuit *circuit.Circuit
+	Net     *Network
+	H, W, C int // input image shape
+	// PixelBits is the bit width of each input pixel (unsigned);
+	// inputs are laid out pixel-major, bit-minor, matching Image.Data.
+	PixelBits int
+	// Outputs are the final layer's activation wires in Image.Data
+	// order of the output shape.
+	Outputs []circuit.Wire
+	// OutShape is the final activation image shape.
+	OutShape [3]int
+	// LayerGates attributes gates to layers (embedded GEMM + activations).
+	LayerGates []int64
+}
+
+// BuildFused compiles the network for inputs of shape (h, w, c) with
+// unsigned pixels bounded by maxPixel.
+func (nw *Network) BuildFused(h, w, c int, maxPixel int64, alg *core.Options) (*FusedNetwork, error) {
+	if _, err := nw.Validate(h, w, c); err != nil {
+		return nil, err
+	}
+	if maxPixel < 1 {
+		return nil, fmt.Errorf("conv: maxPixel %d < 1", maxPixel)
+	}
+	pixelBits := bitio.Bits(maxPixel)
+	fn := &FusedNetwork{Net: nw, H: h, W: w, C: c, PixelBits: pixelBits}
+
+	b := circuit.NewBuilder(h * w * c * pixelBits)
+	zero := b.Const(false)
+	one := b.Const(true)
+
+	// Current layer input: per "pixel", its bit wires (little endian)
+	// and the current shape.
+	curBits := make([][]circuit.Wire, h*w*c)
+	for p := 0; p < h*w*c; p++ {
+		bits := make([]circuit.Wire, pixelBits)
+		for k := 0; k < pixelBits; k++ {
+			bits[k] = b.Input(p*pixelBits + k)
+		}
+		curBits[p] = bits
+	}
+	curH, curW, curC := h, w, c
+	curMax := maxPixel
+
+	for li, layer := range nw.Layers {
+		before := int64(b.Size())
+		var km *matrix.Matrix
+		var err error
+		var py, px, P, Q, K int
+		if layer.isDense() {
+			km = layer.Dense
+			py, px = 1, 1
+			P, Q, K = 1, curH*curW*curC, km.Cols
+		} else {
+			km, err = KernelMatrix(layer.Kernels)
+			if err != nil {
+				return nil, err
+			}
+			q := layer.Kernels[0].Q
+			py = (curH-q)/layer.Stride + 1
+			px = (curW-q)/layer.Stride + 1
+			P = py * px
+			Q = q * q * curC
+			K = km.Cols
+		}
+
+		// Configure the layer's GEMM circuit.
+		opts := core.Options{Alg: algOf(alg), SharedMSB: sharedOf(alg)}
+		need := bitio.Max64(curMax, km.MaxAbs())
+		opts.EntryBits = bitio.Bits(need)
+		if opts.EntryBits == 0 {
+			opts.EntryBits = 1
+		}
+		opts.Signed = km.MaxAbs() > 0 // kernels may be negative
+		side := P
+		if Q > side {
+			side = Q
+		}
+		if K > side {
+			side = K
+		}
+		padded := int(bitio.Pow(opts.Alg.T, bitio.CeilLog(opts.Alg.T, side)))
+		mc, err := core.BuildMatMul(padded, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Wire the embedded circuit's inputs.
+		per := opts.EntryBits
+		if opts.Signed {
+			per *= 2
+		}
+		inputMap := make([]circuit.Wire, mc.Circuit.NumInputs())
+		for i := range inputMap {
+			inputMap[i] = zero
+		}
+		// A plane: patch matrix entries (conv) or the flattened
+		// activation vector (dense).
+		if layer.isDense() {
+			for col := 0; col < Q; col++ {
+				bits := curBits[col]
+				base := col * per
+				for k := 0; k < len(bits) && k < opts.EntryBits; k++ {
+					inputMap[base+k] = bits[k]
+				}
+			}
+		} else {
+			q := layer.Kernels[0].Q
+			for p := 0; p < P; p++ {
+				gy, gx := p/px, p%px
+				col := 0
+				for y := 0; y < q; y++ {
+					for x := 0; x < q; x++ {
+						for ch := 0; ch < curC; ch++ {
+							pix := ((gy*layer.Stride+y)*curW + (gx*layer.Stride + x)) * curC
+							bits := curBits[pix+ch]
+							base := (p*padded + col) * per
+							for k := 0; k < len(bits) && k < opts.EntryBits; k++ {
+								inputMap[base+k] = bits[k]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+		// B plane: kernel matrix constants.
+		bBase := padded * padded * per
+		for r := 0; r < Q; r++ {
+			for cc := 0; cc < K; cc++ {
+				v := km.At(r, cc)
+				mag := v
+				negOff := 0
+				if v < 0 {
+					mag = -v
+					negOff = opts.EntryBits
+				}
+				base := bBase + (r*padded+cc)*per + negOff
+				for k := 0; k < opts.EntryBits; k++ {
+					if mag&(1<<uint(k)) != 0 {
+						inputMap[base+k] = one
+					}
+				}
+			}
+		}
+
+		outs := b.Embed(mc.Circuit, inputMap)
+
+		// Rebuild the score representations against the remapped wires
+		// and apply the activation threshold per patch/kernel.
+		reps := mc.EntryReps()
+		idx := 0
+		remapped := make([]arith.Signed, len(reps))
+		for e, rep := range reps {
+			var s arith.Signed
+			for _, t := range rep.Pos.Terms {
+				s.Pos.Terms = append(s.Pos.Terms, arith.Term{Wire: outs[idx], Weight: t.Weight})
+				idx++
+			}
+			s.Pos.Max = rep.Pos.Max
+			for _, t := range rep.Neg.Terms {
+				s.Neg.Terms = append(s.Neg.Terms, arith.Term{Wire: outs[idx], Weight: t.Weight})
+				idx++
+			}
+			s.Neg.Max = rep.Neg.Max
+			remapped[e] = s
+		}
+
+		nextBits := make([][]circuit.Wire, P*K)
+		for p := 0; p < P; p++ {
+			for kk := 0; kk < K; kk++ {
+				score := remapped[p*padded+kk]
+				act := arith.Threshold(b, score, layer.Threshold)
+				// Activation image layout: (gy, gx, kernel channel).
+				nextBits[p*K+kk] = []circuit.Wire{act}
+			}
+		}
+		curBits = nextBits
+		curH, curW, curC = py, px, K
+		curMax = 1
+		fn.LayerGates = append(fn.LayerGates, int64(b.Size())-before)
+		_ = li
+	}
+
+	fn.OutShape = [3]int{curH, curW, curC}
+	fn.Outputs = make([]circuit.Wire, len(curBits))
+	for i, bits := range curBits {
+		fn.Outputs[i] = bits[0]
+		b.MarkOutput(bits[0])
+	}
+	fn.Circuit = b.Build()
+	return fn, nil
+}
+
+// algOf / sharedOf unpack the options carrier.
+func algOf(o *core.Options) *bilinear.Algorithm {
+	if o == nil || o.Alg == nil {
+		panic("conv: BuildFused requires Options with Alg set")
+	}
+	return o.Alg
+}
+
+func sharedOf(o *core.Options) bool {
+	return o != nil && o.SharedMSB
+}
+
+// Assign encodes an input image as the fused circuit's input vector.
+func (fn *FusedNetwork) Assign(im *Image) ([]bool, error) {
+	if im.H != fn.H || im.W != fn.W || im.C != fn.C {
+		return nil, fmt.Errorf("conv: image shape (%d,%d,%d), want (%d,%d,%d)",
+			im.H, im.W, im.C, fn.H, fn.W, fn.C)
+	}
+	in := make([]bool, fn.Circuit.NumInputs())
+	for p, v := range im.Data {
+		if v < 0 {
+			return nil, fmt.Errorf("conv: fused network inputs must be nonnegative, got %d", v)
+		}
+		if bitio.Bits(v) > fn.PixelBits {
+			return nil, fmt.Errorf("conv: pixel %d exceeds %d bits", v, fn.PixelBits)
+		}
+		for k := 0; k < fn.PixelBits; k++ {
+			in[p*fn.PixelBits+k] = v&(1<<uint(k)) != 0
+		}
+	}
+	return in, nil
+}
+
+// Forward runs the fused circuit and returns the final activation image.
+func (fn *FusedNetwork) Forward(im *Image) (*Image, error) {
+	in, err := fn.Assign(im)
+	if err != nil {
+		return nil, err
+	}
+	vals := fn.Circuit.EvalParallel(in, 0)
+	out := NewImage(fn.OutShape[0], fn.OutShape[1], fn.OutShape[2])
+	for i, w := range fn.Outputs {
+		if vals[w] {
+			out.Data[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+)
+
+// The fused single-circuit network computes the same activations as the
+// direct reference, across random kernels and inputs.
+func TestFusedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 2; trial++ {
+		nw := twoLayerNet(rng)
+		opts := core.Options{Alg: bilinear.Strassen()}
+		fn, err := nw.BuildFused(8, 8, 1, 3, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			im := randomImage(rng, 8, 8, 1, 3)
+			want, err := nw.ForwardDirect(im)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fn.Forward(im)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.H != want.H || got.W != want.W || got.C != want.C {
+				t.Fatalf("shape (%d,%d,%d) != (%d,%d,%d)", got.H, got.W, got.C, want.H, want.W, want.C)
+			}
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("trial %d eval %d: activation %d differs", trial, e, i)
+				}
+			}
+		}
+	}
+}
+
+// The fused circuit is ONE circuit: constant depth end-to-end, with
+// per-layer gate attribution summing to the total (minus the two
+// constant wires).
+func TestFusedStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	nw := twoLayerNet(rng)
+	opts := core.Options{Alg: bilinear.Strassen()}
+	fn, err := nw.BuildFused(8, 8, 1, 3, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fn.LayerGates) != 2 {
+		t.Fatalf("layer gates %v", fn.LayerGates)
+	}
+	var sum int64
+	for _, g := range fn.LayerGates {
+		sum += g
+	}
+	if sum+2 != int64(fn.Circuit.Size()) { // +2 constant wires
+		t.Errorf("layer gates %d + 2 != size %d", sum, fn.Circuit.Size())
+	}
+	// Depth: two embedded GEMMs (each <= 4t+1, +1 for constant-wire
+	// skew) plus one activation gate per layer, chained.
+	if fn.Circuit.Depth() > 2*(4*2+1+1)+2 {
+		t.Errorf("fused depth %d suspiciously large", fn.Circuit.Depth())
+	}
+	if fn.Circuit.Depth() < 8 {
+		t.Errorf("fused depth %d suspiciously small for two layers", fn.Circuit.Depth())
+	}
+	if len(fn.Outputs) != fn.OutShape[0]*fn.OutShape[1]*fn.OutShape[2] {
+		t.Error("output wires do not match output shape")
+	}
+}
+
+// SharedMSB flows through the fused build and still matches.
+func TestFusedSharedMSB(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	nw := twoLayerNet(rng)
+	plainOpts := core.Options{Alg: bilinear.Strassen()}
+	sharedOpts := core.Options{Alg: bilinear.Strassen(), SharedMSB: true}
+	plain, err := nw.BuildFused(8, 8, 1, 3, &plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := nw.BuildFused(8, 8, 1, 3, &sharedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Circuit.Size() >= plain.Circuit.Size() {
+		t.Errorf("shared %d >= plain %d", shared.Circuit.Size(), plain.Circuit.Size())
+	}
+	im := randomImage(rng, 8, 8, 1, 3)
+	a, err := plain.Forward(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shared.Forward(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("shared fused output differs")
+		}
+	}
+}
+
+func TestFusedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	nw := twoLayerNet(rng)
+	opts := core.Options{Alg: bilinear.Strassen()}
+	if _, err := nw.BuildFused(8, 8, 1, 0, &opts); err == nil {
+		t.Error("maxPixel 0 accepted")
+	}
+	if _, err := nw.BuildFused(3, 3, 1, 3, &opts); err == nil {
+		t.Error("shape that does not fit accepted")
+	}
+	fn, err := nw.BuildFused(8, 8, 1, 3, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fn.Forward(NewImage(4, 4, 1)); err == nil {
+		t.Error("wrong image shape accepted")
+	}
+	big := NewImage(8, 8, 1)
+	big.Data[0] = 9 // exceeds maxPixel=3 (2 bits)
+	if _, err := fn.Forward(big); err == nil {
+		t.Error("overflowing pixel accepted")
+	}
+	neg := NewImage(8, 8, 1)
+	neg.Data[0] = -1
+	if _, err := fn.Forward(neg); err == nil {
+		t.Error("negative pixel accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Layer is one spiking-activation stage of a network: scores are
+// thresholded into binary activations, the natural nonlinearity on
+// threshold-gate hardware (one gate per unit: the activation
+// [score >= Threshold] is itself a linear threshold function, so an
+// entire network is expressible in the circuit model; the paper's
+// convolutional motivation composed to several layers).
+//
+// A layer is either convolutional (Kernels + Stride set) or dense
+// (Dense set): a dense layer flattens its H x W x C input into a
+// 1 x (H·W·C) vector and multiplies by the (H·W·C) x K weight matrix —
+// the classifier head of a typical CNN.
+type Layer struct {
+	Kernels   []*Kernel
+	Stride    int
+	Dense     *matrix.Matrix // fully-connected weights; nil for conv layers
+	Threshold int64          // activation fires iff score >= Threshold
+}
+
+// isDense reports the layer kind.
+func (l *Layer) isDense() bool { return l.Dense != nil }
+
+// Network is a feed-forward stack of spiking convolution layers.
+type Network struct {
+	Layers []Layer
+}
+
+// LayerResult records one layer's execution.
+type LayerResult struct {
+	Scores      *matrix.Matrix // P x K pre-activation scores
+	Activations *Image         // binary activation image feeding the next layer
+	Gates       int64          // matmul circuit gates
+	Depth       int            // matmul circuit depth + 1 activation level
+	Spikes      int64          // activations that fired
+}
+
+// NetworkResult aggregates a forward pass.
+type NetworkResult struct {
+	Layers []LayerResult
+	Output *Image // final activation image
+	Gates  int64  // total gates across all layer circuits
+	Depth  int    // total circuit depth (layers execute sequentially)
+}
+
+// Forward runs the network on an image through threshold matmul
+// circuits (ViaCircuit per layer; maxRows partitions as in Section 5).
+// Activations are binary, so every layer past the first runs with
+// 1-bit inputs.
+func (nw *Network) Forward(im *Image, opts core.Options, maxRows int) (*NetworkResult, error) {
+	if len(nw.Layers) == 0 {
+		return nil, fmt.Errorf("conv: empty network")
+	}
+	res := &NetworkResult{}
+	cur := im
+	for li, layer := range nw.Layers {
+		var scores *matrix.Matrix
+		var gates int64
+		var depth, px int
+		var py int
+		switch {
+		case layer.isDense():
+			vec := matrix.New(1, len(cur.Data))
+			copy(vec.Data, cur.Data)
+			if layer.Dense.Rows != vec.Cols {
+				return nil, fmt.Errorf("conv: dense layer %d wants %d inputs, image has %d",
+					li, layer.Dense.Rows, vec.Cols)
+			}
+			layerOpts := opts
+			layerOpts.EntryBits = bitsFor(vec, layer.Dense)
+			layerOpts.Signed = layer.Dense.MaxAbs() > 0
+			rc, err := core.BuildRectMatMul(1, vec.Cols, layer.Dense.Cols, layerOpts)
+			if err != nil {
+				return nil, fmt.Errorf("conv: dense layer %d: %w", li, err)
+			}
+			scores, err = rc.Multiply(vec, layer.Dense)
+			if err != nil {
+				return nil, fmt.Errorf("conv: dense layer %d: %w", li, err)
+			}
+			st := rc.Inner.Circuit.Stats()
+			gates, depth = int64(st.Size), st.Depth
+			py, px = 1, 1
+		case len(layer.Kernels) > 0:
+			layerOpts := opts
+			layerOpts.EntryBits = 0 // re-derive per layer from actual ranges
+			cr, err := ViaCircuit(cur, layer.Kernels, layer.Stride, layerOpts, maxRows)
+			if err != nil {
+				return nil, fmt.Errorf("conv: layer %d: %w", li, err)
+			}
+			scores = cr.Scores
+			gates, depth = cr.Gates, cr.Depth
+			var err2 error
+			py, px, _, err2 = cur.Patches(layer.Kernels[0].Q, layer.Stride)
+			if err2 != nil {
+				return nil, err2
+			}
+		default:
+			return nil, fmt.Errorf("conv: layer %d has neither kernels nor dense weights", li)
+		}
+
+		channels := scores.Cols
+		act := NewImage(py, px, channels)
+		lr := LayerResult{Scores: scores, Gates: gates, Depth: depth + 1}
+		for p := 0; p < scores.Rows; p++ {
+			for k := 0; k < channels; k++ {
+				if scores.At(p, k) >= layer.Threshold {
+					act.Set(p/px, p%px, k, 1)
+					lr.Spikes++
+				}
+			}
+		}
+		lr.Activations = act
+		res.Layers = append(res.Layers, lr)
+		res.Gates += lr.Gates + int64(scores.Rows*channels) // + activation gates
+		res.Depth += lr.Depth
+		cur = act
+	}
+	res.Output = cur
+	return res, nil
+}
+
+// bitsFor sizes EntryBits to cover both operands.
+func bitsFor(a, b *matrix.Matrix) int {
+	need := a.MaxAbs()
+	if m := b.MaxAbs(); m > need {
+		need = m
+	}
+	bits := 0
+	for (int64(1) << uint(bits)) <= need {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// ForwardDirect is the exact reference: the same network computed with
+// plain integer arithmetic.
+func (nw *Network) ForwardDirect(im *Image) (*Image, error) {
+	if len(nw.Layers) == 0 {
+		return nil, fmt.Errorf("conv: empty network")
+	}
+	cur := im
+	for li, layer := range nw.Layers {
+		var scores *matrix.Matrix
+		var py, px int
+		if layer.isDense() {
+			vec := matrix.New(1, len(cur.Data))
+			copy(vec.Data, cur.Data)
+			if layer.Dense.Rows != vec.Cols {
+				return nil, fmt.Errorf("conv: dense layer %d wants %d inputs, image has %d",
+					li, layer.Dense.Rows, vec.Cols)
+			}
+			scores = vec.Mul(layer.Dense)
+			py, px = 1, 1
+		} else {
+			var err error
+			scores, err = Direct(cur, layer.Kernels, layer.Stride)
+			if err != nil {
+				return nil, fmt.Errorf("conv: layer %d: %w", li, err)
+			}
+			py, px, _, err = cur.Patches(layer.Kernels[0].Q, layer.Stride)
+			if err != nil {
+				return nil, err
+			}
+		}
+		act := NewImage(py, px, scores.Cols)
+		for p := 0; p < scores.Rows; p++ {
+			for k := 0; k < scores.Cols; k++ {
+				if scores.At(p, k) >= layer.Threshold {
+					act.Set(p/px, p%px, k, 1)
+				}
+			}
+		}
+		cur = act
+	}
+	return cur, nil
+}
+
+// Validate checks the network's shapes compose over an input of the
+// given dimensions, returning the per-layer output sizes.
+func (nw *Network) Validate(h, w, c int) ([][3]int, error) {
+	var shapes [][3]int
+	for li, layer := range nw.Layers {
+		if layer.isDense() {
+			if layer.Dense.Rows != h*w*c {
+				return nil, fmt.Errorf("conv: dense layer %d wants %d inputs, gets %d", li, layer.Dense.Rows, h*w*c)
+			}
+			h, w, c = 1, 1, layer.Dense.Cols
+			shapes = append(shapes, [3]int{h, w, c})
+			continue
+		}
+		if len(layer.Kernels) == 0 {
+			return nil, fmt.Errorf("conv: layer %d has neither kernels nor dense weights", li)
+		}
+		q := layer.Kernels[0].Q
+		for ki, k := range layer.Kernels {
+			if k.Q != q || k.C != c {
+				return nil, fmt.Errorf("conv: layer %d kernel %d has shape (q=%d,c=%d), want (q=%d,c=%d)",
+					li, ki, k.Q, k.C, q, c)
+			}
+		}
+		if layer.Stride < 1 || q > h || q > w {
+			return nil, fmt.Errorf("conv: layer %d does not fit %dx%d input", li, h, w)
+		}
+		h = (h-q)/layer.Stride + 1
+		w = (w-q)/layer.Stride + 1
+		c = len(layer.Kernels)
+		shapes = append(shapes, [3]int{h, w, c})
+	}
+	return shapes, nil
+}

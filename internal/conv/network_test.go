@@ -1,0 +1,134 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+)
+
+// twoLayerNet builds a small 2-layer spiking network: 8x8 input ->
+// (2x2 kernels, stride 2) -> 4x4x2 activations -> (2x2 kernels,
+// stride 2) -> 2x2x2 output.
+func twoLayerNet(rng *rand.Rand) *Network {
+	l1 := make([]*Kernel, 2)
+	for i := range l1 {
+		k := NewKernel(2, 1)
+		for j := range k.Data {
+			k.Data[j] = rng.Int63n(5) - 2
+		}
+		l1[i] = k
+	}
+	l2 := make([]*Kernel, 2)
+	for i := range l2 {
+		k := NewKernel(2, 2)
+		for j := range k.Data {
+			k.Data[j] = rng.Int63n(3) - 1
+		}
+		l2[i] = k
+	}
+	return &Network{Layers: []Layer{
+		{Kernels: l1, Stride: 2, Threshold: 1},
+		{Kernels: l2, Stride: 2, Threshold: 2},
+	}}
+}
+
+// The circuit forward pass matches the direct reference exactly,
+// layer activations included.
+func TestNetworkForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 3; trial++ {
+		nw := twoLayerNet(rng)
+		im := randomImage(rng, 8, 8, 1, 3)
+		want, err := nw.ForwardDirect(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nw.Forward(im, core.Options{Alg: bilinear.Strassen()}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Output.Data[i] {
+				t.Fatalf("trial %d: activation %d differs", trial, i)
+			}
+		}
+		if len(got.Layers) != 2 || got.Gates == 0 || got.Depth == 0 {
+			t.Errorf("missing network stats: %+v", got)
+		}
+		// Layer depths accumulate (+1 activation each).
+		if got.Depth != got.Layers[0].Depth+got.Layers[1].Depth {
+			t.Error("network depth is not the sum of layer depths")
+		}
+	}
+}
+
+// Partitioned execution gives identical activations.
+func TestNetworkForwardPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	nw := twoLayerNet(rng)
+	im := randomImage(rng, 8, 8, 1, 3)
+	whole, err := nw.Forward(im, core.Options{Alg: bilinear.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := nw.Forward(im, core.Options{Alg: bilinear.Strassen()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range whole.Output.Data {
+		if whole.Output.Data[i] != parts.Output.Data[i] {
+			t.Fatal("partitioned network output differs")
+		}
+	}
+}
+
+// Activations are binary and spike counts match.
+func TestNetworkActivationsBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	nw := twoLayerNet(rng)
+	im := randomImage(rng, 8, 8, 1, 3)
+	res, err := nw.Forward(im, core.Options{Alg: bilinear.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, lr := range res.Layers {
+		var ones int64
+		for _, v := range lr.Activations.Data {
+			if v != 0 && v != 1 {
+				t.Fatalf("layer %d: non-binary activation %d", li, v)
+			}
+			ones += v
+		}
+		if ones != lr.Spikes {
+			t.Errorf("layer %d: spikes %d != activation ones %d", li, lr.Spikes, ones)
+		}
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	nw := twoLayerNet(rng)
+	shapes, err := nw.Validate(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 2 || shapes[0] != [3]int{4, 4, 2} || shapes[1] != [3]int{2, 2, 2} {
+		t.Errorf("shapes = %v", shapes)
+	}
+	// Channel mismatch is caught.
+	bad := &Network{Layers: []Layer{{Kernels: []*Kernel{NewKernel(2, 3)}, Stride: 1}}}
+	if _, err := bad.Validate(8, 8, 1); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	// Oversized kernel is caught.
+	big := &Network{Layers: []Layer{{Kernels: []*Kernel{NewKernel(9, 1)}, Stride: 1}}}
+	if _, err := big.Validate(8, 8, 1); err == nil {
+		t.Error("oversized kernel accepted")
+	}
+	empty := &Network{}
+	if _, err := empty.Forward(randomImage(rng, 4, 4, 1, 1), core.Options{Alg: bilinear.Strassen()}, 0); err == nil {
+		t.Error("empty network accepted")
+	}
+}

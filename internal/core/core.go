@@ -1,0 +1,347 @@
+// Package core implements the paper's primary contribution: constant-
+// depth, subcubic-size threshold circuits for matrix multiplication and
+// for deciding trace(A³) >= τ (Section 4).
+//
+// The constructions follow the paper exactly:
+//
+//   - BuildMatMul (Theorems 4.8/4.9): top-down sweeps of T_A and T_B
+//     compute the leaf scalars on the scheduled levels only (depth 2 per
+//     transition, Lemma 4.2), a depth-1 Lemma 3.3 layer multiplies
+//     corresponding leaves, and a bottom-up sweep of T_AB (Lemma 4.6)
+//     assembles the product. Realized depth is 4t+1 for a schedule with
+//     t transitions; with the Theorem 4.9 schedule t <= d.
+//
+//   - BuildTrace (Theorems 4.4/4.5): sweeps of T_A, T_B and the dual
+//     tree T_G (the third linear form of equation 4) run in parallel,
+//     a depth-1 triple-product layer computes p_q·q_q, and one output
+//     gate compares Σ_q leafA_q·leafB_q·leafG_q = trace(A³)/2 with
+//     ceil(τ/2). Realized depth is 2t+2.
+//
+//   - BuildNaiveTriangle: the Θ(N³) depth-2 baseline of Section 1, with
+//     exactly C(N,3) + 1 gates.
+//
+// Every builder records a per-phase gate audit so experiments can
+// attribute cost to tree transitions exactly as Lemmas 4.2/4.3/4.6/4.7
+// do.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// Options configures circuit construction.
+type Options struct {
+	// Alg is the bilinear fast matrix multiplication algorithm; it must
+	// satisfy the bilinear identity (use bilinear.Verify).
+	Alg *bilinear.Algorithm
+	// Schedule lists the tree levels to materialize; nil selects the
+	// Theorem 4.5/4.9 constant-depth schedule for Depth d.
+	Schedule tctree.Schedule
+	// Depth is the d parameter used when Schedule is nil (default 2).
+	Depth int
+	// EntryBits is the number of bits b per input entry magnitude
+	// (default 1: binary matrices).
+	EntryBits int
+	// Signed enables negative inputs: each entry gets a second input
+	// plane for x⁻ (the paper's signed convention). Unsigned inputs
+	// spend no gates on the empty negative halves.
+	Signed bool
+	// GroupSize, when >= 2, bounds the fan-in of every Lemma 3.2
+	// summation by multi-stage grouping (arith.GroupedSumBits). Depth
+	// guarantees then grow by the extra stages; used for the Section 5
+	// fan-in-limited deployments. 0 or 1 means single-stage (faithful to
+	// the paper).
+	GroupSize int
+	// SharedMSB enables the paper's end-of-Lemma-3.2 optimization:
+	// sharing one Lemma 3.1 first layer across all most-significant
+	// output bits. Identical circuit function, fewer gates. Ignored when
+	// GroupSize is active.
+	SharedMSB bool
+}
+
+func (o *Options) fill() error {
+	if o.Alg == nil {
+		return fmt.Errorf("core: Options.Alg is required")
+	}
+	if err := o.Alg.Validate(); err != nil {
+		return err
+	}
+	if o.EntryBits == 0 {
+		o.EntryBits = 1
+	}
+	if o.EntryBits < 0 || o.EntryBits > 20 {
+		return fmt.Errorf("core: EntryBits %d out of range [1,20]", o.EntryBits)
+	}
+	if o.Depth == 0 {
+		o.Depth = 2
+	}
+	if o.Depth < 1 {
+		return fmt.Errorf("core: Depth %d < 1", o.Depth)
+	}
+	return nil
+}
+
+// schedule resolves the schedule for tree height L.
+func (o *Options) schedule(L int) (tctree.Schedule, error) {
+	s := o.Schedule
+	if s == nil {
+		s = tctree.ConstantDepth(o.Alg.Params().Gamma, L, o.Depth)
+	}
+	if err := s.Validate(L); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Audit attributes gate counts to construction phases.
+type Audit struct {
+	// DownA[i], DownB[i], DownG[i] are the gates spent computing the
+	// (i+1)-th scheduled level of the respective tree (Lemma 4.2).
+	DownA, DownB, DownG []int64
+	// Product is the Lemma 3.3 layer.
+	Product int64
+	// Up[i] is the gates spent computing T_AB level h_i from level
+	// h_{i+1} (Lemma 4.6), indexed from the leaves down to the root.
+	Up []int64
+	// Output is the final comparison gate (trace only).
+	Output int64
+}
+
+// Total returns the total audited gates.
+func (a Audit) Total() int64 {
+	t := a.Product + a.Output
+	for _, v := range a.DownA {
+		t += v
+	}
+	for _, v := range a.DownB {
+		t += v
+	}
+	for _, v := range a.DownG {
+		t += v
+	}
+	for _, v := range a.Up {
+		t += v
+	}
+	return t
+}
+
+// sumBits applies the configured summation strategy.
+func (o *Options) sumBits(b *circuit.Builder, s arith.Signed) arith.Signed {
+	if o.GroupSize >= 2 {
+		return arith.Signed{
+			Pos: arith.GroupedSumBits(b, s.Pos, o.GroupSize),
+			Neg: arith.GroupedSumBits(b, s.Neg, o.GroupSize),
+		}
+	}
+	if o.SharedMSB {
+		return arith.SignedSumBitsShared(b, s)
+	}
+	return arith.SignedSumBits(b, s)
+}
+
+// levelData carries the materialized matrices of one scheduled level:
+// nodes[pathIdx] holds the dim x dim entries row-major.
+type levelData struct {
+	h     int
+	dim   int
+	nodes [][]arith.Signed
+}
+
+// gridNZ is a precomputed nonzero of a coefficient grid.
+type gridNZ struct {
+	bi, bj int
+	coef   int64
+}
+
+// downSweep materializes the scheduled levels of a tree top-down,
+// returning the leaf scalars (level L) and appending per-transition gate
+// counts to *audit.
+func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.Schedule,
+	root []arith.Signed, n int, audit *[]int64) []arith.Signed {
+
+	T := tree.Alg.T
+	r := tree.Alg.R
+	cur := levelData{h: 0, dim: n, nodes: [][]arith.Signed{root}}
+	for i := 1; i < len(sched); i++ {
+		h := sched[i]
+		delta := h - cur.h
+		m := n / int(bitio.Pow(T, h))
+		paths := int(bitio.Pow(r, delta))
+
+		// Precompute the nonzeros of every relative-path grid.
+		nzs := make([][]gridNZ, paths)
+		tctree.Paths(r, delta, func(idx int64, p []int) {
+			g := tree.CoefGrid(p)
+			var list []gridNZ
+			for bi := 0; bi < g.Dim; bi++ {
+				for bj := 0; bj < g.Dim; bj++ {
+					if w := g.At(bi, bj); w != 0 {
+						list = append(list, gridNZ{bi, bj, w})
+					}
+				}
+			}
+			nzs[idx] = list
+		})
+
+		before := int64(b.Size())
+		next := levelData{h: h, dim: m, nodes: make([][]arith.Signed, len(cur.nodes)*paths)}
+		terms := make([]arith.ScaledSigned, 0, 16)
+		for pi, parent := range cur.nodes {
+			for q := 0; q < paths; q++ {
+				entries := make([]arith.Signed, m*m)
+				for row := 0; row < m; row++ {
+					for col := 0; col < m; col++ {
+						terms = terms[:0]
+						for _, nz := range nzs[q] {
+							pe := parent[(nz.bi*m+row)*cur.dim+(nz.bj*m+col)]
+							terms = append(terms, arith.ScaledSigned{X: pe, Coeff: nz.coef})
+						}
+						entries[row*m+col] = o.sumBits(b, arith.SignedCombine(terms))
+					}
+				}
+				next.nodes[pi*paths+q] = entries
+			}
+		}
+		*audit = append(*audit, int64(b.Size())-before)
+		cur = next
+	}
+	// At level L the matrices are 1x1 scalars.
+	leaves := make([]arith.Signed, len(cur.nodes))
+	for i, node := range cur.nodes {
+		leaves[i] = node[0]
+	}
+	return leaves
+}
+
+// upSweep assembles T_AB bottom-up from the leaf products, returning the
+// root's n x n entries.
+func (o *Options) upSweep(b *circuit.Builder, alg *bilinear.Algorithm, sched tctree.Schedule,
+	products []arith.Signed, n int, audit *[]int64) []arith.Signed {
+
+	tg := tctree.NewTreeG(alg)
+	T := alg.T
+	r := alg.R
+
+	cur := levelData{h: sched[len(sched)-1], dim: 1, nodes: make([][]arith.Signed, len(products))}
+	for i, p := range products {
+		cur.nodes[i] = []arith.Signed{p}
+	}
+
+	for i := len(sched) - 2; i >= 0; i-- {
+		h := sched[i]
+		delta := cur.h - h
+		mp := n / int(bitio.Pow(T, h)) // node dimension at level h
+		paths := int(bitio.Pow(r, delta))
+		d := mp / cur.dim // block-grid dimension T^delta
+
+		// Invert the grids: for each block (X, Y), which descendant
+		// paths contribute with what weight (Lemma 4.6's size(u_l)).
+		perBlock := make([][]gridNZ, d*d) // reuse gridNZ: bi=path index
+		tctree.Paths(r, delta, func(idx int64, p []int) {
+			g := tg.CoefGrid(p)
+			for X := 0; X < d; X++ {
+				for Y := 0; Y < d; Y++ {
+					if w := g.At(X, Y); w != 0 {
+						perBlock[X*d+Y] = append(perBlock[X*d+Y], gridNZ{bi: int(idx), coef: w})
+					}
+				}
+			}
+		})
+
+		before := int64(b.Size())
+		count := len(cur.nodes) / paths
+		next := levelData{h: h, dim: mp, nodes: make([][]arith.Signed, count)}
+		terms := make([]arith.ScaledSigned, 0, 16)
+		for ni := 0; ni < count; ni++ {
+			childBase := ni * paths
+			entries := make([]arith.Signed, mp*mp)
+			for X := 0; X < d; X++ {
+				for Y := 0; Y < d; Y++ {
+					contrib := perBlock[X*d+Y]
+					for row := 0; row < cur.dim; row++ {
+						for col := 0; col < cur.dim; col++ {
+							terms = terms[:0]
+							for _, c := range contrib {
+								ce := cur.nodes[childBase+c.bi][row*cur.dim+col]
+								terms = append(terms, arith.ScaledSigned{X: ce, Coeff: c.coef})
+							}
+							entries[(X*cur.dim+row)*mp+(Y*cur.dim+col)] = o.sumBits(b, arith.SignedCombine(terms))
+						}
+					}
+				}
+			}
+			next.nodes[ni] = entries
+		}
+		*audit = append(*audit, int64(b.Size())-before)
+		cur = next
+	}
+	return cur.nodes[0]
+}
+
+// inputMatrix wires up the input planes for one matrix and returns its
+// entries as signed values. Layout (per matrix): for each entry in
+// row-major order, EntryBits wires for x⁺, then (if Signed) EntryBits
+// wires for x⁻.
+func (o *Options) inputMatrix(b *circuit.Builder, base, n int) []arith.Signed {
+	per := o.perEntry()
+	entries := make([]arith.Signed, n*n)
+	for e := 0; e < n*n; e++ {
+		pos := make([]circuit.Wire, o.EntryBits)
+		for k := 0; k < o.EntryBits; k++ {
+			pos[k] = b.Input(base + e*per + k)
+		}
+		var neg []circuit.Wire
+		if o.Signed {
+			neg = make([]circuit.Wire, o.EntryBits)
+			for k := 0; k < o.EntryBits; k++ {
+				neg[k] = b.Input(base + e*per + o.EntryBits + k)
+			}
+		}
+		entries[e] = arith.InputSigned(pos, neg)
+	}
+	return entries
+}
+
+// perEntry returns input wires consumed per matrix entry.
+func (o *Options) perEntry() int {
+	if o.Signed {
+		return 2 * o.EntryBits
+	}
+	return o.EntryBits
+}
+
+// encodeMatrix writes matrix m into the input assignment at base,
+// following inputMatrix's layout.
+func (o *Options) encodeMatrix(dst []bool, base int, m *matrix.Matrix) error {
+	per := o.perEntry()
+	for e, v := range m.Data {
+		if v < 0 && !o.Signed {
+			return fmt.Errorf("core: negative entry %d requires Options.Signed", v)
+		}
+		if bitio.Bits(bitio.Abs(v)) > o.EntryBits {
+			return fmt.Errorf("core: entry %d exceeds EntryBits=%d", v, o.EntryBits)
+		}
+		pos, neg := arith.EncodeSigned(v, o.EntryBits)
+		copy(dst[base+e*per:], pos)
+		if o.Signed {
+			copy(dst[base+e*per+o.EntryBits:], neg)
+		}
+	}
+	return nil
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and any integer a.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// The count circuit recovers trace(A³)/2 exactly on adjacency matrices.
+func TestCountCircuitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{4, 8} {
+		cc, err := BuildCount(n, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			adj := randomAdjacency(rng, n, 0.5)
+			got, err := cc.HalfTrace(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := adj.TraceCube() / 2; got != want {
+				t.Fatalf("n=%d trial=%d: half trace %d, want %d", n, trial, got, want)
+			}
+			tri, err := cc.Triangles(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := adj.TraceCube() / 6; tri != want {
+				t.Fatalf("triangles %d, want %d", tri, want)
+			}
+		}
+	}
+}
+
+// One count circuit answers every τ query the decision circuit answers.
+func TestCountSubsumesDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n = 8
+	cc, err := BuildCount(n, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := randomAdjacency(rng, n, 0.4)
+	half, err := cc.HalfTrace(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []int64{0, 2, 2 * half, 2*half + 1, 2*half + 6} {
+		dec, err := BuildTrace(n, tau, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decide(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (2*half >= tau) {
+			t.Errorf("tau=%d: decision circuit disagrees with count", tau)
+		}
+	}
+}
+
+// Signed matrices: the count circuit reports negative half-traces.
+func TestCountSignedMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cc, err := BuildCount(4, Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNegative := false
+	for trial := 0; trial < 20; trial++ {
+		a := matrix.New(4, 4)
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				v := rng.Int63n(7) - 3
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		got, err := cc.HalfTrace(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.TraceCube() / 2
+		if got != want {
+			t.Fatalf("trial %d: half trace %d, want %d", trial, got, want)
+		}
+		if want < 0 {
+			sawNegative = true
+		}
+	}
+	if !sawNegative {
+		t.Log("no negative trace sampled; widen the trial count if this recurs")
+	}
+}
+
+// Depth realization: 2t+3 without grouping.
+func TestCountDepth(t *testing.T) {
+	for _, sched := range []tctree.Schedule{
+		tctree.Direct(3),
+		tctree.Uniform(3, 2),
+	} {
+		cc, err := BuildCount(8, Options{Alg: bilinear.Strassen(), Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := sched.Transitions()
+		if got := cc.Circuit.Depth(); got != 2*tt+3 {
+			t.Errorf("sched %v: depth %d, want 2t+3 = %d", sched, got, 2*tt+3)
+		}
+		if cc.Circuit.Depth() > cc.DepthBound() {
+			t.Error("depth bound violated")
+		}
+	}
+}
+
+// Triangles rejects non-graph inputs where the half-trace betrays them.
+func TestCountTrianglesRejectsNonGraph(t *testing.T) {
+	cc, err := BuildCount(4, Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A weighted symmetric matrix whose half-trace is not divisible by 3.
+	a := matrix.New(4, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(0, 2, 1)
+	a.Set(2, 0, 1)
+	a.Set(1, 2, 1)
+	a.Set(2, 1, 1)
+	// trace(A³)/2 = product of weights over the triangle * 3... compute:
+	half := a.TraceCube() / 2
+	if half%3 == 0 {
+		t.Skip("sample matrix happens to be triangle-multiple; adjust weights")
+	}
+	if _, err := cc.Triangles(a); err == nil {
+		t.Error("non-graph matrix accepted by Triangles")
+	}
+}
+
+func TestCountAuditComplete(t *testing.T) {
+	cc, err := BuildCount(8, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Audit.Total() != int64(cc.Circuit.Size()) {
+		t.Errorf("audit %d != size %d", cc.Audit.Total(), cc.Circuit.Size())
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	if _, err := BuildCount(3, Options{Alg: bilinear.Strassen()}); err == nil {
+		t.Error("N=3 accepted")
+	}
+	cc, err := BuildCount(4, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.HalfTrace(matrix.New(2, 2)); err != nil {
+	} else {
+		t.Error("wrong-size input accepted")
+	}
+}
+
+// Property: count equals reference on random graphs.
+func TestCountProperty(t *testing.T) {
+	cc, err := BuildCount(4, Options{Alg: bilinear.Winograd()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		adj := randomAdjacency(rng, 4, rng.Float64())
+		got, err := cc.HalfTrace(adj)
+		return err == nil && got == adj.TraceCube()/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// MatMulCircuit is a threshold circuit computing C = AB for N x N
+// integer matrices (Theorems 4.8 and 4.9).
+type MatMulCircuit struct {
+	Circuit  *circuit.Circuit
+	N        int
+	Opts     Options
+	Schedule tctree.Schedule
+	Audit    Audit
+
+	// entries[i*N+j] is the signed bit representation of C_ij; its wires
+	// index into evaluation results.
+	entries []arith.Signed
+}
+
+// BuildMatMul constructs the matrix product circuit for N x N inputs
+// (N must be a power of Alg.T).
+//
+// Input layout: matrix A's planes first, then matrix B's, each as
+// described by Options (EntryBits wires for x⁺ per entry, then EntryBits
+// for x⁻ when Signed).
+func BuildMatMul(n int, opts Options) (*MatMulCircuit, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if n < 1 || !isPowOrOne(opts.Alg.T, n) {
+		return nil, fmt.Errorf("core: N=%d is not a power of T=%d", n, opts.Alg.T)
+	}
+	L := bitio.Log(opts.Alg.T, n)
+	sched, err := opts.schedule(L)
+	if err != nil {
+		return nil, err
+	}
+
+	per := opts.perEntry()
+	b := circuit.NewBuilder(2 * n * n * per)
+	rootA := opts.inputMatrix(b, 0, n)
+	rootB := opts.inputMatrix(b, n*n*per, n)
+
+	mc := &MatMulCircuit{N: n, Opts: opts, Schedule: sched}
+	ta := tctree.NewTreeA(opts.Alg)
+	tb := tctree.NewTreeB(opts.Alg)
+	leavesA := opts.downSweep(b, ta, sched, rootA, n, &mc.Audit.DownA)
+	leavesB := opts.downSweep(b, tb, sched, rootB, n, &mc.Audit.DownB)
+
+	before := int64(b.Size())
+	products := make([]arith.Signed, len(leavesA))
+	for q := range leavesA {
+		products[q] = arith.SignedProduct2(b, leavesA[q], leavesB[q])
+	}
+	mc.Audit.Product = int64(b.Size()) - before
+
+	mc.entries = opts.upSweep(b, opts.Alg, sched, products, n, &mc.Audit.Up)
+
+	// Mark every output bit so the circuit interface is self-describing.
+	for _, e := range mc.entries {
+		for _, t := range e.Pos.Terms {
+			b.MarkOutput(t.Wire)
+		}
+		for _, t := range e.Neg.Terms {
+			b.MarkOutput(t.Wire)
+		}
+	}
+	mc.Circuit = b.Build()
+	return mc, nil
+}
+
+func isPowOrOne(base, n int) bool {
+	return n == 1 || bitio.IsPow(base, n)
+}
+
+// Assign encodes an (A, B) input pair as a circuit input assignment.
+func (mc *MatMulCircuit) Assign(a, b *matrix.Matrix) ([]bool, error) {
+	if a.Rows != mc.N || a.Cols != mc.N || b.Rows != mc.N || b.Cols != mc.N {
+		return nil, fmt.Errorf("core: inputs must be %dx%d", mc.N, mc.N)
+	}
+	in := make([]bool, mc.Circuit.NumInputs())
+	per := mc.Opts.perEntry()
+	if err := mc.Opts.encodeMatrix(in, 0, a); err != nil {
+		return nil, err
+	}
+	if err := mc.Opts.encodeMatrix(in, mc.N*mc.N*per, b); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Decode reads the product matrix from an evaluation result.
+func (mc *MatMulCircuit) Decode(vals []bool) *matrix.Matrix {
+	out := matrix.New(mc.N, mc.N)
+	for e, s := range mc.entries {
+		out.Data[e] = s.Value(vals)
+	}
+	return out
+}
+
+// Multiply runs the circuit end to end: encode, evaluate (in parallel),
+// decode.
+func (mc *MatMulCircuit) Multiply(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return mc.Decode(mc.Circuit.EvalParallel(in, 0)), nil
+}
+
+// DepthBound returns the Theorem 4.9 depth guarantee 4t+1 for the
+// realized schedule; Circuit.Depth() never exceeds it.
+func (mc *MatMulCircuit) DepthBound() int {
+	return 4*mc.Schedule.Transitions() + 1
+}
+
+// EntryReps exposes the signed output representations of C's entries in
+// row-major order (wires in this circuit's own numbering). Advanced
+// composition API: the marked outputs enumerate exactly these terms —
+// for each entry, positive terms then negative terms — so after
+// circuit.Builder.Embed the representations can be rebuilt against the
+// remapped output wires.
+func (mc *MatMulCircuit) EntryReps() []arith.Signed { return mc.entries }

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// The matmul circuit computes exact products: every algorithm, binary
+// inputs, N = T and T².
+func TestMatMulBinaryAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, alg := range bilinear.Registry() {
+		for _, l := range []int{1, 2} {
+			if alg.T == 4 && l == 2 {
+				continue // 16x16 composed case covered separately
+			}
+			n := int(bitio.Pow(alg.T, l))
+			mc, err := BuildMatMul(n, Options{Alg: alg})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				a := matrix.RandomBinary(rng, n, n, 0.5)
+				bm := matrix.RandomBinary(rng, n, n, 0.5)
+				got, err := mc.Multiply(a, bm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(a.Mul(bm)) {
+					t.Fatalf("%s n=%d trial=%d: wrong product\nA\n%v B\n%v got\n%v want\n%v",
+						name, n, trial, a, bm, got, a.Mul(bm))
+				}
+			}
+		}
+	}
+}
+
+// Signed multi-bit entries.
+func TestMatMulSignedEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mc, err := BuildMatMul(4, Options{Alg: bilinear.Strassen(), EntryBits: 3, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		a := matrix.Random(rng, 4, 4, -7, 7)
+		b := matrix.Random(rng, 4, 4, -7, 7)
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(a.Mul(b)) {
+			t.Fatalf("trial %d: wrong signed product", trial)
+		}
+	}
+}
+
+// Depth realization: 4t+1 exactly, and within the Theorem 4.9 bound
+// 4d+1 when using the default schedule.
+func TestMatMulDepth(t *testing.T) {
+	for _, l := range []int{1, 2, 3} {
+		n := 1 << l
+		for _, sched := range []tctree.Schedule{
+			tctree.Direct(l),
+			tctree.Uniform(l, 2),
+			tctree.LogLog(bilinear.Strassen().Params().Gamma, l),
+		} {
+			mc, err := BuildMatMul(n, Options{Alg: bilinear.Strassen(), Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt := sched.Transitions()
+			if got := mc.Circuit.Depth(); got != 4*tt+1 {
+				t.Errorf("n=%d sched=%v: depth %d, want 4t+1 = %d", n, sched, got, 4*tt+1)
+			}
+			if mc.Circuit.Depth() > mc.DepthBound() {
+				t.Errorf("depth exceeds bound")
+			}
+		}
+	}
+}
+
+// Correctness is schedule-independent: all schedules give the same
+// product.
+func TestMatMulScheduleIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 8
+	const l = 3
+	a := matrix.Random(rng, n, n, 0, 3)
+	b := matrix.Random(rng, n, n, 0, 3)
+	want := a.Mul(b)
+	for _, sched := range []tctree.Schedule{
+		{0, 3},
+		{0, 1, 3},
+		{0, 2, 3},
+		{0, 1, 2, 3},
+	} {
+		mc, err := BuildMatMul(n, Options{Alg: bilinear.Strassen(), Schedule: sched, EntryBits: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("schedule %v: wrong product", sched)
+		}
+		_ = l
+	}
+}
+
+// 16x16 via the composed T=4 algorithm and via Strassen agree.
+func TestMatMul16Composed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuit")
+	}
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.RandomBinary(rng, 16, 16, 0.4)
+	b := matrix.RandomBinary(rng, 16, 16, 0.4)
+	want := a.Mul(b)
+
+	alg4, err := bilinear.Lookup("strassen2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := BuildMatMul(16, Options{Alg: alg4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("composed-algorithm product wrong")
+	}
+}
+
+// Property-based: random small instances across random schedules.
+func TestMatMulProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(2)
+		n := 1 << l
+		scheds := []tctree.Schedule{tctree.Direct(l), tctree.Uniform(l, l)}
+		sched := scheds[rng.Intn(len(scheds))]
+		bits := 1 + rng.Intn(2)
+		signed := rng.Intn(2) == 1
+		mc, err := BuildMatMul(n, Options{
+			Alg: bilinear.Strassen(), Schedule: sched, EntryBits: bits, Signed: signed,
+		})
+		if err != nil {
+			return false
+		}
+		lo := int64(0)
+		hi := int64(1)<<uint(bits) - 1
+		if signed {
+			lo = -hi
+		}
+		a := matrix.Random(rng, n, n, lo, hi)
+		b := matrix.Random(rng, n, n, lo, hi)
+		got, err := mc.Multiply(a, b)
+		return err == nil && got.Equal(a.Mul(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The audit accounts for every gate.
+func TestMatMulAuditComplete(t *testing.T) {
+	mc, err := BuildMatMul(4, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Audit.Total(); got != int64(mc.Circuit.Size()) {
+		t.Errorf("audit total %d != circuit size %d", got, mc.Circuit.Size())
+	}
+	if len(mc.Audit.DownA) != mc.Schedule.Transitions() {
+		t.Errorf("audit has %d down-A transitions, want %d", len(mc.Audit.DownA), mc.Schedule.Transitions())
+	}
+	if len(mc.Audit.Up) != mc.Schedule.Transitions() {
+		t.Errorf("audit has %d up transitions, want %d", len(mc.Audit.Up), mc.Schedule.Transitions())
+	}
+}
+
+// Errors: wrong sizes, invalid options.
+func TestMatMulErrors(t *testing.T) {
+	if _, err := BuildMatMul(3, Options{Alg: bilinear.Strassen()}); err == nil {
+		t.Error("N=3 accepted for T=2")
+	}
+	if _, err := BuildMatMul(4, Options{}); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	if _, err := BuildMatMul(4, Options{Alg: bilinear.Strassen(), EntryBits: 99}); err == nil {
+		t.Error("absurd EntryBits accepted")
+	}
+	if _, err := BuildMatMul(4, Options{Alg: bilinear.Strassen(), Schedule: tctree.Schedule{0, 1}}); err == nil {
+		t.Error("schedule not reaching L accepted")
+	}
+	mc, err := BuildMatMul(2, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Multiply(matrix.New(4, 4), matrix.New(4, 4)); err == nil {
+		t.Error("wrong input size accepted")
+	}
+	if _, err := mc.Multiply(matrix.FromRows([][]int64{{2, 0}, {0, 0}}), matrix.New(2, 2)); err == nil {
+		t.Error("entry exceeding EntryBits accepted")
+	}
+	if _, err := mc.Multiply(matrix.FromRows([][]int64{{-1, 0}, {0, 0}}), matrix.New(2, 2)); err == nil {
+		t.Error("negative entry accepted without Signed")
+	}
+}
+
+// N=1 degenerates to a single scalar product.
+func TestMatMulScalar(t *testing.T) {
+	mc, err := BuildMatMul(1, Options{Alg: bilinear.Strassen(), EntryBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.FromRows([][]int64{{13}})
+	b := matrix.FromRows([][]int64{{11}})
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 143 {
+		t.Errorf("1x1 product = %d, want 143", got.At(0, 0))
+	}
+}
+
+// Grouped summation (fan-in limiting) preserves correctness.
+func TestMatMulGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mc, err := BuildMatMul(4, Options{Alg: bilinear.Strassen(), GroupSize: 3, EntryBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		a := matrix.Random(rng, 4, 4, 0, 3)
+		b := matrix.Random(rng, 4, 4, 0, 3)
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(a.Mul(b)) {
+			t.Fatal("grouped product wrong")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+)
+
+// RectMatMulCircuit multiplies rectangular matrices — a P x Q by Q x K
+// product — through a square padded circuit, the standard embedding the
+// paper's convolutional application needs (P patches by Q kernel
+// elements by K kernels, Section 5).
+type RectMatMulCircuit struct {
+	Inner   *MatMulCircuit
+	P, Q, K int
+	Padded  int
+}
+
+// BuildRectMatMul pads the P x Q x K shape up to the next power of
+// Alg.T and builds the square circuit once.
+func BuildRectMatMul(p, q, k int, opts Options) (*RectMatMulCircuit, error) {
+	if p < 1 || q < 1 || k < 1 {
+		return nil, fmt.Errorf("core: invalid rectangular shape %dx%dx%d", p, q, k)
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	side := p
+	if q > side {
+		side = q
+	}
+	if k > side {
+		side = k
+	}
+	padded := int(bitio.Pow(opts.Alg.T, bitio.CeilLog(opts.Alg.T, side)))
+	inner, err := BuildMatMul(padded, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RectMatMulCircuit{Inner: inner, P: p, Q: q, K: k, Padded: padded}, nil
+}
+
+// Multiply computes A (P x Q) times B (Q x K) through the circuit.
+func (rc *RectMatMulCircuit) Multiply(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	if a.Rows != rc.P || a.Cols != rc.Q {
+		return nil, fmt.Errorf("core: A is %dx%d, want %dx%d", a.Rows, a.Cols, rc.P, rc.Q)
+	}
+	if b.Rows != rc.Q || b.Cols != rc.K {
+		return nil, fmt.Errorf("core: B is %dx%d, want %dx%d", b.Rows, b.Cols, rc.Q, rc.K)
+	}
+	prod, err := rc.Inner.Multiply(padTo(a, rc.Padded), padTo(b, rc.Padded))
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(rc.P, rc.K)
+	for i := 0; i < rc.P; i++ {
+		for j := 0; j < rc.K; j++ {
+			out.Set(i, j, prod.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// padTo embeds a rectangular matrix into the top-left of an n x n zero
+// matrix.
+func padTo(m *matrix.Matrix, n int) *matrix.Matrix {
+	out := matrix.New(n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return out
+}

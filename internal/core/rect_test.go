@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+)
+
+func TestRectMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	cases := [][3]int{{3, 5, 2}, {1, 7, 1}, {6, 2, 6}, {5, 5, 5}, {16, 4, 2}}
+	for _, c := range cases {
+		p, q, k := c[0], c[1], c[2]
+		rc, err := BuildRectMatMul(p, q, k, Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			a := matrix.Random(rng, p, q, -3, 3)
+			b := matrix.Random(rng, q, k, -3, 3)
+			got, err := rc.Multiply(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(a.Mul(b)) {
+				t.Fatalf("%v: rectangular product wrong", c)
+			}
+		}
+	}
+}
+
+func TestRectMatMulErrors(t *testing.T) {
+	if _, err := BuildRectMatMul(0, 1, 1, Options{Alg: bilinear.Strassen()}); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	rc, err := BuildRectMatMul(2, 3, 4, Options{Alg: bilinear.Strassen(), EntryBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Multiply(matrix.New(3, 3), matrix.New(3, 4)); err == nil {
+		t.Error("wrong A shape accepted")
+	}
+	if _, err := rc.Multiply(matrix.New(2, 3), matrix.New(4, 4)); err == nil {
+		t.Error("wrong B shape accepted")
+	}
+}
+
+// Property: random rectangular shapes.
+func TestRectMatMulProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(5)
+		q := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(5)
+		rc, err := BuildRectMatMul(p, q, k, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			return false
+		}
+		a := matrix.RandomBinary(rng, p, q, 0.5)
+		b := matrix.RandomBinary(rng, q, k, 0.5)
+		got, err := rc.Multiply(a, b)
+		return err == nil && got.Equal(a.Mul(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

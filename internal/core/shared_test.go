@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+)
+
+// SharedMSB builds smaller circuits that compute identical results.
+func TestSharedMSBOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	plain, err := BuildMatMul(8, Options{Alg: bilinear.Strassen(), EntryBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := BuildMatMul(8, Options{Alg: bilinear.Strassen(), EntryBits: 2, SharedMSB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Circuit.Size() >= plain.Circuit.Size() {
+		t.Errorf("shared %d gates >= plain %d", shared.Circuit.Size(), plain.Circuit.Size())
+	}
+	if shared.Circuit.Depth() != plain.Circuit.Depth() {
+		t.Errorf("depth changed: %d vs %d", shared.Circuit.Depth(), plain.Circuit.Depth())
+	}
+	for trial := 0; trial < 5; trial++ {
+		a := matrix.Random(rng, 8, 8, 0, 3)
+		b := matrix.Random(rng, 8, 8, 0, 3)
+		want := a.Mul(b)
+		g1, err := plain.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := shared.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g1.Equal(want) || !g2.Equal(want) {
+			t.Fatal("shared/plain product mismatch")
+		}
+	}
+}
+
+func TestSharedMSBTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	adj := randomAdjacency(rng, 8, 0.5)
+	tau := adj.TraceCube()
+	plain, err := BuildTrace(8, tau, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := BuildTrace(8, tau, Options{Alg: bilinear.Strassen(), SharedMSB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Circuit.Size() >= plain.Circuit.Size() {
+		t.Errorf("shared %d gates >= plain %d", shared.Circuit.Size(), plain.Circuit.Size())
+	}
+	a1, err := plain.Decide(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := shared.Decide(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || !a1 {
+		t.Error("shared trace circuit disagrees")
+	}
+}

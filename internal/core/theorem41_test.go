@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+)
+
+// Theorem 4.1 circuits stay correct at every d.
+func TestTheorem41Correct(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 8
+	adj := randomAdjacency(rng, n, 0.5)
+	want := adj.TraceCube()
+	for d := 1; d <= 3; d++ {
+		tc, err := BuildTheorem41Trace(n, want, bilinear.Strassen(), d, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.Decide(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Errorf("d=%d: trace >= itself failed", d)
+		}
+	}
+	a := matrix.RandomBinary(rng, 4, 4, 0.5)
+	b := matrix.RandomBinary(rng, 4, 4, 0.5)
+	for d := 1; d <= 3; d++ {
+		mc, err := BuildTheorem41MatMul(4, bilinear.Strassen(), d, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(a.Mul(b)) {
+			t.Errorf("d=%d: product wrong", d)
+		}
+	}
+}
+
+// The Theorem 4.1 trade: larger d means smaller group size, hence
+// deeper circuits with smaller interior fan-in.
+func TestTheorem41DepthFanInTrade(t *testing.T) {
+	const n = 16
+	interiorFanIn := func(tc *TraceCircuit) int {
+		mx := 0
+		depth := tc.Circuit.Depth()
+		for g := 0; g < tc.Circuit.Size(); g++ {
+			if tc.Circuit.GateLevel(g) < depth {
+				if f := tc.Circuit.FanIn(g); f > mx {
+					mx = f
+				}
+			}
+		}
+		return mx
+	}
+	var prevDepth, prevFanIn int
+	for i, d := range []int{1, 3} {
+		tc, err := BuildTheorem41Trace(n, 1, bilinear.Strassen(), d, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := tc.Circuit.Depth()
+		fan := interiorFanIn(tc)
+		if i == 1 {
+			if depth <= prevDepth {
+				t.Errorf("d=3 depth %d not above d=1 depth %d", depth, prevDepth)
+			}
+			if fan >= prevFanIn {
+				t.Errorf("d=3 interior fan-in %d not below d=1's %d", fan, prevFanIn)
+			}
+		}
+		prevDepth, prevFanIn = depth, fan
+	}
+}
+
+func TestTheorem41Errors(t *testing.T) {
+	if _, err := Theorem41Options(bilinear.Strassen(), 8, 0, 1, false); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Theorem41Options(bilinear.Strassen(), 3, 1, 1, false); err == nil {
+		t.Error("N=3 accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// TraceCircuit is a threshold circuit deciding trace(A³) >= τ for an
+// N x N integer matrix A (Theorems 4.4 and 4.5). For a graph adjacency
+// matrix, trace(A³) = 6·(#triangles), so the circuit answers "does G
+// have at least ceil(τ/6) triangles?" when τ is chosen accordingly.
+type TraceCircuit struct {
+	Circuit  *circuit.Circuit
+	N        int
+	Tau      int64
+	Opts     Options
+	Schedule tctree.Schedule
+	Audit    Audit
+
+	output circuit.Wire
+}
+
+// BuildTrace constructs the trace-threshold circuit. The single input
+// matrix A feeds three parallel tree sweeps: T_A, T_B (both on A) and
+// T_G on the strict-upper-triangle mask G (G_ij = A_ij for i < j), which
+// computes the third linear form of equation (4). The output gate
+// compares Σ_q leafA_q·leafB_q·leafG_q = trace(A³)/2 against ceil(τ/2).
+func BuildTrace(n int, tau int64, opts Options) (*TraceCircuit, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if n < 1 || !isPowOrOne(opts.Alg.T, n) {
+		return nil, fmt.Errorf("core: N=%d is not a power of T=%d", n, opts.Alg.T)
+	}
+	L := bitio.Log(opts.Alg.T, n)
+	sched, err := opts.schedule(L)
+	if err != nil {
+		return nil, err
+	}
+
+	per := opts.perEntry()
+	b := circuit.NewBuilder(n * n * per)
+	rootA := opts.inputMatrix(b, 0, n)
+
+	// The masked root G shares A's input wires above the diagonal and is
+	// zero elsewhere — no gates needed.
+	rootG := make([]arith.Signed, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rootG[i*n+j] = rootA[i*n+j]
+		}
+	}
+
+	tc := &TraceCircuit{N: n, Tau: tau, Opts: opts, Schedule: sched}
+	leavesA := opts.downSweep(b, tctree.NewTreeA(opts.Alg), sched, rootA, n, &tc.Audit.DownA)
+	leavesB := opts.downSweep(b, tctree.NewTreeB(opts.Alg), sched, rootA, n, &tc.Audit.DownB)
+	leavesG := opts.downSweep(b, tctree.NewTreeG(opts.Alg), sched, rootG, n, &tc.Audit.DownG)
+
+	before := int64(b.Size())
+	terms := make([]arith.ScaledSigned, 0, len(leavesA))
+	for q := range leavesA {
+		p := arith.SignedProduct3(b, leavesA[q], leavesB[q], leavesG[q])
+		terms = append(terms, arith.ScaledSigned{X: p, Coeff: 1})
+	}
+	tc.Audit.Product = int64(b.Size()) - before
+
+	// trace(A³) >= τ  ⟺  trace/2 >= ceil(τ/2) since the sum is integral.
+	before = int64(b.Size())
+	tc.output = arith.Threshold(b, arith.SignedCombine(terms), ceilDiv(tau, 2))
+	tc.Audit.Output = int64(b.Size()) - before
+	b.MarkOutput(tc.output)
+	tc.Circuit = b.Build()
+	return tc, nil
+}
+
+// Assign encodes matrix A as a circuit input assignment.
+func (tc *TraceCircuit) Assign(a *matrix.Matrix) ([]bool, error) {
+	if a.Rows != tc.N || a.Cols != tc.N {
+		return nil, fmt.Errorf("core: input must be %dx%d", tc.N, tc.N)
+	}
+	in := make([]bool, tc.Circuit.NumInputs())
+	if err := tc.Opts.encodeMatrix(in, 0, a); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Decide runs the circuit on A and reports whether trace(A³) >= τ.
+func (tc *TraceCircuit) Decide(a *matrix.Matrix) (bool, error) {
+	in, err := tc.Assign(a)
+	if err != nil {
+		return false, err
+	}
+	vals := tc.Circuit.EvalParallel(in, 0)
+	return vals[tc.output], nil
+}
+
+// DepthBound returns the realized construction's depth guarantee 2t+2
+// (within Theorem 4.5's stated 2d+5).
+func (tc *TraceCircuit) DepthBound() int {
+	return 2*tc.Schedule.Transitions() + 2
+}
+
+// TriangleCircuit is the depth-2, C(N,3)+1-gate baseline of Section 1:
+// inputs x_ij (i < j) are edge indicators; gate g_ijk fires iff all
+// three edges of triangle {i,j,k} are present; the output gate fires iff
+// at least tau triangles exist.
+type TriangleCircuit struct {
+	Circuit *circuit.Circuit
+	N       int
+	Tau     int64
+	output  circuit.Wire
+}
+
+// BuildNaiveTriangle constructs the baseline triangle-threshold circuit
+// for graphs on n vertices.
+func BuildNaiveTriangle(n int, tau int64) (*TriangleCircuit, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("core: naive triangle circuit needs n >= 3, got %d", n)
+	}
+	numEdges := n * (n - 1) / 2
+	b := circuit.NewBuilder(numEdges)
+
+	edge := func(i, j int) circuit.Wire {
+		if i > j {
+			i, j = j, i
+		}
+		// Index of (i, j), i < j, in row-major upper-triangle order.
+		return circuit.Wire(i*(2*n-i-1)/2 + (j - i - 1))
+	}
+
+	var ys []circuit.Wire
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				y := b.Gate(
+					[]circuit.Wire{edge(i, j), edge(i, k), edge(j, k)},
+					[]int64{1, 1, 1}, 3)
+				ys = append(ys, y)
+			}
+		}
+	}
+	weights := make([]int64, len(ys))
+	for i := range weights {
+		weights[i] = 1
+	}
+	out := b.Gate(ys, weights, tau)
+	b.MarkOutput(out)
+	tcirc := &TriangleCircuit{Circuit: b.Build(), N: n, Tau: tau, output: out}
+	return tcirc, nil
+}
+
+// Assign encodes a graph adjacency matrix (symmetric 0/1, zero diagonal)
+// as the circuit's edge-variable assignment.
+func (t *TriangleCircuit) Assign(adj *matrix.Matrix) ([]bool, error) {
+	if adj.Rows != t.N || adj.Cols != t.N {
+		return nil, fmt.Errorf("core: adjacency must be %dx%d", t.N, t.N)
+	}
+	if !adj.IsSymmetric() {
+		return nil, fmt.Errorf("core: adjacency matrix must be symmetric")
+	}
+	in := make([]bool, t.Circuit.NumInputs())
+	idx := 0
+	for i := 0; i < t.N; i++ {
+		if adj.At(i, i) != 0 {
+			return nil, fmt.Errorf("core: self-loop at vertex %d", i)
+		}
+		for j := i + 1; j < t.N; j++ {
+			switch adj.At(i, j) {
+			case 0:
+			case 1:
+				in[idx] = true
+			default:
+				return nil, fmt.Errorf("core: adjacency entry (%d,%d) = %d is not 0/1", i, j, adj.At(i, j))
+			}
+			idx++
+		}
+	}
+	return in, nil
+}
+
+// Decide reports whether the graph has at least Tau triangles.
+func (t *TriangleCircuit) Decide(adj *matrix.Matrix) (bool, error) {
+	in, err := t.Assign(adj)
+	if err != nil {
+		return false, err
+	}
+	vals := t.Circuit.EvalParallel(in, 0)
+	return vals[t.output], nil
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+	"repro/internal/tctree"
+)
+
+// randomAdjacency returns a random symmetric 0/1 matrix with zero
+// diagonal.
+func randomAdjacency(rng *rand.Rand, n int, p float64) *matrix.Matrix {
+	a := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				a.Set(i, j, 1)
+				a.Set(j, i, 1)
+			}
+		}
+	}
+	return a
+}
+
+// The trace circuit answers trace(A³) >= τ exactly, swept across τ
+// values bracketing the true trace.
+func TestTraceThresholdSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{4, 8} {
+		for trial := 0; trial < 3; trial++ {
+			a := randomAdjacency(rng, n, 0.5)
+			want := a.TraceCube()
+			for _, tau := range []int64{0, 1, want - 2, want - 1, want, want + 1, want + 2, 3 * want} {
+				tc, err := BuildTrace(n, tau, Options{Alg: bilinear.Strassen()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tc.Decide(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != (want >= tau) {
+					t.Fatalf("n=%d trace=%d tau=%d: got %v", n, want, tau, got)
+				}
+			}
+		}
+	}
+}
+
+// Signed integer matrices (not just adjacency): the trace circuit
+// handles negative entries and negative traces.
+func TestTraceSignedMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		n := 4
+		a := matrix.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Int63n(7) - 3
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		want := a.TraceCube()
+		for _, tau := range []int64{want - 1, want, want + 1, 0, -50, 50} {
+			tc, err := BuildTrace(n, tau, Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.Decide(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (want >= tau) {
+				t.Fatalf("trial=%d trace=%d tau=%d: got %v", trial, want, tau, got)
+			}
+		}
+	}
+}
+
+// Asymmetric matrices: trace(A³) is well-defined for any square A; the
+// circuit must not assume symmetry.
+//
+// Note: the equation-(4) identity Σ_{i<j} A_ij·(A²)_ij = trace(A³)/2
+// requires symmetry, but the paper's problem statement (Section 2.3)
+// only needs A symmetric for the triangle application. Our circuit
+// implements the identity, so it documents and enforces the symmetric
+// case; this test pins that behaviour.
+func TestTraceRequiresSymmetricSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// For symmetric matrices the circuit is exact (covered above); here
+	// we verify the documented identity directly: on an asymmetric
+	// matrix the circuit computes Σ_{i<j} A_ij(A·A)_ij·2 thresholding,
+	// which differs from trace(A³) in general. We only check the
+	// circuit is internally consistent with the identity it implements.
+	n := 4
+	a := matrix.Random(rng, n, n, 0, 1)
+	c := a.Mul(a)
+	var half int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			half += a.At(i, j) * c.At(i, j)
+		}
+	}
+	implemented := 2 * half
+	for _, tau := range []int64{implemented, implemented + 1} {
+		tc, err := BuildTrace(n, tau, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.Decide(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (implemented >= tau) {
+			t.Fatalf("tau=%d: circuit disagrees with its defining identity", tau)
+		}
+	}
+}
+
+// Depth realization: 2t+2 exactly, within Theorem 4.5's 2d+5.
+func TestTraceDepth(t *testing.T) {
+	gamma := bilinear.Strassen().Params().Gamma
+	for _, l := range []int{1, 2, 3} {
+		n := 1 << l
+		for _, sched := range []tctree.Schedule{
+			tctree.Direct(l),
+			tctree.Uniform(l, 2),
+			tctree.LogLog(gamma, l),
+		} {
+			tc, err := BuildTrace(n, 1, Options{Alg: bilinear.Strassen(), Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt := sched.Transitions()
+			if got := tc.Circuit.Depth(); got != 2*tt+2 {
+				t.Errorf("n=%d sched=%v: depth %d, want 2t+2 = %d", n, sched, got, 2*tt+2)
+			}
+		}
+	}
+	// Default schedule honors Theorem 4.5: depth <= 2d+5.
+	for d := 1; d <= 3; d++ {
+		tc, err := BuildTrace(8, 1, Options{Alg: bilinear.Strassen(), Depth: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.Circuit.Depth() > 2*d+5 {
+			t.Errorf("d=%d: depth %d exceeds theorem bound %d", d, tc.Circuit.Depth(), 2*d+5)
+		}
+	}
+}
+
+// Triangle counting through the trace circuit: trace(A³) = 6Δ.
+func TestTraceCountsTriangles(t *testing.T) {
+	// K4 has 4 triangles: trace = 24.
+	k4 := matrix.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				k4.Set(i, j, 1)
+			}
+		}
+	}
+	for _, c := range []struct {
+		tau  int64
+		want bool
+	}{{24, true}, {25, false}, {6, true}, {0, true}} {
+		tc, err := BuildTrace(4, c.tau, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.Decide(k4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("K4 tau=%d: got %v want %v", c.tau, got, c.want)
+		}
+	}
+}
+
+// Winograd-based trace circuit agrees with Strassen-based one.
+func TestTraceAlgorithmIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomAdjacency(rng, 4, 0.6)
+	want := a.TraceCube()
+	for _, algName := range []string{"strassen", "winograd", "naive2"} {
+		alg, err := bilinear.Lookup(algName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := BuildTrace(4, want, Options{Alg: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.Decide(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Errorf("%s: trace >= its own value should hold", algName)
+		}
+	}
+}
+
+// The naive triangle circuit has exactly C(N,3)+1 gates and depth 2
+// (Section 1), and decides correctly.
+func TestNaiveTriangleStructure(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 12} {
+		tc, err := BuildNaiveTriangle(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := int64(tc.Circuit.Size()), bitio.Binomial(n, 3)+1; got != want {
+			t.Errorf("n=%d: size %d, want C(n,3)+1 = %d", n, got, want)
+		}
+		if tc.Circuit.Depth() != 2 {
+			t.Errorf("n=%d: depth %d, want 2", n, tc.Circuit.Depth())
+		}
+	}
+}
+
+func TestNaiveTriangleDecides(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(6)
+		adj := randomAdjacency(rng, n, 0.5)
+		triangles := adj.TraceCube() / 6
+		for _, tau := range []int64{0, 1, triangles, triangles + 1} {
+			tc, err := BuildNaiveTriangle(n, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.Decide(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (triangles >= tau) {
+				t.Fatalf("n=%d Δ=%d tau=%d: got %v", n, triangles, tau, got)
+			}
+		}
+	}
+}
+
+// Naive circuit and subcubic trace circuit agree on the same queries:
+// Δ >= k  ⟺  trace >= 6k.
+func TestNaiveVsSubcubicAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		const n = 8
+		adj := randomAdjacency(rng, n, 0.4)
+		for _, k := range []int64{1, 2, 5, 10} {
+			naive, err := BuildNaiveTriangle(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := BuildTrace(n, 6*k, Options{Alg: bilinear.Strassen()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, err := naive.Decide(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := fast.Decide(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a1 != a2 {
+				t.Fatalf("trial=%d k=%d: naive=%v fast=%v", trial, k, a1, a2)
+			}
+		}
+	}
+}
+
+// Property test: random adjacency, random tau.
+func TestTraceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		a := randomAdjacency(rng, n, 0.3+0.4*rng.Float64())
+		tau := rng.Int63n(40) - 5
+		tc, err := BuildTrace(n, tau, Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			return false
+		}
+		got, err := tc.Decide(a)
+		return err == nil && got == (a.TraceCube() >= tau)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceAuditComplete(t *testing.T) {
+	tc, err := BuildTrace(8, 6, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Audit.Total() != int64(tc.Circuit.Size()) {
+		t.Errorf("audit %d != size %d", tc.Audit.Total(), tc.Circuit.Size())
+	}
+	if tc.Audit.Output != 1 {
+		t.Errorf("output phase = %d gates, want 1", tc.Audit.Output)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := BuildTrace(3, 1, Options{Alg: bilinear.Strassen()}); err == nil {
+		t.Error("N=3 accepted for T=2")
+	}
+	if _, err := BuildNaiveTriangle(2, 1); err == nil {
+		t.Error("n=2 naive triangle accepted")
+	}
+	tc, err := BuildNaiveTriangle(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Decide(matrix.FromRows([][]int64{{0, 1}, {1, 0}})); err == nil {
+		t.Error("wrong-size adjacency accepted")
+	}
+	asym := matrix.New(4, 4)
+	asym.Set(0, 1, 1)
+	if _, err := tc.Decide(asym); err == nil {
+		t.Error("asymmetric adjacency accepted")
+	}
+	loop := matrix.New(4, 4)
+	loop.Set(0, 0, 1)
+	if _, err := tc.Decide(loop); err == nil {
+		t.Error("self-loop accepted")
+	}
+	big := matrix.New(4, 4)
+	big.Set(0, 1, 2)
+	big.Set(1, 0, 2)
+	if _, err := tc.Decide(big); err == nil {
+		t.Error("non-binary adjacency accepted")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{4, 2, 2}, {5, 2, 3}, {-5, 2, -2}, {-4, 2, -2}, {0, 2, 0}, {1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package counting is the analytic gate-count model: it predicts, in
+// closed form, the number of gates the core builders create, for
+// instances far beyond what can be materialized (N up to 2^20 and more).
+//
+// The model replays the construction symbolically. Each Lemma 3.2
+// summation is costed by the exact rule the builder uses (bit j costs
+// 2^{bits(maxS_j)-j+1} + 1 gates when maxS_j >= 2^{j-1}), applied to
+// worst-case weight multisets:
+//
+//   - entry widths follow the paper's bound (2): W(h) = b + 2h·log2 T;
+//   - per-node linear-form sizes follow the exact distributions of
+//     size(u) = Π a_{k_i} (equation (3)) and of the T_AB block
+//     contribution counts Π c'_{e_i} (equation (5)), aggregated as
+//     products of the per-step label multisets;
+//   - both halves of every signed pair are charged.
+//
+// The result is a sound upper bound on the builders' measured gate
+// counts (asserted by tests where both exist) whose growth exponent
+// reproduces the paper's Õ(N^{ω + c·γ^d}) claims.
+package counting
+
+import (
+	"math"
+
+	"repro/internal/bilinear"
+	"repro/internal/tctree"
+)
+
+// weightClass is cnt occurrences of the weight 2^pow in a summation's
+// weight multiset.
+type weightClass struct {
+	pow int
+	cnt float64
+}
+
+type multiset []weightClass
+
+// binaryNumber is the weight multiset of one W-bit binary summand.
+func binaryNumber(w int) multiset {
+	ms := make(multiset, w)
+	for p := 0; p < w; p++ {
+		ms[p] = weightClass{pow: p, cnt: 1}
+	}
+	return ms
+}
+
+// productRep is the weight multiset of a Lemma 3.3 two-factor signed
+// product representation: both sign halves of each factor have width w,
+// and each signed half of the result is the union of two w x w grids
+// (pos·pos ∪ neg·neg), giving 2·(number of (i,j) with i+j = p) weights
+// at power p.
+func productRep(w int) multiset {
+	ms := make(multiset, 0, 2*w-1)
+	for p := 0; p <= 2*w-2; p++ {
+		lo := p - (w - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := p
+		if hi > w-1 {
+			hi = w - 1
+		}
+		ms = append(ms, weightClass{pow: p, cnt: 2 * float64(hi-lo+1)})
+	}
+	return ms
+}
+
+// scale multiplies every count by c (c summands of the same shape).
+func (ms multiset) scale(c float64) multiset {
+	out := make(multiset, len(ms))
+	for i, wc := range ms {
+		out[i] = weightClass{pow: wc.pow, cnt: wc.cnt * c}
+	}
+	return out
+}
+
+// bitsF is the real-number analogue of bitio.Bits: floor(log2 x) + 1
+// for x >= 1, 0 for x < 1.
+func bitsF(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(x))) + 1
+}
+
+// sumCost prices one signed half of a Lemma 3.2 summation over the given
+// weight multiset, using exactly the builder's per-bit rule.
+func sumCost(ms multiset) float64 {
+	var max float64
+	for _, wc := range ms {
+		max += wc.cnt * math.Pow(2, float64(wc.pow))
+	}
+	if max < 1 {
+		return 0
+	}
+	L := bitsF(max)
+	var gates float64
+	for j := 1; j <= L; j++ {
+		var maxSj float64
+		for _, wc := range ms {
+			if wc.pow < j {
+				maxSj += wc.cnt * math.Pow(2, float64(wc.pow))
+			}
+		}
+		if maxSj < math.Pow(2, float64(j-1)) {
+			continue
+		}
+		k := bitsF(maxSj) - j + 1
+		gates += math.Pow(2, float64(k)) + 1
+	}
+	return gates
+}
+
+// labelDist returns the distribution of Π labels over all paths of
+// length delta: product value -> number of paths. Label products stay
+// compact because real algorithms use few distinct labels. Values and
+// counts are float64 so the model reaches depths far beyond int64
+// range; products of small labels stay exact well past 2^53 when they
+// are powers of two (Strassen) and are approximate otherwise, which is
+// immaterial for a cost model.
+func labelDist(labels []int, delta int) map[float64]float64 {
+	dist := map[float64]float64{1: 1}
+	for i := 0; i < delta; i++ {
+		next := make(map[float64]float64, len(dist)*2)
+		for v, c := range dist {
+			for _, lab := range labels {
+				next[v*float64(lab)] += c
+			}
+		}
+		dist = next
+	}
+	return dist
+}
+
+// Estimate itemizes predicted gates by construction phase, mirroring
+// core.Audit.
+type Estimate struct {
+	DownA, DownB, DownG []float64
+	Product             float64
+	Up                  []float64
+	Output              float64
+}
+
+// Total returns the predicted total gate count.
+func (e Estimate) Total() float64 {
+	t := e.Product + e.Output
+	for _, v := range e.DownA {
+		t += v
+	}
+	for _, v := range e.DownB {
+		t += v
+	}
+	for _, v := range e.DownG {
+		t += v
+	}
+	for _, v := range e.Up {
+		t += v
+	}
+	return t
+}
+
+// width returns the paper's bound (2) on entry magnitude bits at tree
+// level h: b + bits of T^{2h}.
+func width(alg *bilinear.Algorithm, b, h int) int {
+	return b + bitsF(math.Pow(float64(alg.T), 2*float64(h))-0.5)
+}
+
+// downCost prices one down-sweep transition h' -> h of a tree with the
+// given edge labels: r^h' parent groups x per-class path counts x m²
+// entries x two signed halves.
+func downCost(alg *bilinear.Algorithm, labels []int, b, L, hPrev, h int) float64 {
+	delta := h - hPrev
+	w := width(alg, b, hPrev)
+	m := math.Pow(float64(alg.T), float64(L-h)) // matrix dim at level h
+	parents := math.Pow(float64(alg.R), float64(hPrev))
+	var total float64
+	for size, cnt := range labelDist(labels, delta) {
+		if size == 0 {
+			continue
+		}
+		perEntry := 2 * sumCost(binaryNumber(w).scale(size))
+		total += cnt * parents * m * m * perEntry
+	}
+	return total
+}
+
+// cPrimeLabels returns the per-output-expression term counts c'_e of the
+// algorithm (the up-sweep / T_G labels).
+func cPrimeLabels(alg *bilinear.Algorithm) []int {
+	return alg.CPrime()
+}
+
+// EstimateTrace predicts the gate count of core.BuildTrace for
+// N = T^L with entryBits-bit inputs under the given schedule.
+func EstimateTrace(alg *bilinear.Algorithm, entryBits, L int, sched tctree.Schedule) Estimate {
+	var e Estimate
+	ta := tctree.NewTreeA(alg).StepNonzeros()
+	tb := tctree.NewTreeB(alg).StepNonzeros()
+	tg := tctree.NewTreeG(alg).StepNonzeros()
+	for i := 1; i < len(sched); i++ {
+		e.DownA = append(e.DownA, downCost(alg, ta, entryBits, L, sched[i-1], sched[i]))
+		e.DownB = append(e.DownB, downCost(alg, tb, entryBits, L, sched[i-1], sched[i]))
+		e.DownG = append(e.DownG, downCost(alg, tg, entryBits, L, sched[i-1], sched[i]))
+	}
+	// Product layer: 8·W³ gates per leaf (Lemma 3.3 with signs).
+	w := float64(width(alg, entryBits, L))
+	leaves := math.Pow(float64(alg.R), float64(L))
+	e.Product = leaves * 8 * w * w * w
+	e.Output = 1
+	return e
+}
+
+// EstimateMatMul predicts the gate count of core.BuildMatMul.
+func EstimateMatMul(alg *bilinear.Algorithm, entryBits, L int, sched tctree.Schedule) Estimate {
+	var e Estimate
+	ta := tctree.NewTreeA(alg).StepNonzeros()
+	tb := tctree.NewTreeB(alg).StepNonzeros()
+	for i := 1; i < len(sched); i++ {
+		e.DownA = append(e.DownA, downCost(alg, ta, entryBits, L, sched[i-1], sched[i]))
+		e.DownB = append(e.DownB, downCost(alg, tb, entryBits, L, sched[i-1], sched[i]))
+	}
+	wLeaf := width(alg, entryBits, L)
+	leaves := math.Pow(float64(alg.R), float64(L))
+	// Product layer: 4·W² per leaf (two signed halves, two grids each).
+	e.Product = leaves * 4 * float64(wLeaf) * float64(wLeaf)
+
+	// Up-sweep: transitions from the leaves back to the root.
+	labels := cPrimeLabels(alg)
+	maxLabel := 0
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	// Width of T_AB entries at the current (child) level; leaves hold
+	// two-factor products of leaf scalars.
+	childWidth := 2 * wLeaf
+	childIsProductRep := true
+	for i := len(sched) - 2; i >= 0; i-- {
+		h := sched[i]
+		delta := sched[i+1] - h
+		m := math.Pow(float64(alg.T), float64(L-sched[i+1])) // child dim
+		nodes := math.Pow(float64(alg.R), float64(h))
+		var total float64
+		for size, cnt := range labelDist(labels, delta) {
+			if size == 0 {
+				continue
+			}
+			var ms multiset
+			if childIsProductRep {
+				ms = productRep(wLeaf).scale(size)
+			} else {
+				ms = binaryNumber(childWidth).scale(size)
+			}
+			// cnt blocks of m x m entries in each of the nodes.
+			total += nodes * cnt * m * m * 2 * sumCost(ms)
+		}
+		e.Up = append(e.Up, total)
+		// New entries are sums of at most maxLabel^delta child values.
+		childWidth += delta * bitsF(float64(maxLabel))
+		childIsProductRep = false
+	}
+	return e
+}
+
+// NaiveTriangleGates returns the baseline circuit size C(N,3) + 1 as a
+// float (Section 1).
+func NaiveTriangleGates(n float64) float64 {
+	return n*(n-1)*(n-2)/6 + 1
+}
+
+// NaiveMatMulGates prices the definitional depth-3 threshold circuit for
+// N x N, b-bit matrix product: N³ signed two-factor products (4b² gates
+// each) plus N² output summations over N product representations.
+func NaiveMatMulGates(n float64, b int) float64 {
+	products := n * n * n * 4 * float64(b) * float64(b)
+	perEntry := 2 * sumCost(productRep(b).scale(n))
+	return products + n*n*perEntry
+}
+
+// FittedExponent estimates the empirical growth exponent of counts
+// between two sizes: log(g2/g1) / log(N2/N1).
+func FittedExponent(g1, g2, n1, n2 float64) float64 {
+	return math.Log(g2/g1) / math.Log(n2/n1)
+}
+
+// TheoremExponent returns the paper's headline gate-count exponent for
+// depth parameter d: ω + c·γ^d (Theorems 4.5 / 4.9).
+func TheoremExponent(alg *bilinear.Algorithm, d int) float64 {
+	p := alg.Params()
+	return p.Omega + p.CConst*math.Pow(p.Gamma, float64(d))
+}

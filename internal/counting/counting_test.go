@@ -1,0 +1,292 @@
+package counting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/tctree"
+)
+
+// The model is a sound upper bound on measured gate counts, phase by
+// phase, where circuits can be materialized.
+func TestModelUpperBoundsTrace(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	for _, l := range []int{1, 2, 3} {
+		n := 1 << l
+		for _, sched := range []tctree.Schedule{
+			tctree.Direct(l),
+			tctree.LogLog(gamma, l),
+		} {
+			tc, err := core.BuildTrace(n, 1, core.Options{Alg: alg, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := EstimateTrace(alg, 1, l, sched)
+			if got, bound := float64(tc.Circuit.Size()), est.Total(); got > bound {
+				t.Errorf("n=%d sched=%v: measured %v > model %v", n, sched, got, bound)
+			}
+			// Phase-wise soundness for the down sweeps.
+			for i := range est.DownA {
+				if float64(tc.Audit.DownA[i]) > est.DownA[i] {
+					t.Errorf("n=%d sched=%v: down-A[%d] measured %d > model %v",
+						n, sched, i, tc.Audit.DownA[i], est.DownA[i])
+				}
+			}
+			if float64(tc.Audit.Product) > est.Product {
+				t.Errorf("n=%d sched=%v: product measured %d > model %v",
+					n, sched, tc.Audit.Product, est.Product)
+			}
+		}
+	}
+}
+
+func TestModelUpperBoundsMatMul(t *testing.T) {
+	alg := bilinear.Strassen()
+	for _, l := range []int{1, 2} {
+		n := 1 << l
+		sched := tctree.Uniform(l, l)
+		mc, err := core.BuildMatMul(n, core.Options{Alg: alg, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateMatMul(alg, 1, l, sched)
+		if got, bound := float64(mc.Circuit.Size()), est.Total(); got > bound {
+			t.Errorf("n=%d: measured %v > model %v", n, got, bound)
+		}
+		// The model should not be absurdly loose either (within 100x at
+		// these tiny sizes; width bounds dominate the slack).
+		if est.Total() > 100*float64(mc.Circuit.Size()) {
+			t.Errorf("n=%d: model %v is over 100x measured %d", n, est.Total(), mc.Circuit.Size())
+		}
+	}
+}
+
+// The headline claim, exactly as the paper states it: the gate exponent
+// ω + c·γ^d drops below 3 precisely for d > 3 with Strassen's constants.
+func TestTheoremCrossoverAtD4(t *testing.T) {
+	alg := bilinear.Strassen()
+	for d := 1; d <= 2; d++ {
+		if e := TheoremExponent(alg, d); e <= 3 {
+			t.Errorf("d=%d: theorem exponent %v, expected > 3", d, e)
+		}
+	}
+	// With the exact constants (γ ≈ 0.4906, c ≈ 1.585), d=3 lands
+	// marginally below 3 (≈ 2.9945); the paper states the safe claim
+	// "for d > 3". Record the borderline value, assert d >= 4 firmly.
+	t.Logf("d=3: theorem exponent %v (borderline)", TheoremExponent(alg, 3))
+	for d := 4; d <= 8; d++ {
+		if e := TheoremExponent(alg, d); e >= 3 {
+			t.Errorf("d=%d: theorem exponent %v, expected < 3 (paper: d > 3 suffices)", d, e)
+		}
+	}
+}
+
+// The model's fitted exponent — which, unlike the theorem's Õ, still
+// carries the polylog factors of the Lemma 3.2/3.3 circuits — also drops
+// below 3 at large N for d >= 4, and exceeds 3 for d = 1.
+func TestModelFittedExponent(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	exponentAt := func(d int) float64 {
+		const l1, l2 = 48, 64
+		g1 := EstimateTrace(alg, 1, l1, tctree.ConstantDepth(gamma, l1, d)).Total()
+		g2 := EstimateTrace(alg, 1, l2, tctree.ConstantDepth(gamma, l2, d)).Total()
+		return FittedExponent(g1, g2, math.Pow(2, l1), math.Pow(2, l2))
+	}
+	if e1 := exponentAt(1); e1 <= 3 {
+		t.Errorf("d=1 fitted exponent %v, expected > 3", e1)
+	}
+	for d := 4; d <= 6; d++ {
+		if ed := exponentAt(d); ed >= 3 {
+			t.Errorf("d=%d fitted exponent %v, expected < 3", d, ed)
+		}
+	}
+}
+
+// The matmul model also crosses below 3 for d >= 4 at large L
+// (Theorem 4.9's side of the headline).
+func TestMatMulFittedExponent(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	exponentAt := func(d int) float64 {
+		const l1, l2 = 48, 64
+		g1 := EstimateMatMul(alg, 1, l1, tctree.ConstantDepth(gamma, l1, d)).Total()
+		g2 := EstimateMatMul(alg, 1, l2, tctree.ConstantDepth(gamma, l2, d)).Total()
+		return FittedExponent(g1, g2, math.Pow(2, l1), math.Pow(2, l2))
+	}
+	if e1 := exponentAt(1); e1 <= 3 {
+		t.Errorf("matmul d=1 fitted %v, expected > 3", e1)
+	}
+	for d := 4; d <= 6; d++ {
+		if ed := exponentAt(d); ed >= 3 {
+			t.Errorf("matmul d=%d fitted %v, expected < 3", d, ed)
+		}
+	}
+}
+
+// Fitted exponents track the theorem's ω + c·γ^d within the polylog
+// drag (the Õ factors contribute a slowly-vanishing positive offset).
+func TestExponentTracksTheorem(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	omega := alg.Params().Omega
+	const l1, l2 = 48, 64
+	for d := 1; d <= 8; d++ {
+		g1 := EstimateTrace(alg, 1, l1, tctree.ConstantDepth(gamma, l1, d)).Total()
+		g2 := EstimateTrace(alg, 1, l2, tctree.ConstantDepth(gamma, l2, d)).Total()
+		fitted := FittedExponent(g1, g2, math.Pow(2, l1), math.Pow(2, l2))
+		theorem := TheoremExponent(alg, d)
+		if fitted < omega-0.05 {
+			t.Errorf("d=%d: fitted exponent %v below ω=%v", d, fitted, omega)
+		}
+		// The theorem exponent is an upper bound (schedule ceilings often
+		// land better); the fitted value may sit below it but not far
+		// above (only polylog drag is allowed on top).
+		if fitted > theorem+0.35 {
+			t.Errorf("d=%d: fitted %v exceeds theorem %v by more than the polylog drag", d, fitted, theorem)
+		}
+	}
+}
+
+// LogLog schedule: fitted exponent essentially ω (the Õ(N^ω) claim of
+// Theorem 4.4).
+func TestLogLogExponent(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	omega := alg.Params().Omega
+	const l1, l2 = 16, 20
+	g1 := EstimateTrace(alg, 1, l1, tctree.LogLog(gamma, l1)).Total()
+	g2 := EstimateTrace(alg, 1, l2, tctree.LogLog(gamma, l2)).Total()
+	fitted := FittedExponent(g1, g2, math.Pow(2, l1), math.Pow(2, l2))
+	if fitted > omega+0.25 || fitted < omega-0.05 {
+		t.Errorf("loglog fitted exponent %v, want ≈ ω = %v", fitted, omega)
+	}
+}
+
+// Ablation (E9): at equal transition counts, the geometric schedule
+// needs fewer gates than the uniform one, and both beat the direct jump,
+// at large N.
+func TestScheduleAblation(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	const l = 20
+	geo := tctree.ConstantDepth(gamma, l, 4)
+	uni := tctree.Uniform(l, geo.Transitions())
+	direct := tctree.Direct(l)
+	gGeo := EstimateTrace(alg, 1, l, geo).Total()
+	gUni := EstimateTrace(alg, 1, l, uni).Total()
+	gDir := EstimateTrace(alg, 1, l, direct).Total()
+	if gGeo >= gUni {
+		t.Errorf("geometric %v >= uniform %v", gGeo, gUni)
+	}
+	if gUni >= gDir {
+		t.Errorf("uniform %v >= direct %v", gUni, gDir)
+	}
+}
+
+// The naive baseline formulas.
+func TestNaiveFormulas(t *testing.T) {
+	if got := NaiveTriangleGates(64); got != 41664+1 {
+		t.Errorf("NaiveTriangleGates(64) = %v, want 41665", got)
+	}
+	// Naive matmul grows like N³.
+	e := FittedExponent(NaiveMatMulGates(1<<10, 1), NaiveMatMulGates(1<<14, 1), 1<<10, 1<<14)
+	if math.Abs(e-3) > 0.05 {
+		t.Errorf("naive matmul exponent %v, want ≈ 3", e)
+	}
+}
+
+// The subcubic-vs-naive comparison: the constant factors and polylogs of
+// the construction put the literal gate-count crossover far out, but the
+// ratio fast/naive must shrink steadily with N once d >= 4 — the
+// asymptotic content of "O(N^{3-ε}) beats Θ(N³)". The model exhibits
+// exactly that, and the projected crossover N is finite.
+func TestBeatsNaiveAsymptotically(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	ratio := func(l, d int) float64 {
+		fast := EstimateTrace(alg, 1, l, tctree.ConstantDepth(gamma, l, d)).Total()
+		return fast / NaiveTriangleGates(math.Pow(2, float64(l)))
+	}
+	const d = 5
+	r32, r48, r64 := ratio(32, d), ratio(48, d), ratio(64, d)
+	if !(r64 < r48 && r48 < r32) {
+		t.Errorf("fast/naive ratio not shrinking: 2^32:%v 2^48:%v 2^64:%v", r32, r48, r64)
+	}
+	// Project the crossover from the L=48..64 slope: with exponent gap
+	// g = 3 - fitted, crossover at log2 N* ≈ 64 + log2(r64)/g.
+	fitted := FittedExponent(
+		EstimateTrace(alg, 1, 48, tctree.ConstantDepth(gamma, 48, d)).Total(),
+		EstimateTrace(alg, 1, 64, tctree.ConstantDepth(gamma, 64, d)).Total(),
+		math.Pow(2, 48), math.Pow(2, 64))
+	gap := 3 - fitted
+	if gap <= 0 {
+		t.Fatalf("no exponent gap at d=%d: fitted %v", d, fitted)
+	}
+	crossL := 64 + math.Log2(r64)/gap
+	if math.IsInf(crossL, 0) || math.IsNaN(crossL) || crossL < 64 {
+		t.Errorf("projected crossover log2(N*) = %v, expected finite and > 64", crossL)
+	}
+	t.Logf("d=%d: ratios 2^32:%.1f 2^48:%.1f 2^64:%.1f, fitted %.3f, projected crossover at N ≈ 2^%.0f",
+		d, r32, r48, r64, fitted, crossL)
+}
+
+// Winograd's larger sparsity costs it in the model: at the same d,
+// Strassen's trace circuit needs fewer gates at scale.
+func TestSparsityMattersAtScale(t *testing.T) {
+	s := bilinear.Strassen()
+	w := bilinear.Winograd()
+	const l, d = 20, 4
+	gs := EstimateTrace(s, 1, l, tctree.ConstantDepth(s.Params().Gamma, l, d)).Total()
+	gw := EstimateTrace(w, 1, l, tctree.ConstantDepth(w.Params().Gamma, l, d)).Total()
+	if gs >= gw {
+		t.Errorf("Strassen %v >= Winograd %v at d=%d, N=2^%d", gs, gw, d, l)
+	}
+}
+
+func TestSumCostMatchesBuilderRule(t *testing.T) {
+	// binaryNumber(3) scaled by 5 = five 3-bit summands: compare against
+	// arith.SumBitsGateCount via explicit expansion.
+	ms := binaryNumber(3).scale(5)
+	got := sumCost(ms)
+	// Explicit weights: 5 copies each of 1, 2, 4 -> max 35.
+	want := float64(sumBitsRef([]int64{1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 4, 4, 4, 4, 4}, 35))
+	if got != want {
+		t.Errorf("sumCost = %v, want %v", got, want)
+	}
+}
+
+// sumBitsRef mirrors arith.SumBitsGateCount for the test without
+// importing it (avoiding an import cycle is not an issue here, but the
+// duplication keeps the reference independent).
+func sumBitsRef(weights []int64, max int64) int64 {
+	var gates int64
+	L := bitsF(float64(max))
+	for j := 1; j <= L; j++ {
+		mod := int64(1) << uint(j)
+		var maxSj int64
+		for _, w := range weights {
+			maxSj += w % mod
+		}
+		if maxSj < mod/2 {
+			continue
+		}
+		l := bitsF(float64(maxSj))
+		gates += (int64(1) << uint(l-j+1)) + 1
+	}
+	return gates
+}
+
+func TestTheoremExponentValues(t *testing.T) {
+	alg := bilinear.Strassen()
+	// ω + c·γ^d for d=4: ≈ 2.807 + 1.585·0.491^4 ≈ 2.899 < 3.
+	if e := TheoremExponent(alg, 4); e >= 3 || e < 2.8 {
+		t.Errorf("theorem exponent at d=4 = %v, expected in [2.8, 3)", e)
+	}
+	if e := TheoremExponent(alg, 1); e <= 3 {
+		t.Errorf("theorem exponent at d=1 = %v, expected > 3", e)
+	}
+}

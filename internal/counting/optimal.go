@@ -1,0 +1,58 @@
+package counting
+
+import (
+	"math"
+
+	"repro/internal/bilinear"
+	"repro/internal/tctree"
+)
+
+// OptimalTraceSchedule exhaustively searches all increasing level
+// schedules 0 = h_0 < h_1 < ... < h_t = L with exactly t transitions
+// and returns the one minimizing the modeled trace-circuit gate count,
+// together with that count. It answers a question the paper leaves
+// implicit: how close is the closed-form geometric rule
+// h_i = ⌈(1-γ^i)ρ⌉ of Lemma 4.3 to the true (model-)optimal level
+// selection? (E22 quantifies the gap: small.)
+//
+// The search space is C(L-1, t-1) schedules; feasible for the L ≤ 32,
+// t ≤ 5 regime the experiments use.
+func OptimalTraceSchedule(alg *bilinear.Algorithm, entryBits, L, t int) (tctree.Schedule, float64) {
+	best := math.Inf(1)
+	var bestSched tctree.Schedule
+
+	sched := make([]int, t+1)
+	sched[0] = 0
+	sched[t] = L
+	var rec func(pos, next int)
+	rec = func(pos, next int) {
+		if pos == t {
+			s := make(tctree.Schedule, t+1)
+			copy(s, sched)
+			if total := EstimateTrace(alg, entryBits, L, s).Total(); total < best {
+				best = total
+				bestSched = s
+			}
+			return
+		}
+		// Choose h_pos strictly between sched[pos-1] and L, leaving room
+		// for the remaining transitions.
+		for h := sched[pos-1] + 1; h <= L-(t-pos); h++ {
+			sched[pos] = h
+			rec(pos+1, h+1)
+		}
+	}
+	if t == 1 {
+		s := tctree.Schedule{0, L}
+		return s, EstimateTrace(alg, entryBits, L, s).Total()
+	}
+	rec(1, 1)
+	return bestSched, best
+}
+
+// ScheduleGap reports how far a schedule's modeled cost sits above the
+// optimum with the same transition count: cost(s) / cost(optimal).
+func ScheduleGap(alg *bilinear.Algorithm, entryBits, L int, s tctree.Schedule) float64 {
+	_, opt := OptimalTraceSchedule(alg, entryBits, L, s.Transitions())
+	return EstimateTrace(alg, entryBits, L, s).Total() / opt
+}

@@ -1,0 +1,59 @@
+package counting
+
+import (
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/tctree"
+)
+
+// The exhaustive optimum is a valid schedule and never beats itself.
+func TestOptimalScheduleValid(t *testing.T) {
+	alg := bilinear.Strassen()
+	for _, c := range []struct{ L, t int }{{8, 2}, {12, 3}, {16, 3}, {20, 4}} {
+		s, cost := OptimalTraceSchedule(alg, 1, c.L, c.t)
+		if err := s.Validate(c.L); err != nil {
+			t.Fatalf("L=%d t=%d: %v", c.L, c.t, err)
+		}
+		if s.Transitions() != c.t {
+			t.Errorf("L=%d: optimum has %d transitions, want %d", c.L, s.Transitions(), c.t)
+		}
+		if cost <= 0 {
+			t.Errorf("L=%d: nonpositive optimal cost", c.L)
+		}
+		if got := EstimateTrace(alg, 1, c.L, s).Total(); got != cost {
+			t.Errorf("L=%d: reported optimum %v != re-evaluated %v", c.L, cost, got)
+		}
+	}
+}
+
+// The paper's geometric rule is near-optimal: within 25% of the
+// exhaustive optimum at matched transition counts, and strictly better
+// than uniform (which in turn beats nothing-in-between pathologies).
+func TestGeometricNearOptimal(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	for _, L := range []int{12, 16, 20} {
+		geo := tctree.ConstantDepth(gamma, L, 4)
+		tt := geo.Transitions()
+		gapGeo := ScheduleGap(alg, 1, L, geo)
+		gapUni := ScheduleGap(alg, 1, L, tctree.Uniform(L, tt))
+		if gapGeo > 1.25 {
+			t.Errorf("L=%d: geometric gap %.3f exceeds 1.25", L, gapGeo)
+		}
+		if gapGeo > gapUni {
+			t.Errorf("L=%d: geometric gap %.3f worse than uniform %.3f", L, gapGeo, gapUni)
+		}
+		if gapGeo < 1 || gapUni < 1 {
+			t.Errorf("L=%d: gap below 1 is impossible (geo %.3f uni %.3f)", L, gapGeo, gapUni)
+		}
+	}
+}
+
+// Degenerate t=1 case.
+func TestOptimalSingleTransition(t *testing.T) {
+	s, _ := OptimalTraceSchedule(bilinear.Strassen(), 1, 10, 1)
+	if len(s) != 2 || s[0] != 0 || s[1] != 10 {
+		t.Errorf("t=1 optimum %v, want [0 10]", s)
+	}
+}

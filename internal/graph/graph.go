@@ -1,0 +1,262 @@
+// Package graph is the social-network-analysis substrate of Section 5:
+// simple undirected graphs, generators for synthetic social networks,
+// exact triangle and wedge counting, and the global clustering
+// coefficient used to pick the threshold τ for the trace circuit.
+//
+// The paper's motivating question is "does G have at least τ triangles?"
+// with τ chosen as a function of the wedge count D ("usually they
+// compute the total number of wedges D in O(N) time and set τ to some
+// function of D").
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj *matrix.Matrix // symmetric 0/1, zero diagonal
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{N: n, adj: matrix.New(n, n)}
+}
+
+// FromAdjacency wraps a symmetric 0/1 matrix with zero diagonal.
+func FromAdjacency(adj *matrix.Matrix) (*Graph, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("graph: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
+	}
+	if !adj.IsSymmetric() {
+		return nil, fmt.Errorf("graph: adjacency must be symmetric")
+	}
+	for i := 0; i < adj.Rows; i++ {
+		if adj.At(i, i) != 0 {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", i)
+		}
+		for j := 0; j < adj.Cols; j++ {
+			if v := adj.At(i, j); v != 0 && v != 1 {
+				return nil, fmt.Errorf("graph: entry (%d,%d) = %d is not 0/1", i, j, v)
+			}
+		}
+	}
+	return &Graph{N: adj.Rows, adj: adj.Clone()}, nil
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.adj.Set(u, v, 1)
+	g.adj.Set(v, u, 1)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj.At(u, v) == 1 }
+
+// Adjacency returns a copy of the adjacency matrix.
+func (g *Graph) Adjacency() *matrix.Matrix { return g.adj.Clone() }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int64 {
+	var m int64
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			m += g.adj.At(i, j)
+		}
+	}
+	return m
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int64 {
+	var d int64
+	for j := 0; j < g.N; j++ {
+		d += g.adj.At(v, j)
+	}
+	return d
+}
+
+// Triangles counts triangles by direct enumeration over ordered triples
+// (the Θ(N³) reference the naive circuit implements).
+func (g *Graph) Triangles() int64 {
+	var t int64
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.adj.At(i, j) == 0 {
+				continue
+			}
+			for k := j + 1; k < g.N; k++ {
+				if g.adj.At(i, k) == 1 && g.adj.At(j, k) == 1 {
+					t++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// TrianglesViaTrace counts triangles as trace(A³)/6 (Section 2.3),
+// cross-checking the enumeration path.
+func (g *Graph) TrianglesViaTrace() int64 {
+	return g.adj.TraceCube() / 6
+}
+
+// Wedges returns the number of length-2 paths: Σ_v C(deg(v), 2) — the
+// quantity D the paper says is computed in O(N) time (given degrees) to
+// pick τ.
+func (g *Graph) Wedges() int64 {
+	var w int64
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		w = bitio.AddCheck(w, d*(d-1)/2)
+	}
+	return w
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (transitivity) 3Δ/D, the fraction of wedges that close into
+// triangles. Zero-wedge graphs report 0.
+func (g *Graph) ClusteringCoefficient() float64 {
+	w := g.Wedges()
+	if w == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(w)
+}
+
+// TauForClustering returns the trace threshold τ = 6·ceil(cc·D/3) such
+// that "trace(A³) >= τ" asks whether the global clustering coefficient
+// is at least cc — the paper's recipe of scaling the wedge count.
+func (g *Graph) TauForClustering(cc float64) int64 {
+	d := g.Wedges()
+	triangles := int64(float64(d) * cc / 3)
+	if float64(triangles)*3 < float64(d)*cc {
+		triangles++
+	}
+	return 6 * triangles
+}
+
+// ErdosRenyi samples G(n, p).
+func ErdosRenyi(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// PlantedCommunities samples a two-level benchmark graph in the spirit
+// of the BTER model the paper cites (Seshadhri, Kolda, Pinar): vertices
+// are split into `communities` equal blocks, with intra-block edge
+// probability pIn and inter-block probability pOut. pIn >> pOut yields
+// the high clustering coefficients the paper associates with community
+// structure.
+func PlantedCommunities(rng *rand.Rand, n, communities int, pIn, pOut float64) *Graph {
+	if communities < 1 {
+		panic(fmt.Sprintf("graph: need at least one community, got %d", communities))
+	}
+	g := New(n)
+	block := func(v int) int { return v * communities / n }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if block(i) == block(j) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert samples a preferential-attachment graph: starting from
+// a small seed clique, each new vertex attaches to m distinct existing
+// vertices chosen with probability proportional to degree. The result
+// has the heavy-tailed degree distribution typical of the social
+// networks Section 5 discusses (hubs sit at the center of many wedges,
+// driving the clustering-coefficient denominators).
+func BarabasiAlbert(rng *rand.Rand, n, m int) *Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("graph: BarabasiAlbert m=%d < 1", m))
+	}
+	g := New(n)
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	// Seed clique and the degree-weighted endpoint pool.
+	var pool []int
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			g.AddEdge(i, j)
+			pool = append(pool, i, j)
+		}
+	}
+	for v := seed; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			var u int
+			if len(pool) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = pool[rng.Intn(len(pool))]
+			}
+			if u != v {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			g.AddEdge(v, u)
+			pool = append(pool, v, u)
+		}
+	}
+	return g
+}
+
+// MaxDegree returns the largest vertex degree.
+func (g *Graph) MaxDegree() int64 {
+	var mx int64
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (triangle-free for n > 3).
+func Cycle(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}

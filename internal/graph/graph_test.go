@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestCompleteGraphCounts(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8} {
+		g := Complete(n)
+		nn := int64(n)
+		if got, want := g.NumEdges(), nn*(nn-1)/2; got != want {
+			t.Errorf("K%d edges = %d, want %d", n, got, want)
+		}
+		if got, want := g.Triangles(), nn*(nn-1)*(nn-2)/6; got != want {
+			t.Errorf("K%d triangles = %d, want %d", n, got, want)
+		}
+		if cc := g.ClusteringCoefficient(); cc != 1 {
+			t.Errorf("K%d clustering = %v, want 1", n, cc)
+		}
+	}
+}
+
+func TestCycleTriangleFree(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 10} {
+		g := Cycle(n)
+		if g.Triangles() != 0 {
+			t.Errorf("C%d has %d triangles", n, g.Triangles())
+		}
+		if g.NumEdges() != int64(n) {
+			t.Errorf("C%d edges = %d", n, g.NumEdges())
+		}
+		if g.Wedges() != int64(n) {
+			t.Errorf("C%d wedges = %d, want %d", n, g.Wedges(), n)
+		}
+	}
+	if Cycle(3).Triangles() != 1 {
+		t.Error("C3 is a triangle")
+	}
+}
+
+// Enumeration and trace counting agree on random graphs.
+func TestTrianglesMatchTrace(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		g := ErdosRenyi(rng, n, rng.Float64())
+		return g.Triangles() == g.TrianglesViaTrace()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ErdosRenyi(rng, 20, 0.3)
+	var sum int64
+	for v := 0; v < g.N; v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Errorf("handshake lemma violated: Σdeg=%d, 2|E|=%d", sum, 2*g.NumEdges())
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyi(rng, 60, 0.25)
+	maxEdges := int64(60 * 59 / 2)
+	density := float64(g.NumEdges()) / float64(maxEdges)
+	if density < 0.15 || density > 0.35 {
+		t.Errorf("G(60, .25) density = %v, implausible", density)
+	}
+	if g0 := ErdosRenyi(rng, 20, 0); g0.NumEdges() != 0 {
+		t.Error("p=0 graph has edges")
+	}
+	if g1 := ErdosRenyi(rng, 20, 1); g1.NumEdges() != 190 {
+		t.Error("p=1 graph is not complete")
+	}
+}
+
+// Community structure raises the clustering coefficient, the Section 5
+// premise (Orman et al.: high clustering implies community structure).
+func TestPlantedCommunitiesClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Compare a community graph against an Erdős–Rényi graph of similar
+	// density, averaged over several samples.
+	var ccCom, ccER float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		com := PlantedCommunities(rng, 48, 6, 0.8, 0.02)
+		den := float64(com.NumEdges()) / float64(48*47/2)
+		er := ErdosRenyi(rng, 48, den)
+		ccCom += com.ClusteringCoefficient()
+		ccER += er.ClusteringCoefficient()
+	}
+	if ccCom <= ccER*2 {
+		t.Errorf("community clustering %v not clearly above ER %v", ccCom/trials, ccER/trials)
+	}
+}
+
+// τ selection: thresholding trace(A³) at TauForClustering(cc) answers
+// "is the clustering coefficient at least cc".
+func TestTauForClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		g := ErdosRenyi(rng, 16, 0.2+0.6*rng.Float64())
+		if g.Wedges() == 0 {
+			continue
+		}
+		cc := g.ClusteringCoefficient()
+		trace := g.Adjacency().TraceCube()
+		for _, target := range []float64{cc * 0.5, cc * 0.99, cc * 1.01, cc * 2} {
+			tau := g.TauForClustering(target)
+			// trace >= tau should hold iff cc >= target (up to the
+			// integer ceiling in tau).
+			got := trace >= tau
+			want := cc >= target
+			if got != want {
+				// The ceiling can flip exact-boundary cases; recheck.
+				if target != cc {
+					t.Errorf("trial %d: cc=%v target=%v tau=%d trace=%d: got %v want %v",
+						trial, cc, target, tau, trace, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Barabási–Albert: right edge count, hub-dominated degrees.
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n, m = 200, 3
+	g := BarabasiAlbert(rng, n, m)
+	seed := m + 1
+	wantEdges := int64(seed*(seed-1)/2 + (n-seed)*m)
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(n)
+	if hub := float64(g.MaxDegree()); hub < 3*avg {
+		t.Errorf("max degree %v not hub-like vs average %v", hub, avg)
+	}
+	// Every vertex participates (min degree >= m for non-seed vertices).
+	for v := seed; v < n; v++ {
+		if g.Degree(v) < int64(m) {
+			t.Fatalf("vertex %d has degree %d < m", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	// n smaller than the seed clique degenerates gracefully.
+	g := BarabasiAlbert(rng, 2, 3)
+	if g.NumEdges() != 1 {
+		t.Errorf("K2 expected, got %d edges", g.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("m=0 did not panic")
+		}
+	}()
+	BarabasiAlbert(rng, 5, 0)
+}
+
+func TestFromAdjacencyValidation(t *testing.T) {
+	if _, err := FromAdjacency(matrix.New(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	asym := matrix.New(3, 3)
+	asym.Set(0, 1, 1)
+	if _, err := FromAdjacency(asym); err == nil {
+		t.Error("asymmetric accepted")
+	}
+	loop := matrix.New(3, 3)
+	loop.Set(1, 1, 1)
+	if _, err := FromAdjacency(loop); err == nil {
+		t.Error("self-loop accepted")
+	}
+	weighted := matrix.New(3, 3)
+	weighted.Set(0, 1, 2)
+	weighted.Set(1, 0, 2)
+	if _, err := FromAdjacency(weighted); err == nil {
+		t.Error("weighted accepted")
+	}
+	ok := matrix.New(3, 3)
+	ok.Set(0, 1, 1)
+	ok.Set(1, 0, 1)
+	g, err := FromAdjacency(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(1, 1) {
+		t.Error("edges wrong after FromAdjacency")
+	}
+}
+
+func TestAddEdgeSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop AddEdge did not panic")
+		}
+	}()
+	New(3).AddEdge(1, 1)
+}
+
+// Adjacency returns a copy: mutating it does not corrupt the graph.
+func TestAdjacencyIsCopy(t *testing.T) {
+	g := Complete(4)
+	adj := g.Adjacency()
+	adj.Set(0, 1, 0)
+	if !g.HasEdge(0, 1) {
+		t.Error("Adjacency leaked internal state")
+	}
+}

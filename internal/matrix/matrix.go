@@ -1,0 +1,315 @@
+// Package matrix implements dense integer matrices and the exact
+// reference arithmetic against which every threshold circuit in this
+// library is validated.
+//
+// All entries are int64. The paper's circuits operate on N x N integer
+// matrices with O(log N)-bit entries; at the sizes this library
+// materializes circuits for, int64 arithmetic is exact and overflow is
+// guarded explicitly.
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bitio"
+)
+
+// Matrix is a dense row-major integer matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []int64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix.New: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]int64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]int64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("matrix.FromRows: ragged row %d: len %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) int64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, v int64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.sameShape(o, "Add")
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = bitio.AddCheck(m.Data[i], o.Data[i])
+	}
+	return r
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.sameShape(o, "Sub")
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = bitio.AddCheck(m.Data[i], -o.Data[i])
+	}
+	return r
+}
+
+// Scale returns c * m.
+func (m *Matrix) Scale(c int64) *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = bitio.MulCheck(m.Data[i], c)
+	}
+	return r
+}
+
+// AddInPlace adds w*o into m (m += w*o). Used by the bilinear executor's
+// linear-combination passes.
+func (m *Matrix) AddInPlace(o *Matrix, w int64) {
+	m.sameShape(o, "AddInPlace")
+	for i := range m.Data {
+		m.Data[i] = bitio.AddCheck(m.Data[i], bitio.MulCheck(o.Data[i], w))
+	}
+}
+
+func (m *Matrix) sameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("matrix.%s: shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Mul returns the product m * o computed by the naive cubic algorithm.
+// This is the exact reference for all circuit outputs.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix.Mul: inner dimension mismatch %d vs %d", m.Cols, o.Rows))
+	}
+	r := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				r.Data[i*o.Cols+j] = bitio.AddCheck(r.Data[i*o.Cols+j], bitio.MulCheck(a, o.Data[k*o.Cols+j]))
+			}
+		}
+	}
+	return r
+}
+
+// Trace returns the sum of the diagonal entries of a square matrix.
+func (m *Matrix) Trace() int64 {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("matrix.Trace: non-square %dx%d", m.Rows, m.Cols))
+	}
+	var t int64
+	for i := 0; i < m.Rows; i++ {
+		t = bitio.AddCheck(t, m.At(i, i))
+	}
+	return t
+}
+
+// TraceCube returns trace(m^3), the quantity the paper's trace circuit
+// thresholds. For a graph adjacency matrix this equals 6 * #triangles.
+func (m *Matrix) TraceCube() int64 {
+	return m.Mul(m).Mul(m).Trace()
+}
+
+// Block returns a copy of the (bi, bj) block when m is partitioned into a
+// grid of size x size blocks. m.Rows and m.Cols must be divisible by size.
+func (m *Matrix) Block(bi, bj, size int) *Matrix {
+	if m.Rows%size != 0 || m.Cols%size != 0 {
+		panic(fmt.Sprintf("matrix.Block: %dx%d not divisible into %d-blocks", m.Rows, m.Cols, size))
+	}
+	r := New(size, size)
+	for i := 0; i < size; i++ {
+		copy(r.Data[i*size:(i+1)*size], m.Data[(bi*size+i)*m.Cols+bj*size:(bi*size+i)*m.Cols+bj*size+size])
+	}
+	return r
+}
+
+// SetBlock writes block b at block coordinates (bi, bj) of m.
+func (m *Matrix) SetBlock(bi, bj int, b *Matrix) {
+	size := b.Rows
+	if b.Rows != b.Cols {
+		panic("matrix.SetBlock: block must be square")
+	}
+	for i := 0; i < size; i++ {
+		copy(m.Data[(bi*size+i)*m.Cols+bj*size:(bi*size+i)*m.Cols+bj*size+size], b.Data[i*size:(i+1)*size])
+	}
+}
+
+// Pad returns a copy of m zero-padded to n x n. n must be at least
+// max(m.Rows, m.Cols). The circuits require N = T^l; Pad supplies the
+// standard embedding.
+func (m *Matrix) Pad(n int) *Matrix {
+	if n < m.Rows || n < m.Cols {
+		panic(fmt.Sprintf("matrix.Pad: target %d smaller than %dx%d", n, m.Rows, m.Cols))
+	}
+	r := New(n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(r.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return r
+}
+
+// Shrink returns the top-left rows x cols corner of m, undoing Pad.
+func (m *Matrix) Shrink(rows, cols int) *Matrix {
+	if rows > m.Rows || cols > m.Cols {
+		panic(fmt.Sprintf("matrix.Shrink: target %dx%d larger than %dx%d", rows, cols, m.Rows, m.Cols))
+	}
+	r := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(r.Data[i*cols:(i+1)*cols], m.Data[i*m.Cols:i*m.Cols+cols])
+	}
+	return r
+}
+
+// MaxAbs returns the maximum absolute value over all entries.
+func (m *Matrix) MaxAbs() int64 {
+	var mx int64
+	for _, v := range m.Data {
+		if a := bitio.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// EntryBits returns the number of bits needed for the largest-magnitude
+// entry, i.e. bits(MaxAbs()). The circuit builders size their signed bit
+// planes from this.
+func (m *Matrix) EntryBits() int {
+	b := bitio.Bits(m.MaxAbs())
+	if b == 0 {
+		return 1 // a zero matrix still occupies one bit plane
+	}
+	return b
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Random returns a rows x cols matrix with entries drawn uniformly from
+// [lo, hi] using rng.
+func Random(rng *rand.Rand, rows, cols int, lo, hi int64) *Matrix {
+	if hi < lo {
+		panic(fmt.Sprintf("matrix.Random: empty range [%d,%d]", lo, hi))
+	}
+	m := New(rows, cols)
+	span := hi - lo + 1
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Int63n(span)
+	}
+	return m
+}
+
+// RandomBinary returns a rows x cols 0/1 matrix where each entry is 1
+// with probability p.
+func RandomBinary(rng *rand.Rand, rows, cols int, p float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < p {
+			m.Data[i] = 1
+		}
+	}
+	return m
+}
+
+// IsSymmetric reports whether m is square and equal to its transpose.
+func (m *Matrix) IsSymmetric() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	r := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Set(j, i, m.At(i, j))
+		}
+	}
+	return r
+}

@@ -1,0 +1,271 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("entry (%d,%d) = %d, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsAndEqual(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("FromRows layout wrong")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone not equal")
+	}
+	if m.Equal(New(2, 2)) {
+		t.Error("distinct matrices reported equal")
+	}
+	if m.Equal(New(2, 3)) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]int64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Random(rng, 5, 5, -9, 9)
+	if !m.Mul(Identity(5)).Equal(m) || !Identity(5).Mul(m).Equal(m) {
+		t.Error("identity is not multiplicative identity")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]int64{{1, 2}, {3, 4}})
+	b := FromRows([][]int64{{5, 6}, {7, 8}})
+	want := FromRows([][]int64{{19, 22}, {43, 50}})
+	if !a.Mul(b).Equal(want) {
+		t.Errorf("Mul wrong:\n%v", a.Mul(b))
+	}
+}
+
+func TestMulRectangular(t *testing.T) {
+	a := FromRows([][]int64{{1, 2, 3}})      // 1x3
+	b := FromRows([][]int64{{4}, {5}, {6}})  // 3x1
+	if got := a.Mul(b).At(0, 0); got != 32 { // 4+10+18
+		t.Errorf("dot product = %d, want 32", got)
+	}
+	if got := b.Mul(a); got.Rows != 3 || got.Cols != 3 || got.At(2, 2) != 18 {
+		t.Errorf("outer product wrong: %v", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]int64{{1, -2}, {3, 4}})
+	b := FromRows([][]int64{{10, 20}, {30, 40}})
+	if !a.Add(b).Sub(b).Equal(a) {
+		t.Error("Add then Sub is not identity")
+	}
+	if a.Scale(-3).At(0, 1) != 6 {
+		t.Error("Scale wrong")
+	}
+	c := a.Clone()
+	c.AddInPlace(b, 2)
+	if c.At(1, 1) != 84 {
+		t.Errorf("AddInPlace = %d, want 84", c.At(1, 1))
+	}
+}
+
+// Matrix multiplication distributes over addition: (A+B)C = AC + BC.
+func TestMulDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := Random(rng, n, n, -5, 5)
+		b := Random(rng, n, n, -5, 5)
+		c := Random(rng, n, n, -5, 5)
+		if !a.Add(b).Mul(c).Equal(a.Mul(c).Add(b.Mul(c))) {
+			t.Fatalf("distribution failed at n=%d", n)
+		}
+	}
+}
+
+// Associativity: (AB)C = A(BC).
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		a := Random(rng, n, n, -4, 4)
+		b := Random(rng, n, n, -4, 4)
+		c := Random(rng, n, n, -4, 4)
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			t.Fatalf("associativity failed at n=%d", n)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := FromRows([][]int64{{1, 9}, {9, 2}})
+	if m.Trace() != 3 {
+		t.Errorf("Trace = %d, want 3", m.Trace())
+	}
+}
+
+// trace(A^3) for the triangle graph K3 adjacency matrix is 6 (one
+// triangle counted 6 ways).
+func TestTraceCubeTriangle(t *testing.T) {
+	k3 := FromRows([][]int64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	})
+	if got := k3.TraceCube(); got != 6 {
+		t.Errorf("trace(K3^3) = %d, want 6", got)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Random(rng, 8, 8, -9, 9)
+	r := New(8, 8)
+	for bi := 0; bi < 2; bi++ {
+		for bj := 0; bj < 2; bj++ {
+			r.SetBlock(bi, bj, m.Block(bi, bj, 4))
+		}
+	}
+	if !r.Equal(m) {
+		t.Error("block decomposition round trip failed")
+	}
+}
+
+func TestBlockValues(t *testing.T) {
+	m := FromRows([][]int64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+		{13, 14, 15, 16},
+	})
+	b := m.Block(1, 0, 2)
+	want := FromRows([][]int64{{9, 10}, {13, 14}})
+	if !b.Equal(want) {
+		t.Errorf("Block(1,0,2) =\n%v want\n%v", b, want)
+	}
+}
+
+func TestPadShrink(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	p := m.Pad(4)
+	if p.Rows != 4 || p.At(3, 3) != 0 || p.At(1, 1) != 4 {
+		t.Error("Pad wrong")
+	}
+	if !p.Shrink(2, 2).Equal(m) {
+		t.Error("Shrink does not undo Pad")
+	}
+}
+
+// Padding preserves products: (A pad) * (B pad) shrunk = A*B.
+func TestPadPreservesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := Random(rng, n, n, -9, 9)
+		b := Random(rng, n, n, -9, 9)
+		got := a.Pad(8).Mul(b.Pad(8)).Shrink(n, n)
+		if !got.Equal(a.Mul(b)) {
+			t.Fatalf("pad product mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestMaxAbsEntryBits(t *testing.T) {
+	m := FromRows([][]int64{{0, -7}, {3, 4}})
+	if m.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %d", m.MaxAbs())
+	}
+	if m.EntryBits() != 3 {
+		t.Errorf("EntryBits = %d, want 3", m.EntryBits())
+	}
+	if New(2, 2).EntryBits() != 1 {
+		t.Error("zero matrix EntryBits should be 1")
+	}
+}
+
+func TestTransposeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Random(rng, 4, 6, -9, 9)
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Error("double transpose is not identity")
+	}
+	s := m.Mul(m.Transpose())
+	if !s.IsSymmetric() {
+		t.Error("M*M^T should be symmetric")
+	}
+	if m.IsSymmetric() {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestRandomBinaryRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandomBinary(rng, 20, 20, 0.5)
+	ones := 0
+	for _, v := range m.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary entry %d", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == 400 {
+		t.Error("binary matrix suspiciously uniform")
+	}
+}
+
+func TestRandomRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Random(r, 5, 5, -3, 3)
+		for _, v := range m.Data {
+			if v < -3 || v > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestTraceNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square trace did not panic")
+		}
+	}()
+	New(2, 3).Trace()
+}

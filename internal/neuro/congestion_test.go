@@ -1,0 +1,118 @@
+package neuro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// With unlimited bandwidth, wall time equals depth ("constant time" in
+// the circuit sense); with a finite link bandwidth, congestion stretches
+// wall time past depth — the paper's practicality caveat, measured.
+func TestCongestionStretchesWallTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	mc, err := core.BuildMatMul(8, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomBinary(rng, 8, 8, 0.5)
+	b := matrix.RandomBinary(rng, 8, 8, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	free := Loihiish() // LinkBandwidth 0: unlimited
+	_, sFree, err := Deploy(mc.Circuit, free, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFree.WallTimesteps != int64(sFree.Timesteps) {
+		t.Errorf("unlimited bandwidth: wall %d != depth %d", sFree.WallTimesteps, sFree.Timesteps)
+	}
+
+	tight := free
+	tight.LinkBandwidth = 1000
+	_, sTight, err := Deploy(mc.Circuit, tight, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTight.WallTimesteps <= int64(sTight.Timesteps) {
+		t.Errorf("bandwidth 1000: wall %d should exceed depth %d", sTight.WallTimesteps, sTight.Timesteps)
+	}
+
+	// More bandwidth, less stall; functional results identical.
+	looser := free
+	looser.LinkBandwidth = 100000
+	_, sLoose, err := Deploy(mc.Circuit, looser, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLoose.WallTimesteps > sTight.WallTimesteps {
+		t.Errorf("more bandwidth increased wall time: %d vs %d", sLoose.WallTimesteps, sTight.WallTimesteps)
+	}
+	if sLoose.Spikes != sTight.Spikes || sLoose.OffCoreEvents != sTight.OffCoreEvents {
+		t.Error("bandwidth changed functional statistics")
+	}
+}
+
+// Locality placement reduces congestion stalls too (less off-core
+// traffic per core per level).
+func TestLocalityReducesWallTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	mc, err := core.BuildMatMul(8, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomBinary(rng, 8, 8, 0.5)
+	b := matrix.RandomBinary(rng, 8, 8, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := Loihiish()
+	dev.LinkBandwidth = 5000
+
+	level, err := Place(mc.Circuit, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := PlaceLocality(mc.Circuit, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLevel, err := Run(mc.Circuit, dev, level, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLocal, err := Run(mc.Circuit, dev, local, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLocal.WallTimesteps > sLevel.WallTimesteps {
+		t.Errorf("locality wall %d > level-order wall %d", sLocal.WallTimesteps, sLevel.WallTimesteps)
+	}
+}
+
+// The tiny circuit saturates nothing even at bandwidth 1 per level from
+// inputs... rather: with bandwidth 1 every off-core event costs a step.
+func TestCongestionTinyExact(t *testing.T) {
+	c := tinyCircuit()
+	d := Unlimited()
+	d.LinkBandwidth = 1
+	// Input (1,0): input wire 0 fires and feeds both level-1 gates
+	// (2 off-core events at level 0, same source core -1); level 1's
+	// OR fires and feeds XOR on the same core (on-core, 0 stall).
+	_, stats, err := Deploy(c, d, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0 sends 2 events at bandwidth 1 -> 2 steps; level 1 sends
+	// on-core only -> 1 step. Total 3.
+	if stats.WallTimesteps != 3 {
+		t.Errorf("wall = %d, want 3", stats.WallTimesteps)
+	}
+}

@@ -1,0 +1,81 @@
+package neuro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// MeshStats extends RunStats with 2D-mesh distance accounting: cores
+// are laid out on a ⌈√C⌉ x ⌈√C⌉ grid (TrueNorth and Loihi are physical
+// core meshes), each off-core delivery pays its Manhattan distance in
+// hops, and inputs enter at an I/O port adjacent to core 0.
+type MeshStats struct {
+	RunStats
+	Side       int // mesh side length
+	TotalHops  int64
+	MaxHops    int64
+	MeshEnergy float64 // EnergyPerSpike·spikes + EnergyPerHop·TotalHops
+}
+
+// RunMesh executes one inference with mesh-distance accounting. The
+// functional results are identical to Run; only the traffic pricing
+// differs (per-hop instead of per-event).
+func RunMesh(c *circuit.Circuit, d Device, p *Placement, inputs []bool) ([]bool, MeshStats, error) {
+	vals, base, err := Run(c, d, p, inputs)
+	if err != nil {
+		return nil, MeshStats{}, err
+	}
+	ms := MeshStats{RunStats: base}
+	ms.Side = int(math.Ceil(math.Sqrt(float64(p.NumCores))))
+	if ms.Side < 1 {
+		ms.Side = 1
+	}
+
+	pos := func(core int32) (int, int) {
+		if core < 0 {
+			// I/O port just outside the mesh, adjacent to core 0.
+			return -1, 0
+		}
+		return int(core) % ms.Side, int(core) / ms.Side
+	}
+	coreOfWire := func(w circuit.Wire) int32 {
+		if int(w) < c.NumInputs() {
+			return -1
+		}
+		return p.CoreOf[int(w)-c.NumInputs()]
+	}
+	c.VisitEdges(func(gate int, src circuit.Wire, _ int64) {
+		if !vals[src] {
+			return
+		}
+		sc := coreOfWire(src)
+		dc := p.CoreOf[gate]
+		if sc == dc {
+			return
+		}
+		sx, sy := pos(sc)
+		dx, dy := pos(dc)
+		hops := int64(abs(sx-dx) + abs(sy-dy))
+		ms.TotalHops += hops
+		if hops > ms.MaxHops {
+			ms.MaxHops = hops
+		}
+	})
+	ms.MeshEnergy = d.EnergyPerSpike*float64(ms.Spikes) + d.EnergyPerHop*float64(ms.TotalHops)
+	return vals, ms, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DescribeMesh returns a human-readable mesh summary for CLI output.
+func (ms MeshStats) DescribeMesh() string {
+	return fmt.Sprintf("%dx%d mesh, %d cores, %d total hops (max %d), energy %.1f",
+		ms.Side, ms.Side, ms.Cores, ms.TotalHops, ms.MaxHops, ms.MeshEnergy)
+}

@@ -1,0 +1,109 @@
+package neuro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+func TestMeshStatsBasic(t *testing.T) {
+	c := tinyCircuit()
+	d := Device{Name: "grid", NeuronsPerCore: 1, EnergyPerSpike: 1, EnergyPerHop: 1}
+	p, err := Place(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ms, err := RunMesh(c, d, p, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[c.NumInputs()+2] {
+		t.Error("mesh run changed function")
+	}
+	// 3 cores -> 2x2 mesh.
+	if ms.Side != 2 {
+		t.Errorf("side = %d, want 2", ms.Side)
+	}
+	if ms.TotalHops <= 0 || ms.MaxHops <= 0 || ms.MaxHops > 4 {
+		t.Errorf("hops: total=%d max=%d", ms.TotalHops, ms.MaxHops)
+	}
+	if ms.MeshEnergy <= 0 {
+		t.Error("mesh energy missing")
+	}
+	if ms.DescribeMesh() == "" {
+		t.Error("empty description")
+	}
+}
+
+// Hop totals upper-bound: every off-core event travels at most the mesh
+// diameter (2·(side-1)), plus 1 for the external I/O port.
+func TestMeshHopsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	mc, err := core.BuildMatMul(8, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomBinary(rng, 8, 8, 0.5)
+	b := matrix.RandomBinary(rng, 8, 8, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Loihiish()
+	p, err := PlaceLocality(mc.Circuit, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := RunMesh(mc.Circuit, d, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diameter := int64(2*(ms.Side-1) + 1)
+	if ms.MaxHops > diameter {
+		t.Errorf("max hops %d exceed diameter %d", ms.MaxHops, diameter)
+	}
+	if ms.TotalHops < ms.OffCoreEvents {
+		t.Errorf("total hops %d below off-core events %d (each costs >= 1)", ms.TotalHops, ms.OffCoreEvents)
+	}
+	if ms.TotalHops > ms.OffCoreEvents*diameter {
+		t.Errorf("total hops %d exceed events x diameter", ms.TotalHops)
+	}
+}
+
+// Locality placement also wins on mesh distance.
+func TestMeshLocalityWins(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	mc, err := core.BuildMatMul(8, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomBinary(rng, 8, 8, 0.5)
+	b := matrix.RandomBinary(rng, 8, 8, 0.5)
+	in, err := mc.Assign(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Loihiish()
+	level, err := Place(mc.Circuit, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := PlaceLocality(mc.Circuit, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, msLevel, err := RunMesh(mc.Circuit, d, level, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, msLocal, err := RunMesh(mc.Circuit, d, local, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msLocal.TotalHops >= msLevel.TotalHops {
+		t.Errorf("locality hops %d >= level-order %d", msLocal.TotalHops, msLevel.TotalHops)
+	}
+}

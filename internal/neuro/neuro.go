@@ -1,0 +1,192 @@
+// Package neuro simulates deploying threshold circuits on a
+// neuromorphic computing device of the kind the paper targets
+// (TrueNorth, SpiNNaker, Loihi): a mesh of cores, each hosting a bounded
+// number of neurons with a bounded synaptic fan-in, executing one
+// circuit level per discrete timestep.
+//
+// We have no such hardware, so this substrate simulates the deployment
+// concerns the paper discusses: constant depth equals constant
+// timesteps (Section 1), hardware fan-in limits (Section 5), and the
+// firing-based energy model of Uchizawa et al. (Section 6). The
+// simulator validates a circuit against a device profile, places gates
+// onto cores, propagates spikes level by level, and accounts for energy
+// and on-/off-core synapse traffic.
+package neuro
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Device describes a neuromorphic chip profile.
+type Device struct {
+	Name           string
+	NeuronsPerCore int
+	MaxFanIn       int // synapses per neuron; 0 = unlimited
+	// EnergyPerSpike is charged per firing neuron per timestep (the
+	// Uchizawa et al. model: a gate is charged iff it fires).
+	EnergyPerSpike float64
+	// EnergyPerHop is charged per delivered spike that crosses cores.
+	EnergyPerHop float64
+	// LinkBandwidth bounds how many off-core spike deliveries one core
+	// can emit per timestep (0 = unlimited). With a finite bandwidth,
+	// congested levels stretch over several wall timesteps — the
+	// paper's caveat that "constant depth, in the TC0 sense, may not
+	// practically equate to constant time."
+	LinkBandwidth int64
+}
+
+// TrueNorthish returns a profile loosely shaped like IBM TrueNorth:
+// 256 neurons per core, 256 synapses per neuron.
+func TrueNorthish() Device {
+	return Device{Name: "truenorth-like", NeuronsPerCore: 256, MaxFanIn: 256,
+		EnergyPerSpike: 1, EnergyPerHop: 0.1}
+}
+
+// Loihiish returns a profile loosely shaped like Intel Loihi: 1024
+// neurons per core, 4096 synapses per neuron.
+func Loihiish() Device {
+	return Device{Name: "loihi-like", NeuronsPerCore: 1024, MaxFanIn: 4096,
+		EnergyPerSpike: 1, EnergyPerHop: 0.1}
+}
+
+// Unlimited returns an idealized device with no resource limits, for
+// isolating the energy accounting.
+func Unlimited() Device {
+	return Device{Name: "unlimited", NeuronsPerCore: 1 << 20, EnergyPerSpike: 1, EnergyPerHop: 0.1}
+}
+
+// Placement maps every gate to a core. Circuit inputs live on core -1
+// (the I/O interface), so input-to-gate traffic is always off-core.
+type Placement struct {
+	CoreOf   []int32
+	NumCores int
+}
+
+// Place assigns gates to cores in level order, packing each core to
+// capacity — the natural layout for a layered circuit, keeping
+// same-level neighbours together. It rejects circuits whose fan-in
+// exceeds the device limit: such circuits must be rebuilt with a
+// grouped summation (core.Options.GroupSize) or partitioned inputs
+// (conv.ViaCircuit's maxRows), which is exactly the paper's Section 5
+// prescription.
+func Place(c *circuit.Circuit, d Device) (*Placement, error) {
+	if d.NeuronsPerCore < 1 {
+		return nil, fmt.Errorf("neuro: device %q has no neurons per core", d.Name)
+	}
+	if d.MaxFanIn > 0 {
+		if f := c.MaxFanIn(); f > d.MaxFanIn {
+			return nil, fmt.Errorf("neuro: circuit max fan-in %d exceeds device %q limit %d", f, d.Name, d.MaxFanIn)
+		}
+	}
+	p := &Placement{CoreOf: make([]int32, c.Size())}
+	core, used := 0, 0
+	// Level order == gate creation order refined by level buckets.
+	for lvl := 1; lvl <= c.Depth(); lvl++ {
+		for g := 0; g < c.Size(); g++ {
+			if c.GateLevel(g) != lvl {
+				continue
+			}
+			if used == d.NeuronsPerCore {
+				core++
+				used = 0
+			}
+			p.CoreOf[g] = int32(core)
+			used++
+		}
+	}
+	p.NumCores = core + 1
+	return p, nil
+}
+
+// RunStats aggregates one inference's execution on the device.
+type RunStats struct {
+	Timesteps int // circuit depth: one level per step, no congestion
+	// WallTimesteps is the congestion-aware execution time: each level
+	// takes ceil(worst per-core off-core traffic / LinkBandwidth) steps,
+	// at least one. Equals Timesteps when LinkBandwidth is unlimited.
+	WallTimesteps int64
+	Spikes        int64
+	// Delivered spike events, split by locality.
+	OnCoreEvents  int64
+	OffCoreEvents int64
+	Energy        float64
+	Cores         int
+	Neurons       int
+}
+
+// Run executes the circuit on the device under the given placement:
+// functional evaluation plus spike/energy/traffic accounting. Returns
+// the full wire assignment (identical to circuit.Eval) and the stats.
+func Run(c *circuit.Circuit, d Device, p *Placement, inputs []bool) ([]bool, RunStats, error) {
+	if len(p.CoreOf) != c.Size() {
+		return nil, RunStats{}, fmt.Errorf("neuro: placement covers %d gates, circuit has %d", len(p.CoreOf), c.Size())
+	}
+	vals := c.EvalParallel(inputs, 0)
+	stats := RunStats{
+		Timesteps: c.Depth(),
+		Spikes:    c.Energy(vals),
+		Cores:     p.NumCores,
+		Neurons:   c.Size(),
+	}
+	coreOfWire := func(w circuit.Wire) int32 {
+		if int(w) < c.NumInputs() {
+			return -1
+		}
+		return p.CoreOf[int(w)-c.NumInputs()]
+	}
+	wireLevel := func(w circuit.Wire) int {
+		if int(w) < c.NumInputs() {
+			return 0
+		}
+		return c.GateLevel(int(w) - c.NumInputs())
+	}
+	// Per-(source level, source core) off-core traffic, for the
+	// congestion model. Input wires live on virtual core -1 at level 0;
+	// shift cores by +1 for array indexing.
+	depth := c.Depth()
+	offAt := make([][]int64, depth) // level -> core+1 -> events
+	for i := range offAt {
+		offAt[i] = make([]int64, p.NumCores+1)
+	}
+	c.VisitEdges(func(gate int, src circuit.Wire, _ int64) {
+		if !vals[src] {
+			return
+		}
+		sc := coreOfWire(src)
+		if sc == p.CoreOf[gate] {
+			stats.OnCoreEvents++
+		} else {
+			stats.OffCoreEvents++
+			lvl := wireLevel(src)
+			if lvl < depth {
+				offAt[lvl][sc+1]++
+			}
+		}
+	})
+	// Congestion-aware wall clock: level ℓ's sends must drain before
+	// level ℓ+1 fires.
+	for lvl := 0; lvl < depth; lvl++ {
+		steps := int64(1)
+		if d.LinkBandwidth > 0 {
+			for _, ev := range offAt[lvl] {
+				if s := (ev + d.LinkBandwidth - 1) / d.LinkBandwidth; s > steps {
+					steps = s
+				}
+			}
+		}
+		stats.WallTimesteps += steps
+	}
+	stats.Energy = d.EnergyPerSpike*float64(stats.Spikes) + d.EnergyPerHop*float64(stats.OffCoreEvents)
+	return vals, stats, nil
+}
+
+// Deploy is the one-call path: place and run.
+func Deploy(c *circuit.Circuit, d Device, inputs []bool) ([]bool, RunStats, error) {
+	p, err := Place(c, d)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	return Run(c, d, p, inputs)
+}

@@ -1,0 +1,71 @@
+package neuro
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// PlaceLocality assigns gates to cores by consumer affinity: walking
+// gates from the outputs backwards (reverse creation order, so every
+// consumer is placed before its producers), each unassigned gate takes
+// the least-loaded core, and then pulls as many of its producers as fit
+// onto its own core. Producer-consumer edges thus tend to stay on-core,
+// which is what minimizes off-core spike deliveries — the dominant
+// energy term on mesh devices. Compare Place (level-order packing).
+func PlaceLocality(c *circuit.Circuit, d Device) (*Placement, error) {
+	if d.NeuronsPerCore < 1 {
+		return nil, fmt.Errorf("neuro: device %q has no neurons per core", d.Name)
+	}
+	if d.MaxFanIn > 0 {
+		if f := c.MaxFanIn(); f > d.MaxFanIn {
+			return nil, fmt.Errorf("neuro: circuit max fan-in %d exceeds device %q limit %d", f, d.Name, d.MaxFanIn)
+		}
+	}
+	const unassigned = int32(-2)
+	p := &Placement{CoreOf: make([]int32, c.Size())}
+	for i := range p.CoreOf {
+		p.CoreOf[i] = unassigned
+	}
+	var load []int
+
+	leastLoaded := func() int32 {
+		best := int32(-1)
+		min := d.NeuronsPerCore
+		for core, l := range load {
+			if l < min {
+				min = l
+				best = int32(core)
+			}
+		}
+		if best < 0 {
+			load = append(load, 0)
+			best = int32(len(load) - 1)
+		}
+		return best
+	}
+
+	assign := func(g int, core int32) {
+		p.CoreOf[g] = core
+		load[core]++
+	}
+
+	for g := c.Size() - 1; g >= 0; g-- {
+		if p.CoreOf[g] == unassigned {
+			assign(g, leastLoaded())
+		}
+		core := p.CoreOf[g]
+		spec := c.Gate(g)
+		for _, w := range spec.Inputs {
+			if int(w) < c.NumInputs() {
+				continue
+			}
+			src := int(w) - c.NumInputs()
+			if p.CoreOf[src] == unassigned && load[core] < d.NeuronsPerCore {
+				assign(src, core)
+			}
+		}
+	}
+	p.NumCores = len(load)
+	return p, nil
+}

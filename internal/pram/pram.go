@@ -1,0 +1,267 @@
+// Package pram implements the conventional parallel baseline the paper
+// compares against (Sections 1 and 2.2): "the divide-and-conquer
+// Strassen's algorithm has a natural O(log N)-time parallel (PRAM)
+// implementation with a total work of O(N^{log2 7}) arithmetic
+// operations". The circuits' pitch is constant *depth* at comparable
+// total work; this package supplies the log-depth side of that
+// comparison.
+//
+// Executor runs a bilinear algorithm as a fork-join task DAG: the r
+// recursive block products execute concurrently (bounded by a worker
+// pool), and the pre/post linear combinations are elementwise-parallel.
+// Alongside wall-clock parallelism it tracks the two standard PRAM
+// measures exactly:
+//
+//   - Work: total scalar operations (multiplications + additions), the
+//     same count the sequential executor reports;
+//   - Span: the critical-path length in scalar operations, which obeys
+//     span(N) = span(N/2) + Θ(log N) for Strassen-like algorithms and
+//     hence is Θ(log² N) in the EREW accounting used here (a CRCW
+//     machine sums in O(log N / log log N); we report the binary-tree
+//     span).
+package pram
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+)
+
+// Measures carries PRAM work/span accounting in units of scalar
+// arithmetic operations.
+type Measures struct {
+	Work int64 // total operations
+	Span int64 // critical path
+}
+
+// Executor runs bilinear fast matrix multiplication as a parallel
+// fork-join computation.
+type Executor struct {
+	Alg *bilinear.Algorithm
+	// Workers bounds concurrently executing recursive products
+	// (<= 0 means GOMAXPROCS-driven unbounded fork-join).
+	Workers int
+	// Cutoff switches to the naive product at or below this dimension.
+	Cutoff int
+
+	sem chan struct{}
+}
+
+// NewExecutor returns a parallel executor.
+func NewExecutor(alg *bilinear.Algorithm, workers, cutoff int) *Executor {
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	e := &Executor{Alg: alg, Workers: workers, Cutoff: cutoff}
+	if workers > 0 {
+		e.sem = make(chan struct{}, workers)
+	}
+	return e
+}
+
+// Mul computes the product of two n x n matrices (n a power of Alg.T)
+// in parallel, returning the product and the work/span measures of the
+// computation that was actually performed.
+func (e *Executor) Mul(a, b *matrix.Matrix) (*matrix.Matrix, Measures, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, Measures{}, fmt.Errorf("pram: Mul requires equal square matrices")
+	}
+	n := a.Rows
+	if n == 0 {
+		return matrix.New(0, 0), Measures{}, nil
+	}
+	if n != 1 && !bitio.IsPow(e.Alg.T, n) {
+		return nil, Measures{}, fmt.Errorf("pram: dimension %d is not a power of T=%d", n, e.Alg.T)
+	}
+	c, m := e.mul(a, b)
+	return c, m, nil
+}
+
+// fork runs f, possibly on another goroutine bounded by the pool.
+func (e *Executor) fork(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	run := func() {
+		defer wg.Done()
+		f()
+	}
+	if e.sem == nil {
+		go run()
+		return
+	}
+	select {
+	case e.sem <- struct{}{}:
+		go func() {
+			defer func() { <-e.sem }()
+			run()
+		}()
+	default:
+		run() // pool saturated: execute inline (avoids deadlock)
+	}
+}
+
+func (e *Executor) mul(a, b *matrix.Matrix) (*matrix.Matrix, Measures) {
+	n := a.Rows
+	if n <= e.Cutoff {
+		// Naive base case: n³ multiplications, n²(n-1) additions;
+		// span = 1 multiplication + ceil(log2 n) addition-tree levels.
+		work := int64(n)*int64(n)*int64(n) + int64(n)*int64(n)*int64(n-1)
+		span := int64(1)
+		if n > 1 {
+			span += int64(bitio.CeilLog(2, n))
+		}
+		return a.Mul(b), Measures{Work: work, Span: span}
+	}
+	T := e.Alg.T
+	half := n / T
+
+	ablocks := make([]*matrix.Matrix, T*T)
+	bblocks := make([]*matrix.Matrix, T*T)
+	for i := 0; i < T*T; i++ {
+		ablocks[i] = a.Block(i/T, i%T, half)
+		bblocks[i] = b.Block(i/T, i%T, half)
+	}
+
+	// Phase 1 (parallel): linear combinations feeding the products.
+	// Every entry of every combination is independent; the span of the
+	// phase is one binary addition tree over the densest form.
+	type side struct {
+		mats []*matrix.Matrix
+		work int64
+		span int64
+	}
+	combine := func(blocks []*matrix.Matrix, coefs [][]int64) side {
+		s := side{mats: make([]*matrix.Matrix, e.Alg.R)}
+		maxTerms := 0
+		for k := 0; k < e.Alg.R; k++ {
+			sum := matrix.New(half, half)
+			terms := 0
+			for idx, w := range coefs[k] {
+				if w == 0 {
+					continue
+				}
+				sum.AddInPlace(blocks[idx], w)
+				terms++
+			}
+			if terms > 1 {
+				s.work += int64(terms-1) * int64(half) * int64(half)
+			}
+			if terms > maxTerms {
+				maxTerms = terms
+			}
+			s.mats[k] = sum
+		}
+		if maxTerms > 1 {
+			s.span = int64(bitio.CeilLog(2, maxTerms))
+		}
+		return s
+	}
+	as := combine(ablocks, e.Alg.A)
+	bs := combine(bblocks, e.Alg.B)
+
+	// Phase 2 (parallel): the r recursive products.
+	products := make([]*matrix.Matrix, e.Alg.R)
+	measures := make([]Measures, e.Alg.R)
+	var wg sync.WaitGroup
+	for k := 0; k < e.Alg.R; k++ {
+		k := k
+		e.fork(&wg, func() {
+			products[k], measures[k] = e.mul(as.mats[k], bs.mats[k])
+		})
+	}
+	wg.Wait()
+
+	// Phase 3 (parallel): output combinations.
+	out := matrix.New(n, n)
+	var postWork int64
+	maxPostTerms := 0
+	for x := 0; x < T; x++ {
+		for y := 0; y < T; y++ {
+			sum := matrix.New(half, half)
+			terms := 0
+			for k, w := range e.Alg.C[x*T+y] {
+				if w == 0 {
+					continue
+				}
+				sum.AddInPlace(products[k], w)
+				terms++
+			}
+			if terms > 1 {
+				postWork += int64(terms-1) * int64(half) * int64(half)
+			}
+			if terms > maxPostTerms {
+				maxPostTerms = terms
+			}
+			out.SetBlock(x, y, sum)
+		}
+	}
+	var postSpan int64
+	if maxPostTerms > 1 {
+		postSpan = int64(bitio.CeilLog(2, maxPostTerms))
+	}
+
+	// Aggregate: work sums; span is the max child span (children run in
+	// parallel) plus the sequential pre/post phases.
+	var m Measures
+	m.Work = as.work + bs.work + postWork
+	var childSpan int64
+	for k := 0; k < e.Alg.R; k++ {
+		m.Work += measures[k].Work
+		if measures[k].Span > childSpan {
+			childSpan = measures[k].Span
+		}
+	}
+	preSpan := as.span
+	if bs.span > preSpan {
+		preSpan = bs.span
+	}
+	m.Span = preSpan + childSpan + postSpan
+	return out, m
+}
+
+// SpanBound returns the analytic span recurrence solution for an
+// N = T^L instance with cutoff 1: Σ over levels of the pre+post
+// addition-tree depths plus the base multiplication.
+func SpanBound(alg *bilinear.Algorithm, n int) int64 {
+	if n == 1 {
+		return 1
+	}
+	L := bitio.Log(alg.T, n)
+	maxPre := 0
+	for k := 0; k < alg.R; k++ {
+		if a := countNZ(alg.A[k]); a > maxPre {
+			maxPre = a
+		}
+		if b := countNZ(alg.B[k]); b > maxPre {
+			maxPre = b
+		}
+	}
+	maxPost := 0
+	for _, expr := range alg.C {
+		if c := countNZ(expr); c > maxPost {
+			maxPost = c
+		}
+	}
+	var span int64 = 1 // base multiplication
+	for l := 0; l < L; l++ {
+		if maxPre > 1 {
+			span += int64(bitio.CeilLog(2, maxPre))
+		}
+		if maxPost > 1 {
+			span += int64(bitio.CeilLog(2, maxPost))
+		}
+	}
+	return span
+}
+
+func countNZ(v []int64) int {
+	n := 0
+	for _, w := range v {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}

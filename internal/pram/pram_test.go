@@ -1,0 +1,140 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+)
+
+// Parallel execution is exact, across algorithms, sizes, worker counts.
+func TestParallelCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"strassen", "winograd", "naive2"} {
+		alg, err := bilinear.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 4, 8, 16} {
+			for _, workers := range []int{0, 1, 4} {
+				e := NewExecutor(alg, workers, 1)
+				a := matrix.Random(rng, n, n, -9, 9)
+				b := matrix.Random(rng, n, n, -9, 9)
+				got, _, err := e.Mul(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(a.Mul(b)) {
+					t.Fatalf("%s n=%d workers=%d: wrong product", name, n, workers)
+				}
+			}
+		}
+	}
+}
+
+// Work matches the sequential executor's operation count exactly.
+func TestWorkMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 4, 8, 16} {
+		alg := bilinear.Strassen()
+		a := matrix.Random(rng, n, n, -5, 5)
+		b := matrix.Random(rng, n, n, -5, 5)
+
+		seq := bilinear.NewExecutor(alg, 1)
+		if _, err := seq.Mul(a, b); err != nil {
+			t.Fatal(err)
+		}
+		wantWork := seq.Ops().Total()
+
+		par := NewExecutor(alg, 4, 1)
+		_, m, err := par.Mul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Work != wantWork {
+			t.Errorf("n=%d: parallel work %d != sequential %d", n, m.Work, wantWork)
+		}
+	}
+}
+
+// Span grows like Θ(log² N) (levels x addition-tree depth), far below
+// work: the "O(log N)-time PRAM implementation" the paper references,
+// in our EREW accounting.
+func TestSpanGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alg := bilinear.Strassen()
+	var prevSpan int64
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		a := matrix.RandomBinary(rng, n, n, 0.5)
+		b := matrix.RandomBinary(rng, n, n, 0.5)
+		e := NewExecutor(alg, 0, 1)
+		_, m, err := e.Mul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Span != SpanBound(alg, n) {
+			t.Errorf("n=%d: span %d != analytic %d", n, m.Span, SpanBound(alg, n))
+		}
+		if m.Span <= prevSpan {
+			t.Errorf("n=%d: span %d not increasing", n, m.Span)
+		}
+		if m.Span >= m.Work/4 && n >= 8 {
+			t.Errorf("n=%d: span %d suspiciously close to work %d", n, m.Span, m.Work)
+		}
+		prevSpan = m.Span
+	}
+	// Strassen: pre trees depth 1 (<=2 terms), post depth 2 (<=4 terms)
+	// per level, base 1: span(2^L) = 1 + 3L.
+	if got := SpanBound(alg, 32); got != 1+3*5 {
+		t.Errorf("SpanBound(32) = %d, want 16", got)
+	}
+}
+
+// Cutoff > 1 trades span for fewer levels and remains exact.
+func TestCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := NewExecutor(bilinear.Strassen(), 2, 4)
+	a := matrix.Random(rng, 16, 16, -5, 5)
+	b := matrix.Random(rng, 16, 16, -5, 5)
+	got, m, err := e.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Fatal("cutoff product wrong")
+	}
+	if m.Work == 0 || m.Span == 0 {
+		t.Error("measures missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := NewExecutor(bilinear.Strassen(), 0, 1)
+	if _, _, err := e.Mul(matrix.New(2, 3), matrix.New(3, 2)); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := e.Mul(matrix.New(3, 3), matrix.New(3, 3)); err == nil {
+		t.Error("non-power dimension accepted")
+	}
+	if c, _, err := e.Mul(matrix.New(0, 0), matrix.New(0, 0)); err != nil || c.Rows != 0 {
+		t.Error("empty product mishandled")
+	}
+}
+
+// Property: parallel equals sequential on random instances.
+func TestParallelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(3))
+		a := matrix.Random(rng, n, n, -20, 20)
+		b := matrix.Random(rng, n, n, -20, 20)
+		e := NewExecutor(bilinear.Strassen(), 1+rng.Intn(4), 1+rng.Intn(2))
+		got, _, err := e.Mul(a, b)
+		return err == nil && got.Equal(a.Mul(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package ratlin is an exact linear-algebra kernel over the rationals
+// (math/big.Rat): Gaussian elimination with full consistency checking.
+// The tensor package uses it to *complete* partial rank decompositions
+// of the matrix multiplication tensor — the trilinear identity is
+// linear in each factor separately, so two known factors determine the
+// third by solving an (overdetermined) exact linear system.
+package ratlin
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// System is a dense linear system A·x = b over the rationals.
+type System struct {
+	Rows, Cols int
+	a          [][]*big.Rat
+	b          []*big.Rat
+}
+
+// NewSystem returns an all-zero system with the given shape.
+func NewSystem(rows, cols int) *System {
+	s := &System{Rows: rows, Cols: cols, a: make([][]*big.Rat, rows), b: make([]*big.Rat, rows)}
+	for i := 0; i < rows; i++ {
+		s.a[i] = make([]*big.Rat, cols)
+		for j := 0; j < cols; j++ {
+			s.a[i][j] = new(big.Rat)
+		}
+		s.b[i] = new(big.Rat)
+	}
+	return s
+}
+
+// SetCoef assigns A[row][col] = v.
+func (s *System) SetCoef(row, col int, v int64) {
+	s.a[row][col].SetInt64(v)
+}
+
+// SetRHS assigns b[row] = v.
+func (s *System) SetRHS(row int, v int64) {
+	s.b[row].SetInt64(v)
+}
+
+// Solve runs Gaussian elimination with partial (first-nonzero) pivoting
+// and returns a particular solution with free variables set to zero,
+// plus the system's rank. It returns an error iff the system is
+// inconsistent. Arithmetic is exact.
+func (s *System) Solve() ([]*big.Rat, int, error) {
+	// Work on copies to keep the system reusable.
+	a := make([][]*big.Rat, s.Rows)
+	b := make([]*big.Rat, s.Rows)
+	for i := 0; i < s.Rows; i++ {
+		a[i] = make([]*big.Rat, s.Cols)
+		for j := 0; j < s.Cols; j++ {
+			a[i][j] = new(big.Rat).Set(s.a[i][j])
+		}
+		b[i] = new(big.Rat).Set(s.b[i])
+	}
+
+	pivotCol := make([]int, 0, s.Cols) // column of each pivot row
+	row := 0
+	for col := 0; col < s.Cols && row < s.Rows; col++ {
+		// Find a pivot in this column at or below `row`.
+		pivot := -1
+		for r := row; r < s.Rows; r++ {
+			if a[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[row], a[pivot] = a[pivot], a[row]
+		b[row], b[pivot] = b[pivot], b[row]
+		// Normalize and eliminate below.
+		inv := new(big.Rat).Inv(a[row][col])
+		for j := col; j < s.Cols; j++ {
+			a[row][j].Mul(a[row][j], inv)
+		}
+		b[row].Mul(b[row], inv)
+		for r := row + 1; r < s.Rows; r++ {
+			f := a[r][col]
+			if f.Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(f)
+			for j := col; j < s.Cols; j++ {
+				t := new(big.Rat).Mul(factor, a[row][j])
+				a[r][j].Sub(a[r][j], t)
+			}
+			t := new(big.Rat).Mul(factor, b[row])
+			b[r].Sub(b[r], t)
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	rank := row
+	// Consistency: any remaining row with zero coefficients but nonzero
+	// RHS is a contradiction.
+	for r := rank; r < s.Rows; r++ {
+		if b[r].Sign() != 0 {
+			return nil, rank, fmt.Errorf("ratlin: inconsistent system (row %d reduces to 0 = %s)", r, b[r].RatString())
+		}
+	}
+	// Back-substitute; free variables stay zero.
+	x := make([]*big.Rat, s.Cols)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := rank - 1; i >= 0; i-- {
+		col := pivotCol[i]
+		sum := new(big.Rat).Set(b[i])
+		for j := col + 1; j < s.Cols; j++ {
+			if a[i][j].Sign() != 0 {
+				t := new(big.Rat).Mul(a[i][j], x[j])
+				sum.Sub(sum, t)
+			}
+		}
+		x[col] = sum
+	}
+	return x, rank, nil
+}

@@ -1,0 +1,159 @@
+package ratlin
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratEq(x *big.Rat, num, den int64) bool {
+	return x.Cmp(big.NewRat(num, den)) == 0
+}
+
+func TestSolveUnique(t *testing.T) {
+	// 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+	s := NewSystem(2, 2)
+	s.SetCoef(0, 0, 2)
+	s.SetCoef(0, 1, 1)
+	s.SetRHS(0, 5)
+	s.SetCoef(1, 0, 1)
+	s.SetCoef(1, 1, -1)
+	s.SetRHS(1, 1)
+	x, rank, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 2 || !ratEq(x[0], 2, 1) || !ratEq(x[1], 1, 1) {
+		t.Errorf("x = %v %v rank %d", x[0], x[1], rank)
+	}
+}
+
+func TestSolveRational(t *testing.T) {
+	// 3x = 1 -> x = 1/3.
+	s := NewSystem(1, 1)
+	s.SetCoef(0, 0, 3)
+	s.SetRHS(0, 1)
+	x, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratEq(x[0], 1, 3) {
+		t.Errorf("x = %v", x[0])
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 1; x + y = 2.
+	s := NewSystem(2, 2)
+	s.SetCoef(0, 0, 1)
+	s.SetCoef(0, 1, 1)
+	s.SetRHS(0, 1)
+	s.SetCoef(1, 0, 1)
+	s.SetCoef(1, 1, 1)
+	s.SetRHS(1, 2)
+	if _, _, err := s.Solve(); err == nil {
+		t.Error("inconsistent system solved")
+	}
+}
+
+func TestSolveUnderdetermined(t *testing.T) {
+	// x + y = 3 with 2 unknowns: particular solution with free var zero.
+	s := NewSystem(1, 2)
+	s.SetCoef(0, 0, 1)
+	s.SetCoef(0, 1, 1)
+	s.SetRHS(0, 3)
+	x, rank, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 1 {
+		t.Errorf("rank %d", rank)
+	}
+	// x0 + x1 must equal 3.
+	sum := new(big.Rat).Add(x[0], x[1])
+	if !ratEq(sum, 3, 1) {
+		t.Errorf("solution does not satisfy the equation: %v + %v", x[0], x[1])
+	}
+}
+
+func TestSolveOverdeterminedConsistent(t *testing.T) {
+	// Three copies of x = 4.
+	s := NewSystem(3, 1)
+	for r := 0; r < 3; r++ {
+		s.SetCoef(r, 0, 1)
+		s.SetRHS(r, 4)
+	}
+	x, rank, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 1 || !ratEq(x[0], 4, 1) {
+		t.Errorf("x = %v rank %d", x[0], rank)
+	}
+}
+
+// Property: for random integer matrices and solution vectors, solving
+// A·x = A·x0 recovers a vector with A·x = b exactly.
+func TestSolveProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		a := make([][]int64, rows)
+		x0 := make([]int64, cols)
+		for j := range x0 {
+			x0[j] = rng.Int63n(11) - 5
+		}
+		s := NewSystem(rows, cols)
+		for i := 0; i < rows; i++ {
+			a[i] = make([]int64, cols)
+			var rhs int64
+			for j := 0; j < cols; j++ {
+				a[i][j] = rng.Int63n(11) - 5
+				s.SetCoef(i, j, a[i][j])
+				rhs += a[i][j] * x0[j]
+			}
+			s.SetRHS(i, rhs)
+		}
+		x, _, err := s.Solve()
+		if err != nil {
+			return false // constructed consistent; must solve
+		}
+		// Check A·x = b exactly.
+		for i := 0; i < rows; i++ {
+			sum := new(big.Rat)
+			var want int64
+			for j := 0; j < cols; j++ {
+				term := new(big.Rat).Mul(big.NewRat(a[i][j], 1), x[j])
+				sum.Add(sum, term)
+				want += a[i][j] * x0[j]
+			}
+			if sum.Cmp(big.NewRat(want, 1)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The system is reusable: Solve twice gives identical answers.
+func TestSolveReusable(t *testing.T) {
+	s := NewSystem(1, 1)
+	s.SetCoef(0, 0, 2)
+	s.SetRHS(0, 8)
+	x1, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1[0].Cmp(x2[0]) != 0 {
+		t.Error("solve mutated the system")
+	}
+}

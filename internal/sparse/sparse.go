@@ -1,0 +1,220 @@
+// Package sparse provides the scalable graph substrate for the paper's
+// social-network motivation (Section 5): adjacency in compressed
+// sparse row form with triangle/wedge/clustering analysis that runs on
+// graphs far beyond what any materialized circuit handles (10^5+
+// vertices), using the standard node-iterator algorithm with sorted
+// neighbor intersection.
+//
+// The paper concedes that "social networks of current interest are too
+// large for our circuit methods to be practical"; this package supplies
+// the conventional-computation side of that comparison, while the
+// counting model (internal/counting) prices the hypothetical circuit at
+// the same N.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Graph is an undirected simple graph in CSR form: the neighbors of
+// vertex v are adj[start[v]:start[v+1]], sorted ascending.
+type Graph struct {
+	N     int
+	start []int64
+	adj   []int32
+}
+
+// FromEdges builds a CSR graph from an edge list; duplicate edges and
+// self-loops are rejected.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	deg := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("sparse: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("sparse: self-loop at %d", u)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	g := &Graph{N: n, start: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		g.start[v+1] = g.start[v] + deg[v]
+	}
+	g.adj = make([]int32, g.start[n])
+	fill := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		g.adj[g.start[u]+fill[u]] = int32(v)
+		g.adj[g.start[v]+fill[v]] = int32(u)
+		fill[u]++
+		fill[v]++
+	}
+	for v := 0; v < n; v++ {
+		nb := g.neighbors(v)
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("sparse: duplicate edge (%d,%d)", v, nb[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// FromDense converts a dense graph (validated elsewhere) to CSR.
+func FromDense(dg *graph.Graph) *Graph {
+	var edges [][2]int
+	for u := 0; u < dg.N; u++ {
+		for v := u + 1; v < dg.N; v++ {
+			if dg.HasEdge(u, v) {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	g, err := FromEdges(dg.N, edges)
+	if err != nil {
+		panic("sparse: dense graph produced invalid edges: " + err.Error())
+	}
+	return g
+}
+
+func (g *Graph) neighbors(v int) []int32 {
+	return g.adj[g.start[v]:g.start[v+1]]
+}
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int64 { return g.start[v+1] - g.start[v] }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// HasEdge reports whether {u, v} is an edge (binary search).
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Triangles counts triangles with the node-iterator algorithm: for each
+// edge (u, v) with u < v, intersect the sorted neighbor lists above v.
+// Runs in O(Σ_e (deg(u)+deg(v))) — practical at hundreds of thousands
+// of vertices.
+func (g *Graph) Triangles() int64 {
+	var count int64
+	for u := 0; u < g.N; u++ {
+		nu := g.neighbors(u)
+		for _, v32 := range nu {
+			v := int(v32)
+			if v <= u {
+				continue
+			}
+			nv := g.neighbors(v)
+			// Intersect entries > v in both lists.
+			i := sort.Search(len(nu), func(i int) bool { return nu[i] > int32(v) })
+			j := sort.Search(len(nv), func(i int) bool { return nv[i] > int32(v) })
+			for i < len(nu) && j < len(nv) {
+				switch {
+				case nu[i] < nv[j]:
+					i++
+				case nu[i] > nv[j]:
+					j++
+				default:
+					count++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Wedges returns Σ_v C(deg(v), 2).
+func (g *Graph) Wedges() int64 {
+	var w int64
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		w += d * (d - 1) / 2
+	}
+	return w
+}
+
+// ClusteringCoefficient returns 3Δ/D (0 when wedge-free).
+func (g *Graph) ClusteringCoefficient() float64 {
+	w := g.Wedges()
+	if w == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(w)
+}
+
+// TauForClustering mirrors graph.TauForClustering on the sparse form.
+func (g *Graph) TauForClustering(cc float64) int64 {
+	d := g.Wedges()
+	triangles := int64(float64(d) * cc / 3)
+	if float64(triangles)*3 < float64(d)*cc {
+		triangles++
+	}
+	return 6 * triangles
+}
+
+// ErdosRenyi samples a sparse G(n, p) by sampling the number of edges
+// per vertex pair block — for small p it uses geometric skipping so the
+// cost is O(p·n²) expected rather than n².
+func ErdosRenyi(rng *rand.Rand, n int, p float64) *Graph {
+	var edges [][2]int
+	if p <= 0 {
+		g, _ := FromEdges(n, nil)
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	} else {
+		// Geometric skipping over the implicit pair enumeration.
+		total := int64(n) * int64(n-1) / 2
+		idx := int64(-1)
+		for {
+			// Skip ~Geom(p).
+			skip := int64(1)
+			if p < 1 {
+				u := rng.Float64()
+				skip = int64(math.Log(1-u)/math.Log(1-p)) + 1
+			}
+			idx += skip
+			if idx >= total {
+				break
+			}
+			u, v := pairFromIndex(idx, n)
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic("sparse: generator produced invalid edges: " + err.Error())
+	}
+	return g
+}
+
+// pairFromIndex maps a linear index over upper-triangle pairs to (u,v).
+func pairFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}

@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Sparse triangle counting agrees with the dense reference on random
+// graphs.
+func TestTrianglesMatchDense(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		dg := graph.ErdosRenyi(rng, n, rng.Float64())
+		sg := FromDense(dg)
+		return sg.Triangles() == dg.Triangles() &&
+			sg.Wedges() == dg.Wedges() &&
+			sg.NumEdges() == dg.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownGraphs(t *testing.T) {
+	// K5: 10 triangles, 10 edges... K5 has C(5,3)=10 triangles, 10 edges.
+	k5 := FromDense(graph.Complete(5))
+	if k5.Triangles() != 10 || k5.NumEdges() != 10 {
+		t.Errorf("K5: triangles=%d edges=%d", k5.Triangles(), k5.NumEdges())
+	}
+	if k5.ClusteringCoefficient() != 1 {
+		t.Errorf("K5 clustering = %v", k5.ClusteringCoefficient())
+	}
+	c6 := FromDense(graph.Cycle(6))
+	if c6.Triangles() != 0 {
+		t.Error("C6 should be triangle-free")
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	g, err := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 1) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+// The geometric-skipping generator matches expected density and the
+// resulting structure is valid.
+func TestSparseErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 2000
+	const p = 0.01
+	g := ErdosRenyi(rng, n, p)
+	expected := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if got < expected*0.85 || got > expected*1.15 {
+		t.Errorf("edges %v, expected ≈ %v", got, expected)
+	}
+	if z := ErdosRenyi(rng, 50, 0); z.NumEdges() != 0 {
+		t.Error("p=0 graph has edges")
+	}
+	if f := ErdosRenyi(rng, 20, 1); f.NumEdges() != 190 {
+		t.Error("p=1 graph incomplete")
+	}
+}
+
+// Sparse and dense generators give statistically similar triangle
+// counts; at ER expectation Δ ≈ C(n,3)p³.
+func TestSparseTriangleExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 1500
+	const p = 0.01
+	g := ErdosRenyi(rng, n, p)
+	expected := float64(n) * float64(n-1) * float64(n-2) / 6 * p * p * p
+	got := float64(g.Triangles())
+	if got < expected*0.4 || got > expected*2.5 {
+		t.Errorf("triangles %v, ER expectation ≈ %v", got, expected)
+	}
+}
+
+// Large-scale smoke: 100k vertices, ~500k edges, triangle counting
+// completes quickly — the conventional baseline at "social network"
+// scale the paper says circuits can't reach yet.
+func TestLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	g := ErdosRenyi(rng, n, 1e-4)
+	tri := g.Triangles()
+	if tri < 0 {
+		t.Fatal("negative count")
+	}
+	cc := g.ClusteringCoefficient()
+	if cc < 0 || cc > 1 {
+		t.Fatalf("clustering %v out of range", cc)
+	}
+	if g.TauForClustering(0.5) < 0 {
+		t.Fatal("tau negative")
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 5
+	idx := int64(0)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gu, gv := pairFromIndex(idx, n)
+			if gu != u || gv != v {
+				t.Fatalf("index %d -> (%d,%d), want (%d,%d)", idx, gu, gv, u, v)
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package tctree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule is the increasing sequence of selected recursion levels
+// 0 = h_0 < h_1 < ... < h_t = L, where L = log_T N is the height of the
+// tree. The circuit materializes only these levels; each transition
+// costs depth 2.
+type Schedule []int
+
+// Transitions returns t, the number of level transitions.
+func (s Schedule) Transitions() int { return len(s) - 1 }
+
+// Validate checks the schedule's defining invariants against height L.
+func (s Schedule) Validate(L int) error {
+	if len(s) < 1 || s[0] != 0 {
+		return fmt.Errorf("tctree: schedule must start at level 0, got %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return fmt.Errorf("tctree: schedule not strictly increasing: %v", s)
+		}
+	}
+	if s[len(s)-1] != L {
+		return fmt.Errorf("tctree: schedule must end at L=%d, got %v", L, s)
+	}
+	return nil
+}
+
+// geometric builds h_i = ceil((1 - γ^i)·ρ) capped at L, deduplicated,
+// terminated when L is reached (Lemma 4.3's level selection).
+func geometric(gamma, rho float64, L int) Schedule {
+	s := Schedule{0}
+	if L == 0 {
+		return s
+	}
+	if gamma <= 0 {
+		// Degenerate γ (naive algorithm): one jump to the leaves.
+		return append(s, L)
+	}
+	gpow := 1.0
+	for i := 1; ; i++ {
+		gpow *= gamma
+		h := int(math.Ceil((1 - gpow) * rho))
+		if h > L {
+			h = L
+		}
+		if h > s[len(s)-1] {
+			s = append(s, h)
+		}
+		if s[len(s)-1] == L {
+			return s
+		}
+		if i > 10*L+100 {
+			// ρ too small for γ-geometric progress to ever reach L;
+			// force the final level (callers validate t separately).
+			return append(s, L)
+		}
+	}
+}
+
+// ConstantDepth returns the Theorem 4.5 / 4.9 schedule for tree height L
+// and depth parameter d >= 1: ρ = L·(1 + γ^d/(1-γ)), which guarantees at
+// most d transitions (h_d = L).
+//
+// Derivation: the theorem sets ρ = log_T N + ε·log_{αβ} N with
+// ε = γ^d·log_T(αβ)/(1-γ); substituting log_{αβ} N = L·log T / log(αβ)
+// collapses ρ to L·(1 + γ^d/(1-γ)).
+func ConstantDepth(gamma float64, L, d int) Schedule {
+	if d < 1 {
+		panic(fmt.Sprintf("tctree: ConstantDepth d=%d < 1", d))
+	}
+	if gamma <= 0 {
+		return geometric(0, float64(L), L)
+	}
+	rho := float64(L) * (1 + math.Pow(gamma, float64(d))/(1-gamma))
+	return geometric(gamma, rho, L)
+}
+
+// LogLog returns the Theorem 4.4 / 4.8 schedule: ρ = L and
+// t = floor(log_{1/γ} L) + 1 transitions, achieving Õ(N^ω) gates at
+// depth O(log log N).
+func LogLog(gamma float64, L int) Schedule {
+	return geometric(gamma, float64(L), L)
+}
+
+// Uniform returns the "natural strategy" h_i = ceil(i·L/t) that the
+// paper notes yields a weaker result (Section 4.3, after Lemma 4.3).
+// Kept as the E9 ablation baseline.
+func Uniform(L, t int) Schedule {
+	if t < 1 {
+		panic(fmt.Sprintf("tctree: Uniform t=%d < 1", t))
+	}
+	if t > L {
+		t = L
+	}
+	s := Schedule{0}
+	for i := 1; i <= t; i++ {
+		h := (i*L + t - 1) / t
+		if h > s[len(s)-1] {
+			s = append(s, h)
+		}
+	}
+	return s
+}
+
+// Direct returns the single-jump schedule {0, L}: compute the leaves
+// straight from the inputs, the Õ(N^{1+ω})-gate strawman of Section 4.2.
+func Direct(L int) Schedule {
+	if L == 0 {
+		return Schedule{0}
+	}
+	return Schedule{0, L}
+}
+
+// LogLogTransitions returns the closed-form bound on t used by Theorem
+// 4.4: floor(log_{1/γ} L) + 1 (for L >= 1, 0 < γ < 1).
+func LogLogTransitions(gamma float64, L int) int {
+	if L <= 1 || gamma <= 0 || gamma >= 1 {
+		return 1
+	}
+	return int(math.Floor(math.Log(float64(L))/math.Log(1/gamma))) + 1
+}

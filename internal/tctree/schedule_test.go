@@ -1,0 +1,194 @@
+package tctree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bilinear"
+)
+
+func strassenGamma() float64 { return bilinear.Strassen().Params().Gamma }
+
+// Theorem 4.5's guarantee: the constant-depth schedule reaches the
+// leaves in at most d transitions, for every (L, d) in range.
+func TestConstantDepthReachesLeaves(t *testing.T) {
+	gamma := strassenGamma()
+	for L := 1; L <= 24; L++ {
+		for d := 1; d <= 8; d++ {
+			s := ConstantDepth(gamma, L, d)
+			if err := s.Validate(L); err != nil {
+				t.Fatalf("L=%d d=%d: %v", L, d, err)
+			}
+			if s.Transitions() > d {
+				t.Errorf("L=%d d=%d: %d transitions > d (schedule %v)", L, d, s.Transitions(), s)
+			}
+		}
+	}
+}
+
+// Theorem 4.4's loglog bound: t <= floor(log_{1/γ} L) + 1.
+func TestLogLogTransitionsBound(t *testing.T) {
+	gamma := strassenGamma()
+	for L := 1; L <= 24; L++ {
+		s := LogLog(gamma, L)
+		if err := s.Validate(L); err != nil {
+			t.Fatalf("L=%d: %v", L, err)
+		}
+		if bound := LogLogTransitions(gamma, L); s.Transitions() > bound {
+			t.Errorf("L=%d: t=%d exceeds loglog bound %d (schedule %v)", L, s.Transitions(), bound, s)
+		}
+	}
+}
+
+// The loglog schedule grows like log log N, not like d or L: doubling L
+// repeatedly increases t by at most 1 eventually.
+func TestLogLogGrowth(t *testing.T) {
+	gamma := strassenGamma()
+	t8 := LogLog(gamma, 8).Transitions()
+	t16 := LogLog(gamma, 16).Transitions()
+	t1024 := LogLog(gamma, 1024).Transitions()
+	if t16 < t8 {
+		t.Errorf("transitions decreased: t(8)=%d t(16)=%d", t8, t16)
+	}
+	// log_{1/gamma}(1024) ≈ 9.7 -> about 10 transitions; far below 1024.
+	if t1024 > 12 {
+		t.Errorf("t(1024) = %d, expected ~10", t1024)
+	}
+}
+
+func TestUniformSchedule(t *testing.T) {
+	s := Uniform(12, 4)
+	if err := s.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{0, 3, 6, 9, 12}
+	if len(s) != len(want) {
+		t.Fatalf("uniform schedule %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("uniform schedule %v, want %v", s, want)
+		}
+	}
+	// t > L collapses to unit steps.
+	s = Uniform(3, 10)
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transitions() != 3 {
+		t.Errorf("Uniform(3, 10) has %d transitions, want 3", s.Transitions())
+	}
+}
+
+func TestDirectSchedule(t *testing.T) {
+	s := Direct(5)
+	if err := s.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transitions() != 1 {
+		t.Errorf("direct schedule %v should have 1 transition", s)
+	}
+	if Direct(0).Transitions() != 0 {
+		t.Error("Direct(0) should be trivial")
+	}
+}
+
+// Degenerate γ = 0 (naive algorithm): one jump.
+func TestConstantDepthDegenerateGamma(t *testing.T) {
+	s := ConstantDepth(0, 6, 3)
+	if err := s.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transitions() != 1 {
+		t.Errorf("γ=0 schedule %v, want single jump", s)
+	}
+}
+
+// Geometric schedules front-load progress: the first step of the
+// constant-depth schedule covers more levels than the uniform split
+// (for d >= 2 and L large enough), which is exactly why it wins.
+func TestGeometricFrontLoads(t *testing.T) {
+	gamma := strassenGamma()
+	for _, L := range []int{12, 16, 24} {
+		for _, d := range []int{3, 4} {
+			geo := ConstantDepth(gamma, L, d)
+			uni := Uniform(L, geo.Transitions())
+			if geo[1] <= uni[1] {
+				t.Errorf("L=%d d=%d: geometric first step %d <= uniform %d", L, d, geo[1], uni[1])
+			}
+		}
+	}
+}
+
+// Larger d never increases ρ, so schedules for larger d reach the leaves
+// no sooner per step but with more, finer transitions.
+func TestConstantDepthMonotoneTransitions(t *testing.T) {
+	gamma := strassenGamma()
+	for L := 4; L <= 20; L += 4 {
+		prev := 0
+		for d := 1; d <= 6; d++ {
+			tt := ConstantDepth(gamma, L, d).Transitions()
+			if tt < prev {
+				t.Errorf("L=%d: transitions decreased from %d to %d at d=%d", L, prev, tt, d)
+			}
+			prev = tt
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		s Schedule
+		L int
+	}{
+		{Schedule{1, 2}, 2},    // doesn't start at 0
+		{Schedule{0, 2, 2}, 2}, // not strictly increasing
+		{Schedule{0, 1}, 2},    // doesn't end at L
+		{Schedule{}, 2},        // empty
+	}
+	for i, c := range cases {
+		if err := c.s.Validate(c.L); err == nil {
+			t.Errorf("case %d: Validate accepted %v for L=%d", i, c.s, c.L)
+		}
+	}
+}
+
+// Property: every generated schedule validates and h_i <= L.
+func TestSchedulePropertyValid(t *testing.T) {
+	gamma := strassenGamma()
+	prop := func(lRaw, dRaw uint8) bool {
+		L := 1 + int(lRaw)%30
+		d := 1 + int(dRaw)%10
+		for _, s := range []Schedule{
+			ConstantDepth(gamma, L, d),
+			LogLog(gamma, L),
+			Uniform(L, d),
+			Direct(L),
+		} {
+			if err := s.Validate(L); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sanity on the ρ collapse in ConstantDepth's doc comment: with
+// Strassen's constants, ρ = L(1 + γ^d/(1−γ)) must exceed L and approach
+// L as d grows.
+func TestRhoApproachesL(t *testing.T) {
+	gamma := strassenGamma()
+	rho := func(L, d int) float64 {
+		return float64(L) * (1 + math.Pow(gamma, float64(d))/(1-gamma))
+	}
+	if rho(16, 1) <= 16 {
+		t.Error("rho should exceed L")
+	}
+	if rho(16, 12) > 16.1 {
+		t.Errorf("rho(16, 12) = %v, should approach 16", rho(16, 12))
+	}
+}

@@ -1,0 +1,191 @@
+// Package tctree implements the recursion trees of Section 4: T_A and
+// T_B (Figure 2), whose nodes are weighted sums of blocks of the input
+// matrices; the dual tree T_G used for the trace circuit's third linear
+// form (equation 4); and the coefficient structure of the bottom-up
+// product tree T_AB (Section 4.4), which shares its grids with T_G.
+//
+// A node at level h of an r-ary tree is a path (k_1, ..., k_h) ∈ [r]^h.
+// Relative to an ancestor at level h' = h − δ, the node's matrix is a
+// weighted sum of blocks of the ancestor's matrix on the T^δ x T^δ block
+// grid; CoefGrid returns those weights. The number of nonzero weights is
+// the paper's size(u), the product of the per-edge labels a_{k_i}
+// (Figure 2), and satisfies the multinomial identities (3) and (5):
+// summed over all r^δ relative paths it equals s^δ.
+package tctree
+
+import (
+	"fmt"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+)
+
+// Tree is one of the paper's recursion trees, determined by a bilinear
+// algorithm and a per-step coefficient table: step[k][i*T+j] is the
+// weight of ancestor block (i,j) in child k.
+type Tree struct {
+	Alg  *bilinear.Algorithm
+	Kind string
+	step [][]int64 // R x T²
+}
+
+// NewTreeA returns T_A: child k of a node U is the A-side linear form
+// M_k applied to U's blocks (Figure 2).
+func NewTreeA(alg *bilinear.Algorithm) *Tree {
+	return &Tree{Alg: alg, Kind: "A", step: alg.A}
+}
+
+// NewTreeB returns T_B, the B-side analogue.
+func NewTreeB(alg *bilinear.Algorithm) *Tree {
+	return &Tree{Alg: alg, Kind: "B", step: alg.B}
+}
+
+// NewTreeG returns the dual tree used twice by the constructions:
+//
+//   - Top-down on the masked matrix G, it computes the trace circuit's
+//     third linear form (equation 4): leaf q holds
+//     Σ_{x,y} G_xy · (coefficient of product p_q in C_xy).
+//   - Read bottom-up, its grids are the T_AB combination weights of
+//     Section 4.4: CoefGrid(q)[X][Y] is the weight of descendant path q
+//     in block (X, Y) of the ancestor.
+//
+// Its per-step table is the transpose of the algorithm's C expressions:
+// step[k][x*T+y] = C[x*T+y][k], so its branching sparsity is s_C.
+func NewTreeG(alg *bilinear.Algorithm) *Tree {
+	t2 := alg.T * alg.T
+	step := make([][]int64, alg.R)
+	for k := 0; k < alg.R; k++ {
+		row := make([]int64, t2)
+		for e := 0; e < t2; e++ {
+			row[e] = alg.C[e][k]
+		}
+		step[k] = row
+	}
+	return &Tree{Alg: alg, Kind: "G", step: step}
+}
+
+// StepNonzeros returns, per product index k, the number of nonzero
+// entries in the step table: the edge labels of Figure 2 (a_k for T_A,
+// b_k for T_B, c_k for T_G/T_AB).
+func (t *Tree) StepNonzeros() []int {
+	out := make([]int, t.Alg.R)
+	for k, row := range t.step {
+		for _, w := range row {
+			if w != 0 {
+				out[k]++
+			}
+		}
+	}
+	return out
+}
+
+// Grid is a dense T^δ x T^δ coefficient grid over the block positions of
+// an ancestor δ levels up.
+type Grid struct {
+	Dim  int // T^δ
+	Coef []int64
+}
+
+// At returns the coefficient of block (i, j).
+func (g *Grid) At(i, j int) int64 { return g.Coef[i*g.Dim+j] }
+
+// Nonzeros returns the paper's size(u): the number of ancestor blocks
+// with nonzero weight.
+func (g *Grid) Nonzeros() int64 {
+	var n int64
+	for _, w := range g.Coef {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxAbs returns the largest absolute coefficient in the grid.
+func (g *Grid) MaxAbs() int64 {
+	var mx int64
+	for _, w := range g.Coef {
+		if a := bitio.Abs(w); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// CoefGrid returns the coefficient grid of the node reached from an
+// ancestor by relPath (earliest step first). The recursion is
+//
+//	grid(k·q)[i·T^{δ-1}+x][j·T^{δ-1}+y] = step[k][i*T+j] · grid(q)[x][y].
+func (t *Tree) CoefGrid(relPath []int) *Grid {
+	T := t.Alg.T
+	g := &Grid{Dim: 1, Coef: []int64{1}}
+	// Build from the innermost (last) step outward so each prepended
+	// step scales the whole grid into the larger block structure.
+	for s := len(relPath) - 1; s >= 0; s-- {
+		k := relPath[s]
+		if k < 0 || k >= t.Alg.R {
+			panic(fmt.Sprintf("tctree: path step %d out of range [0,%d)", k, t.Alg.R))
+		}
+		nd := g.Dim * T
+		ng := &Grid{Dim: nd, Coef: make([]int64, nd*nd)}
+		for i := 0; i < T; i++ {
+			for j := 0; j < T; j++ {
+				w := t.step[k][i*T+j]
+				if w == 0 {
+					continue
+				}
+				for x := 0; x < g.Dim; x++ {
+					base := (i*g.Dim+x)*nd + j*g.Dim
+					src := x * g.Dim
+					for y := 0; y < g.Dim; y++ {
+						ng.Coef[base+y] = w * g.Coef[src+y]
+					}
+				}
+			}
+		}
+		g = ng
+	}
+	return g
+}
+
+// Size returns size(u) for the node with the given relative path: the
+// product of the per-edge labels, without materializing the grid.
+func (t *Tree) Size(relPath []int) int64 {
+	nz := t.StepNonzeros()
+	s := int64(1)
+	for _, k := range relPath {
+		s = bitio.MulCheck(s, int64(nz[k]))
+	}
+	return s
+}
+
+// Paths invokes f with every path in [r]^delta in lexicographic order
+// (path index = big-endian base-r number). The slice passed to f is
+// reused between calls; copy it to retain.
+func Paths(r, delta int, f func(index int64, path []int)) {
+	path := make([]int, delta)
+	var rec func(pos int, index int64)
+	rec = func(pos int, index int64) {
+		if pos == delta {
+			f(index, path)
+			return
+		}
+		for k := 0; k < r; k++ {
+			path[pos] = k
+			rec(pos+1, index*int64(r)+int64(k))
+		}
+	}
+	rec(0, 0)
+}
+
+// SizeSum returns Σ size(u) over all relative paths of length delta; by
+// the multinomial identities (3) and (5) this equals (Σ_k nz_k)^delta
+// (s_A^δ for T_A, s_C^δ for T_G/T_AB). Computed directly for testing the
+// identity rather than via the closed form.
+func (t *Tree) SizeSum(delta int) int64 {
+	var sum int64
+	Paths(t.Alg.R, delta, func(_ int64, p []int) {
+		sum = bitio.AddCheck(sum, t.Size(p))
+	})
+	return sum
+}

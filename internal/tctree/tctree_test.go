@@ -1,0 +1,262 @@
+package tctree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/matrix"
+)
+
+// Figure 2's edge labels for Strassen's T_A: the number of A-blocks in
+// M_1..M_7 is (1, 2, 2, 1, 2, 2, 2).
+func TestStrassenEdgeLabels(t *testing.T) {
+	ta := NewTreeA(bilinear.Strassen())
+	want := []int{1, 2, 2, 1, 2, 2, 2}
+	got := ta.StepNonzeros()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("a_%d = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+	// T_G's labels are Strassen's c_k: how many C expressions contain M_k.
+	tg := NewTreeG(bilinear.Strassen())
+	wantC := []int{2, 2, 2, 2, 2, 1, 1}
+	gotC := tg.StepNonzeros()
+	for i := range wantC {
+		if gotC[i] != wantC[i] {
+			t.Errorf("c_%d = %d, want %d", i+1, gotC[i], wantC[i])
+		}
+	}
+}
+
+// Equation (3): Σ_{u} size(u) over all relative paths of length δ equals
+// s_A^δ — and likewise (5) with s_C for the dual tree. Checked by
+// explicit enumeration for several algorithms and depths.
+func TestMultinomialIdentity(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd(), bilinear.Naive()} {
+		p := alg.Params()
+		for delta := 1; delta <= 4; delta++ {
+			if got, want := NewTreeA(alg).SizeSum(delta), bitio.Pow(p.SA, delta); got != want {
+				t.Errorf("%s delta=%d: Σ size (T_A) = %d, want s_A^δ = %d", alg.Name, delta, got, want)
+			}
+			if got, want := NewTreeB(alg).SizeSum(delta), bitio.Pow(p.SB, delta); got != want {
+				t.Errorf("%s delta=%d: Σ size (T_B) = %d, want s_B^δ = %d", alg.Name, delta, got, want)
+			}
+			if got, want := NewTreeG(alg).SizeSum(delta), bitio.Pow(p.SC, delta); got != want {
+				t.Errorf("%s delta=%d: Σ size (T_G) = %d, want s_C^δ = %d", alg.Name, delta, got, want)
+			}
+		}
+	}
+}
+
+// size(u) computed from edge labels equals the grid's nonzero count.
+func TestSizeMatchesGrid(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd()} {
+		for _, tree := range []*Tree{NewTreeA(alg), NewTreeB(alg), NewTreeG(alg)} {
+			for delta := 1; delta <= 3; delta++ {
+				Paths(alg.R, delta, func(_ int64, p []int) {
+					g := tree.CoefGrid(p)
+					if g.Nonzeros() != tree.Size(p) {
+						t.Fatalf("%s/%s path %v: grid nnz %d != size %d",
+							alg.Name, tree.Kind, p, g.Nonzeros(), tree.Size(p))
+					}
+				})
+			}
+		}
+	}
+}
+
+// Grid composition: grid(q1·q2) is the tensor of grid(q1) and grid(q2).
+func TestGridComposition(t *testing.T) {
+	alg := bilinear.Strassen()
+	ta := NewTreeA(alg)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		d1 := 1 + rng.Intn(2)
+		d2 := 1 + rng.Intn(2)
+		q1 := make([]int, d1)
+		q2 := make([]int, d2)
+		for i := range q1 {
+			q1[i] = rng.Intn(alg.R)
+		}
+		for i := range q2 {
+			q2[i] = rng.Intn(alg.R)
+		}
+		g1 := ta.CoefGrid(q1)
+		g2 := ta.CoefGrid(q2)
+		g12 := ta.CoefGrid(append(append([]int{}, q1...), q2...))
+		if g12.Dim != g1.Dim*g2.Dim {
+			t.Fatalf("composed dim %d != %d*%d", g12.Dim, g1.Dim, g2.Dim)
+		}
+		for i := 0; i < g1.Dim; i++ {
+			for j := 0; j < g1.Dim; j++ {
+				for x := 0; x < g2.Dim; x++ {
+					for y := 0; y < g2.Dim; y++ {
+						want := g1.At(i, j) * g2.At(x, y)
+						got := g12.At(i*g2.Dim+x, j*g2.Dim+y)
+						if got != want {
+							t.Fatalf("composition mismatch at (%d,%d,%d,%d)", i, j, x, y)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Figure 2's worked example: (A12 − A22)12 − (A12 − A22)22 is a weighted
+// sum of 4 blocks of A: +(A12)12 −(A22)12 −(A12)22 +(A22)22.
+// In Strassen's numbering M7 = (A12 − A22)(B21 + B22) and
+// M1 = A11(B12 − B22); the figure's node is path (M7, M1) on the A side,
+// since M1's A-form selects block 12 of its input... it selects A11.
+// The figure's second-level expression (U)12 − (U)22 is M7's A-form
+// applied again: path (7-1, 7-1) zero-indexed = (6, 6).
+func TestFigure2Node(t *testing.T) {
+	ta := NewTreeA(bilinear.Strassen())
+	g := ta.CoefGrid([]int{6, 6}) // M7 twice: (A12−A22)12 − (A12−A22)22
+	if g.Dim != 4 {
+		t.Fatalf("dim = %d, want 4", g.Dim)
+	}
+	// Blocks of A on the 4x4 grid of quarter-blocks: (A12)12 is block
+	// row 0 col 1 of A12 which sits at rows 0-1, cols 2-3 -> grid (0, 3).
+	wantNonzero := map[[2]int]int64{
+		{0, 3}: 1,  // +(A12)12
+		{2, 3}: -1, // −(A22)12
+		{1, 3}: -1, // −(A12)22
+		{3, 3}: 1,  // +(A22)22
+	}
+	if g.Nonzeros() != 4 {
+		t.Fatalf("size = %d, want 4 (Figure 2)", g.Nonzeros())
+	}
+	for pos, w := range wantNonzero {
+		if g.At(pos[0], pos[1]) != w {
+			t.Errorf("grid[%d][%d] = %d, want %d", pos[0], pos[1], g.At(pos[0], pos[1]), w)
+		}
+	}
+}
+
+// leafValues computes all leaf scalars of a tree over a concrete matrix
+// by expanding the full-depth coefficient grids (host-side reference).
+func leafValues(tree *Tree, m *matrix.Matrix) []int64 {
+	L := bitio.Log(tree.Alg.T, m.Rows)
+	total := bitio.Pow(tree.Alg.R, L)
+	out := make([]int64, total)
+	Paths(tree.Alg.R, L, func(idx int64, p []int) {
+		g := tree.CoefGrid(p)
+		var v int64
+		for i := 0; i < g.Dim; i++ {
+			for j := 0; j < g.Dim; j++ {
+				if w := g.At(i, j); w != 0 {
+					v += w * m.At(i, j)
+				}
+			}
+		}
+		out[idx] = v
+	})
+	return out
+}
+
+// The fundamental reconstruction identity behind T_AB (Section 4.4):
+// with p_q = leafA_q · leafB_q, entry (x, y) of C = AB equals
+// Σ_q gridG(q)[x][y] · p_q. This validates the T_G/T_AB coefficient
+// structure end to end, for several algorithms and sizes.
+func TestProductReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd(), bilinear.Naive()} {
+		for _, L := range []int{1, 2} {
+			n := int(bitio.Pow(alg.T, L))
+			a := matrix.Random(rng, n, n, -5, 5)
+			b := matrix.Random(rng, n, n, -5, 5)
+			want := a.Mul(b)
+
+			leafA := leafValues(NewTreeA(alg), a)
+			leafB := leafValues(NewTreeB(alg), b)
+			tg := NewTreeG(alg)
+
+			got := matrix.New(n, n)
+			Paths(alg.R, L, func(idx int64, p []int) {
+				g := tg.CoefGrid(p)
+				pq := leafA[idx] * leafB[idx]
+				if pq == 0 {
+					return
+				}
+				for x := 0; x < n; x++ {
+					for y := 0; y < n; y++ {
+						if w := g.At(x, y); w != 0 {
+							got.Set(x, y, got.At(x, y)+w*pq)
+						}
+					}
+				}
+			})
+			if !got.Equal(want) {
+				t.Errorf("%s L=%d: reconstruction mismatch\ngot\n%v\nwant\n%v", alg.Name, L, got, want)
+			}
+		}
+	}
+}
+
+// The trace identity (equation 4): Σ_q leafA_q·leafB_q·leafG_q over the
+// masked matrix G (G_ij = A_ij for i<j else 0) equals trace(A³)/2.
+func TestTraceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, alg := range []*bilinear.Algorithm{bilinear.Strassen(), bilinear.Winograd()} {
+		for _, L := range []int{1, 2} {
+			n := int(bitio.Pow(alg.T, L))
+			// Symmetric integer matrix with zero diagonal (adjacency-like
+			// but with general weights to stress signs).
+			a := matrix.New(n, n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					v := rng.Int63n(7) - 3
+					a.Set(i, j, v)
+					a.Set(j, i, v)
+				}
+			}
+			g := matrix.New(n, n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					g.Set(i, j, a.At(i, j))
+				}
+			}
+			leafA := leafValues(NewTreeA(alg), a)
+			leafB := leafValues(NewTreeB(alg), a)
+			leafG := leafValues(NewTreeG(alg), g)
+			var sum int64
+			for q := range leafA {
+				sum += leafA[q] * leafB[q] * leafG[q]
+			}
+			if want := a.TraceCube() / 2; sum != want {
+				t.Errorf("%s L=%d: Σ p_q·q_q = %d, want trace(A³)/2 = %d", alg.Name, L, sum, want)
+			}
+		}
+	}
+}
+
+func TestPathsEnumeration(t *testing.T) {
+	var seen []int64
+	Paths(3, 2, func(idx int64, p []int) {
+		if int64(p[0]*3+p[1]) != idx {
+			t.Fatalf("path %v has index %d", p, idx)
+		}
+		seen = append(seen, idx)
+	})
+	if len(seen) != 9 {
+		t.Fatalf("enumerated %d paths, want 9", len(seen))
+	}
+	for i, idx := range seen {
+		if int64(i) != idx {
+			t.Fatal("paths not in lexicographic order")
+		}
+	}
+}
+
+func TestCoefGridBadPathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad path step did not panic")
+		}
+	}()
+	NewTreeA(bilinear.Strassen()).CoefGrid([]int{7})
+}

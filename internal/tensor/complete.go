@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/ratlin"
+)
+
+// SolveThird completes a rank decomposition of ⟨T,T,T⟩ in trace
+// coordinates: given the first two factor lists, it solves the exact
+// linear system Σ_r first_r(a)·second_r(b)·x_r(c) = E(a,b,c) for the
+// third. The system decouples by the index c into T² independent
+// subsystems of T⁴ equations in R unknowns each, solved exactly over
+// the rationals. It errors if no third factor exists (the guess for
+// the first two factors is wrong) or if the solution is not integral
+// (this library's algorithms use integer weights).
+//
+// Because the tensor is cyclic-invariant in trace coordinates, the same
+// routine recovers any one missing factor:
+//
+//	W from (U, V): SolveThird(U, V)
+//	U from (V, W): SolveThird(V, W)
+//	V from (W, U): SolveThird(W, U)
+func SolveThird(t int, first, second [][]int64) ([][]int64, error) {
+	r := len(first)
+	if len(second) != r {
+		return nil, fmt.Errorf("tensor: factor lists have ranks %d and %d", r, len(second))
+	}
+	t2 := t * t
+	e := MatMul(t)
+	out := make([][]int64, r)
+	for k := range out {
+		out[k] = make([]int64, t2)
+	}
+	for c := 0; c < t2; c++ {
+		sys := ratlin.NewSystem(t2*t2, r)
+		for a := 0; a < t2; a++ {
+			for b := 0; b < t2; b++ {
+				row := a*t2 + b
+				for k := 0; k < r; k++ {
+					sys.SetCoef(row, k, first[k][a]*second[k][b])
+				}
+				sys.SetRHS(row, e.At(a, b, c))
+			}
+		}
+		x, _, err := sys.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("tensor: no third factor exists (index %d): %w", c, err)
+		}
+		for k := 0; k < r; k++ {
+			if !x[k].IsInt() {
+				// The particular solution may be non-integral while an
+				// integral one exists (underdetermined subsystems);
+				// report rather than guess.
+				return nil, fmt.Errorf("tensor: solved weight %s at (product %d, index %d) is not an integer",
+					x[k].RatString(), k, c)
+			}
+			out[k][c] = x[k].Num().Int64()
+		}
+	}
+	return out, nil
+}
+
+// Complete fills in the single nil factor of a partial decomposition
+// and verifies the result. Exactly one of d.U, d.V, d.W must be nil.
+func Complete(d *Decomposition) (*Decomposition, error) {
+	nilCount := 0
+	if d.U == nil {
+		nilCount++
+	}
+	if d.V == nil {
+		nilCount++
+	}
+	if d.W == nil {
+		nilCount++
+	}
+	if nilCount != 1 {
+		return nil, fmt.Errorf("tensor: Complete needs exactly one unknown factor, have %d", nilCount)
+	}
+	out := &Decomposition{T: d.T, R: d.R, U: d.U, V: d.V, W: d.W}
+	var err error
+	switch {
+	case d.W == nil:
+		out.W, err = SolveThird(d.T, d.U, d.V)
+	case d.U == nil:
+		out.U, err = SolveThird(d.T, d.V, d.W)
+	case d.V == nil:
+		out.V, err = SolveThird(d.T, d.W, d.U)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Verify(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

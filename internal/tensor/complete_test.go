@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/bilinear"
+)
+
+// Erase each factor of Strassen's decomposition in turn and recover it
+// from the other two; the completed decomposition must verify (the
+// recovered factor may differ from the original if the system is
+// underdetermined, but Verify pins correctness).
+func TestCompleteRecoversStrassen(t *testing.T) {
+	for _, erase := range []string{"U", "V", "W"} {
+		d := FromAlgorithm(bilinear.Strassen())
+		switch erase {
+		case "U":
+			d.U = nil
+		case "V":
+			d.V = nil
+		case "W":
+			d.W = nil
+		}
+		got, err := Complete(d)
+		if err != nil {
+			t.Fatalf("erase %s: %v", erase, err)
+		}
+		if err := got.Verify(); err != nil {
+			t.Errorf("erase %s: completed decomposition invalid: %v", erase, err)
+		}
+		alg := got.ToAlgorithm("recovered")
+		if err := alg.Verify(); err != nil {
+			t.Errorf("erase %s: recovered algorithm invalid: %v", erase, err)
+		}
+	}
+}
+
+// The same works for Winograd and the naive algorithm.
+func TestCompleteOtherAlgorithms(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Winograd(), bilinear.Naive()} {
+		d := FromAlgorithm(alg)
+		d.W = nil
+		if _, err := Complete(d); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}
+
+// A wrong factor pair is rejected (no consistent completion exists).
+func TestCompleteDetectsWrongGuess(t *testing.T) {
+	d := FromAlgorithm(bilinear.Strassen())
+	d.U[0][0] = 5 // corrupt a U-form
+	d.W = nil
+	if _, err := Complete(d); err == nil {
+		t.Error("corrupted factors completed successfully")
+	}
+}
+
+// Exactly one factor must be missing.
+func TestCompleteArity(t *testing.T) {
+	d := FromAlgorithm(bilinear.Strassen())
+	if _, err := Complete(d); err == nil {
+		t.Error("nothing to complete accepted")
+	}
+	d.U, d.V = nil, nil
+	if _, err := Complete(d); err == nil {
+		t.Error("two missing factors accepted")
+	}
+}
+
+// Rank deficit: erasing W AND dropping a product makes completion
+// impossible (rank 6 cannot express 2x2 matmul — Strassen is optimal).
+func TestCompleteRankSixImpossible(t *testing.T) {
+	d := FromAlgorithm(bilinear.Strassen())
+	d.U = d.U[:6]
+	d.V = d.V[:6]
+	d.R = 6
+	d.W = nil
+	if _, err := Complete(d); err == nil {
+		t.Error("rank-6 2x2 multiplication should be impossible (rank of ⟨2,2,2⟩ is 7)")
+	}
+}

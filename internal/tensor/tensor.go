@@ -1,0 +1,201 @@
+// Package tensor implements the tensor perspective of fast matrix
+// multiplication that the paper points to ("our techniques extend to
+// the more general tensor perspective of fast matrix multiplication",
+// Section 2.1, citing Bläser's survey).
+//
+// The T x T matrix multiplication tensor, in trace coordinates, is
+//
+//	⟨T,T,T⟩ = Σ_{i,j,k} e_{ij} ⊗ e_{jk} ⊗ e_{ki},
+//
+// the trilinear form tr(A·B·C). A rank-R decomposition is a list of
+// triples (u_r, v_r, w_r) of T²-vectors with
+//
+//	⟨T,T,T⟩ = Σ_r u_r ⊗ v_r ⊗ w_r,
+//
+// and is exactly a bilinear fast multiplication algorithm with R scalar
+// products: Strassen's algorithm is a rank-7 decomposition of ⟨2,2,2⟩.
+//
+// In trace coordinates the tensor is invariant under cyclically
+// rotating the three factors, so every decomposition yields two more by
+// rotation — distinct, automatically-correct algorithms with permuted
+// sparsity profiles (s_A, s_B, s_C). The package converts between
+// decompositions and bilinear.Algorithm values, expands decompositions
+// to explicit tensors for verification, and implements the rotations.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/bilinear"
+)
+
+// Tensor is a dense order-3 tensor over T² x T² x T² (trace
+// coordinates: indices (i,j), (j,k), (k,i) row-major).
+type Tensor struct {
+	T    int
+	Data []int64 // [a*T⁴ + b*T² + c] for a,b,c in [T²]
+}
+
+// NewTensor returns the zero tensor for T x T matrices.
+func NewTensor(t int) *Tensor {
+	t2 := t * t
+	return &Tensor{T: t, Data: make([]int64, t2*t2*t2)}
+}
+
+// At returns entry (a, b, c) with a, b, c in [T²].
+func (x *Tensor) At(a, b, c int) int64 {
+	t2 := x.T * x.T
+	return x.Data[(a*t2+b)*t2+c]
+}
+
+// set adds v at (a, b, c).
+func (x *Tensor) add(a, b, c int, v int64) {
+	t2 := x.T * x.T
+	x.Data[(a*t2+b)*t2+c] += v
+}
+
+// Equal reports exact equality.
+func (x *Tensor) Equal(y *Tensor) bool {
+	if x.T != y.T {
+		return false
+	}
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul returns the T x T matrix multiplication tensor in trace
+// coordinates: entry ((i,j),(j',k),(k',i')) = [j=j'][k=k'][i=i'].
+func MatMul(t int) *Tensor {
+	x := NewTensor(t)
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			for k := 0; k < t; k++ {
+				x.add(i*t+j, j*t+k, k*t+i, 1)
+			}
+		}
+	}
+	return x
+}
+
+// Decomposition is a rank-R decomposition of ⟨T,T,T⟩ in trace
+// coordinates: U, V, W are R x T².
+type Decomposition struct {
+	T       int
+	R       int
+	U, V, W [][]int64
+}
+
+// FromAlgorithm converts a bilinear algorithm to trace coordinates:
+// U = algorithm A-forms, V = B-forms, and W_r[(k,i)] = C[i*T+k][r]
+// (the output index transposed, because tr(ABC) pairs C_ki with
+// (AB)_ik).
+func FromAlgorithm(alg *bilinear.Algorithm) *Decomposition {
+	t := alg.T
+	t2 := t * t
+	d := &Decomposition{T: t, R: alg.R}
+	for r := 0; r < alg.R; r++ {
+		u := append([]int64(nil), alg.A[r]...)
+		v := append([]int64(nil), alg.B[r]...)
+		w := make([]int64, t2)
+		for k := 0; k < t; k++ {
+			for i := 0; i < t; i++ {
+				w[k*t+i] = alg.C[i*t+k][r]
+			}
+		}
+		d.U = append(d.U, u)
+		d.V = append(d.V, v)
+		d.W = append(d.W, w)
+	}
+	return d
+}
+
+// ToAlgorithm converts back to the bilinear form (inverse of
+// FromAlgorithm) with the given name.
+func (d *Decomposition) ToAlgorithm(name string) *bilinear.Algorithm {
+	t := d.T
+	t2 := t * t
+	alg := &bilinear.Algorithm{Name: name, T: t, R: d.R}
+	for r := 0; r < d.R; r++ {
+		alg.A = append(alg.A, append([]int64(nil), d.U[r]...))
+		alg.B = append(alg.B, append([]int64(nil), d.V[r]...))
+	}
+	alg.C = make([][]int64, t2)
+	for i := 0; i < t; i++ {
+		for k := 0; k < t; k++ {
+			row := make([]int64, d.R)
+			for r := 0; r < d.R; r++ {
+				row[r] = d.W[r][k*t+i]
+			}
+			alg.C[i*t+k] = row
+		}
+	}
+	return alg
+}
+
+// Evaluate expands Σ_r u_r ⊗ v_r ⊗ w_r to a dense tensor.
+func (d *Decomposition) Evaluate() *Tensor {
+	x := NewTensor(d.T)
+	t2 := d.T * d.T
+	for r := 0; r < d.R; r++ {
+		for a := 0; a < t2; a++ {
+			ua := d.U[r][a]
+			if ua == 0 {
+				continue
+			}
+			for b := 0; b < t2; b++ {
+				vb := d.V[r][b]
+				if vb == 0 {
+					continue
+				}
+				for c := 0; c < t2; c++ {
+					if wc := d.W[r][c]; wc != 0 {
+						x.add(a, b, c, ua*vb*wc)
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Verify checks that the decomposition expands to the matrix
+// multiplication tensor.
+func (d *Decomposition) Verify() error {
+	if got, want := d.Evaluate(), MatMul(d.T); !got.Equal(want) {
+		return fmt.Errorf("tensor: decomposition is not a ⟨%d,%d,%d⟩ decomposition", d.T, d.T, d.T)
+	}
+	return nil
+}
+
+// Rotate applies the cyclic symmetry of the matrix multiplication
+// tensor in trace coordinates: (U, V, W) -> (V, W, U). The result is
+// again a valid decomposition — hence a new, automatically-correct fast
+// multiplication algorithm whose sparsity profile is the cyclic shift
+// (s_A, s_B, s_C) -> (s_B, s_C, s_A).
+func (d *Decomposition) Rotate() *Decomposition {
+	return &Decomposition{T: d.T, R: d.R, U: d.V, V: d.W, W: d.U}
+}
+
+// Rank returns R.
+func (d *Decomposition) Rank() int { return d.R }
+
+// Rotations returns the two nontrivial rotations of alg as verified
+// bilinear algorithms, named with ~rot1/~rot2 suffixes.
+func Rotations(alg *bilinear.Algorithm) (*bilinear.Algorithm, *bilinear.Algorithm, error) {
+	d := FromAlgorithm(alg)
+	r1 := d.Rotate()
+	r2 := r1.Rotate()
+	a1 := r1.ToAlgorithm(alg.Name + "~rot1")
+	a2 := r2.ToAlgorithm(alg.Name + "~rot2")
+	if err := a1.Verify(); err != nil {
+		return nil, nil, err
+	}
+	if err := a2.Verify(); err != nil {
+		return nil, nil, err
+	}
+	return a1, a2, nil
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/matrix"
+)
+
+// The matrix multiplication tensor has exactly T³ ones and is 0/1.
+func TestMatMulTensorShape(t *testing.T) {
+	for _, tt := range []int{2, 3} {
+		x := MatMul(tt)
+		ones := 0
+		for _, v := range x.Data {
+			switch v {
+			case 0:
+			case 1:
+				ones++
+			default:
+				t.Fatalf("T=%d: entry %d not 0/1", tt, v)
+			}
+		}
+		if ones != tt*tt*tt {
+			t.Errorf("T=%d: %d ones, want %d", tt, ones, tt*tt*tt)
+		}
+	}
+}
+
+// Every registered algorithm is a rank decomposition of the tensor:
+// FromAlgorithm(...).Verify() is equivalent to bilinear.Verify.
+func TestAlgorithmsAreDecompositions(t *testing.T) {
+	for name, alg := range bilinear.Registry() {
+		if alg.T > 2 {
+			continue // dense expansion of T=4 is 4096³; skip
+		}
+		d := FromAlgorithm(alg)
+		if err := d.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if d.Rank() != alg.R {
+			t.Errorf("%s: rank %d != r %d", name, d.Rank(), alg.R)
+		}
+	}
+}
+
+// A corrupted algorithm fails tensor verification.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	alg := bilinear.Strassen()
+	alg.A[0][1] = 9
+	if err := FromAlgorithm(alg).Verify(); err == nil {
+		t.Error("corrupted decomposition verified")
+	}
+}
+
+// Round trip: FromAlgorithm then ToAlgorithm is the identity.
+func TestRoundTrip(t *testing.T) {
+	alg := bilinear.Strassen()
+	back := FromAlgorithm(alg).ToAlgorithm("strassen")
+	if err := back.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < alg.R; r++ {
+		for i := range alg.A[r] {
+			if alg.A[r][i] != back.A[r][i] || alg.B[r][i] != back.B[r][i] {
+				t.Fatal("A/B forms changed in round trip")
+			}
+		}
+	}
+	for e := range alg.C {
+		for r := range alg.C[e] {
+			if alg.C[e][r] != back.C[e][r] {
+				t.Fatal("C forms changed in round trip")
+			}
+		}
+	}
+}
+
+// The cyclic rotations of Strassen are valid 7-multiplication
+// algorithms, distinct from Strassen, with cyclically-shifted sparsity.
+func TestRotationsValid(t *testing.T) {
+	alg := bilinear.Strassen()
+	r1, r2, err := Rotations(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := alg.Params()
+	p1 := r1.Params()
+	p2 := r2.Params()
+	// (s_A, s_B, s_C) rotates.
+	if p1.SA != p.SB || p1.SB != p.SC || p1.SC != p.SA {
+		t.Errorf("rot1 sparsity (%d,%d,%d), want (%d,%d,%d)",
+			p1.SA, p1.SB, p1.SC, p.SB, p.SC, p.SA)
+	}
+	if p2.SA != p.SC || p2.SB != p.SA || p2.SC != p.SB {
+		t.Errorf("rot2 sparsity (%d,%d,%d), want (%d,%d,%d)",
+			p2.SA, p2.SB, p2.SC, p.SC, p.SA, p.SB)
+	}
+	// Triple rotation is the identity.
+	d3 := FromAlgorithm(alg).Rotate().Rotate().Rotate()
+	back := d3.ToAlgorithm("x")
+	for r := 0; r < alg.R; r++ {
+		for i := range alg.A[r] {
+			if alg.A[r][i] != back.A[r][i] {
+				t.Fatal("triple rotation is not the identity")
+			}
+		}
+	}
+}
+
+// Rotated algorithms actually multiply matrices (executor end to end).
+func TestRotatedAlgorithmsExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r1, r2, err := Rotations(bilinear.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []*bilinear.Algorithm{r1, r2} {
+		e := bilinear.NewExecutor(alg, 1)
+		for _, n := range []int{2, 4, 8} {
+			a := matrix.Random(rng, n, n, -9, 9)
+			b := matrix.Random(rng, n, n, -9, 9)
+			got, err := e.Mul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(a.Mul(b)) {
+				t.Fatalf("%s: wrong product at n=%d", alg.Name, n)
+			}
+		}
+	}
+}
+
+// Winograd's rotations shuffle its asymmetric structure but keep s=14
+// total... actually all three s values are 14 for Winograd; use a
+// deliberately asymmetric check with naive (all 8s) to confirm rotation
+// is at least stable there too.
+func TestRotationsOtherAlgorithms(t *testing.T) {
+	for _, alg := range []*bilinear.Algorithm{bilinear.Winograd(), bilinear.Naive()} {
+		if _, _, err := Rotations(alg); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package tcmm is the public API of this library: constant-depth,
+// subcubic-size threshold circuits for matrix multiplication and
+// triangle counting, reproducing Parekh, Phillips, James and Aimone,
+// "Constant-Depth and Subcubic-Size Threshold Circuits for Matrix
+// Multiplication" (SPAA 2018).
+//
+// # Overview
+//
+// A threshold circuit is a DAG of McCulloch-Pitts gates: each gate has
+// unbounded fan-in, integer weights and an integer threshold, and fires
+// iff the weighted sum of its inputs meets the threshold. The paper
+// shows how to compile any bilinear fast matrix multiplication
+// algorithm (Strassen's and friends) into such circuits:
+//
+//   - NewMatMul builds a circuit computing C = AB for N x N integer
+//     matrices in depth 4d+1 with Õ(d·N^{ω+c·γ^d}) gates
+//     (Theorem 4.9), or depth O(log log N) with Õ(N^ω) gates under the
+//     LogLogSchedule (Theorem 4.8).
+//   - NewTrace builds a circuit deciding trace(A³) >= τ in depth 2d+2
+//     (Theorems 4.4/4.5) — for a graph adjacency matrix this answers
+//     "does G have at least τ/6 triangles?".
+//   - NewNaiveTriangle builds the Θ(N³)-gate depth-2 baseline the paper
+//     opens with.
+//
+// The exponent constants are derived from the algorithm's *sparsity*
+// (Definition 2.1): Strassen's algorithm has s = 12, γ ≈ 0.491,
+// c ≈ 1.585, so d > 3 already beats the N³ barrier.
+//
+// # Architecture
+//
+// The facade re-exports the implementation packages:
+//
+//	internal/circuit   threshold-gate DAG, evaluation, complexity measures
+//	internal/arith     Lemmas 3.1–3.3: TC0 addition and multiplication
+//	internal/bilinear  fast matrix multiplication algorithms + sparsity
+//	internal/tctree    the recursion trees T_A/T_B/T_G and level schedules
+//	internal/core      the paper's circuit constructions
+//	internal/counting  closed-form gate-count model for paper-scale N
+//	internal/graph     triangle counting / social-network substrate (§5)
+//	internal/conv      convolution-as-GEMM deep-learning substrate (§5)
+//	internal/neuro     neuromorphic device simulator (fan-in, energy, §6)
+package tcmm
+
+import (
+	"math/rand"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/neuro"
+	"repro/internal/tctree"
+)
+
+// Matrix is a dense integer matrix (row-major int64 entries).
+type Matrix = matrix.Matrix
+
+// NewMatrix returns a zero rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// MatrixFromRows builds a matrix from equal-length rows.
+func MatrixFromRows(rows [][]int64) *Matrix { return matrix.FromRows(rows) }
+
+// RandomMatrix draws entries uniformly from [lo, hi].
+func RandomMatrix(rng *rand.Rand, rows, cols int, lo, hi int64) *Matrix {
+	return matrix.Random(rng, rows, cols, lo, hi)
+}
+
+// RandomBinaryMatrix draws 0/1 entries with the given one-probability.
+func RandomBinaryMatrix(rng *rand.Rand, rows, cols int, p float64) *Matrix {
+	return matrix.RandomBinary(rng, rows, cols, p)
+}
+
+// Algorithm is a bilinear fast matrix multiplication algorithm
+// ⟨T, r, M-expressions, C-expressions⟩.
+type Algorithm = bilinear.Algorithm
+
+// AlgorithmParams carries Definition 2.1's sparsity measures and the
+// derived constants ω, α, β, γ, c of Section 4.3.
+type AlgorithmParams = bilinear.Params
+
+// Strassen returns Strassen's algorithm (Figure 1): T=2, r=7, s=12.
+func Strassen() *Algorithm { return bilinear.Strassen() }
+
+// Winograd returns Winograd's 7-multiplication variant: fewer additions
+// as a conventional algorithm, but denser (s=14), hence a worse circuit
+// exponent — sparsity, not addition count, is what the circuits price.
+func Winograd() *Algorithm { return bilinear.Winograd() }
+
+// NaiveAlgorithm returns the definitional T=2, r=8 algorithm (ω = 3).
+func NaiveAlgorithm() *Algorithm { return bilinear.Naive() }
+
+// ComposeAlgorithms returns the tensor product of two algorithms
+// (Strassen⊗Strassen gives T=4, r=49).
+func ComposeAlgorithms(a, b *Algorithm) *Algorithm { return bilinear.Compose(a, b) }
+
+// Algorithms returns the built-in verified algorithms by name:
+// "strassen", "winograd", "naive2", "strassen2".
+func Algorithms() map[string]*Algorithm { return bilinear.Registry() }
+
+// LookupAlgorithm resolves a built-in algorithm by name.
+func LookupAlgorithm(name string) (*Algorithm, error) { return bilinear.Lookup(name) }
+
+// DecodeAlgorithm parses and fully verifies an algorithm from JSON.
+func DecodeAlgorithm(data []byte) (*Algorithm, error) { return bilinear.Decode(data) }
+
+// EncodeAlgorithm serializes an algorithm to JSON.
+func EncodeAlgorithm(alg *Algorithm) ([]byte, error) { return bilinear.Encode(alg) }
+
+// Executor runs a bilinear algorithm as a conventional recursive
+// divide-and-conquer multiplication with operation counting — the
+// baseline the circuits are compared against.
+type Executor = bilinear.Executor
+
+// NewExecutor returns an executor with the given base-case cutoff.
+func NewExecutor(alg *Algorithm, cutoff int) *Executor { return bilinear.NewExecutor(alg, cutoff) }
+
+// Schedule is the increasing sequence of materialized recursion levels
+// 0 = h_0 < ... < h_t = log_T N.
+type Schedule = tctree.Schedule
+
+// ConstantDepthSchedule returns the Theorem 4.5/4.9 schedule
+// h_i = ⌈(1−γ^i)ρ⌉ with at most d transitions.
+func ConstantDepthSchedule(gamma float64, height, d int) Schedule {
+	return tctree.ConstantDepth(gamma, height, d)
+}
+
+// LogLogSchedule returns the Theorem 4.4/4.8 schedule with
+// ⌊log_{1/γ} L⌋ + 1 transitions.
+func LogLogSchedule(gamma float64, height int) Schedule { return tctree.LogLog(gamma, height) }
+
+// UniformSchedule returns the weaker h_i = ⌈i·L/t⌉ ablation schedule.
+func UniformSchedule(height, t int) Schedule { return tctree.Uniform(height, t) }
+
+// DirectSchedule returns the single-jump {0, L} strawman schedule.
+func DirectSchedule(height int) Schedule { return tctree.Direct(height) }
+
+// Circuit is a threshold circuit: evaluation, size/depth/edges/fan-in
+// measures, energy accounting, DOT export.
+type Circuit = circuit.Circuit
+
+// CircuitStats bundles a circuit's complexity measures.
+type CircuitStats = circuit.Stats
+
+// Options configures circuit construction (algorithm, schedule or depth
+// parameter d, entry bit width, signedness, fan-in grouping).
+type Options = core.Options
+
+// MatMulCircuit computes C = AB (Theorems 4.8/4.9).
+type MatMulCircuit = core.MatMulCircuit
+
+// TraceCircuit decides trace(A³) >= τ (Theorems 4.4/4.5).
+type TraceCircuit = core.TraceCircuit
+
+// TriangleCircuit is the Θ(N³) depth-2 baseline (Section 1).
+type TriangleCircuit = core.TriangleCircuit
+
+// NewMatMul builds the matrix product circuit for N x N inputs; N must
+// be a power of the algorithm's T.
+func NewMatMul(n int, opts Options) (*MatMulCircuit, error) { return core.BuildMatMul(n, opts) }
+
+// NewTrace builds the trace-threshold circuit.
+func NewTrace(n int, tau int64, opts Options) (*TraceCircuit, error) {
+	return core.BuildTrace(n, tau, opts)
+}
+
+// NewNaiveTriangle builds the baseline triangle circuit: exactly
+// C(N,3)+1 gates in depth 2.
+func NewNaiveTriangle(n int, tau int64) (*TriangleCircuit, error) {
+	return core.BuildNaiveTriangle(n, tau)
+}
+
+// GateEstimate itemizes predicted gate counts by construction phase.
+type GateEstimate = counting.Estimate
+
+// EstimateTraceGates predicts BuildTrace's gate count for N = T^L
+// without materializing the circuit (sound upper bound).
+func EstimateTraceGates(alg *Algorithm, entryBits, height int, sched Schedule) GateEstimate {
+	return counting.EstimateTrace(alg, entryBits, height, sched)
+}
+
+// EstimateMatMulGates predicts BuildMatMul's gate count.
+func EstimateMatMulGates(alg *Algorithm, entryBits, height int, sched Schedule) GateEstimate {
+	return counting.EstimateMatMul(alg, entryBits, height, sched)
+}
+
+// TheoremExponent returns the paper's headline exponent ω + c·γ^d.
+func TheoremExponent(alg *Algorithm, d int) float64 { return counting.TheoremExponent(alg, d) }
+
+// NaiveTriangleGates returns C(N,3)+1.
+func NaiveTriangleGates(n float64) float64 { return counting.NaiveTriangleGates(n) }
+
+// Graph is a simple undirected graph with triangle/wedge/clustering
+// analysis (Section 5).
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// GraphFromAdjacency validates and wraps a symmetric 0/1 matrix.
+func GraphFromAdjacency(adj *Matrix) (*Graph, error) { return graph.FromAdjacency(adj) }
+
+// ErdosRenyi samples G(n, p).
+func ErdosRenyi(rng *rand.Rand, n int, p float64) *Graph { return graph.ErdosRenyi(rng, n, p) }
+
+// PlantedCommunities samples a two-level community graph (BTER-like).
+func PlantedCommunities(rng *rand.Rand, n, communities int, pIn, pOut float64) *Graph {
+	return graph.PlantedCommunities(rng, n, communities, pIn, pOut)
+}
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return graph.Complete(n) }
+
+// Image is an H x W x C integer image for the convolution substrate.
+type Image = conv.Image
+
+// Kernel is a q x q x C convolution filter.
+type Kernel = conv.Kernel
+
+// NewImage allocates a zero image.
+func NewImage(h, w, c int) *Image { return conv.NewImage(h, w, c) }
+
+// NewKernel allocates a zero kernel.
+func NewKernel(q, c int) *Kernel { return conv.NewKernel(q, c) }
+
+// ConvDirect computes patch-kernel scores by definition.
+func ConvDirect(im *Image, kernels []*Kernel, stride int) (*Matrix, error) {
+	return conv.Direct(im, kernels, stride)
+}
+
+// ConvResult is the circuit convolution output with complexity stats.
+type ConvResult = conv.CircuitResult
+
+// ConvViaCircuit computes a convolution layer through threshold matmul
+// circuits, optionally partitioned into row blocks of maxRows to bound
+// fan-in (Section 5). maxRows <= 0 disables partitioning.
+func ConvViaCircuit(im *Image, kernels []*Kernel, stride int, opts Options, maxRows int) (*ConvResult, error) {
+	return conv.ViaCircuit(im, kernels, stride, opts, maxRows)
+}
+
+// Device is a neuromorphic chip profile for deployment simulation.
+type Device = neuro.Device
+
+// DeviceStats aggregates one simulated inference.
+type DeviceStats = neuro.RunStats
+
+// TrueNorthDevice returns a TrueNorth-like profile (256 neurons/core,
+// fan-in 256).
+func TrueNorthDevice() Device { return neuro.TrueNorthish() }
+
+// LoihiDevice returns a Loihi-like profile (1024 neurons/core, fan-in
+// 4096).
+func LoihiDevice() Device { return neuro.Loihiish() }
+
+// UnlimitedDevice returns an idealized unconstrained device.
+func UnlimitedDevice() Device { return neuro.Unlimited() }
+
+// Deploy places a circuit on a device and runs one inference, returning
+// the wire values and execution statistics (timesteps, spikes, energy,
+// core traffic).
+func Deploy(c *Circuit, d Device, inputs []bool) ([]bool, DeviceStats, error) {
+	return neuro.Deploy(c, d, inputs)
+}

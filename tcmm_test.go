@@ -1,0 +1,163 @@
+package tcmm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	tcmm "repro"
+)
+
+// End-to-end through the public facade only: the full pipeline a user
+// would write.
+func TestFacadeMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mc, err := tcmm.NewMatMul(4, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	b := tcmm.RandomBinaryMatrix(rng, 4, 4, 0.5)
+	got, err := mc.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Error("facade matmul wrong")
+	}
+	if mc.Circuit.Depth() > mc.DepthBound() {
+		t.Error("depth bound violated")
+	}
+}
+
+func TestFacadeTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := tcmm.ErdosRenyi(rng, 8, 0.5)
+	want := g.Triangles()
+
+	tc, err := tcmm.NewTrace(8, 6*want, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tc.Decide(g.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("trace circuit missed its own triangle count")
+	}
+
+	naive, err := tcmm.NewNaiveTriangle(8, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNaive, err := naive.Decide(g.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotNaive {
+		t.Error("naive circuit missed its own triangle count")
+	}
+}
+
+func TestFacadeSchedulesAndParams(t *testing.T) {
+	p := tcmm.Strassen().Params()
+	if p.S != 12 {
+		t.Errorf("Strassen sparsity %d, want 12", p.S)
+	}
+	s := tcmm.ConstantDepthSchedule(p.Gamma, 10, 3)
+	if err := s.Validate(10); err != nil {
+		t.Error(err)
+	}
+	if tcmm.TheoremExponent(tcmm.Strassen(), 5) >= 3 {
+		t.Error("exponent at d=5 should be subcubic")
+	}
+	est := tcmm.EstimateTraceGates(tcmm.Strassen(), 1, 10, s)
+	if est.Total() <= 0 {
+		t.Error("estimate not positive")
+	}
+}
+
+func TestFacadeDeploy(t *testing.T) {
+	tc, err := tcmm.NewTrace(4, 6, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tcmm.CompleteGraph(4)
+	adj := g.Adjacency()
+	in, err := tc.Assign(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, stats, err := tcmm.Deploy(tc.Circuit, tcmm.UnlimitedDevice(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Timesteps != tc.Circuit.Depth() || stats.Spikes <= 0 {
+		t.Errorf("deploy stats wrong: %+v", stats)
+	}
+	if len(vals) != tc.Circuit.NumInputs()+tc.Circuit.Size() {
+		t.Error("wire values wrong length")
+	}
+}
+
+func TestFacadeConv(t *testing.T) {
+	im := tcmm.NewImage(4, 4, 1)
+	for i := 0; i < 16; i++ {
+		im.Set(i/4, i%4, 0, int64(i%3))
+	}
+	k := tcmm.NewKernel(2, 1)
+	k.Set(0, 0, 0, 1)
+	k.Set(1, 1, 0, -1)
+	direct, err := tcmm.ConvDirect(im, []*tcmm.Kernel{k}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tcmm.ConvViaCircuit(im, []*tcmm.Kernel{k}, 2, tcmm.Options{Alg: tcmm.Strassen()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Scores.Equal(direct) {
+		t.Error("facade conv wrong")
+	}
+}
+
+func TestFacadeAlgorithmRoundTrip(t *testing.T) {
+	data, err := tcmm.EncodeAlgorithm(tcmm.Winograd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := tcmm.DecodeAlgorithm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.R != 7 {
+		t.Error("round trip lost algorithm")
+	}
+	if _, err := tcmm.LookupAlgorithm("strassen2"); err != nil {
+		t.Error(err)
+	}
+	if len(tcmm.Algorithms()) < 4 {
+		t.Error("registry too small")
+	}
+	c := tcmm.ComposeAlgorithms(tcmm.Strassen(), tcmm.NaiveAlgorithm())
+	if err := c.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := tcmm.NewExecutor(tcmm.Strassen(), 1)
+	a := tcmm.RandomMatrix(rng, 8, 8, -9, 9)
+	b := tcmm.RandomMatrix(rng, 8, 8, -9, 9)
+	got, err := e.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Error("executor wrong through facade")
+	}
+	if e.Ops().ScalarMuls != 343 {
+		t.Errorf("op count %d, want 343", e.Ops().ScalarMuls)
+	}
+}
