@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet cover bench experiments fuzz clean
+.PHONY: all check build test test-short vet cover race bench experiments fuzz clean
 
 all: build vet test
+
+# The full pre-merge gate: everything in `all` plus the race detector
+# over the concurrency-bearing packages.
+check: all race
 
 build:
 	$(GO) build ./...
@@ -22,10 +26,15 @@ test-short:
 cover:
 	$(GO) test -short -cover ./...
 
+# Race-detect the packages that run goroutines (EvalParallel, the
+# batch evaluator's worker pool, and the batched core wrappers).
+race:
+	$(GO) test -race -short ./internal/circuit/... ./internal/core/...
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate every experiment table (E1-E21; see EXPERIMENTS.md).
+# Regenerate every experiment table (E1-E23; see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/tcbench
 
@@ -33,6 +42,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/circuit/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/circuit/
+	$(GO) test -fuzz=FuzzEvalBatch -fuzztime=30s ./internal/circuit/
 	$(GO) test -fuzz=FuzzSumBits -fuzztime=30s ./internal/arith/
 	$(GO) test -fuzz=FuzzEncodeSigned -fuzztime=30s ./internal/arith/
 

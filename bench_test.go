@@ -5,6 +5,7 @@
 package tcmm_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -444,6 +445,64 @@ func BenchmarkE21_SparseTriangles(b *testing.B) {
 	}
 	b.ReportMetric(float64(tri), "triangles")
 	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+// E23 — the batched bit-sliced evaluation engine on the Strassen
+// matmul circuit at N=8 (the largest N the seed benchmarks build):
+// one sub-benchmark per (batch, workers) point, reporting samples/sec
+// so the ≥3x-at-batch-64 acceptance bar is read straight off the log.
+// BenchmarkE23_EvalSingle is the per-sample baseline.
+func BenchmarkE23_EvalSingle(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+	in, err := mc.Assign(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vals []bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals = mc.Circuit.EvalInto(in, vals)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+func BenchmarkE23_EvalBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxBatch = 256
+	inputs := make([][]bool, maxBatch)
+	for i := range inputs {
+		x := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+		y := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+		if inputs[i], err = mc.Assign(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		for _, batch := range []int{1, 16, 64, 256} {
+			name := fmt.Sprintf("batch=%d/workers=%d", batch, workers)
+			b.Run(name, func(b *testing.B) {
+				e := tcmm.NewEvaluator(mc.Circuit, workers)
+				defer e.Close()
+				in := inputs[:batch]
+				packed := tcmm.PackBools(in)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.EvalPlanes(packed)
+				}
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/sec")
+			})
+		}
+	}
 }
 
 // E13 — neuromorphic deployment: place + run the N=8 matmul circuit on

@@ -1,5 +1,5 @@
 // Command tcbench regenerates every experiment table in EXPERIMENTS.md
-// (E1–E22 in DESIGN.md): the paper's figures, worked constants, and the
+// (E1–E23 in DESIGN.md): the paper's figures, worked constants, and the
 // quantitative content of its lemmas and theorems, measured on circuits
 // this library actually builds plus the analytic model at paper-scale N.
 //
@@ -14,7 +14,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	tcmm "repro"
 )
@@ -45,9 +47,10 @@ var experiments = map[string]struct {
 	"e20": {"Fused spiking CNN: one circuit for a whole network", e20},
 	"e21": {"Social-network scale: sparse counting vs circuit model", e21},
 	"e22": {"Lemma 4.3 validated: geometric vs exhaustively optimal schedules", e22},
+	"e23": {"Batched bit-sliced evaluation: throughput vs batch size and workers", e23},
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23"}
 
 func main() {
 	ids := os.Args[1:]
@@ -552,13 +555,14 @@ func e19() {
 	}
 	fmt.Printf("trace circuit N=16: %d gates, depth %d\n", tc.Circuit.Size(), tc.Circuit.Depth())
 	fmt.Printf("%8s %10s %9s  per-level spikes\n", "density", "energy", "fraction")
+	var vals []bool // wire array reused across the density sweep
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
 		g := tcmm.ErdosRenyi(rng, 16, p)
 		in, err := tc.Assign(g.Adjacency())
 		if err != nil {
 			panic(err)
 		}
-		vals := tc.Circuit.EvalParallel(in, 0)
+		vals = tc.Circuit.EvalInto(in, vals)
 		energy := tc.Circuit.Energy(vals)
 		profile := tc.Circuit.EnergyByLevel(vals)
 		fmt.Printf("%8.1f %10d %8.1f%%  %v\n",
@@ -666,6 +670,85 @@ func e22() {
 	}
 	fmt.Println("the closed-form geometric rule of Lemma 4.3 sits within a few percent of")
 	fmt.Println("the exhaustive optimum — the paper's 'factor of t of optimal' claim is loose")
+}
+
+// e23: the batched bit-sliced evaluation engine: samples/sec for
+// sequential Eval, level-parallel EvalParallel and Evaluator.EvalBatch
+// across batch sizes and worker counts, on the Strassen matmul circuit
+// (the serving hot path: many matrix pairs through one built circuit).
+// Every batched result is differentially checked against Eval first.
+func e23() {
+	rng := rand.New(rand.NewSource(23))
+	mc, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()})
+	if err != nil {
+		panic(err)
+	}
+	const maxBatch = 256
+	inputs := make([][]bool, maxBatch)
+	for i := range inputs {
+		a := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+		b := tcmm.RandomBinaryMatrix(rng, 8, 8, 0.5)
+		if inputs[i], err = mc.Assign(a, b); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("matmul N=8 (strassen): %d gates, depth %d, %d inputs\n",
+		mc.Circuit.Size(), mc.Circuit.Depth(), mc.Circuit.NumInputs())
+
+	// Differential check: batched ≡ Eval bit-for-bit on this circuit.
+	ev := tcmm.NewEvaluator(mc.Circuit, 0)
+	defer ev.Close()
+	for s, vals := range ev.EvalBatch(inputs[:70]) {
+		want := mc.Circuit.Eval(inputs[s])
+		for w := range want {
+			if vals[w] != want[w] {
+				panic(fmt.Sprintf("e23: batched eval diverges at sample %d wire %d", s, w))
+			}
+		}
+	}
+	fmt.Println("differential check: EvalBatch ≡ Eval bit-for-bit on 70 samples ... ok")
+
+	timePer := func(samples int, f func()) float64 {
+		const minRounds, minTime = 3, 200 * time.Millisecond
+		rounds, elapsed := 0, time.Duration(0)
+		for rounds < minRounds || elapsed < minTime {
+			start := time.Now()
+			f()
+			elapsed += time.Since(start)
+			rounds++
+		}
+		return float64(samples*rounds) / elapsed.Seconds()
+	}
+
+	seq := timePer(maxBatch, func() {
+		var vals []bool
+		for _, in := range inputs {
+			vals = mc.Circuit.EvalInto(in, vals)
+		}
+	})
+	par := timePer(maxBatch, func() {
+		for _, in := range inputs {
+			mc.Circuit.EvalParallel(in, 0)
+		}
+	})
+	fmt.Printf("%-22s %14.0f samples/sec\n", "sequential Eval", seq)
+	fmt.Printf("%-22s %14.0f samples/sec\n", "EvalParallel", par)
+	fmt.Printf("%-10s %8s %14s %10s\n", "engine", "batch", "samples/sec", "vs Eval")
+	workersList := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		e := tcmm.NewEvaluator(mc.Circuit, workers)
+		for _, batch := range []int{16, 64, 256} {
+			in := inputs[:batch]
+			rate := timePer(batch, func() { e.EvalPlanes(tcmm.PackBools(in)) })
+			fmt.Printf("batch(w=%d) %8d %14.0f %9.1fx\n", workers, batch, rate, rate/seq)
+		}
+		e.Close()
+	}
+	fmt.Println("bit planes amortize wire/weight loads over 64 samples per word; the")
+	fmt.Println("worker pool splits 64-sample blocks with no per-level goroutine spawning")
 }
 
 func sortedNames() []string {

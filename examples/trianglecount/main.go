@@ -90,4 +90,39 @@ func main() {
 	fmt.Printf("\nneuromorphic deployment: %d timesteps, %d cores, %d spikes, %.1f energy units\n",
 		stats.Timesteps, stats.Cores, stats.Spikes, stats.Energy)
 	fmt.Printf("spike traffic: %d on-core, %d off-core\n", stats.OnCoreEvents, stats.OffCoreEvents)
+
+	// Screening many graphs against the same query is the batch
+	// engine's home turf: 64 samples ride in each machine word, so one
+	// circuit walk answers the whole cohort (see EXPERIMENTS.md E23).
+	const cohort = 64
+	adjs := make([]*tcmm.Matrix, cohort)
+	for i := range adjs {
+		adjs[i] = tcmm.PlantedCommunities(rng, 16, 4, 0.85, 0.05).Adjacency()
+	}
+	answers, err := trace.DecideBatch(adjs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	energies, err := trace.EnergyBatch(adjs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pass := 0
+	var minE, maxE, sumE int64
+	minE = energies[0]
+	for i, ok := range answers {
+		if ok {
+			pass++
+		}
+		if energies[i] < minE {
+			minE = energies[i]
+		}
+		if energies[i] > maxE {
+			maxE = energies[i]
+		}
+		sumE += energies[i]
+	}
+	fmt.Printf("\nbatched screening of %d random graphs (one bit-sliced pass):\n", cohort)
+	fmt.Printf("  cc >= %.1f on %d/%d graphs; firing energy min/avg/max = %d/%d/%d gates\n",
+		targetCC, pass, cohort, minE, sumE/cohort, maxE)
 }

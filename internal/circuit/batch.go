@@ -1,0 +1,511 @@
+// Batched, bit-sliced circuit evaluation.
+//
+// Every serving workload this library targets — Monte Carlo energy
+// estimation, triangle queries over many graphs, matmul over many
+// matrix pairs — evaluates the *same* circuit on many independent input
+// vectors. Evaluator amortizes the per-sample cost by packing 64
+// samples into one uint64 word per wire (a "bit plane") and evaluating
+// gate-major: each incoming wire's plane is loaded once per 64 samples
+// instead of once per sample, the weight array is streamed once per
+// group instead of once per gate evaluation, and scratch memory (plane
+// arena, per-sample accumulators, counter planes) is allocated once per
+// Evaluator instead of once per call.
+//
+// Two accumulation paths feed the shared threshold step:
+//
+//   - unit path: when every weight in a group's span is in {-1, 0, +1}
+//     (the dominant case for Strassen/Winograd coefficient layers), the
+//     positive and negative contributions are counted with bit-sliced
+//     carry-save adders — amortized O(1) word operations per incoming
+//     plane, independent of how many samples fire.
+//
+//   - general path: arbitrary weights are scattered into 64 per-sample
+//     int64 accumulators by trailing-zero iteration over the plane (or
+//     its complement when more than half the samples fire), so the cost
+//     is proportional to min(firing, quiet) samples, never 64.
+//
+// Parallelism reuses one persistent worker pool across levels and
+// calls: batches spanning several 64-sample blocks are split
+// block-parallel (blocks are fully independent), while a single block
+// falls back to level-by-level gate-group parallelism exactly like
+// EvalParallel. workers == 1 stays fully sequential — no pool is ever
+// created, no goroutine is ever woken.
+package circuit
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Planes is a batch of wire assignments in bit-packed form: sample s of
+// wire w is bit s%64 of the word for block s/64. Storage is block-major
+// (all wires of one 64-sample block are contiguous), which is the order
+// the evaluation engine touches them in.
+type Planes struct {
+	numWires int
+	batch    int
+	words    []uint64 // [block][wire] -> words[blk*numWires+wire]
+}
+
+// NewPlanes returns an all-false plane batch for the given number of
+// wires and samples.
+func NewPlanes(numWires, batch int) *Planes {
+	if numWires < 0 || batch < 0 {
+		panic(fmt.Sprintf("circuit: invalid plane shape %d wires x %d samples", numWires, batch))
+	}
+	return &Planes{
+		numWires: numWires,
+		batch:    batch,
+		words:    make([]uint64, planeBlocks(batch)*numWires),
+	}
+}
+
+// PackBools packs per-sample boolean rows (each of equal length) into
+// bit planes. It is the input-side constructor for EvalPlanes.
+func PackBools(rows [][]bool) *Planes {
+	if len(rows) == 0 {
+		return &Planes{}
+	}
+	p := NewPlanes(len(rows[0]), len(rows))
+	for s, row := range rows {
+		if len(row) != p.numWires {
+			panic(fmt.Sprintf("circuit: row %d has %d values, want %d", s, len(row), p.numWires))
+		}
+		base := (s / 64) * p.numWires
+		bit := uint64(1) << uint(s%64)
+		for w, v := range row {
+			if v {
+				p.words[base+w] |= bit
+			}
+		}
+	}
+	return p
+}
+
+// planeBlocks returns the number of 64-sample blocks covering batch.
+func planeBlocks(batch int) int { return (batch + 63) / 64 }
+
+// NumWires returns the number of wires per sample.
+func (p *Planes) NumWires() int { return p.numWires }
+
+// Batch returns the number of samples.
+func (p *Planes) Batch() int { return p.batch }
+
+// Get returns the value of wire w for sample s.
+func (p *Planes) Get(w Wire, s int) bool {
+	if s < 0 || s >= p.batch {
+		panic(fmt.Sprintf("circuit: sample %d out of range [0,%d)", s, p.batch))
+	}
+	return p.words[(s/64)*p.numWires+int(w)]>>uint(s%64)&1 == 1
+}
+
+// Assignment extracts sample s as a flat []bool wire assignment,
+// appending into dst (pass nil to allocate). The result is layout-
+// compatible with Circuit.Eval's return value.
+func (p *Planes) Assignment(s int, dst []bool) []bool {
+	if cap(dst) < p.numWires {
+		dst = make([]bool, p.numWires)
+	}
+	dst = dst[:p.numWires]
+	base := (s / 64) * p.numWires
+	shift := uint(s % 64)
+	for w := range dst {
+		dst[w] = p.words[base+w]>>shift&1 == 1
+	}
+	return dst
+}
+
+// Gather builds a new plane batch holding only the given wires, in
+// order — the zero-copy-pipeline primitive: gather one circuit's output
+// wires to feed them as the next circuit's input planes.
+func (p *Planes) Gather(wires []Wire) *Planes {
+	out := NewPlanes(len(wires), p.batch)
+	for blk := 0; blk < planeBlocks(p.batch); blk++ {
+		src := p.words[blk*p.numWires:]
+		dst := out.words[blk*len(wires):]
+		for i, w := range wires {
+			dst[i] = src[w]
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy (the Planes returned by EvalPlanes
+// borrows the evaluator's arena; Clone detaches it).
+func (p *Planes) Clone() *Planes {
+	return &Planes{numWires: p.numWires, batch: p.batch, words: append([]uint64(nil), p.words...)}
+}
+
+// CountTrue returns, per sample, how many of the wires in [lo, hi)
+// are true — the popcount reduction behind batched energy accounting.
+func (p *Planes) CountTrue(lo, hi Wire) []int64 {
+	out := make([]int64, p.batch)
+	for blk := 0; blk < planeBlocks(p.batch); blk++ {
+		src := p.words[blk*p.numWires:]
+		base := blk * 64
+		for w := lo; w < hi; w++ {
+			for x := src[w]; x != 0; x &= x - 1 {
+				s := base + bits.TrailingZeros64(x)
+				out[s]++ // tail bits are zero-masked, so s < batch
+			}
+		}
+	}
+	return out
+}
+
+// EnergyBatch returns the per-sample energy (number of firing gates,
+// the Uchizawa et al. measure) from a full wire-plane batch as produced
+// by Evaluator.EvalPlanes.
+func (c *Circuit) EnergyBatch(p *Planes) []int64 {
+	if p.numWires != c.numInputs+c.Size() {
+		panic(fmt.Sprintf("circuit: planes hold %d wires, circuit has %d", p.numWires, c.numInputs+c.Size()))
+	}
+	return p.CountTrue(Wire(c.numInputs), Wire(c.numInputs+c.Size()))
+}
+
+// poolTask is one unit of work for the persistent pool: fn receives the
+// executing worker's id so it can use per-worker scratch.
+type poolTask struct {
+	fn func(worker int)
+	wg *sync.WaitGroup
+}
+
+// workerPool is a fixed set of goroutines that persist across levels
+// and calls, replacing the per-level goroutine spawning of
+// EvalParallel. It exists only for workers >= 2.
+type workerPool struct {
+	tasks chan poolTask
+	once  sync.Once
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{tasks: make(chan poolTask)}
+	for id := 0; id < workers; id++ {
+		go func(id int) {
+			for t := range p.tasks {
+				t.fn(id)
+				t.wg.Done()
+			}
+		}(id)
+	}
+	return p
+}
+
+func (p *workerPool) submit(wg *sync.WaitGroup, fn func(worker int)) {
+	wg.Add(1)
+	p.tasks <- poolTask{fn: fn, wg: wg}
+}
+
+func (p *workerPool) close() { p.once.Do(func() { close(p.tasks) }) }
+
+// Evaluator is a reusable batch-evaluation engine for one circuit.
+// Construct once per circuit, evaluate any number of batches; scratch
+// (plane arena, accumulators, counter planes, worker pool) is owned by
+// the evaluator and reused across calls. An Evaluator must not be used
+// from multiple goroutines concurrently (it parallelizes internally).
+type Evaluator struct {
+	c       *Circuit
+	workers int
+	pool    *workerPool // nil iff workers == 1
+
+	arena Planes // full wire planes, grown to the largest batch seen
+
+	// Per-slot scratch, indexed by pool-worker id; slot `workers` is the
+	// calling goroutine's (used on every sequential path).
+	accs [][]int64  // 64 per-sample sum accumulators
+	cnts [][]uint64 // 2*cntPlanes carry-save counter planes (pos, neg)
+
+	cntPlanes int    // planes per carry-save counter
+	unitGroup []bool // group -> all span weights in {-1,0,+1}
+
+	scratch []bool // wire array reused by Eval (single sample)
+}
+
+// NewEvaluator builds an evaluation engine for c. workers <= 0 selects
+// GOMAXPROCS; workers == 1 is fully sequential (no worker pool, no
+// goroutines). Call Close when done to release the pool (a finalizer
+// backstops forgotten Closes).
+func NewEvaluator(c *Circuit, workers int) *Evaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Evaluator{
+		c:         c,
+		workers:   workers,
+		cntPlanes: bits.Len64(uint64(c.MaxFanIn())) + 1,
+		unitGroup: make([]bool, len(c.groups)),
+	}
+	for gi := range c.groups {
+		gr := &c.groups[gi]
+		// The unit path pays off once the carry-save machinery beats
+		// direct scatter; tiny spans stay on the general path.
+		if gr.inEnd-gr.inStart < 4 {
+			continue
+		}
+		unit := true
+		for i := gr.inStart; i < gr.inEnd; i++ {
+			if w := c.weights[i]; w < -1 || w > 1 {
+				unit = false
+				break
+			}
+		}
+		e.unitGroup[gi] = unit
+	}
+	e.accs = make([][]int64, workers+1)
+	e.cnts = make([][]uint64, workers+1)
+	for i := range e.accs {
+		e.accs[i] = make([]int64, 64)
+		e.cnts[i] = make([]uint64, 2*e.cntPlanes)
+	}
+	if workers > 1 {
+		e.pool = newWorkerPool(workers)
+		runtime.SetFinalizer(e, func(ev *Evaluator) { ev.pool.close() })
+	}
+	return e
+}
+
+// Circuit returns the circuit this evaluator was built for.
+func (e *Evaluator) Circuit() *Circuit { return e.c }
+
+// Close releases the worker pool. The evaluator must not be used after
+// Close. Safe to call multiple times; a no-op for workers == 1.
+func (e *Evaluator) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		runtime.SetFinalizer(e, nil)
+	}
+}
+
+// Eval evaluates a single input vector, reusing the evaluator's
+// scratch wire array: semantically identical to Circuit.Eval but free
+// of per-call allocation. The returned slice is valid until the next
+// Eval call on this evaluator.
+func (e *Evaluator) Eval(inputs []bool) []bool {
+	e.scratch = e.c.EvalInto(inputs, e.scratch)
+	return e.scratch
+}
+
+// EvalBatch evaluates one input vector per row and returns the full
+// wire assignment per row, bit-for-bit identical to calling
+// Circuit.Eval on each row. Rows beyond the first may be processed on
+// pool workers; results are freshly allocated and safe to retain.
+func (e *Evaluator) EvalBatch(inputs [][]bool) [][]bool {
+	if len(inputs) == 0 {
+		return nil
+	}
+	p := e.EvalPlanes(PackBools(inputs))
+	out := make([][]bool, len(inputs))
+	for s := range out {
+		out[s] = p.Assignment(s, nil)
+	}
+	return out
+}
+
+// EvalPlanes evaluates a packed input batch (numWires == NumInputs)
+// and returns the packed planes of every wire. The result borrows the
+// evaluator's arena: it is valid until the next Eval*/Close call on
+// this evaluator — Clone it to retain, Gather to pipeline outputs into
+// another circuit's inputs without unpacking.
+func (e *Evaluator) EvalPlanes(in *Planes) *Planes {
+	c := e.c
+	if in.numWires != c.numInputs {
+		panic(fmt.Sprintf("circuit: %d input planes supplied, want %d", in.numWires, c.numInputs))
+	}
+	nw := c.numInputs + c.Size()
+	nblk := planeBlocks(in.batch)
+	e.arena.numWires = nw
+	e.arena.batch = in.batch
+	if need := nblk * nw; cap(e.arena.words) < need {
+		e.arena.words = make([]uint64, need)
+	} else {
+		e.arena.words = e.arena.words[:need]
+	}
+	// Copy the input planes into the arena block by block. PackBools
+	// leaves tail bits (samples >= batch) zero; evalBlock preserves that
+	// invariant for gate planes via tail masking.
+	for blk := 0; blk < nblk; blk++ {
+		copy(e.arena.words[blk*nw:blk*nw+c.numInputs], in.words[blk*in.numWires:(blk+1)*in.numWires])
+	}
+
+	switch {
+	case e.pool == nil:
+		for blk := 0; blk < nblk; blk++ {
+			e.evalBlock(blk, e.workers)
+		}
+	case nblk > 1:
+		// Blocks are independent: split them across the pool with no
+		// level barriers at all.
+		var wg sync.WaitGroup
+		chunk := (nblk + e.workers - 1) / e.workers
+		for lo := 0; lo < nblk; lo += chunk {
+			lo, hi := lo, min(lo+chunk, nblk)
+			e.pool.submit(&wg, func(worker int) {
+				for blk := lo; blk < hi; blk++ {
+					e.evalBlock(blk, worker)
+				}
+			})
+		}
+		wg.Wait()
+	default:
+		e.evalBlockParallel(0)
+	}
+	return &e.arena
+}
+
+// evalBlock evaluates every gate group of one 64-sample block
+// sequentially, using scratch slot `slot`.
+func (e *Evaluator) evalBlock(blk, slot int) {
+	planes, mask := e.blockPlanes(blk)
+	for gi := range e.c.groups {
+		e.evalGroupPlanes(int32(gi), planes, mask, slot)
+	}
+}
+
+// evalBlockParallel evaluates one block level by level, fanning large
+// levels across the persistent pool (the single-block analogue of
+// EvalParallel, without per-level goroutine spawning).
+func (e *Evaluator) evalBlockParallel(blk int) {
+	planes, mask := e.blockPlanes(blk)
+	var wg sync.WaitGroup
+	for _, gis := range e.c.levelGroups {
+		if len(gis) < seqLevelFactor*e.workers {
+			for _, gi := range gis {
+				e.evalGroupPlanes(gi, planes, mask, e.workers)
+			}
+			continue
+		}
+		chunk := (len(gis) + e.workers - 1) / e.workers
+		for lo := 0; lo < len(gis); lo += chunk {
+			part := gis[lo:min(lo+chunk, len(gis))]
+			e.pool.submit(&wg, func(worker int) {
+				for _, gi := range part {
+					e.evalGroupPlanes(gi, planes, mask, worker)
+				}
+			})
+		}
+		wg.Wait()
+	}
+}
+
+// blockPlanes returns block blk's wire-plane slice and its tail mask
+// (all-ones except for the final partial block, where bits at and past
+// the batch size are forced to zero).
+func (e *Evaluator) blockPlanes(blk int) ([]uint64, uint64) {
+	nw := e.arena.numWires
+	planes := e.arena.words[blk*nw : (blk+1)*nw]
+	mask := ^uint64(0)
+	if rem := e.arena.batch - blk*64; rem < 64 {
+		mask = 1<<uint(rem) - 1
+	}
+	return planes, mask
+}
+
+// evalGroupPlanes is the batched analogue of evalGroup: compute the 64
+// per-sample weighted sums of one group's shared span, then apply every
+// member gate's threshold, writing one output plane per gate.
+func (e *Evaluator) evalGroupPlanes(gi int32, planes []uint64, mask uint64, slot int) {
+	c := e.c
+	gr := &c.groups[gi]
+	acc := e.accs[slot]
+	for i := range acc {
+		acc[i] = 0
+	}
+	var base int64 // weight mass applied to every sample
+	if e.unitGroup[gi] {
+		// Unit path: carry-save popcount of the +1 and -1 planes.
+		pos := e.cnts[slot][:e.cntPlanes]
+		neg := e.cnts[slot][e.cntPlanes:]
+		usedP, usedN := 0, 0
+		for i := gr.inStart; i < gr.inEnd; i++ {
+			x := planes[c.wires[i]]
+			if x == 0 {
+				continue
+			}
+			switch c.weights[i] {
+			case 1:
+				usedP = csAdd(pos, x, usedP)
+			case -1:
+				usedN = csAdd(neg, x, usedN)
+			}
+		}
+		for j := 0; j < usedP; j++ {
+			w := int64(1) << uint(j)
+			for x := pos[j]; x != 0; x &= x - 1 {
+				acc[bits.TrailingZeros64(x)] += w
+			}
+			pos[j] = 0
+		}
+		for j := 0; j < usedN; j++ {
+			w := int64(1) << uint(j)
+			for x := neg[j]; x != 0; x &= x - 1 {
+				acc[bits.TrailingZeros64(x)] -= w
+			}
+			neg[j] = 0
+		}
+	} else {
+		// General path: scatter each weight into the per-sample
+		// accumulators, iterating whichever of plane/complement has
+		// fewer set bits.
+		for i := gr.inStart; i < gr.inEnd; i++ {
+			x := planes[c.wires[i]]
+			if x == 0 {
+				continue
+			}
+			w := c.weights[i]
+			if x == ^uint64(0) {
+				base += w
+				continue
+			}
+			if bits.OnesCount64(x) > 32 {
+				base += w
+				for y := ^x; y != 0; y &= y - 1 {
+					acc[bits.TrailingZeros64(y)] -= w
+				}
+			} else {
+				for ; x != 0; x &= x - 1 {
+					acc[bits.TrailingZeros64(x)] += w
+				}
+			}
+		}
+	}
+	if base != 0 {
+		for s := range acc {
+			acc[s] += base
+		}
+	}
+	outBase := c.numInputs + int(gr.gateStart)
+	for k := int32(0); k < gr.gateCount; k++ {
+		t := c.thresholds[gr.gateStart+k]
+		var out uint64
+		for s := 0; s < 64; s++ {
+			// Branchless sum >= t: sign bit of (sum - t) selects 0/1.
+			out |= uint64(1+((acc[s]-t)>>63)) << uint(s)
+		}
+		planes[outBase+int(k)] = out & mask
+	}
+}
+
+// csAdd adds bit plane x into the carry-save counter planes cnt,
+// returning the updated number of planes in use. Amortized O(1) word
+// operations per call (binary-counter argument).
+func csAdd(cnt []uint64, x uint64, used int) int {
+	j := 0
+	for carry := x; carry != 0; j++ {
+		old := cnt[j]
+		cnt[j] = old ^ carry
+		carry = old & carry
+	}
+	if j > used {
+		return j
+	}
+	return used
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

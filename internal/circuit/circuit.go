@@ -249,6 +249,26 @@ func (c *Circuit) Eval(inputs []bool) []bool {
 	return vals
 }
 
+// EvalInto is Eval with caller-owned storage: vals is reused when its
+// capacity suffices (pass the previous call's return value), so
+// repeated single-sample evaluations of the same circuit allocate
+// nothing. Pass nil on the first call.
+func (c *Circuit) EvalInto(inputs, vals []bool) []bool {
+	if len(inputs) != c.numInputs {
+		panic(fmt.Sprintf("circuit: %d inputs supplied, want %d", len(inputs), c.numInputs))
+	}
+	n := c.numInputs + c.Size()
+	if cap(vals) < n {
+		vals = make([]bool, n)
+	}
+	vals = vals[:n]
+	copy(vals, inputs)
+	for gi := range c.groups {
+		c.evalGroup(int32(gi), vals)
+	}
+	return vals
+}
+
 func (c *Circuit) newWireVals(inputs []bool) []bool {
 	if len(inputs) != c.numInputs {
 		panic(fmt.Sprintf("circuit: %d inputs supplied, want %d", len(inputs), c.numInputs))
@@ -274,6 +294,15 @@ func (c *Circuit) evalGroup(gi int32, vals []bool) {
 	}
 }
 
+// seqLevelFactor tunes the sequential fallback shared by EvalParallel
+// and Evaluator's single-block mode: a level with fewer than
+// seqLevelFactor*workers gate groups is evaluated on the calling
+// goroutine, because fan-out/join overhead (goroutine handoff, cache
+// transfer of the shared wire array) exceeds the work of a handful of
+// group evaluations. 4 keeps every worker's chunk at least a few
+// groups long once fan-out does happen.
+const seqLevelFactor = 4
+
 // EvalParallel evaluates the circuit level-by-level, fanning each level's
 // gate groups across workers goroutines (default GOMAXPROCS when
 // workers <= 0). Gates within a level are independent by construction,
@@ -286,7 +315,7 @@ func (c *Circuit) EvalParallel(inputs []bool, workers int) []bool {
 	vals := c.newWireVals(inputs)
 	var wg sync.WaitGroup
 	for _, gis := range c.levelGroups {
-		if len(gis) < 4*workers {
+		if len(gis) < seqLevelFactor*workers {
 			for _, gi := range gis {
 				c.evalGroup(gi, vals)
 			}

@@ -38,6 +38,48 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzEvalBatch: the bit-sliced batch engine must be bit-for-bit
+// identical to scalar Eval and EvalParallel on random circuits and
+// random batches, across the 64-sample word boundary and both the
+// sequential and pooled configurations.
+func FuzzEvalBatch(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(2), uint8(63))
+	f.Add(int64(3), uint8(64))
+	f.Add(int64(4), uint8(65))
+	f.Fuzz(func(t *testing.T, seed int64, rawBatch uint8) {
+		batch := int(rawBatch)%130 + 1
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		inputs := make([][]bool, batch)
+		for s := range inputs {
+			row := make([]bool, c.NumInputs())
+			for i := range row {
+				row[i] = rng.Intn(2) == 1
+			}
+			inputs[s] = row
+		}
+		for _, workers := range []int{1, 3} {
+			e := NewEvaluator(c, workers)
+			got := e.EvalBatch(inputs)
+			for s, in := range inputs {
+				want := c.Eval(in)
+				par := c.EvalParallel(in, workers)
+				for w := range want {
+					if par[w] != want[w] {
+						t.Fatalf("sample %d wire %d: EvalParallel diverges from Eval", s, w)
+					}
+					if got[s][w] != want[w] {
+						t.Fatalf("sample %d wire %d workers %d: EvalBatch=%v Eval=%v",
+							s, w, workers, got[s][w], want[w])
+					}
+				}
+			}
+			e.Close()
+		}
+	})
+}
+
 // FuzzRoundTrip: every circuit the builder can produce must round-trip
 // bit-exactly.
 func FuzzRoundTrip(f *testing.F) {

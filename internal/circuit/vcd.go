@@ -102,12 +102,15 @@ func EqualFunction(a, b *Circuit) (bool, error) {
 		return false, fmt.Errorf("circuit: %d inputs too many for exhaustive check", n)
 	}
 	in := make([]bool, n)
+	var va, vb []bool // wire arrays reused across the 2^n evaluations
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		for i := 0; i < n; i++ {
 			in[i] = mask&(1<<uint(i)) != 0
 		}
-		oa := a.OutputValues(a.Eval(in))
-		ob := b.OutputValues(b.Eval(in))
+		va = a.EvalInto(in, va)
+		vb = b.EvalInto(in, vb)
+		oa := a.OutputValues(va)
+		ob := b.OutputValues(vb)
 		for i := range oa {
 			if oa[i] != ob[i] {
 				return false, nil

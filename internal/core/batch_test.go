@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Every circuit variant the builders can produce must evaluate
+// identically through the batch engine and the scalar path. This is
+// the construction-level differential check complementing the random-
+// circuit fuzz in internal/circuit.
+func TestEvalBatchMatchesEvalOnVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	variants := []struct {
+		name string
+		opts Options
+		lo   int64
+	}{
+		{"binary", Options{Alg: bilinear.Strassen()}, 0},
+		{"signed", Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true}, -3},
+		{"multibit", Options{Alg: bilinear.Winograd(), EntryBits: 3}, 0},
+		{"grouped", Options{Alg: bilinear.Strassen(), GroupSize: 4}, 0},
+		{"sharedmsb", Options{Alg: bilinear.Strassen(), SharedMSB: true}, 0},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			mc, err := BuildMatMul(4, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const batch = 67 // crosses the 64-sample word boundary
+			inputs := make([][]bool, batch)
+			hi := int64(1)<<uint(mc.Opts.EntryBits) - 1
+			for s := range inputs {
+				a := matrix.Random(rng, 4, 4, v.lo, hi)
+				b := matrix.Random(rng, 4, 4, v.lo, hi)
+				in, err := mc.Assign(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inputs[s] = in
+			}
+			e := mc.BatchEvaluator()
+			got := e.EvalBatch(inputs)
+			for s, in := range inputs {
+				want := mc.Circuit.Eval(in)
+				for w := range want {
+					if got[s][w] != want[w] {
+						t.Fatalf("variant %s sample %d wire %d: batch=%v eval=%v",
+							v.name, s, w, got[s][w], want[w])
+					}
+				}
+			}
+		})
+	}
+}
+
+// MultiplyBatch over many random pairs equals both Multiply and the
+// integer reference product.
+func TestMultiplyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mc, err := BuildMatMul(4, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 70
+	as := make([]*matrix.Matrix, batch)
+	bs := make([]*matrix.Matrix, batch)
+	for i := range as {
+		as[i] = matrix.RandomBinary(rng, 4, 4, 0.5)
+		bs[i] = matrix.RandomBinary(rng, 4, 4, 0.5)
+	}
+	got, err := mc.MultiplyBatch(as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := as[i].Mul(bs[i])
+		if !got[i].Equal(want) {
+			t.Fatalf("pair %d: batch product wrong", i)
+		}
+		single, err := mc.Multiply(as[i], bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[i].Equal(single) {
+			t.Fatalf("pair %d: batch disagrees with Multiply", i)
+		}
+	}
+	if _, err := mc.MultiplyBatch(as, bs[:1]); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+}
+
+// DecideBatch and EnergyBatch over many random graphs match the scalar
+// Decide / Energy per sample.
+func TestTraceDecideAndEnergyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tc, err := BuildTrace(8, 12, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 66
+	adjs := make([]*matrix.Matrix, batch)
+	for i := range adjs {
+		adjs[i] = graph.ErdosRenyi(rng, 8, 0.2+0.6*float64(i)/batch).Adjacency()
+	}
+	decisions, err := tc.DecideBatch(adjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energies, err := tc.EnergyBatch(adjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, adj := range adjs {
+		want, err := tc.Decide(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decisions[i] != want {
+			t.Fatalf("graph %d: DecideBatch=%v Decide=%v", i, decisions[i], want)
+		}
+		if ref := adj.TraceCube() >= tc.Tau; want != ref {
+			t.Fatalf("graph %d: circuit decision %v vs reference %v", i, want, ref)
+		}
+		in, err := tc.Assign(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantE := tc.Circuit.Energy(tc.Circuit.Eval(in)); energies[i] != wantE {
+			t.Fatalf("graph %d: EnergyBatch=%d Energy=%d", i, energies[i], wantE)
+		}
+	}
+	if out, err := tc.DecideBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
+// TrianglesBatch equals the per-graph exact count.
+func TestTrianglesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cc, err := BuildCount(8, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 65
+	adjs := make([]*matrix.Matrix, batch)
+	want := make([]int64, batch)
+	for i := range adjs {
+		g := graph.ErdosRenyi(rng, 8, 0.5)
+		adjs[i] = g.Adjacency()
+		want[i] = g.Triangles()
+	}
+	got, err := cc.TrianglesBatch(adjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("graph %d: counted %d triangles, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// The cached evaluator persists across batch calls (pool reuse).
+func TestBatchEvaluatorCached(t *testing.T) {
+	tc, err := BuildTrace(4, 2, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := tc.BatchEvaluator()
+	e2 := tc.BatchEvaluator()
+	if e1 != e2 {
+		t.Fatal("BatchEvaluator rebuilt the engine")
+	}
+	if e1.Circuit() != tc.Circuit {
+		t.Fatal("evaluator bound to the wrong circuit")
+	}
+	var _ *circuit.Evaluator = e1
+}

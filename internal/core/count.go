@@ -24,6 +24,8 @@ type CountCircuit struct {
 	Audit    Audit
 
 	halfTrace arith.Signed // binary representation of trace(A³)/2
+
+	ev *circuit.Evaluator // lazily-built batch engine (see batch.go)
 }
 
 // BuildCount constructs the exact-trace circuit. The output is the

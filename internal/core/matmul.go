@@ -22,6 +22,8 @@ type MatMulCircuit struct {
 	// entries[i*N+j] is the signed bit representation of C_ij; its wires
 	// index into evaluation results.
 	entries []arith.Signed
+
+	ev *circuit.Evaluator // lazily-built batch engine (see batch.go)
 }
 
 // BuildMatMul constructs the matrix product circuit for N x N inputs

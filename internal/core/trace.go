@@ -23,6 +23,7 @@ type TraceCircuit struct {
 	Audit    Audit
 
 	output circuit.Wire
+	ev     *circuit.Evaluator // lazily-built batch engine (see batch.go)
 }
 
 // BuildTrace constructs the trace-threshold circuit. The single input

@@ -84,11 +84,12 @@ func TestLocalityReducesWallTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sLevel, err := Run(mc.Circuit, dev, level, in)
+	// The two runs share one wire array via the allocation-free path.
+	scratch, sLevel, err := RunInto(mc.Circuit, dev, level, in, make([]bool, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sLocal, err := Run(mc.Circuit, dev, local, in)
+	_, sLocal, err := RunInto(mc.Circuit, dev, local, in, scratch)
 	if err != nil {
 		t.Fatal(err)
 	}

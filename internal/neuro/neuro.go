@@ -120,10 +120,25 @@ type RunStats struct {
 // functional evaluation plus spike/energy/traffic accounting. Returns
 // the full wire assignment (identical to circuit.Eval) and the stats.
 func Run(c *circuit.Circuit, d Device, p *Placement, inputs []bool) ([]bool, RunStats, error) {
+	return RunInto(c, d, p, inputs, nil)
+}
+
+// RunInto is Run with caller-owned wire storage: pass the previous
+// inference's returned assignment as scratch and sweeps that run many
+// inferences on one circuit (placement ablations, congestion studies,
+// Monte Carlo energy estimation) stop reallocating the wire array.
+// With scratch nil the evaluation is level-parallel, as before; a
+// reused scratch selects the sequential allocation-free path.
+func RunInto(c *circuit.Circuit, d Device, p *Placement, inputs, scratch []bool) ([]bool, RunStats, error) {
 	if len(p.CoreOf) != c.Size() {
 		return nil, RunStats{}, fmt.Errorf("neuro: placement covers %d gates, circuit has %d", len(p.CoreOf), c.Size())
 	}
-	vals := c.EvalParallel(inputs, 0)
+	vals := scratch
+	if vals == nil {
+		vals = c.EvalParallel(inputs, 0)
+	} else {
+		vals = c.EvalInto(inputs, vals)
+	}
 	stats := RunStats{
 		Timesteps: c.Depth(),
 		Spikes:    c.Energy(vals),

@@ -145,6 +145,28 @@ type Circuit = circuit.Circuit
 // CircuitStats bundles a circuit's complexity measures.
 type CircuitStats = circuit.Stats
 
+// Evaluator is the batched, bit-sliced evaluation engine: built once
+// per circuit, it evaluates B input vectors per call with 64 samples
+// packed per machine word, reusing a persistent worker pool and
+// preallocated scratch across calls. Results are bit-for-bit identical
+// to Circuit.Eval.
+type Evaluator = circuit.Evaluator
+
+// Planes is a bit-packed batch of wire assignments (one bit plane per
+// wire, 64 samples per word) — the zero-copy currency of the batch
+// engine: pack inputs once, evaluate, gather output planes straight
+// into the next circuit.
+type Planes = circuit.Planes
+
+// NewEvaluator builds a batch evaluation engine for c. workers <= 0
+// selects GOMAXPROCS; workers == 1 stays fully sequential (no worker
+// pool). Close the evaluator when done.
+func NewEvaluator(c *Circuit, workers int) *Evaluator { return circuit.NewEvaluator(c, workers) }
+
+// PackBools packs per-sample input rows into bit planes for
+// Evaluator.EvalPlanes.
+func PackBools(rows [][]bool) *Planes { return circuit.PackBools(rows) }
+
 // Options configures circuit construction (algorithm, schedule or depth
 // parameter d, entry bit width, signedness, fan-in grouping).
 type Options = core.Options
