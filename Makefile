@@ -2,13 +2,21 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet cover race bench experiments fuzz clean
+.PHONY: all check build test test-short vet cover race bench experiments fuzz verify clean
 
 all: build vet test
 
 # The full pre-merge gate: everything in `all` plus the race detector
-# over the concurrency-bearing packages.
-check: all race
+# over the concurrency-bearing packages and the certification suite.
+check: all race verify
+
+# Certification: the theorem-bound/differential/metamorphic suite, vet,
+# and the race detector over the packages the verifier drives.
+verify:
+	$(GO) test ./internal/verify -run Certify
+	$(GO) vet ./...
+	$(GO) test -race -short ./internal/circuit ./internal/core
+	$(GO) run ./cmd/tcverify
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,169 @@
+// Command tcverify certifies every circuit constructor in the library:
+// it builds each construction, runs the structural verifier and the
+// theorem-bound certifier, optionally cross-checks the evaluation
+// paths against the math/big oracle, and prints one table row per
+// construction. Exit status 1 if any certificate has a violation.
+//
+// Usage:
+//
+//	tcverify [-n 4] [-rounds 2] [-no-oracle] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// target is one constructor to certify: build returns the circuit's
+// certificate, oracle (optional) runs the differential/metamorphic
+// cross-checks.
+type target struct {
+	name   string
+	cert   func() (*verify.Certificate, error)
+	oracle func(rng *rand.Rand, rounds int) error
+}
+
+func targets(n int) ([]target, error) {
+	strassen := bilinear.Strassen()
+	mm, err := core.BuildMatMul(n, core.Options{Alg: strassen})
+	if err != nil {
+		return nil, err
+	}
+	mmSigned, err := core.BuildMatMul(n, core.Options{Alg: strassen, EntryBits: 2, Signed: true})
+	if err != nil {
+		return nil, err
+	}
+	mmWino, err := core.BuildMatMul(n, core.Options{Alg: bilinear.Winograd(), EntryBits: 2})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.BuildTrace(n, 6, core.Options{Alg: strassen})
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := core.BuildCount(n, core.Options{Alg: strassen, EntryBits: 2, Signed: true})
+	if err != nil {
+		return nil, err
+	}
+	tri, err := core.BuildNaiveTriangle(n+2, 2)
+	if err != nil {
+		return nil, err
+	}
+	rect, err := core.BuildRectMatMul(n-1, n, n/2, core.Options{Alg: strassen})
+	if err != nil {
+		return nil, err
+	}
+	t41, err := core.BuildTheorem41Trace(n, 4, strassen, 1, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	return []target{
+		{"matmul/strassen", func() (*verify.Certificate, error) { return verify.CertifyMatMul(mm) },
+			func(rng *rand.Rand, r int) error {
+				if err := verify.DifferentialMatMul(mm, rng, r); err != nil {
+					return err
+				}
+				return verify.MetamorphicMatMul(mm, rng, r)
+			}},
+		{"matmul/strassen-signed", func() (*verify.Certificate, error) { return verify.CertifyMatMul(mmSigned) },
+			func(rng *rand.Rand, r int) error { return verify.DifferentialMatMul(mmSigned, rng, r) }},
+		{"matmul/winograd", func() (*verify.Certificate, error) { return verify.CertifyMatMul(mmWino) },
+			func(rng *rand.Rand, r int) error { return verify.DifferentialMatMul(mmWino, rng, r) }},
+		{"trace/strassen", func() (*verify.Certificate, error) { return verify.CertifyTrace(tr) },
+			func(rng *rand.Rand, r int) error {
+				if err := verify.DifferentialTrace(tr, rng, r); err != nil {
+					return err
+				}
+				return verify.MetamorphicTrace(tr, rng, r)
+			}},
+		{"count/strassen", func() (*verify.Certificate, error) { return verify.CertifyCount(cnt) },
+			func(rng *rand.Rand, r int) error {
+				if err := verify.DifferentialCount(cnt, rng, r); err != nil {
+					return err
+				}
+				return verify.MetamorphicCount(cnt, rng, r)
+			}},
+		{"triangle/naive", func() (*verify.Certificate, error) { return verify.CertifyTriangle(tri) }, nil},
+		{"rect/strassen", func() (*verify.Certificate, error) { return verify.CertifyRectMatMul(rect) }, nil},
+		{"theorem41/grouped", func() (*verify.Certificate, error) { return verify.CertifyTrace(t41) }, nil},
+	}, nil
+}
+
+func main() {
+	n := flag.Int("n", 4, "instance size (power of the algorithm's T)")
+	rounds := flag.Int("rounds", 2, "oracle rounds per input family")
+	noOracle := flag.Bool("no-oracle", false, "skip differential/metamorphic oracles")
+	asJSON := flag.Bool("json", false, "emit full certificates as JSON")
+	seed := flag.Int64("seed", 1, "oracle RNG seed")
+	flag.Parse()
+
+	tgts, err := targets(*n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcverify:", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	failed := false
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !*asJSON {
+		fmt.Fprintln(tw, "CONSTRUCTION\tGATES\tDEPTH\tEDGES\tCHECKS\tORACLE\tVERDICT")
+	}
+	for _, tg := range tgts {
+		cert, err := tg.cert()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcverify: %s: %v\n", tg.name, err)
+			failed = true
+			continue
+		}
+		passed := 0
+		for _, ck := range cert.Checks {
+			if ck.OK {
+				passed++
+			}
+		}
+		oracle := "-"
+		if !*noOracle && tg.oracle != nil {
+			if err := tg.oracle(rng, *rounds); err != nil {
+				oracle = "FAIL"
+				failed = true
+				fmt.Fprintf(os.Stderr, "tcverify: %s: oracle: %v\n", tg.name, err)
+			} else {
+				oracle = "ok"
+			}
+		}
+		verdict := "ok"
+		if !cert.OK {
+			verdict = "FAIL"
+			failed = true
+			if err := cert.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "tcverify: %s: %v\n", tg.name, err)
+			}
+		}
+		if *asJSON {
+			data, err := cert.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcverify:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(data, '\n'))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d/%d\t%s\t%s\n",
+			tg.name, cert.Stats.Size, cert.Stats.Depth, cert.Stats.Edges,
+			passed, len(cert.Checks), oracle, verdict)
+	}
+	if !*asJSON {
+		tw.Flush()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

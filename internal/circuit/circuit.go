@@ -383,29 +383,43 @@ func (c *Circuit) EnergyByLevel(vals []bool) []int64 {
 	return out
 }
 
-// Stats bundles the complexity measures of a circuit.
+// Stats bundles the complexity measures of a circuit. Edges is the
+// paper's semantic measure (every gate charged its full fan-in);
+// StoredEdges is the physical count after gate-group span sharing, so
+// StoredEdges <= Edges always, with equality iff no group has more than
+// one member gate.
 type Stats struct {
-	Inputs   int
-	Size     int
-	Depth    int
-	Edges    int64
-	MaxFanIn int
+	Inputs      int
+	Size        int
+	Depth       int
+	Edges       int64
+	StoredEdges int64
+	MaxFanIn    int
 }
 
 // Stats returns the circuit's complexity measures.
 func (c *Circuit) Stats() Stats {
 	return Stats{
-		Inputs:   c.numInputs,
-		Size:     c.Size(),
-		Depth:    c.Depth(),
-		Edges:    c.Edges(),
-		MaxFanIn: c.MaxFanIn(),
+		Inputs:      c.numInputs,
+		Size:        c.Size(),
+		Depth:       c.Depth(),
+		Edges:       c.Edges(),
+		StoredEdges: c.StoredEdges(),
+		MaxFanIn:    c.MaxFanIn(),
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("gates=%d depth=%d edges=%d maxfanin=%d inputs=%d",
+	base := fmt.Sprintf("gates=%d depth=%d edges=%d maxfanin=%d inputs=%d",
 		s.Size, s.Depth, s.Edges, s.MaxFanIn, s.Inputs)
+	if s.StoredEdges != 0 && s.StoredEdges != s.Edges {
+		// Grouped gates share input spans: the semantic edge count the
+		// paper prices and the stored count diverge. Show both so a
+		// reader never mistakes the storage figure for the complexity
+		// measure.
+		base += fmt.Sprintf(" (stored-edges=%d)", s.StoredEdges)
+	}
+	return base
 }
 
 // GateSpec describes one gate for inspection/export.
@@ -429,6 +443,44 @@ func (c *Circuit) VisitEdges(f func(gate int, src Wire, weight int64)) {
 			}
 		}
 	}
+}
+
+// Threshold returns the threshold of gate g without copying its span.
+func (c *Circuit) Threshold(g int) int64 { return c.thresholds[g] }
+
+// VisitGates calls f once per gate in ascending gate order with the
+// gate's input span, weights, threshold and level. The inputs and
+// weights slices are borrowed from the circuit's arena (shared between
+// member gates of one group) and must not be modified or retained.
+// This is the allocation-free inspection primitive the verification
+// layer walks circuits with; use Gate for an owned copy.
+func (c *Circuit) VisitGates(f func(g int, inputs []Wire, weights []int64, threshold int64, level int)) {
+	for gi := range c.groups {
+		gr := &c.groups[gi]
+		ins := c.wires[gr.inStart:gr.inEnd:gr.inEnd]
+		ws := c.weights[gr.inStart:gr.inEnd:gr.inEnd]
+		for k := int32(0); k < gr.gateCount; k++ {
+			g := int(gr.gateStart + k)
+			f(g, ins, ws, c.thresholds[g], int(gr.level))
+		}
+	}
+}
+
+// WithThreshold returns a copy of the circuit with gate g's threshold
+// replaced by t. Everything else (spans, weights, groups, outputs) is
+// shared with the receiver, so the copy is cheap even for millions of
+// gates. This is the fault-injection primitive behind the certification
+// tests and the neuromorphic robustness experiments: a tampered or
+// drifted threshold is exactly the hardware fault a deployed gate
+// suffers, and the verification layer must catch the ones that matter.
+func (c *Circuit) WithThreshold(g int, t int64) *Circuit {
+	if g < 0 || g >= c.Size() {
+		panic(fmt.Sprintf("circuit: WithThreshold gate %d out of range [0,%d)", g, c.Size()))
+	}
+	cc := *c
+	cc.thresholds = append([]int64(nil), c.thresholds...)
+	cc.thresholds[g] = t
+	return &cc
 }
 
 // Gate returns a copy of gate g's description.

@@ -38,19 +38,65 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// randomUnitCircuit is randomCircuit restricted to weights in {-1, 0,
+// +1} with fan-in >= 4: every group qualifies for the evaluator's
+// carry-save unit-weight fast path, which randomCircuit's mixed
+// weights rarely exercise.
+func randomUnitCircuit(rng *rand.Rand) *Circuit {
+	nin := 4 + rng.Intn(6)
+	b := NewBuilder(nin)
+	nOps := 10 + rng.Intn(40)
+	var last Wire = 0
+	for i := 0; i < nOps; i++ {
+		avail := int32(nin + b.Size())
+		fanin := 4 + rng.Intn(8)
+		ins := make([]Wire, fanin)
+		ws := make([]int64, fanin)
+		for j := range ins {
+			ins[j] = Wire(rng.Int31n(avail))
+			ws[j] = int64(rng.Intn(3) - 1)
+		}
+		if rng.Intn(3) == 0 {
+			nT := 1 + rng.Intn(4)
+			ts := make([]int64, nT)
+			for j := range ts {
+				ts[j] = int64(rng.Intn(7) - 3)
+			}
+			outs := b.GateGroup(ins, ws, ts)
+			last = outs[len(outs)-1]
+		} else {
+			last = b.Gate(ins, ws, int64(rng.Intn(5)-2))
+		}
+	}
+	b.MarkOutput(last)
+	return b.Build()
+}
+
 // FuzzEvalBatch: the bit-sliced batch engine must be bit-for-bit
 // identical to scalar Eval and EvalParallel on random circuits and
 // random batches, across the 64-sample word boundary and both the
-// sequential and pooled configurations.
+// sequential and pooled configurations. Negative seeds select the
+// all-unit-weight circuit family (the carry-save fast path); the
+// checked-in corpus under testdata/fuzz pins both families at batch
+// sizes 1, 63, 64 and 65.
 func FuzzEvalBatch(f *testing.F) {
-	f.Add(int64(1), uint8(1))
-	f.Add(int64(2), uint8(63))
-	f.Add(int64(3), uint8(64))
-	f.Add(int64(4), uint8(65))
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(62))
+	f.Add(int64(3), uint8(63))
+	f.Add(int64(4), uint8(64))
+	f.Add(int64(-1), uint8(0))
+	f.Add(int64(-2), uint8(62))
+	f.Add(int64(-3), uint8(63))
+	f.Add(int64(-4), uint8(64))
 	f.Fuzz(func(t *testing.T, seed int64, rawBatch uint8) {
 		batch := int(rawBatch)%130 + 1
 		rng := rand.New(rand.NewSource(seed))
-		c := randomCircuit(rng)
+		var c *Circuit
+		if seed < 0 {
+			c = randomUnitCircuit(rng)
+		} else {
+			c = randomCircuit(rng)
+		}
 		inputs := make([][]bool, batch)
 		for s := range inputs {
 			row := make([]bool, c.NumInputs())

@@ -1,0 +1,108 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// threeGateCircuit builds the canonical grouped/ungrouped mix: one
+// group of two gates sharing a 2-wire span, plus one single gate
+// reading 3 wires. Semantic edges: 2*2 + 3 = 7; stored edges: 2 + 3 = 5.
+func threeGateCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder(3)
+	pair := b.GateGroup([]Wire{0, 1}, []int64{1, 1}, []int64{1, 2})
+	b.Gate([]Wire{pair[0], pair[1], 2}, []int64{1, -1, 1}, 1)
+	b.MarkOutput(Wire(3 + 2))
+	return b.Build()
+}
+
+// The semantic edge count (every gate charged its full fan-in, the
+// paper's measure) and the stored count (span sharing) must both be
+// pinned: the verifier cross-checks them and Stats reports both.
+func TestEdgesVsStoredEdgesPinned(t *testing.T) {
+	c := threeGateCircuit(t)
+	if got := c.Edges(); got != 7 {
+		t.Errorf("Edges() = %d, want 7 (2 gates x 2-wire shared span + 1 gate x 3 wires)", got)
+	}
+	if got := c.StoredEdges(); got != 5 {
+		t.Errorf("StoredEdges() = %d, want 5 (shared span stored once)", got)
+	}
+	st := c.Stats()
+	if st.Edges != 7 || st.StoredEdges != 5 {
+		t.Errorf("Stats edges=%d stored=%d, want 7/5", st.Edges, st.StoredEdges)
+	}
+	if st.StoredEdges > st.Edges {
+		t.Errorf("stored edges %d exceed semantic edges %d", st.StoredEdges, st.Edges)
+	}
+}
+
+// Stats.String must surface the discrepancy when grouping makes the
+// two counts diverge, and stay quiet when they agree.
+func TestStatsStringStoredEdges(t *testing.T) {
+	grouped := threeGateCircuit(t).Stats()
+	if s := grouped.String(); !strings.Contains(s, "edges=7") || !strings.Contains(s, "stored-edges=5") {
+		t.Errorf("grouped Stats.String() = %q, want both edges=7 and stored-edges=5", s)
+	}
+
+	b := NewBuilder(2)
+	b.MarkOutput(b.Gate([]Wire{0, 1}, []int64{1, 1}, 2))
+	flat := b.Build().Stats()
+	if s := flat.String(); strings.Contains(s, "stored-edges") {
+		t.Errorf("ungrouped Stats.String() = %q, want no stored-edges suffix", s)
+	}
+}
+
+// VisitGates must enumerate every gate once, in order, with the same
+// data Gate returns, without allocating copies of shared spans.
+func TestVisitGates(t *testing.T) {
+	c := threeGateCircuit(t)
+	var seen []int
+	c.VisitGates(func(g int, ins []Wire, ws []int64, th int64, level int) {
+		seen = append(seen, g)
+		spec := c.Gate(g)
+		if len(ins) != len(spec.Inputs) || len(ws) != len(spec.Weights) {
+			t.Fatalf("gate %d: span %d/%d wires, Gate says %d/%d", g, len(ins), len(ws), len(spec.Inputs), len(spec.Weights))
+		}
+		for i := range ins {
+			if ins[i] != spec.Inputs[i] || ws[i] != spec.Weights[i] {
+				t.Fatalf("gate %d input %d: visit (%d,%d) vs Gate (%d,%d)", g, i, ins[i], ws[i], spec.Inputs[i], spec.Weights[i])
+			}
+		}
+		if th != spec.Threshold || th != c.Threshold(g) {
+			t.Fatalf("gate %d: threshold %d vs Gate %d vs Threshold() %d", g, th, spec.Threshold, c.Threshold(g))
+		}
+		if level != spec.Level {
+			t.Fatalf("gate %d: level %d vs Gate %d", g, level, spec.Level)
+		}
+	})
+	if len(seen) != c.Size() {
+		t.Fatalf("visited %d gates, circuit has %d", len(seen), c.Size())
+	}
+	for i, g := range seen {
+		if g != i {
+			t.Fatalf("gate %d visited at position %d; want ascending order", g, i)
+		}
+	}
+}
+
+// WithThreshold must change exactly one gate's behaviour and leave the
+// receiver untouched.
+func TestWithThreshold(t *testing.T) {
+	c := threeGateCircuit(t)
+	in := []bool{true, true, false}
+	orig := c.Eval(in)
+
+	// Gate 1 (second member of the group) originally fires iff sum >= 2.
+	mut := c.WithThreshold(1, 100)
+	got := mut.Eval(in)
+	if got[3+1] {
+		t.Error("tampered gate still fires with unreachable threshold")
+	}
+	if again := c.Eval(in); again[3+1] != orig[3+1] {
+		t.Error("WithThreshold mutated the receiver")
+	}
+	if mut.Threshold(1) != 100 || c.Threshold(1) == 100 {
+		t.Error("threshold not isolated between copies")
+	}
+}

@@ -168,6 +168,95 @@ func TestTrianglesBatch(t *testing.T) {
 	}
 }
 
+// permuteMatrix returns P·A·Pᵀ: entry (i, j) moves to (perm[i], perm[j]).
+func permuteMatrix(a *matrix.Matrix, perm []int) *matrix.Matrix {
+	out := matrix.New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(perm[i], perm[j], a.At(i, j))
+		}
+	}
+	return out
+}
+
+// Metamorphic: relabeling a graph's vertices cannot change its triangle
+// count, so a batch holding one graph and many relabeled copies must
+// come back constant — and identical to the per-sample scalar count.
+func TestTrianglesBatchPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	cc, err := BuildCount(8, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := graph.ErdosRenyi(rng, 8, 0.5).Adjacency()
+	const batch = 65
+	adjs := make([]*matrix.Matrix, batch)
+	adjs[0] = base
+	for i := 1; i < batch; i++ {
+		adjs[i] = permuteMatrix(base, rng.Perm(8))
+	}
+	got, err := cc.TrianglesBatch(adjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != got[0] {
+			t.Fatalf("relabeled copy %d counts %d triangles, original %d", i, got[i], got[0])
+		}
+		single, err := cc.Triangles(adjs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != single {
+			t.Fatalf("graph %d: TrianglesBatch=%d, scalar Triangles=%d", i, got[i], single)
+		}
+	}
+}
+
+// Metamorphic: MultiplyBatch must satisfy A·I = A and (A·B)ᵀ = Bᵀ·Aᵀ
+// within one batch, and agree with scalar Multiply on every sample.
+func TestMultiplyBatchMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	mc, err := BuildMatMul(4, Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pairs = 33 // 2 rows per pair crosses the 64-sample boundary
+	id := matrix.Identity(4)
+	as := make([]*matrix.Matrix, 0, 2*pairs)
+	bs := make([]*matrix.Matrix, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		a := matrix.Random(rng, 4, 4, -3, 3)
+		b := matrix.Random(rng, 4, 4, -3, 3)
+		// Row 2i: A·B. Row 2i+1: Bᵀ·Aᵀ, whose transpose must equal row 2i.
+		as = append(as, a, b.Transpose())
+		bs = append(bs, b, a.Transpose())
+	}
+	as[0], bs[0] = matrix.Random(rng, 4, 4, -3, 3), id
+	as[1], bs[1] = id, as[0].Transpose()
+	got, err := mc.MultiplyBatch(as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(as[0]) {
+		t.Fatal("A·I != A")
+	}
+	for i := 0; i < len(got); i += 2 {
+		if !got[i].Transpose().Equal(got[i+1]) {
+			t.Fatalf("pair %d: (A·B)ᵀ != Bᵀ·Aᵀ", i/2)
+		}
+		for _, s := range []int{i, i + 1} {
+			single, err := mc.Multiply(as[s], bs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[s].Equal(single) {
+				t.Fatalf("sample %d: batch disagrees with scalar Multiply", s)
+			}
+		}
+	}
+}
+
 // The cached evaluator persists across batch calls (pool reuse).
 func TestBatchEvaluatorCached(t *testing.T) {
 	tc, err := BuildTrace(4, 2, Options{Alg: bilinear.Strassen()})

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bilinear"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStats is the serialized complexity profile pinned per circuit:
+// the Stats measures plus the per-level gate distribution. Any builder
+// change that alters gate counts, depth, edges or levelization shows up
+// as a golden diff and must be acknowledged with -update.
+type goldenStats struct {
+	Stats      string `json:"stats"` // Stats.String(), the human-facing line
+	Inputs     int    `json:"inputs"`
+	Size       int    `json:"size"`
+	Depth      int    `json:"depth"`
+	Edges      int64  `json:"edges"`
+	Stored     int64  `json:"stored_edges"`
+	MaxFanIn   int    `json:"max_fan_in"`
+	LevelSizes []int  `json:"level_sizes"`
+	DepthBound int    `json:"depth_bound"`
+}
+
+// The Strassen matmul builders' complexity measures are pinned against
+// golden files: these numbers back the paper-comparison tables, so a
+// drift is either a regression or a deliberate change to re-baseline
+// with `go test ./internal/core -run StatsGolden -update`.
+func TestStatsGolden(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			mc, err := BuildMatMul(n, Options{Alg: bilinear.Strassen()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := mc.Circuit.Stats()
+			got, err := json.MarshalIndent(goldenStats{
+				Stats:      st.String(),
+				Inputs:     st.Inputs,
+				Size:       st.Size,
+				Depth:      st.Depth,
+				Edges:      st.Edges,
+				Stored:     st.StoredEdges,
+				MaxFanIn:   st.MaxFanIn,
+				LevelSizes: mc.Circuit.LevelSizes(),
+				DepthBound: mc.DepthBound(),
+			}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", fmt.Sprintf("matmul_strassen_n%d_stats.golden", n))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the baseline)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("stats drifted from %s:\ngot:\n%s\nwant:\n%s\n(re-baseline with -update if intended)", path, got, want)
+			}
+		})
+	}
+}

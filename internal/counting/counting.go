@@ -210,6 +210,39 @@ func EstimateTrace(alg *bilinear.Algorithm, entryBits, L int, sched tctree.Sched
 	return e
 }
 
+// productRep3 is the weight multiset of a Lemma 3.3 three-factor signed
+// product representation: each signed half of the result is the union
+// of four w x w x w grids (the four sign combinations of one parity),
+// giving 4·#{(i,j,k) ∈ [0,w)³ : i+j+k = p} weights at power p.
+func productRep3(w int) multiset {
+	counts := make([]float64, 3*w-2)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			for k := 0; k < w; k++ {
+				counts[i+j+k]++
+			}
+		}
+	}
+	ms := make(multiset, len(counts))
+	for p, c := range counts {
+		ms[p] = weightClass{pow: p, cnt: 4 * c}
+	}
+	return ms
+}
+
+// EstimateCount predicts the gate count of core.BuildCount: identical
+// to the trace estimate except the single output comparison gate is
+// replaced by a Lemma 3.2 bank binarizing the combined half-trace
+// representation (r^L three-factor product representations, both signed
+// halves charged).
+func EstimateCount(alg *bilinear.Algorithm, entryBits, L int, sched tctree.Schedule) Estimate {
+	e := EstimateTrace(alg, entryBits, L, sched)
+	w := width(alg, entryBits, L)
+	leaves := math.Pow(float64(alg.R), float64(L))
+	e.Output = 2 * sumCost(productRep3(w).scale(leaves))
+	return e
+}
+
 // EstimateMatMul predicts the gate count of core.BuildMatMul.
 func EstimateMatMul(alg *bilinear.Algorithm, entryBits, L int, sched tctree.Schedule) Estimate {
 	var e Estimate

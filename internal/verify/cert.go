@@ -1,0 +1,367 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/bilinear"
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/tctree"
+)
+
+// Kind identifies which of the paper's constructions a circuit claims
+// to be, and therefore which theorem's bounds apply.
+type Kind string
+
+const (
+	// KindMatMul is the C = AB circuit of Theorems 4.8/4.9.
+	KindMatMul Kind = "matmul"
+	// KindTrace is the trace(A³) >= τ decision circuit of Theorems
+	// 4.4/4.5.
+	KindTrace Kind = "trace"
+	// KindCount is the exact half-trace circuit (the library's
+	// extension: depth 2t+3, one Lemma 3.2 bank past the decision
+	// circuit).
+	KindCount Kind = "count"
+	// KindTriangle is the Θ(N³) depth-2 baseline of Section 1.
+	KindTriangle Kind = "triangle"
+)
+
+// Params describe how a circuit was constructed, in enough detail to
+// evaluate the paper's closed-form bounds against it.
+type Params struct {
+	Kind      Kind
+	N         int
+	EntryBits int
+	Signed    bool
+	Tau       int64 // trace and triangle kinds only
+
+	// DepthParam is the theorem's d when the schedule was derived from
+	// it (Options.Schedule == nil); 0 means an explicit schedule was
+	// supplied and only realized (t-based) bounds apply.
+	DepthParam int
+
+	// Grouped marks GroupSize >= 2 constructions (Section 5 fan-in
+	// limiting, Theorem 4.1): multi-stage adders deepen the circuit and
+	// fall outside the single-stage cost model, so the depth and size
+	// theorem checks are skipped; structural and magnitude checks still
+	// apply.
+	Grouped bool
+
+	Alg      *bilinear.Algorithm // nil for KindTriangle
+	Schedule tctree.Schedule     // nil for KindTriangle
+}
+
+// Check is one certified bound: a measured quantity against the
+// closed-form value a theorem prescribes.
+type Check struct {
+	Name     string `json:"name"`
+	Theorem  string `json:"theorem"`
+	Measured int64  `json:"measured"`
+	Bound    int64  `json:"bound"`
+	// Exact marks equality checks (measured must equal the bound, not
+	// merely stay below it).
+	Exact bool `json:"exact,omitempty"`
+	OK    bool `json:"ok"`
+}
+
+// Certificate is the machine-readable verification record for one
+// built circuit: parameters, measured stats, every theorem-bound check,
+// and the full structural report.
+type Certificate struct {
+	Kind       Kind          `json:"kind"`
+	Algorithm  string        `json:"algorithm,omitempty"`
+	N          int           `json:"n"`
+	EntryBits  int           `json:"entry_bits,omitempty"`
+	Signed     bool          `json:"signed,omitempty"`
+	Tau        int64         `json:"tau,omitempty"`
+	DepthParam int           `json:"depth_param,omitempty"`
+	Grouped    bool          `json:"grouped,omitempty"`
+	Schedule   []int         `json:"schedule,omitempty"`
+	Stats      circuit.Stats `json:"stats"`
+
+	Checks     []Check           `json:"checks"`
+	Structural *StructuralReport `json:"structural"`
+	OK         bool              `json:"ok"`
+}
+
+// JSON renders the certificate as indented JSON.
+func (cert *Certificate) JSON() ([]byte, error) {
+	return json.MarshalIndent(cert, "", "  ")
+}
+
+// Err returns nil when every check passed and a descriptive error
+// otherwise.
+func (cert *Certificate) Err() error {
+	if cert.OK {
+		return nil
+	}
+	for _, ck := range cert.Checks {
+		if !ck.OK {
+			return fmt.Errorf("verify: %s %s: check %q failed: measured %d vs bound %d (%s)",
+				cert.Kind, cert.Algorithm, ck.Name, ck.Measured, ck.Bound, ck.Theorem)
+		}
+	}
+	return cert.Structural.Err()
+}
+
+// MagnitudeBitBudget is the Lemma 4.2 bookkeeping: a sound budget, in
+// bits, for every weight and threshold magnitude in the construction.
+//
+// Derivation. Bound (2) of the paper gives entry magnitudes below
+// 2^{W(h)} at tree level h, W(h) = b + 2h·log2 T, so W(L) bounds every
+// leaf scalar. Every gate the builders emit is either a Lemma 3.3
+// product gate (weights 1, threshold <= 3) or part of a Lemma 3.1/3.2
+// bank over some representation R, whose weights are bounded by R's
+// maximum value and whose thresholds by twice that (the 2^l ceiling of
+// ExtractBit). The largest representation in any construction is the
+// output combine: at most r^L leaf terms, each a product of `factors`
+// leaf scalars (2 for matmul, 3 for trace/count) concatenated over the
+// 4 sign grids, scaled by coefficient-path products bounded by
+// (maxCoef+1)^L. Hence
+//
+//	bits(maxRep) <= L·log2 r + factors·W(L) + L·log2(maxCoef+1) + 2
+//
+// and the budget adds headroom for the 2x threshold ceiling plus the
+// user's τ. Everything is clamped to 63 — the builders' checked int64
+// arithmetic guarantees that much, and a tampered 2^60-scale threshold
+// still lands far beyond any honest construction's budget.
+func (p Params) MagnitudeBitBudget() int {
+	if p.Kind == KindTriangle {
+		b := bitio.Bits(bitio.Binomial(p.N, 3)) + 2
+		if tb := bitio.Bits(bitio.Abs(p.Tau)) + 1; tb > b {
+			b = tb
+		}
+		return b
+	}
+	L := p.Schedule[len(p.Schedule)-1]
+	wl := p.EntryBits + int(math.Ceil(2*float64(L)*math.Log2(float64(p.Alg.T))))
+	leafBits := int(math.Ceil(float64(L) * math.Log2(float64(p.Alg.R))))
+	coefBits := int(math.Ceil(float64(L) * math.Log2(float64(p.Alg.MaxWeight()+1))))
+	factors := 2
+	if p.Kind == KindTrace || p.Kind == KindCount {
+		factors = 3
+	}
+	budget := leafBits + factors*wl + coefBits + 4
+	if tb := bitio.Bits(bitio.Abs(p.Tau)) + 1; tb > budget {
+		budget = tb
+	}
+	if budget > 63 {
+		budget = 63
+	}
+	return budget
+}
+
+// expectedInputs returns the number of input wires the construction
+// must have wired.
+func (p Params) expectedInputs() int {
+	per := p.EntryBits
+	if p.Signed {
+		per *= 2
+	}
+	switch p.Kind {
+	case KindMatMul:
+		return 2 * p.N * p.N * per
+	case KindTrace, KindCount:
+		return p.N * p.N * per
+	case KindTriangle:
+		return p.N * (p.N - 1) / 2
+	}
+	return -1
+}
+
+// validate rejects parameter sets the certifier cannot price.
+func (p Params) validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("verify: N=%d < 1", p.N)
+	}
+	if p.Kind == KindTriangle {
+		return nil
+	}
+	if p.Alg == nil {
+		return fmt.Errorf("verify: %s params require an algorithm", p.Kind)
+	}
+	if err := p.Alg.Validate(); err != nil {
+		return err
+	}
+	if p.EntryBits < 1 {
+		return fmt.Errorf("verify: EntryBits=%d < 1", p.EntryBits)
+	}
+	L := bitio.Log(p.Alg.T, p.N)
+	if p.Schedule == nil {
+		return fmt.Errorf("verify: %s params require the resolved schedule", p.Kind)
+	}
+	return p.Schedule.Validate(L)
+}
+
+// Certify runs the structural verifier with the Lemma 4.2 magnitude
+// budget and then checks the circuit's measured depth, size and input
+// count against the paper's closed-form bounds for the claimed
+// construction. The returned certificate is always non-nil when err is
+// nil; inspect cert.OK (or cert.Err()) for the verdict.
+func Certify(c *circuit.Circuit, p Params) (*Certificate, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cert := &Certificate{
+		Kind:       p.Kind,
+		N:          p.N,
+		EntryBits:  p.EntryBits,
+		Signed:     p.Signed,
+		Tau:        p.Tau,
+		DepthParam: p.DepthParam,
+		Grouped:    p.Grouped,
+		Stats:      c.Stats(),
+	}
+	if p.Alg != nil {
+		cert.Algorithm = p.Alg.Name
+	}
+	if p.Schedule != nil {
+		cert.Schedule = append([]int(nil), p.Schedule...)
+	}
+
+	budget := p.MagnitudeBitBudget()
+	cert.Structural = Structural(c, StructuralOptions{
+		MagnitudeBits:  budget,
+		RequireOutputs: true,
+	})
+
+	add := func(name, theorem string, measured, bound int64, exact bool) {
+		ok := measured <= bound
+		if exact {
+			ok = measured == bound
+		}
+		cert.Checks = append(cert.Checks, Check{
+			Name: name, Theorem: theorem, Measured: measured, Bound: bound, Exact: exact, OK: ok,
+		})
+	}
+
+	add("inputs", "construction input layout", int64(c.NumInputs()), int64(p.expectedInputs()), true)
+	add("magnitude-bits", "Lemma 4.2 bound (2)",
+		int64(max(cert.Structural.MaxWeightBits, cert.Structural.MaxThresholdBits)), int64(budget), false)
+
+	switch p.Kind {
+	case KindTriangle:
+		add("size", "Section 1: exactly C(N,3)+1 gates", int64(c.Size()), bitio.Binomial(p.N, 3)+1, true)
+		add("depth", "Section 1: depth 2", int64(c.Depth()), 2, true)
+
+	default:
+		t := p.Schedule.Transitions()
+		L := p.Schedule[len(p.Schedule)-1]
+		if p.DepthParam > 0 {
+			add("transitions", "Lemma 4.3: schedule has at most d transitions", int64(t), int64(p.DepthParam), false)
+		}
+		if !p.Grouped {
+			var realized int64
+			var label string
+			switch p.Kind {
+			case KindMatMul:
+				realized, label = int64(4*t+1), "Theorem 4.9: depth 4t+1"
+				if p.DepthParam > 0 {
+					add("depth-theorem", "Theorem 4.9: depth <= 4d+1", int64(c.Depth()), int64(4*p.DepthParam+1), false)
+				}
+			case KindTrace:
+				realized, label = int64(2*t+2), "Theorem 4.5: depth 2t+2 (<= stated 2d+5)"
+				if p.DepthParam > 0 {
+					add("depth-theorem", "Theorem 4.5: depth <= 2d+5", int64(c.Depth()), int64(2*p.DepthParam+5), false)
+				}
+			case KindCount:
+				realized, label = int64(2*t+3), "count extension: depth 2t+3"
+			}
+			add("depth-realized", label, int64(c.Depth()), realized, false)
+
+			var est counting.Estimate
+			switch p.Kind {
+			case KindMatMul:
+				est = counting.EstimateMatMul(p.Alg, p.EntryBits, L, p.Schedule)
+			case KindTrace:
+				est = counting.EstimateTrace(p.Alg, p.EntryBits, L, p.Schedule)
+			case KindCount:
+				est = counting.EstimateCount(p.Alg, p.EntryBits, L, p.Schedule)
+			}
+			bound := est.Total()
+			if bound < float64(math.MaxInt64) {
+				add("size-model", "Lemmas 4.2/4.6 cost model (sound upper bound)", int64(c.Size()), int64(math.Ceil(bound)), false)
+			}
+		}
+	}
+
+	cert.OK = cert.Structural.OK()
+	for _, ck := range cert.Checks {
+		cert.OK = cert.OK && ck.OK
+	}
+	return cert, nil
+}
+
+// paramsFromOptions fills the shared fields derived from core.Options.
+func paramsFromOptions(p *Params, opts core.Options, sched tctree.Schedule) {
+	p.EntryBits = opts.EntryBits
+	p.Signed = opts.Signed
+	p.Alg = opts.Alg
+	p.Schedule = sched
+	p.Grouped = opts.GroupSize >= 2
+	if opts.Schedule == nil {
+		p.DepthParam = opts.Depth
+	}
+}
+
+// MatMulParams derives certification parameters from a built matmul
+// circuit.
+func MatMulParams(mc *core.MatMulCircuit) Params {
+	p := Params{Kind: KindMatMul, N: mc.N}
+	paramsFromOptions(&p, mc.Opts, mc.Schedule)
+	return p
+}
+
+// TraceParams derives certification parameters from a built trace
+// circuit.
+func TraceParams(tc *core.TraceCircuit) Params {
+	p := Params{Kind: KindTrace, N: tc.N, Tau: tc.Tau}
+	paramsFromOptions(&p, tc.Opts, tc.Schedule)
+	return p
+}
+
+// CountParams derives certification parameters from a built count
+// circuit.
+func CountParams(cc *core.CountCircuit) Params {
+	p := Params{Kind: KindCount, N: cc.N}
+	paramsFromOptions(&p, cc.Opts, cc.Schedule)
+	return p
+}
+
+// TriangleParams derives certification parameters from the naive
+// triangle baseline.
+func TriangleParams(t *core.TriangleCircuit) Params {
+	return Params{Kind: KindTriangle, N: t.N, Tau: t.Tau}
+}
+
+// CertifyMatMul certifies a built matmul circuit against Theorem 4.9.
+func CertifyMatMul(mc *core.MatMulCircuit) (*Certificate, error) {
+	return Certify(mc.Circuit, MatMulParams(mc))
+}
+
+// CertifyTrace certifies a built trace circuit against Theorems 4.4/4.5.
+func CertifyTrace(tc *core.TraceCircuit) (*Certificate, error) {
+	return Certify(tc.Circuit, TraceParams(tc))
+}
+
+// CertifyCount certifies a built exact-count circuit.
+func CertifyCount(cc *core.CountCircuit) (*Certificate, error) {
+	return Certify(cc.Circuit, CountParams(cc))
+}
+
+// CertifyTriangle certifies the naive baseline against its Section 1
+// description.
+func CertifyTriangle(t *core.TriangleCircuit) (*Certificate, error) {
+	return Certify(t.Circuit, TriangleParams(t))
+}
+
+// CertifyRectMatMul certifies the padded inner circuit of a rectangular
+// product.
+func CertifyRectMatMul(rc *core.RectMatMulCircuit) (*Certificate, error) {
+	return CertifyMatMul(rc.Inner)
+}

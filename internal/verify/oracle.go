@@ -1,0 +1,372 @@
+package verify
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// RefMul computes A·B in math/big arithmetic — the exact reference
+// every matmul circuit is compared against. Overflow is impossible by
+// construction, so a disagreement always indicts the circuit side.
+func RefMul(a, b *matrix.Matrix) [][]*big.Int {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("verify: shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := make([][]*big.Int, a.Rows)
+	var t big.Int
+	for i := range out {
+		out[i] = make([]*big.Int, b.Cols)
+		for j := range out[i] {
+			s := new(big.Int)
+			for k := 0; k < a.Cols; k++ {
+				t.SetInt64(a.At(i, k))
+				t.Mul(&t, big.NewInt(b.At(k, j)))
+				s.Add(s, &t)
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// RefTraceCube computes trace(A³) in math/big arithmetic.
+func RefTraceCube(a *matrix.Matrix) *big.Int {
+	sq := RefMul(a, a)
+	s := new(big.Int)
+	var t big.Int
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Mul(sq[i][j], big.NewInt(a.At(j, i)))
+			s.Add(s, &t)
+		}
+	}
+	return s
+}
+
+// InputFamily names one class of adversarial or random test inputs.
+type InputFamily string
+
+const (
+	FamilyRandom       InputFamily = "random"
+	FamilyAllOnes      InputFamily = "all-ones"
+	FamilyAlternating  InputFamily = "alternating-sign"
+	FamilyMaxMagnitude InputFamily = "max-magnitude"
+)
+
+// Families returns every input family, random first.
+func Families() []InputFamily {
+	return []InputFamily{FamilyRandom, FamilyAllOnes, FamilyAlternating, FamilyMaxMagnitude}
+}
+
+// FamilyMatrix generates the family's n x n instance within the
+// circuit's input domain: [0, 2^entryBits) unsigned, (-2^entryBits,
+// 2^entryBits) signed. The alternating family degrades gracefully when
+// the domain has no negatives: it alternates max/zero instead.
+func FamilyMatrix(f InputFamily, rng *rand.Rand, n, entryBits int, signed bool) *matrix.Matrix {
+	maxVal := int64(1)<<uint(entryBits) - 1
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v int64
+			switch f {
+			case FamilyAllOnes:
+				v = 1
+			case FamilyAlternating:
+				v = maxVal
+				if (i+j)%2 == 1 {
+					if signed {
+						v = -maxVal
+					} else {
+						v = 0
+					}
+				}
+			case FamilyMaxMagnitude:
+				v = maxVal
+				if signed && rng.Intn(2) == 1 {
+					v = -maxVal
+				}
+			default: // FamilyRandom
+				v = rng.Int63n(maxVal + 1)
+				if signed && rng.Intn(2) == 1 {
+					v = -v
+				}
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// SymmetricFamilyMatrix generates the family's instance restricted to
+// the trace construction's domain: symmetric with zero diagonal (the
+// equation (4) decomposition computes trace(A³)/2 only for such
+// matrices).
+func SymmetricFamilyMatrix(f InputFamily, rng *rand.Rand, n, entryBits int, signed bool) *matrix.Matrix {
+	m := FamilyMatrix(f, rng, n, entryBits, signed)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+		for j := i + 1; j < n; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+	return m
+}
+
+// DifferentialEval cross-checks the four evaluation paths — Eval,
+// EvalParallel, Evaluator.EvalBatch and Evaluator.EvalPlanes — on every
+// given assignment, comparing full wire vectors bit for bit. Returns
+// the first disagreement as an error.
+func DifferentialEval(c *circuit.Circuit, inputs [][]bool) error {
+	if len(inputs) == 0 {
+		return nil
+	}
+	ev := circuit.NewEvaluator(c, 0)
+	defer ev.Close()
+	// EvalBatch copies results out; EvalPlanes borrows the arena, so it
+	// must come second and be read before any further Eval* call.
+	batch := ev.EvalBatch(inputs)
+	planes := ev.EvalPlanes(circuit.PackBools(inputs))
+	for s, in := range inputs {
+		ref := c.Eval(in)
+		par := c.EvalParallel(in, 4)
+		for w := range ref {
+			if par[w] != ref[w] {
+				return fmt.Errorf("verify: sample %d wire %d: EvalParallel=%v, Eval=%v", s, w, par[w], ref[w])
+			}
+			if batch[s][w] != ref[w] {
+				return fmt.Errorf("verify: sample %d wire %d: EvalBatch=%v, Eval=%v", s, w, batch[s][w], ref[w])
+			}
+			if got := planes.Get(circuit.Wire(w), s); got != ref[w] {
+				return fmt.Errorf("verify: sample %d wire %d: EvalPlanes=%v, Eval=%v", s, w, got, ref[w])
+			}
+		}
+	}
+	return nil
+}
+
+// DifferentialMatMul runs the matmul circuit against the big.Int
+// reference over every input family, then cross-checks the four
+// evaluation paths on the collected assignments. rounds repeats the
+// sweep with fresh random draws.
+func DifferentialMatMul(mc *core.MatMulCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := mc.Opts.EntryBits, mc.Opts.Signed
+	var assigns [][]bool
+	for round := 0; round < rounds; round++ {
+		for _, f := range Families() {
+			am := FamilyMatrix(f, rng, mc.N, b, signed)
+			bm := FamilyMatrix(f, rng, mc.N, b, signed)
+			got, err := mc.Multiply(am, bm)
+			if err != nil {
+				return fmt.Errorf("verify: family %s: %w", f, err)
+			}
+			ref := RefMul(am, bm)
+			for i := 0; i < mc.N; i++ {
+				for j := 0; j < mc.N; j++ {
+					if ref[i][j].Cmp(big.NewInt(got.At(i, j))) != 0 {
+						return fmt.Errorf("verify: family %s: C[%d][%d] = %d, big.Int reference %s",
+							f, i, j, got.At(i, j), ref[i][j])
+					}
+				}
+			}
+			in, err := mc.Assign(am, bm)
+			if err != nil {
+				return err
+			}
+			assigns = append(assigns, in)
+		}
+	}
+	return DifferentialEval(mc.Circuit, assigns)
+}
+
+// DifferentialTrace runs the decision circuit against the big.Int
+// trace reference over every (symmetrized) input family, plus boundary
+// thresholds, then cross-checks the evaluation paths.
+func DifferentialTrace(tc *core.TraceCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := tc.Opts.EntryBits, tc.Opts.Signed
+	var assigns [][]bool
+	for round := 0; round < rounds; round++ {
+		for _, f := range Families() {
+			a := SymmetricFamilyMatrix(f, rng, tc.N, b, signed)
+			got, err := tc.Decide(a)
+			if err != nil {
+				return fmt.Errorf("verify: family %s: %w", f, err)
+			}
+			want := RefTraceCube(a).Cmp(big.NewInt(tc.Tau)) >= 0
+			if got != want {
+				return fmt.Errorf("verify: family %s: Decide=%v, big.Int trace(A³) >= %d is %v", f, got, tc.Tau, want)
+			}
+			in, err := tc.Assign(a)
+			if err != nil {
+				return err
+			}
+			assigns = append(assigns, in)
+		}
+	}
+	return DifferentialEval(tc.Circuit, assigns)
+}
+
+// DifferentialCount runs the exact half-trace circuit against the
+// big.Int reference over every (symmetrized) input family, then
+// cross-checks the evaluation paths.
+func DifferentialCount(cc *core.CountCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := cc.Opts.EntryBits, cc.Opts.Signed
+	var assigns [][]bool
+	for round := 0; round < rounds; round++ {
+		for _, f := range Families() {
+			a := SymmetricFamilyMatrix(f, rng, cc.N, b, signed)
+			got, err := cc.HalfTrace(a)
+			if err != nil {
+				return fmt.Errorf("verify: family %s: %w", f, err)
+			}
+			want := new(big.Int).Rsh(RefTraceCube(a), 1)
+			if want.Cmp(big.NewInt(got)) != 0 {
+				return fmt.Errorf("verify: family %s: HalfTrace=%d, big.Int reference %s", f, got, want)
+			}
+			in, err := cc.Assign(a)
+			if err != nil {
+				return err
+			}
+			assigns = append(assigns, in)
+		}
+	}
+	return DifferentialEval(cc.Circuit, assigns)
+}
+
+// MetamorphicMatMul checks algebraic identities the circuit must
+// satisfy without reference to any multiplication oracle: A·I = A,
+// I·A = A, (A·B)ᵀ = Bᵀ·Aᵀ, and distributivity A·(B+C) = A·B + A·C
+// (with B, C drawn so B+C stays inside the input domain).
+func MetamorphicMatMul(mc *core.MatMulCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := mc.Opts.EntryBits, mc.Opts.Signed
+	id := matrix.Identity(mc.N)
+	for round := 0; round < rounds; round++ {
+		a := FamilyMatrix(FamilyRandom, rng, mc.N, b, signed)
+
+		right, err := mc.Multiply(a, id)
+		if err != nil {
+			return err
+		}
+		if !right.Equal(a) {
+			return fmt.Errorf("verify: metamorphic A·I != A")
+		}
+		left, err := mc.Multiply(id, a)
+		if err != nil {
+			return err
+		}
+		if !left.Equal(a) {
+			return fmt.Errorf("verify: metamorphic I·A != A")
+		}
+
+		bm := FamilyMatrix(FamilyRandom, rng, mc.N, b, signed)
+		ab, err := mc.Multiply(a, bm)
+		if err != nil {
+			return err
+		}
+		bTaT, err := mc.Multiply(bm.Transpose(), a.Transpose())
+		if err != nil {
+			return err
+		}
+		if !ab.Transpose().Equal(bTaT) {
+			return fmt.Errorf("verify: metamorphic (A·B)ᵀ != Bᵀ·Aᵀ")
+		}
+
+		// Split a fresh in-domain matrix S entrywise into B + C; both
+		// parts and the sum stay within the domain by construction.
+		s := FamilyMatrix(FamilyRandom, rng, mc.N, b, signed)
+		bp := matrix.New(mc.N, mc.N)
+		cp := matrix.New(mc.N, mc.N)
+		for i := 0; i < mc.N; i++ {
+			for j := 0; j < mc.N; j++ {
+				v := s.At(i, j)
+				part := int64(0)
+				if v != 0 {
+					part = rng.Int63n(bitio.Abs(v) + 1)
+					if v < 0 {
+						part = -part
+					}
+				}
+				bp.Set(i, j, part)
+				cp.Set(i, j, v-part)
+			}
+		}
+		abp, err := mc.Multiply(a, bp)
+		if err != nil {
+			return err
+		}
+		acp, err := mc.Multiply(a, cp)
+		if err != nil {
+			return err
+		}
+		as, err := mc.Multiply(a, s)
+		if err != nil {
+			return err
+		}
+		if !abp.Add(acp).Equal(as) {
+			return fmt.Errorf("verify: metamorphic A·(B+C) != A·B + A·C")
+		}
+	}
+	return nil
+}
+
+// MetamorphicTrace checks relabeling invariance of the decision: for
+// any permutation P, trace((PAPᵀ)³) = trace(A³), so Decide must agree
+// on A and its relabeled copy.
+func MetamorphicTrace(tc *core.TraceCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := tc.Opts.EntryBits, tc.Opts.Signed
+	for round := 0; round < rounds; round++ {
+		a := SymmetricFamilyMatrix(FamilyRandom, rng, tc.N, b, signed)
+		p := rng.Perm(tc.N)
+		orig, err := tc.Decide(a)
+		if err != nil {
+			return err
+		}
+		rel, err := tc.Decide(Permuted(a, p))
+		if err != nil {
+			return err
+		}
+		if orig != rel {
+			return fmt.Errorf("verify: metamorphic trace decision changed under relabeling %v", p)
+		}
+	}
+	return nil
+}
+
+// MetamorphicCount checks relabeling invariance of the exact value:
+// trace((PAPᵀ)³)/2 = trace(A³)/2 for any permutation P.
+func MetamorphicCount(cc *core.CountCircuit, rng *rand.Rand, rounds int) error {
+	b, signed := cc.Opts.EntryBits, cc.Opts.Signed
+	for round := 0; round < rounds; round++ {
+		a := SymmetricFamilyMatrix(FamilyRandom, rng, cc.N, b, signed)
+		p := rng.Perm(cc.N)
+		orig, err := cc.HalfTrace(a)
+		if err != nil {
+			return err
+		}
+		rel, err := cc.HalfTrace(Permuted(a, p))
+		if err != nil {
+			return err
+		}
+		if orig != rel {
+			return fmt.Errorf("verify: metamorphic half-trace %d changed to %d under relabeling %v", orig, rel, p)
+		}
+	}
+	return nil
+}
+
+// Permuted returns P·A·Pᵀ, i.e. A with rows and columns relabeled by
+// perm (entry (i,j) moves to (perm[i], perm[j])).
+func Permuted(a *matrix.Matrix, perm []int) *matrix.Matrix {
+	out := matrix.New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(perm[i], perm[j], a.At(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Package verify is the certification layer of the library: machine
+// checks that every circuit we build actually has the structure, depth,
+// size and magnitudes the paper's lemmas promise, and computes the same
+// values as an exact big-integer reference.
+//
+// The paper is pure theory — it has no evaluation section — so the
+// reproduction's credibility rests entirely on checkable claims. This
+// package turns those claims into three kinds of always-on tooling:
+//
+//   - Structural (this file): walks any circuit.Circuit and re-derives
+//     its levelization, acyclicity, fan-in, edge and depth figures from
+//     the wire lists, comparing them against the declared measures, and
+//     checks every weight and threshold against a magnitude budget.
+//
+//   - Certify (cert.go): given the construction parameters (N, bit
+//     width, depth parameter d, the algorithm's α/β/γ constants), it
+//     evaluates the paper's closed-form depth/size bounds (Theorems
+//     4.4/4.5/4.8/4.9, Lemma 4.2) and asserts the built circuit is
+//     within them, emitting a machine-readable JSON certificate.
+//
+//   - Differential/metamorphic oracles (oracle.go): cross-check the
+//     four evaluation paths (Eval, EvalParallel, EvalBatch, EvalPlanes)
+//     against each other and against math/big reference arithmetic on
+//     random, adversarial and metamorphic input families.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/circuit"
+)
+
+// Violation is one failed structural or certification check.
+type Violation struct {
+	Check  string `json:"check"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// maxRecorded caps how many violations of one kind are spelled out;
+// beyond it only the count grows (a corrupted million-gate circuit
+// should not produce a million strings).
+const maxRecorded = 16
+
+// StructuralReport is the result of walking one circuit.
+type StructuralReport struct {
+	Stats circuit.Stats `json:"stats"`
+
+	// Recomputed figures (from the wire lists, independent of the
+	// declared accessors).
+	RecomputedDepth    int   `json:"recomputed_depth"`
+	RecomputedEdges    int64 `json:"recomputed_edges"`
+	RecomputedMaxFanIn int   `json:"recomputed_max_fan_in"`
+
+	// Magnitude extremes over all gates.
+	MaxWeightBits    int `json:"max_weight_bits"`
+	MaxThresholdBits int `json:"max_threshold_bits"`
+
+	// Unreachable counts gates with no forward path to a marked output.
+	// The core constructions are expected to be dead-free; transformed
+	// or hand-assembled circuits may carry scaffolding, so this is a
+	// warning unless StructuralOptions.RequireReachable is set.
+	Unreachable int `json:"unreachable"`
+
+	// ConstantGates counts gates with fan-in > 0 whose threshold lies
+	// outside the attainable sum range (the gate's value is input-
+	// independent). Lemma 3.1 legitimately creates a few — its top
+	// comparison threshold 2^l can exceed the attainable maximum — so
+	// this is informational, never a violation.
+	ConstantGates int `json:"constant_gates"`
+
+	Violations []Violation `json:"violations,omitempty"`
+	Warnings   []Violation `json:"warnings,omitempty"`
+
+	// ViolationCount counts all violations, including ones elided from
+	// the Violations list by the recording cap.
+	ViolationCount int `json:"violation_count"`
+}
+
+// OK reports whether no violations were found.
+func (r *StructuralReport) OK() bool { return r.ViolationCount == 0 }
+
+// Err returns nil when the report is clean and a descriptive error
+// otherwise.
+func (r *StructuralReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d structural violation(s), first: %s", r.ViolationCount, r.Violations[0])
+}
+
+func (r *StructuralReport) violate(check, format string, args ...any) {
+	if len(r.Violations) < maxRecorded {
+		r.Violations = append(r.Violations, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+	}
+	r.ViolationCount++
+}
+
+func (r *StructuralReport) warn(check, format string, args ...any) {
+	if len(r.Warnings) < maxRecorded {
+		r.Warnings = append(r.Warnings, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// StructuralOptions tune the structural verifier.
+type StructuralOptions struct {
+	// MagnitudeBits, when > 0, is the budget on bits(|weight|) and
+	// bits(|threshold|) for every gate — the Lemma 4.2 bookkeeping.
+	// Certify derives it from the construction parameters; a tampered
+	// threshold beyond the budget is a violation.
+	MagnitudeBits int
+	// RequireOutputs makes a circuit with no marked outputs a violation.
+	RequireOutputs bool
+	// RequireReachable promotes unreachable gates from warning to
+	// violation.
+	RequireReachable bool
+}
+
+// Structural walks the circuit and checks every levelization invariant:
+// inputs of each gate come from strictly lower levels and from wires
+// created before the gate (acyclicity), declared Depth/Size/Edges/
+// MaxFanIn match recomputation from the wire lists, outputs exist,
+// per-gate weighted sums cannot overflow int64, and weight/threshold
+// magnitudes stay within the given budget.
+func Structural(c *circuit.Circuit, opt StructuralOptions) *StructuralReport {
+	r := &StructuralReport{Stats: c.Stats()}
+	n := c.NumInputs()
+	size := c.Size()
+
+	level := make([]int, size)
+	spans := make([][]circuit.Wire, size) // borrowed, for the reachability pass
+	maxLevel := 0
+	var edges int64
+	maxFan := 0
+	var maxW, maxT int64
+
+	c.VisitGates(func(g int, ins []circuit.Wire, ws []int64, th int64, declLevel int) {
+		spans[g] = ins
+		if len(ins) > maxFan {
+			maxFan = len(ins)
+		}
+		edges += int64(len(ins))
+
+		lvl := 0
+		var sumPos, sumNeg uint64 // attainable sum range, overflow-safe
+		for i, src := range ins {
+			switch {
+			case src < 0 || int(src) >= n+size:
+				r.violate("dangling-wire", "gate %d reads nonexistent wire %d (have %d)", g, src, n+size)
+				continue
+			case int(src) >= n+g:
+				r.violate("acyclicity", "gate %d reads wire %d created at or after it", g, src)
+				continue
+			}
+			srcLvl := 0
+			if int(src) >= n {
+				srcLvl = level[int(src)-n]
+			}
+			if srcLvl >= declLevel {
+				r.violate("levelization", "gate %d at level %d reads wire %d from level %d", g, declLevel, src, srcLvl)
+			}
+			if srcLvl > lvl {
+				lvl = srcLvl
+			}
+			w := ws[i]
+			a := absU64(w)
+			if w > 0 {
+				sumPos += a
+			} else {
+				sumNeg += a
+			}
+			if aw := int64Abs(w); aw > maxW {
+				maxW = aw
+			}
+		}
+		lvl++
+		level[g] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+		if lvl != declLevel {
+			r.violate("level-mismatch", "gate %d declares level %d, recomputed %d", g, declLevel, lvl)
+		}
+		if lvl != c.GateLevel(g) {
+			r.violate("level-accessor", "gate %d: GateLevel=%d, recomputed %d", g, c.GateLevel(g), lvl)
+		}
+		if sumPos > math.MaxInt64 || sumNeg > math.MaxInt64 {
+			r.violate("sum-overflow", "gate %d: attainable weighted sum overflows int64", g)
+		}
+		if at := int64Abs(th); at > maxT {
+			maxT = at
+		}
+		if len(ins) > 0 && sumPos <= math.MaxInt64 && sumNeg <= math.MaxInt64 {
+			// The attainable sum ranges over [-sumNeg, sumPos]; a
+			// threshold outside (-sumNeg, sumPos] makes the gate's value
+			// input-independent (never fires, or always fires).
+			if th > int64(sumPos) || th <= -int64(sumNeg) {
+				r.ConstantGates++
+			}
+		}
+	})
+
+	r.RecomputedDepth = maxLevel
+	r.RecomputedEdges = edges
+	r.RecomputedMaxFanIn = maxFan
+	r.MaxWeightBits = bitio.Bits(maxW)
+	r.MaxThresholdBits = bitio.Bits(maxT)
+
+	if c.Depth() != maxLevel {
+		r.violate("depth", "declared Depth()=%d, recomputed %d", c.Depth(), maxLevel)
+	}
+	if got := c.Edges(); got != edges {
+		r.violate("edges", "declared Edges()=%d, recomputed %d", got, edges)
+	}
+	if se := c.StoredEdges(); se > edges {
+		r.violate("stored-edges", "StoredEdges()=%d exceeds semantic edges %d", se, edges)
+	}
+	if got := c.MaxFanIn(); got != maxFan {
+		r.violate("max-fan-in", "declared MaxFanIn()=%d, recomputed %d", got, maxFan)
+	}
+	if ls := c.LevelSizes(); len(ls) != maxLevel {
+		r.violate("level-sizes", "LevelSizes() has %d levels, recomputed depth %d", len(ls), maxLevel)
+	} else {
+		perLevel := make([]int, maxLevel)
+		for _, lvl := range level {
+			perLevel[lvl-1]++
+		}
+		for i := range ls {
+			if ls[i] != perLevel[i] {
+				r.violate("level-sizes", "level %d: LevelSizes()=%d, recomputed %d", i+1, ls[i], perLevel[i])
+				break
+			}
+		}
+	}
+
+	outs := c.Outputs()
+	if opt.RequireOutputs && len(outs) == 0 {
+		r.violate("outputs", "circuit marks no outputs")
+	}
+	reach := make([]bool, size)
+	for _, w := range outs {
+		if w < 0 || int(w) >= n+size {
+			r.violate("output-range", "output wire %d outside [0,%d)", w, n+size)
+			continue
+		}
+		if int(w) >= n {
+			reach[int(w)-n] = true
+		}
+	}
+	// Gates only reference earlier wires, so one descending sweep
+	// propagates reachability backwards through the whole DAG.
+	for g := size - 1; g >= 0; g-- {
+		if !reach[g] {
+			continue
+		}
+		for _, src := range spans[g] {
+			if int(src) >= n && int(src) < n+size {
+				reach[int(src)-n] = true
+			}
+		}
+	}
+	for g := 0; g < size; g++ {
+		if !reach[g] {
+			r.Unreachable++
+		}
+	}
+	if r.Unreachable > 0 {
+		if opt.RequireReachable {
+			r.violate("unreachable", "%d gate(s) have no path to an output", r.Unreachable)
+		} else {
+			r.warn("unreachable", "%d gate(s) have no path to an output", r.Unreachable)
+		}
+	}
+
+	if opt.MagnitudeBits > 0 {
+		if r.MaxWeightBits > opt.MagnitudeBits {
+			r.violate("weight-magnitude", "max weight needs %d bits, Lemma 4.2 budget is %d", r.MaxWeightBits, opt.MagnitudeBits)
+		}
+		if r.MaxThresholdBits > opt.MagnitudeBits {
+			r.violate("threshold-magnitude", "max threshold needs %d bits, Lemma 4.2 budget is %d", r.MaxThresholdBits, opt.MagnitudeBits)
+		}
+	}
+	return r
+}
+
+// absU64 returns |v| as uint64, correct for math.MinInt64.
+func absU64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-(v + 1)) + 1
+	}
+	return uint64(v)
+}
+
+// int64Abs saturates |math.MinInt64| to MaxInt64 (only magnitude bits
+// matter to callers, and 64 > any budget either way).
+func int64Abs(v int64) int64 {
+	if v == math.MinInt64 {
+		return math.MaxInt64
+	}
+	return bitio.Abs(v)
+}

@@ -1,0 +1,277 @@
+package verify
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/tctree"
+)
+
+// matmulVariants spans the constructor's option space: default unsigned
+// Strassen, signed multi-bit, explicit schedule, and Winograd.
+func matmulVariants(t *testing.T, n int) map[string]*core.MatMulCircuit {
+	t.Helper()
+	build := func(opts core.Options) *core.MatMulCircuit {
+		mc, err := core.BuildMatMul(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+	return map[string]*core.MatMulCircuit{
+		"default":  build(core.Options{Alg: bilinear.Strassen()}),
+		"signed":   build(core.Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true}),
+		"direct":   build(core.Options{Alg: bilinear.Strassen(), Schedule: tctree.Direct(2)}),
+		"winograd": build(core.Options{Alg: bilinear.Winograd(), EntryBits: 2}),
+	}
+}
+
+// Every matmul variant certifies clean against Theorem 4.9 and the
+// Lemma 4.2 magnitude budget.
+func TestCertifyMatMul(t *testing.T) {
+	for name, mc := range matmulVariants(t, 4) {
+		cert, err := CertifyMatMul(mc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cert.Err(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if cert.Structural.ViolationCount != 0 {
+			t.Errorf("%s: structural violations: %v", name, cert.Structural.Violations)
+		}
+	}
+}
+
+// The trace decision, exact count, naive baseline and rectangular
+// constructors all certify clean.
+func TestCertifyOtherConstructors(t *testing.T) {
+	tc, err := core.BuildTrace(4, 6, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := core.BuildCount(4, core.Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := core.BuildNaiveTriangle(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := core.BuildRectMatMul(3, 4, 2, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*Certificate, error){
+		"trace":    func() (*Certificate, error) { return CertifyTrace(tc) },
+		"count":    func() (*Certificate, error) { return CertifyCount(cc) },
+		"triangle": func() (*Certificate, error) { return CertifyTriangle(tri) },
+		"rect":     func() (*Certificate, error) { return CertifyRectMatMul(rc) },
+	} {
+		cert, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cert.Err(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Grouped (Theorem 4.1, fan-in limited) constructions skip the flat
+// depth/size bounds but still pass the structural and magnitude checks.
+func TestCertifyGrouped(t *testing.T) {
+	tc, err := core.BuildTheorem41Trace(4, 4, bilinear.Strassen(), 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifyTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Grouped {
+		t.Fatal("Theorem 4.1 build not flagged as grouped")
+	}
+	for _, ck := range cert.Checks {
+		if ck.Name == "depth-realized" || ck.Name == "size-model" {
+			t.Errorf("grouped certificate carries flat-construction check %q", ck.Name)
+		}
+	}
+	if err := cert.Err(); err != nil {
+		t.Error(err)
+	}
+}
+
+// A deliberately corrupted circuit — one threshold tampered beyond the
+// Lemma 4.2 budget — must be rejected, and the pristine circuit must
+// still certify afterwards (fault injection is non-destructive).
+func TestCertifyRejectsTamperedThreshold(t *testing.T) {
+	mc, err := core.BuildMatMul(4, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MatMulParams(mc)
+	bad := mc.Circuit.WithThreshold(mc.Circuit.Size()/2, 1<<60)
+	cert, err := Certify(bad, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK {
+		t.Fatal("certificate accepted a tampered threshold")
+	}
+	found := false
+	for _, v := range cert.Structural.Violations {
+		if v.Check == "threshold-magnitude" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tampering not attributed to threshold-magnitude; violations: %v", cert.Structural.Violations)
+	}
+	if clean, err := Certify(mc.Circuit, p); err != nil || !clean.OK {
+		t.Fatalf("pristine circuit no longer certifies: %v %v", err, clean.Err())
+	}
+}
+
+// The structural verifier's recomputation must match a hand-built
+// circuit's declared figures exactly, and flag synthetic damage.
+func TestCertifyStructuralRecomputation(t *testing.T) {
+	b := circuit.NewBuilder(3)
+	pair := b.GateGroup([]circuit.Wire{0, 1}, []int64{1, 1}, []int64{1, 2})
+	out := b.Gate([]circuit.Wire{pair[0], pair[1], 2}, []int64{1, -1, 1}, 1)
+	b.MarkOutput(out)
+	c := b.Build()
+
+	r := Structural(c, StructuralOptions{RequireOutputs: true, RequireReachable: true})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.RecomputedDepth != c.Depth() || r.RecomputedEdges != c.Edges() || r.RecomputedMaxFanIn != c.MaxFanIn() {
+		t.Errorf("recomputed depth/edges/fanin %d/%d/%d, declared %d/%d/%d",
+			r.RecomputedDepth, r.RecomputedEdges, r.RecomputedMaxFanIn, c.Depth(), c.Edges(), c.MaxFanIn())
+	}
+	if r.MaxWeightBits != 1 || r.MaxThresholdBits != 2 {
+		t.Errorf("magnitude bits weight=%d threshold=%d, want 1/2", r.MaxWeightBits, r.MaxThresholdBits)
+	}
+
+	// Magnitude budget of 1 bit: the group's threshold 2 must violate.
+	if tight := Structural(c, StructuralOptions{MagnitudeBits: 1}); tight.OK() {
+		t.Error("1-bit budget accepted a 2-bit threshold")
+	}
+
+	// A gate nobody reads is unreachable: warning by default, violation
+	// under RequireReachable.
+	b2 := circuit.NewBuilder(2)
+	b2.Gate([]circuit.Wire{0}, []int64{1}, 1) // dead
+	b2.MarkOutput(b2.Gate([]circuit.Wire{1}, []int64{1}, 1))
+	dead := b2.Build()
+	if r := Structural(dead, StructuralOptions{}); !r.OK() || r.Unreachable != 1 {
+		t.Errorf("dead gate: OK=%v unreachable=%d, want warning with 1", r.OK(), r.Unreachable)
+	}
+	if r := Structural(dead, StructuralOptions{RequireReachable: true}); r.OK() {
+		t.Error("RequireReachable accepted a dead gate")
+	}
+}
+
+// Certificates serialize to JSON and round-trip their checks.
+func TestCertifyJSONRoundTrip(t *testing.T) {
+	tri, err := core.BuildNaiveTriangle(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifyTriangle(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cert.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Certificate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != KindTriangle || !back.OK || len(back.Checks) != len(cert.Checks) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+// Differential oracle: matmul against big.Int over all four input
+// families, plus four-way evaluation-path agreement.
+func TestCertifyDifferentialMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, mc := range matmulVariants(t, 4) {
+		if err := DifferentialMatMul(mc, rng, 2); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Differential oracle: trace decision and exact count against big.Int.
+func TestCertifyDifferentialTraceAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tau := range []int64{0, 5, 40} {
+		tc, err := core.BuildTrace(4, tau, core.Options{Alg: bilinear.Strassen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DifferentialTrace(tc, rng, 2); err != nil {
+			t.Errorf("tau=%d: %v", tau, err)
+		}
+	}
+	cc, err := core.BuildCount(4, core.Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DifferentialCount(cc, rng, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+// Metamorphic oracle: identity, transpose and linearity relations for
+// matmul; relabeling invariance for trace and count.
+func TestCertifyMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mc, err := core.BuildMatMul(4, core.Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MetamorphicMatMul(mc, rng, 3); err != nil {
+		t.Error(err)
+	}
+	tc, err := core.BuildTrace(4, 3, core.Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MetamorphicTrace(tc, rng, 3); err != nil {
+		t.Error(err)
+	}
+	cc, err := core.BuildCount(4, core.Options{Alg: bilinear.Strassen(), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MetamorphicCount(cc, rng, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+// The magnitude budget must be monotone in the construction parameters
+// and reject nonsense parameter sets.
+func TestCertifyParamsValidation(t *testing.T) {
+	if _, err := Certify(nil, Params{Kind: KindMatMul, N: 4}); err == nil {
+		t.Error("params without algorithm accepted")
+	}
+	if _, err := Certify(nil, Params{Kind: KindTriangle, N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	small := Params{Kind: KindMatMul, N: 4, EntryBits: 1, Alg: bilinear.Strassen(), Schedule: tctree.Schedule{0, 2}}
+	big := small
+	big.EntryBits = 8
+	if small.MagnitudeBitBudget() >= big.MagnitudeBitBudget() {
+		t.Errorf("budget not monotone in entry bits: %d vs %d", small.MagnitudeBitBudget(), big.MagnitudeBitBudget())
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/neuro"
 	"repro/internal/tctree"
+	"repro/internal/verify"
 )
 
 // Matrix is a dense integer matrix (row-major int64 entries).
@@ -286,3 +287,40 @@ func UnlimitedDevice() Device { return neuro.Unlimited() }
 func Deploy(c *Circuit, d Device, inputs []bool) ([]bool, DeviceStats, error) {
 	return neuro.Deploy(c, d, inputs)
 }
+
+// Certificate is a machine-readable verification record: structural
+// invariants plus the paper's closed-form depth/size/magnitude bounds
+// checked against one built circuit.
+type Certificate = verify.Certificate
+
+// CertifyParams describe a construction to the bound certifier.
+type CertifyParams = verify.Params
+
+// StructuralReport is the result of re-deriving a circuit's
+// levelization, acyclicity, fan-in, edge and magnitude figures from its
+// wire lists.
+type StructuralReport = verify.StructuralReport
+
+// Certify checks a circuit against the structural invariants and the
+// theorem bounds for the claimed construction parameters.
+func Certify(c *Circuit, p CertifyParams) (*Certificate, error) { return verify.Certify(c, p) }
+
+// VerifyStructure runs only the structural verifier with default
+// options.
+func VerifyStructure(c *Circuit) *StructuralReport {
+	return verify.Structural(c, verify.StructuralOptions{RequireOutputs: true})
+}
+
+// CertifyMatMul certifies a built matmul circuit against Theorem 4.9
+// and the Lemma 4.2 magnitude bounds.
+func CertifyMatMul(mc *MatMulCircuit) (*Certificate, error) { return verify.CertifyMatMul(mc) }
+
+// CertifyTrace certifies a built trace circuit against Theorems 4.4/4.5.
+func CertifyTrace(tc *TraceCircuit) (*Certificate, error) { return verify.CertifyTrace(tc) }
+
+// CertifyCount certifies a built exact-count circuit.
+func CertifyCount(cc *CountCircuit) (*Certificate, error) { return verify.CertifyCount(cc) }
+
+// CertifyTriangle certifies the naive baseline against its Section 1
+// description (exactly C(N,3)+1 gates, depth 2).
+func CertifyTriangle(t *TriangleCircuit) (*Certificate, error) { return verify.CertifyTriangle(t) }
