@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet cover race bench experiments fuzz verify clean
+.PHONY: all check build test test-short vet cover race bench bench-build experiments fuzz verify clean
 
 all: build vet test
 
@@ -41,6 +41,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Construction-pipeline benchmarks: sequential vs sharded sub-builder
+# builds (Go benchmarks with allocation stats), then the E24 scaling
+# table, which writes BENCH_build.json.
+bench-build:
+	$(GO) test -run '^$$' -bench 'BuildParallel' -benchmem .
+	$(GO) run ./cmd/tcbench e24
 
 # Regenerate every experiment table (E1-E23; see EXPERIMENTS.md).
 experiments:

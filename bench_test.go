@@ -132,6 +132,24 @@ func BenchmarkE6_TraceBuild(b *testing.B) {
 	}
 }
 
+// E24 — construction-pipeline scaling: the same N=16 trace build with
+// the sequential builder versus the sharded sub-builder path
+// (Options.BuildWorkers). The circuits are bit-identical either way;
+// only wall-clock and allocation behaviour differ. workers=-1 resolves
+// to GOMAXPROCS.
+func BenchmarkE6_TraceBuildParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, -1} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tcmm.NewTrace(16, 6, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // E7 — Theorem 4.9: matmul circuit at N=8, multiply per op.
 func BenchmarkE7_MatMulCircuit(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
@@ -159,6 +177,21 @@ func BenchmarkE7_MatMulBuild(b *testing.B) {
 		if _, err := tcmm.NewMatMul(8, tcmm.Options{Alg: tcmm.Strassen()}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// E24 — construction-pipeline scaling for matmul: N=16 Strassen build,
+// sequential versus sharded sub-builders (see E6 counterpart).
+func BenchmarkE7_MatMulBuildParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, -1} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tcmm.NewMatMul(16, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,9 +49,10 @@ var experiments = map[string]struct {
 	"e21": {"Social-network scale: sparse counting vs circuit model", e21},
 	"e22": {"Lemma 4.3 validated: geometric vs exhaustively optimal schedules", e22},
 	"e23": {"Batched bit-sliced evaluation: throughput vs batch size and workers", e23},
+	"e24": {"Construction pipeline: pre-sized arenas + sharded sub-builders", e24},
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24"}
 
 func main() {
 	ids := os.Args[1:]
@@ -749,6 +751,103 @@ func e23() {
 	}
 	fmt.Println("bit planes amortize wire/weight loads over 64 samples per word; the")
 	fmt.Println("worker pool splits 64-sample blocks with no per-level goroutine spawning")
+}
+
+// e24: the construction pipeline — the same circuits built with the
+// sequential builder and with the sharded sub-builder path
+// (Options.BuildWorkers), timed and allocation-profiled. The builds are
+// bit-identical (Stats are compared here; byte identity is asserted in
+// internal/core tests), so the table isolates pure construction cost.
+// The rows are also written to BENCH_build.json for machine consumption.
+func e24() {
+	type row struct {
+		Circuit   string  `json:"circuit"`
+		N         int     `json:"n"`
+		Workers   int     `json:"workers"`
+		Gates     int     `json:"gates"`
+		BuildSec  float64 `json:"build_sec"`
+		AllocMB   float64 `json:"alloc_mb"`
+		Mallocs   uint64  `json:"mallocs"`
+		Identical bool    `json:"identical_to_sequential"`
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	workersList := []int{1, 2, 4}
+	if maxProcs > 4 {
+		workersList = append(workersList, maxProcs)
+	}
+
+	measure := func(build func() *tcmm.Circuit) (float64, float64, uint64, *tcmm.Circuit) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		c := build()
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		return sec,
+			float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			after.Mallocs - before.Mallocs,
+			c
+	}
+
+	var rows []row
+	fmt.Printf("GOMAXPROCS=%d\n", maxProcs)
+	fmt.Printf("%-8s %4s %8s %10s %10s %10s %10s %6s\n",
+		"circuit", "N", "workers", "gates", "build-sec", "alloc-MB", "mallocs", "ident")
+	emit := func(name string, n int, build func(workers int) *tcmm.Circuit) {
+		var seqStats tcmm.CircuitStats
+		var seqSec float64
+		for _, w := range workersList {
+			sec, mb, mallocs, c := measure(func() *tcmm.Circuit { return build(w) })
+			ident := true
+			if w == 1 {
+				seqStats, seqSec = c.Stats(), sec
+			} else {
+				ident = c.Stats() == seqStats
+			}
+			rows = append(rows, row{name, n, w, c.Size(), sec, mb, mallocs, ident})
+			speed := ""
+			if w > 1 && sec > 0 {
+				speed = fmt.Sprintf(" (%.2fx)", seqSec/sec)
+			}
+			fmt.Printf("%-8s %4d %8d %10d %10.3f %10.1f %10d %6v%s\n",
+				name, n, w, c.Size(), sec, mb, mallocs, ident, speed)
+		}
+	}
+
+	for _, n := range []int{8, 16} {
+		n := n
+		emit("trace", n, func(w int) *tcmm.Circuit {
+			tc, err := tcmm.NewTrace(n, 6, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: w})
+			if err != nil {
+				panic(err)
+			}
+			return tc.Circuit
+		})
+	}
+	for _, n := range []int{8, 16} {
+		n := n
+		emit("matmul", n, func(w int) *tcmm.Circuit {
+			mc, err := tcmm.NewMatMul(n, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: w})
+			if err != nil {
+				panic(err)
+			}
+			return mc.Circuit
+		})
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_build.json", append(out, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("rows written to BENCH_build.json")
+	if maxProcs == 1 {
+		fmt.Println("note: GOMAXPROCS=1 — the sharded path pays goroutine+splice overhead with")
+		fmt.Println("no parallel speedup available; wall-clock gains require multiple cores")
+	}
 }
 
 func sortedNames() []string {

@@ -52,6 +52,7 @@ type Circuit struct {
 	gateGroup  []int32 // gate -> group index
 
 	depth       int
+	edges       int64     // cached Σ fan-in·gateCount, set by Build/Read
 	levelGroups [][]int32 // group indices by level
 
 	outputs []Wire
@@ -69,8 +70,13 @@ func (c *Circuit) Depth() int { return c.depth }
 
 // Edges returns the total number of connections, the paper's "edges":
 // every gate contributes its full fan-in, whether or not its input span
-// is shared with other gates in storage.
-func (c *Circuit) Edges() int64 {
+// is shared with other gates in storage. The sum is computed once when
+// the circuit is finalized (Build or Read) and cached; Stats and the
+// verification walkers hit this in hot loops.
+func (c *Circuit) Edges() int64 { return c.edges }
+
+// computeEdges derives the edge count from the group table.
+func (c *Circuit) computeEdges() int64 {
 	var e int64
 	for _, g := range c.groups {
 		e += int64(g.inEnd-g.inStart) * int64(g.gateCount)
@@ -120,14 +126,56 @@ type Builder struct {
 	c        Circuit
 	numWires int32
 	built    bool
+
+	// Memoized constant wires (see Const); -1 = not yet minted.
+	constTrue  Wire
+	constFalse Wire
 }
 
 // NewBuilder returns a builder for a circuit with numInputs input wires.
 func NewBuilder(numInputs int) *Builder {
-	b := &Builder{}
+	b := &Builder{constTrue: -1, constFalse: -1}
 	b.c.numInputs = numInputs
 	b.numWires = int32(numInputs)
 	return b
+}
+
+// NumWires returns the number of wires that exist so far: the circuit
+// inputs plus one output wire per gate added.
+func (b *Builder) NumWires() int { return int(b.numWires) }
+
+// Reserve pre-sizes the builder's arenas for a circuit of at least the
+// given totals: gates (thresholds and group membership), edges (stored
+// input-span positions) and groups. Callers that know the construction's
+// size bound up front — e.g. from the counting model's theorem bounds —
+// avoid every intermediate reallocation/copy of the append-grown arenas.
+// Estimates may overshoot freely: Build right-sizes slack away. Zero or
+// smaller-than-current values are ignored.
+func (b *Builder) Reserve(gates int, edges int64, groups int) {
+	if b.built {
+		panic("circuit: builder reused after Build")
+	}
+	if gates > cap(b.c.thresholds) {
+		t := make([]int64, len(b.c.thresholds), gates)
+		copy(t, b.c.thresholds)
+		b.c.thresholds = t
+		gg := make([]int32, len(b.c.gateGroup), gates)
+		copy(gg, b.c.gateGroup)
+		b.c.gateGroup = gg
+	}
+	if int(edges) > cap(b.c.wires) {
+		w := make([]Wire, len(b.c.wires), edges)
+		copy(w, b.c.wires)
+		b.c.wires = w
+		ws := make([]int64, len(b.c.weights), edges)
+		copy(ws, b.c.weights)
+		b.c.weights = ws
+	}
+	if groups > cap(b.c.groups) {
+		g := make([]group, len(b.c.groups), groups)
+		copy(g, b.c.groups)
+		b.c.groups = g
+	}
 }
 
 // Input returns the wire for circuit input i.
@@ -203,12 +251,21 @@ func (b *Builder) wireLevel(w Wire) int32 {
 // WireLevel returns the level of any existing wire (0 for inputs).
 func (b *Builder) WireLevel(w Wire) int { return int(b.wireLevel(w)) }
 
-// Const returns a constant wire: a zero-fan-in gate firing iff v.
+// Const returns a constant wire: a zero-fan-in gate firing iff v. The
+// gate is minted once per builder and polarity; repeated calls return
+// the same wire, so compositions that sprinkle constants (padding,
+// masked entries) pay at most two gates per circuit.
 func (b *Builder) Const(v bool) Wire {
 	if v {
-		return b.Gate(nil, nil, 0) // 0 >= 0: always fires
+		if b.constTrue < 0 {
+			b.constTrue = b.Gate(nil, nil, 0) // 0 >= 0: always fires
+		}
+		return b.constTrue
 	}
-	return b.Gate(nil, nil, 1) // 0 >= 1: never fires
+	if b.constFalse < 0 {
+		b.constFalse = b.Gate(nil, nil, 1) // 0 >= 1: never fires
+	}
+	return b.constFalse
 }
 
 // MarkOutput designates w as a circuit output. Outputs may be marked in
@@ -224,18 +281,39 @@ func (b *Builder) MarkOutput(w Wire) {
 func (b *Builder) Size() int { return len(b.c.thresholds) }
 
 // Build finalizes the circuit. The builder must not be reused.
+//
+// Arenas whose capacity exceeds their length by more than 25% are
+// reallocated exactly, so neither append growth nor an overshooting
+// Reserve estimate leaves dead capacity pinned inside the circuit.
 func (b *Builder) Build() *Circuit {
 	if b.built {
 		panic("circuit: Build called twice")
 	}
 	b.built = true
 	c := b.c
+	c.wires = rightsize(c.wires)
+	c.weights = rightsize(c.weights)
+	c.thresholds = rightsize(c.thresholds)
+	c.gateGroup = rightsize(c.gateGroup)
+	c.groups = rightsize(c.groups)
+	c.edges = c.computeEdges()
 	c.levelGroups = make([][]int32, c.depth)
 	for gi, gr := range c.groups {
 		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
 	}
 	b.c = Circuit{} // release the builder's reference
 	return &c
+}
+
+// rightsize trims a slice's capacity to its length when the slack
+// exceeds 25% (one memmove against megabytes of retained dead arena).
+func rightsize[E any](s []E) []E {
+	if cap(s)-len(s) <= len(s)/4 {
+		return s
+	}
+	out := make([]E, len(s))
+	copy(out, s)
+	return out
 }
 
 // Eval evaluates the circuit sequentially on the given input assignment

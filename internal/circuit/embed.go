@@ -1,7 +1,5 @@
 package circuit
 
-import "fmt"
-
 // Embed copies every gate of src into the builder, substituting the
 // given wires for src's inputs (inputMap[i] replaces src input i). It
 // returns the wires now carrying src's marked outputs, in marking
@@ -11,38 +9,16 @@ import "fmt"
 // circuit's outputs into another's inputs and the result is a single
 // flat threshold circuit whose depth is the sum along the composition
 // chain. Gate groups and their shared spans are preserved.
+//
+// Deprecated: Embed is now a thin wrapper over Splice, which performs
+// the same composition as a bulk arena copy (O(stored edges), no
+// per-gate revalidation) and additionally accepts a nil inputMap for
+// identity re-attachment. New code should call Splice directly; Embed
+// remains for callers that prefer the historical name.
 func (b *Builder) Embed(src *Circuit, inputMap []Wire) []Wire {
-	if len(inputMap) != src.numInputs {
-		panic(fmt.Sprintf("circuit: Embed needs %d input wires, got %d", src.numInputs, len(inputMap)))
+	if inputMap == nil {
+		// Embed never accepted nil; keep its strict arity contract.
+		inputMap = []Wire{}
 	}
-	for _, w := range inputMap {
-		if w < 0 || w >= b.numWires {
-			panic(fmt.Sprintf("circuit: Embed input wire %d does not exist", w))
-		}
-	}
-	// old wire -> new wire
-	remap := make([]Wire, src.numInputs+src.Size())
-	copy(remap, inputMap)
-
-	span := make([]Wire, 0, 64)
-	weights := make([]int64, 0, 64)
-	for gi := range src.groups {
-		gr := &src.groups[gi]
-		span = span[:0]
-		weights = weights[:0]
-		for p := gr.inStart; p < gr.inEnd; p++ {
-			span = append(span, remap[src.wires[p]])
-			weights = append(weights, src.weights[p])
-		}
-		thresholds := src.thresholds[gr.gateStart : gr.gateStart+gr.gateCount]
-		outs := b.GateGroup(span, weights, thresholds)
-		for k := int32(0); k < gr.gateCount; k++ {
-			remap[src.numInputs+int(gr.gateStart+k)] = outs[k]
-		}
-	}
-	outs := make([]Wire, len(src.outputs))
-	for i, o := range src.outputs {
-		outs[i] = remap[o]
-	}
-	return outs
+	return b.Splice(src, inputMap)
 }

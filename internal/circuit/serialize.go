@@ -158,6 +158,7 @@ func Read(r io.Reader) (*Circuit, error) {
 		return nil, err
 	}
 	// Rebuild derived state.
+	c.edges = c.computeEdges()
 	for _, g := range c.groups {
 		if int(g.level) > c.depth {
 			c.depth = int(g.level)

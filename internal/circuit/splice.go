@@ -1,0 +1,132 @@
+package circuit
+
+import "fmt"
+
+// Splice block-copies every gate of src into the builder, substituting
+// the given wires for src's inputs (inputMap[i] replaces src input i),
+// and returns the wires now carrying src's marked outputs, in marking
+// order. A nil inputMap means the identity mapping: src input i is fed
+// by the builder's existing wire i (src.NumInputs() must not exceed
+// NumWires()), which is the zero-allocation path for re-attaching a
+// sub-circuit that was built against a snapshot of this builder's wires.
+//
+// Unlike the historical per-gate Embed loop, Splice appends src's wire,
+// weight, threshold and group arenas wholesale and then applies a single
+// offset/remap pass over the copied span — O(stored edges) memmove-style
+// work with no per-gate span assembly or revalidation. Gate groups and
+// their shared input spans are preserved exactly, so Stats/Edges of the
+// spliced region match src's, and levels are re-derived against the
+// mapped input wires exactly as GateGroup would have (the composition's
+// depth is the sum along the chain).
+//
+// Splice is deterministic: splicing the same circuits in the same order
+// yields an arena bit-identical to building their gates directly in
+// that order, which is what lets the parallel core builders produce
+// circuits indistinguishable from the sequential ones.
+func (b *Builder) Splice(src *Circuit, inputMap []Wire) []Wire {
+	if b.built {
+		panic("circuit: builder reused after Build")
+	}
+	nIn := int32(src.numInputs)
+	if inputMap == nil {
+		if nIn > b.numWires {
+			panic(fmt.Sprintf("circuit: identity Splice needs %d wires, have %d", nIn, b.numWires))
+		}
+	} else {
+		if len(inputMap) != src.numInputs {
+			panic(fmt.Sprintf("circuit: Splice needs %d input wires, got %d", src.numInputs, len(inputMap)))
+		}
+		for _, w := range inputMap {
+			if w < 0 || w >= b.numWires {
+				panic(fmt.Sprintf("circuit: Splice input wire %d does not exist", w))
+			}
+		}
+	}
+
+	// Levels of the wires standing in for src's inputs.
+	inLevel := make([]int32, src.numInputs)
+	for i := range inLevel {
+		if inputMap == nil {
+			inLevel[i] = b.wireLevel(Wire(i))
+		} else {
+			inLevel[i] = b.wireLevel(inputMap[i])
+		}
+	}
+
+	posBase := int64(len(b.c.wires))     // span offset for copied groups
+	gateBase := int32(len(b.c.thresholds))
+	groupBase := int32(len(b.c.groups))
+	wireBase := b.numWires // new wire id of src gate 0
+
+	// Bulk arena copies. Only the wire ids need remapping; weights,
+	// thresholds and group membership copy verbatim (membership gets a
+	// constant offset).
+	b.c.wires = append(b.c.wires, src.wires...)
+	spliced := b.c.wires[posBase:]
+	if inputMap == nil {
+		for i, w := range spliced {
+			if w >= nIn {
+				spliced[i] = wireBase + (w - nIn)
+			}
+		}
+	} else {
+		for i, w := range spliced {
+			if w < nIn {
+				spliced[i] = inputMap[w]
+			} else {
+				spliced[i] = wireBase + (w - nIn)
+			}
+		}
+	}
+	b.c.weights = append(b.c.weights, src.weights...)
+	b.c.thresholds = append(b.c.thresholds, src.thresholds...)
+	ggBase := len(b.c.gateGroup)
+	b.c.gateGroup = append(b.c.gateGroup, src.gateGroup...)
+	for i := range b.c.gateGroup[ggBase:] {
+		b.c.gateGroup[ggBase+i] += groupBase
+	}
+
+	// Group table: offset spans and recompute levels in one pass. Gates
+	// only reference earlier wires, so by the time group k is placed,
+	// every spliced group it reads already has its final level.
+	for gi := range src.groups {
+		gr := &src.groups[gi]
+		lvl := int32(0)
+		for p := gr.inStart; p < gr.inEnd; p++ {
+			w := src.wires[p]
+			var wl int32
+			if w < nIn {
+				wl = inLevel[w]
+			} else {
+				wl = b.c.groups[groupBase+src.gateGroup[w-nIn]].level
+			}
+			if wl > lvl {
+				lvl = wl
+			}
+		}
+		b.c.groups = append(b.c.groups, group{
+			inStart:   gr.inStart + posBase,
+			inEnd:     gr.inEnd + posBase,
+			gateStart: gr.gateStart + gateBase,
+			gateCount: gr.gateCount,
+			level:     lvl + 1,
+		})
+		if int(lvl+1) > b.c.depth {
+			b.c.depth = int(lvl + 1)
+		}
+	}
+	b.numWires += int32(src.Size())
+
+	outs := make([]Wire, len(src.outputs))
+	for i, o := range src.outputs {
+		switch {
+		case o >= nIn:
+			outs[i] = wireBase + (o - nIn)
+		case inputMap == nil:
+			outs[i] = o
+		default:
+			outs[i] = inputMap[o]
+		}
+	}
+	return outs
+}

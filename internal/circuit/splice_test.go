@@ -1,0 +1,264 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Splicing a sub-circuit built against a snapshot of the host's wires
+// (nil inputMap) is bit-identical to building the same gates directly
+// on the host — the mechanism the parallel core builders rely on.
+func TestSpliceIdentityBitIdentical(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nin := 2 + rng.Intn(5)
+
+		// Reference: one builder, gates emitted straight through.
+		emit := func(b *Builder, rng *rand.Rand, nOps int) {
+			for i := 0; i < nOps; i++ {
+				avail := int32(b.NumWires())
+				fanin := 1 + rng.Intn(4)
+				ins := make([]Wire, fanin)
+				ws := make([]int64, fanin)
+				for j := range ins {
+					ins[j] = Wire(rng.Int31n(avail))
+					ws[j] = int64(rng.Intn(9) - 4)
+				}
+				if rng.Intn(3) == 0 {
+					ts := make([]int64, 1+rng.Intn(3))
+					for j := range ts {
+						ts[j] = int64(rng.Intn(7) - 3)
+					}
+					b.GateGroup(ins, ws, ts)
+				} else {
+					b.Gate(ins, ws, int64(rng.Intn(7)-3))
+				}
+			}
+		}
+		hostOps := 5 + rng.Intn(10)
+		subOps := 5 + rng.Intn(10)
+		hostSeed, subSeed := rng.Int63(), rng.Int63()
+
+		seq := NewBuilder(nin)
+		emit(seq, rand.New(rand.NewSource(hostSeed)), hostOps)
+		emit(seq, rand.New(rand.NewSource(subSeed)), subOps)
+		seq.MarkOutput(Wire(seq.NumWires() - 1))
+		want := seq.Build()
+
+		spl := NewBuilder(nin)
+		emit(spl, rand.New(rand.NewSource(hostSeed)), hostOps)
+		snapshot := spl.NumWires()
+		sub := NewBuilder(snapshot)
+		emit(sub, rand.New(rand.NewSource(subSeed)), subOps)
+		spl.Splice(sub.Build(), nil)
+		spl.MarkOutput(Wire(spl.NumWires() - 1))
+		got := spl.Build()
+
+		var wb, gb bytes.Buffer
+		if _, err := want.WriteTo(&wb); err != nil {
+			return false
+		}
+		if _, err := got.WriteTo(&gb); err != nil {
+			return false
+		}
+		return bytes.Equal(wb.Bytes(), gb.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Splice with an explicit inputMap must agree with the historical Embed
+// contract: same wires, same stats, same function.
+func TestSpliceMatchesEmbedSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomCircuit(rng)
+		b := NewBuilder(src.NumInputs())
+		ins := make([]Wire, src.NumInputs())
+		for i := range ins {
+			ins[i] = b.Input(i)
+		}
+		outs := b.Splice(src, ins)
+		for _, o := range outs {
+			b.MarkOutput(o)
+		}
+		c := b.Build()
+		if c.Size() != src.Size() || c.Depth() != src.Depth() ||
+			c.Edges() != src.Edges() || c.Stats().StoredEdges != src.Stats().StoredEdges {
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			in := make([]bool, src.NumInputs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := src.OutputValues(src.Eval(in))
+			got := c.OutputValues(c.Eval(in))
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplicePanics(t *testing.T) {
+	xor := buildXor()
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"wrong arity", func() { NewBuilder(2).Splice(xor, []Wire{0}) }},
+		{"missing wire", func() { NewBuilder(2).Splice(xor, []Wire{0, 99}) }},
+		{"negative wire", func() { NewBuilder(2).Splice(xor, []Wire{0, -1}) }},
+		{"identity too few wires", func() { NewBuilder(1).Splice(xor, nil) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}
+
+// Const is memoized: any number of requests mints at most one gate per
+// polarity, so constant-heavy constructions stop paying a gate per use.
+func TestConstMemoized(t *testing.T) {
+	b := NewBuilder(1)
+	wTrue := b.Const(true)
+	wFalse := b.Const(false)
+	for i := 0; i < 10; i++ {
+		if got := b.Const(true); got != wTrue {
+			t.Fatalf("Const(true) moved: %d then %d", wTrue, got)
+		}
+		if got := b.Const(false); got != wFalse {
+			t.Fatalf("Const(false) moved: %d then %d", wFalse, got)
+		}
+	}
+	if b.Size() != 2 {
+		t.Errorf("20 Const calls minted %d gates, want 2", b.Size())
+	}
+	c := b.Build()
+	vals := c.Eval([]bool{false})
+	if !vals[wTrue] || vals[wFalse] {
+		t.Errorf("const values wrong: true=%v false=%v", vals[wTrue], vals[wFalse])
+	}
+}
+
+// Edges is computed once at Build and must stay consistent with a fresh
+// recomputation across every way a Circuit is produced.
+func TestEdgesCacheConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng)
+		if c.Edges() != c.computeEdges() {
+			t.Fatalf("Build: Edges %d != recompute %d", c.Edges(), c.computeEdges())
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Edges() != rt.computeEdges() || rt.Edges() != c.Edges() {
+			t.Fatalf("Read: Edges %d recompute %d original %d",
+				rt.Edges(), rt.computeEdges(), c.Edges())
+		}
+		p, _ := c.Prune()
+		if p.Edges() != p.computeEdges() {
+			t.Fatalf("Prune: Edges %d != recompute %d", p.Edges(), p.computeEdges())
+		}
+	}
+}
+
+// Reserve pre-sizes the arenas: a build that stays within the
+// reservation never reallocates them (the backing arrays are stable),
+// and the whole build does measurably fewer allocations than the
+// append-doubling path.
+func TestReservePreventsGrowth(t *testing.T) {
+	const gates = 2000
+	b := NewBuilder(4)
+	b.Reserve(gates, 3*gates, gates)
+	wires0 := &b.c.wires[:1][0]
+	thresh0 := &b.c.thresholds[:1][0]
+	groups0 := &b.c.groups[:1][0]
+
+	w := []Wire{0, 1, 2}
+	ws := []int64{1, 1, 1}
+	for i := 0; i < gates; i++ {
+		b.Gate(w, ws, 2)
+	}
+	if &b.c.wires[0] != wires0 || &b.c.thresholds[0] != thresh0 || &b.c.groups[0] != groups0 {
+		t.Error("arenas moved despite sufficient Reserve")
+	}
+	c := b.Build()
+	if c.Size() != gates {
+		t.Fatalf("size %d, want %d", c.Size(), gates)
+	}
+	if c.Edges() != 3*gates {
+		t.Fatalf("edges %d, want %d", c.Edges(), 3*gates)
+	}
+
+	build := func(reserve bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			bb := NewBuilder(4)
+			if reserve {
+				bb.Reserve(gates, 3*gates, gates)
+			}
+			for i := 0; i < gates; i++ {
+				bb.Gate(w, ws, 2)
+			}
+			bb.MarkOutput(Wire(bb.NumWires() - 1))
+			bb.Build()
+		})
+	}
+	with, without := build(true), build(false)
+	// Per-gate slices dominate both counts equally; Reserve must at
+	// least shave the ~50 append-doubling reallocations.
+	if with >= without {
+		t.Errorf("Reserve did not reduce allocations: with=%v without=%v", with, without)
+	}
+}
+
+// Build right-sizes over-reserved arenas so a generous Reserve does not
+// pin dead capacity in the final immutable circuit.
+func TestBuildRightsizesOverReserve(t *testing.T) {
+	b := NewBuilder(2)
+	b.Reserve(100000, 300000, 100000)
+	b.Gate([]Wire{0, 1}, []int64{1, 1}, 1)
+	b.MarkOutput(2)
+	c := b.Build()
+	if got := cap(c.thresholds); got > 2 {
+		t.Errorf("threshold arena capacity %d retained after Build of 1 gate", got)
+	}
+	if got := cap(c.wires); got > 4 {
+		t.Errorf("wire arena capacity %d retained after Build of 2 stored edges", got)
+	}
+}
+
+// NumWires tracks inputs + gates as construction proceeds.
+func TestNumWires(t *testing.T) {
+	b := NewBuilder(3)
+	if b.NumWires() != 3 {
+		t.Fatalf("fresh builder NumWires %d, want 3", b.NumWires())
+	}
+	b.Gate([]Wire{0}, []int64{1}, 1)
+	b.GateGroup([]Wire{0, 1}, []int64{1, 1}, []int64{1, 2})
+	if b.NumWires() != 6 {
+		t.Fatalf("NumWires %d after 3 gates, want 6", b.NumWires())
+	}
+}

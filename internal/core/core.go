@@ -27,11 +27,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arith"
 	"repro/internal/bilinear"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
+	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -64,6 +66,15 @@ type Options struct {
 	// output bits. Identical circuit function, fewer gates. Ignored when
 	// GroupSize is active.
 	SharedMSB bool
+	// BuildWorkers sets the construction parallelism of BuildMatMul,
+	// BuildTrace and BuildCount: the independent tree down-sweeps build
+	// concurrently, and each transition's node blocks plus the r^ℓ leaf
+	// products are sharded across per-worker sub-builders that are
+	// spliced back in deterministic index order. The resulting circuit
+	// is bit-identical to the sequential build (same Stats, same
+	// serialized bytes). 0 or 1 means sequential; a negative value means
+	// GOMAXPROCS.
+	BuildWorkers int
 }
 
 func (o *Options) fill() error {
@@ -162,9 +173,12 @@ type gridNZ struct {
 
 // downSweep materializes the scheduled levels of a tree top-down,
 // returning the leaf scalars (level L) and appending per-transition gate
-// counts to *audit.
+// counts to *audit. Each transition's (parent, relative path) node jobs
+// are independent — they read only the previous level — so with
+// workers > 1 they are sharded across sub-builders (see parallel.go);
+// the job decomposition below emits gates in the same order either way.
 func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.Schedule,
-	root []arith.Signed, n int, audit *[]int64) []arith.Signed {
+	root []arith.Signed, n int, audit *[]int64, workers int) []arith.Signed {
 
 	T := tree.Alg.T
 	r := tree.Alg.R
@@ -191,26 +205,26 @@ func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.
 		})
 
 		before := int64(b.Size())
-		next := levelData{h: h, dim: m, nodes: make([][]arith.Signed, len(cur.nodes)*paths)}
-		terms := make([]arith.ScaledSigned, 0, 16)
-		for pi, parent := range cur.nodes {
-			for q := 0; q < paths; q++ {
-				entries := make([]arith.Signed, m*m)
-				for row := 0; row < m; row++ {
-					for col := 0; col < m; col++ {
-						terms = terms[:0]
-						for _, nz := range nzs[q] {
-							pe := parent[(nz.bi*m+row)*cur.dim+(nz.bj*m+col)]
-							terms = append(terms, arith.ScaledSigned{X: pe, Coeff: nz.coef})
-						}
-						entries[row*m+col] = o.sumBits(b, arith.SignedCombine(terms))
+		prev := cur
+		nodes := shardStage(b, workers, len(prev.nodes)*paths, func(sb *circuit.Builder, job int) []arith.Signed {
+			parent := prev.nodes[job/paths]
+			nz := nzs[job%paths]
+			entries := make([]arith.Signed, m*m)
+			terms := make([]arith.ScaledSigned, 0, 16)
+			for row := 0; row < m; row++ {
+				for col := 0; col < m; col++ {
+					terms = terms[:0]
+					for _, z := range nz {
+						pe := parent[(z.bi*m+row)*prev.dim+(z.bj*m+col)]
+						terms = append(terms, arith.ScaledSigned{X: pe, Coeff: z.coef})
 					}
+					entries[row*m+col] = o.sumBits(sb, arith.SignedCombine(terms))
 				}
-				next.nodes[pi*paths+q] = entries
 			}
-		}
+			return entries
+		})
 		*audit = append(*audit, int64(b.Size())-before)
-		cur = next
+		cur = levelData{h: h, dim: m, nodes: nodes}
 	}
 	// At level L the matrices are 1x1 scalars.
 	leaves := make([]arith.Signed, len(cur.nodes))
@@ -221,9 +235,11 @@ func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.
 }
 
 // upSweep assembles T_AB bottom-up from the leaf products, returning the
-// root's n x n entries.
+// root's n x n entries. Each transition decomposes into independent
+// (node, block X, block Y) jobs matching the sequential emission order,
+// so workers > 1 shards them across sub-builders (see parallel.go).
 func (o *Options) upSweep(b *circuit.Builder, alg *bilinear.Algorithm, sched tctree.Schedule,
-	products []arith.Signed, n int, audit *[]int64) []arith.Signed {
+	products []arith.Signed, n int, audit *[]int64, workers int) []arith.Signed {
 
 	tg := tctree.NewTreeG(alg)
 	T := alg.T
@@ -257,22 +273,36 @@ func (o *Options) upSweep(b *circuit.Builder, alg *bilinear.Algorithm, sched tct
 
 		before := int64(b.Size())
 		count := len(cur.nodes) / paths
-		next := levelData{h: h, dim: mp, nodes: make([][]arith.Signed, count)}
-		terms := make([]arith.ScaledSigned, 0, 16)
-		for ni := 0; ni < count; ni++ {
+		prev := cur
+		blocks := shardStage(b, workers, count*d*d, func(sb *circuit.Builder, job int) []arith.Signed {
+			ni := job / (d * d)
+			X := (job / d) % d
+			Y := job % d
 			childBase := ni * paths
+			contrib := perBlock[X*d+Y]
+			entries := make([]arith.Signed, prev.dim*prev.dim)
+			terms := make([]arith.ScaledSigned, 0, 16)
+			for row := 0; row < prev.dim; row++ {
+				for col := 0; col < prev.dim; col++ {
+					terms = terms[:0]
+					for _, c := range contrib {
+						ce := prev.nodes[childBase+c.bi][row*prev.dim+col]
+						terms = append(terms, arith.ScaledSigned{X: ce, Coeff: c.coef})
+					}
+					entries[row*prev.dim+col] = o.sumBits(sb, arith.SignedCombine(terms))
+				}
+			}
+			return entries
+		})
+		next := levelData{h: h, dim: mp, nodes: make([][]arith.Signed, count)}
+		for ni := 0; ni < count; ni++ {
 			entries := make([]arith.Signed, mp*mp)
 			for X := 0; X < d; X++ {
 				for Y := 0; Y < d; Y++ {
-					contrib := perBlock[X*d+Y]
-					for row := 0; row < cur.dim; row++ {
-						for col := 0; col < cur.dim; col++ {
-							terms = terms[:0]
-							for _, c := range contrib {
-								ce := cur.nodes[childBase+c.bi][row*cur.dim+col]
-								terms = append(terms, arith.ScaledSigned{X: ce, Coeff: c.coef})
-							}
-							entries[(X*cur.dim+row)*mp+(Y*cur.dim+col)] = o.sumBits(b, arith.SignedCombine(terms))
+					blk := blocks[(ni*d+X)*d+Y]
+					for row := 0; row < prev.dim; row++ {
+						for col := 0; col < prev.dim; col++ {
+							entries[(X*prev.dim+row)*mp+(Y*prev.dim+col)] = blk[row*prev.dim+col]
 						}
 					}
 				}
@@ -335,6 +365,29 @@ func (o *Options) encodeMatrix(dst []bool, base int, m *matrix.Matrix) error {
 		}
 	}
 	return nil
+}
+
+// reserveFromEstimate pre-sizes the builder's arenas from the counting
+// model's gate bound for the construction about to run. The model is a
+// sound upper bound on the builders' measured gate counts (asserted in
+// counting tests), so large builds stop paying repeated arena
+// reallocation/copy; Build trims whatever the bound overshoots. Stored
+// edges are not modeled in closed form — measured builds sit near 2.2
+// stored positions per gate, so 3x is a safe arena guess — and group
+// count never exceeds the gate count. Estimates beyond the clamp (or
+// non-finite ones, for N far past what can be materialized) reserve the
+// clamp and let append growth take over.
+func reserveFromEstimate(b *circuit.Builder, est counting.Estimate) {
+	total := est.Total()
+	if !(total > 0) || math.IsInf(total, 0) {
+		return
+	}
+	const maxGates = 64 << 20 // 64M gates ≈ 2.5 GB of arena; past this, grow on demand
+	g := int64(maxGates)
+	if total < maxGates {
+		g = int64(total)
+	}
+	b.Reserve(int(g), 3*g, int(g))
 }
 
 // ceilDiv returns ceil(a/b) for b > 0 and any integer a.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
+	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -46,6 +47,7 @@ func BuildCount(n int, opts Options) (*CountCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(n * n * per)
+	reserveFromEstimate(b, counting.EstimateCount(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 	rootG := make([]arith.Signed, n*n)
 	for i := 0; i < n; i++ {
@@ -54,16 +56,22 @@ func BuildCount(n int, opts Options) (*CountCircuit, error) {
 		}
 	}
 
+	workers := opts.buildWorkers()
 	cc := &CountCircuit{N: n, Opts: opts, Schedule: sched}
-	leavesA := opts.downSweep(b, tctree.NewTreeA(opts.Alg), sched, rootA, n, &cc.Audit.DownA)
-	leavesB := opts.downSweep(b, tctree.NewTreeB(opts.Alg), sched, rootA, n, &cc.Audit.DownB)
-	leavesG := opts.downSweep(b, tctree.NewTreeG(opts.Alg), sched, rootG, n, &cc.Audit.DownG)
+	lv := opts.downSweeps(b, sched, n, workers, []sweep{
+		{tree: tctree.NewTreeA(opts.Alg), root: rootA, audit: &cc.Audit.DownA},
+		{tree: tctree.NewTreeB(opts.Alg), root: rootA, audit: &cc.Audit.DownB},
+		{tree: tctree.NewTreeG(opts.Alg), root: rootG, audit: &cc.Audit.DownG},
+	})
+	leavesA, leavesB, leavesG := lv[0], lv[1], lv[2]
 
 	before := int64(b.Size())
-	terms := make([]arith.ScaledSigned, 0, len(leavesA))
-	for q := range leavesA {
-		p := arith.SignedProduct3(b, leavesA[q], leavesB[q], leavesG[q])
-		terms = append(terms, arith.ScaledSigned{X: p, Coeff: 1})
+	prod := shardStage(b, workers, len(leavesA), func(sb *circuit.Builder, q int) []arith.Signed {
+		return []arith.Signed{arith.SignedProduct3(sb, leavesA[q], leavesB[q], leavesG[q])}
+	})
+	terms := make([]arith.ScaledSigned, 0, len(prod))
+	for q := range prod {
+		terms = append(terms, arith.ScaledSigned{X: prod[q][0], Coeff: 1})
 	}
 	cc.Audit.Product = int64(b.Size()) - before
 

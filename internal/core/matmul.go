@@ -6,6 +6,7 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
+	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -47,23 +48,29 @@ func BuildMatMul(n int, opts Options) (*MatMulCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(2 * n * n * per)
+	reserveFromEstimate(b, counting.EstimateMatMul(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 	rootB := opts.inputMatrix(b, n*n*per, n)
 
+	workers := opts.buildWorkers()
 	mc := &MatMulCircuit{N: n, Opts: opts, Schedule: sched}
-	ta := tctree.NewTreeA(opts.Alg)
-	tb := tctree.NewTreeB(opts.Alg)
-	leavesA := opts.downSweep(b, ta, sched, rootA, n, &mc.Audit.DownA)
-	leavesB := opts.downSweep(b, tb, sched, rootB, n, &mc.Audit.DownB)
+	lv := opts.downSweeps(b, sched, n, workers, []sweep{
+		{tree: tctree.NewTreeA(opts.Alg), root: rootA, audit: &mc.Audit.DownA},
+		{tree: tctree.NewTreeB(opts.Alg), root: rootB, audit: &mc.Audit.DownB},
+	})
+	leavesA, leavesB := lv[0], lv[1]
 
 	before := int64(b.Size())
-	products := make([]arith.Signed, len(leavesA))
-	for q := range leavesA {
-		products[q] = arith.SignedProduct2(b, leavesA[q], leavesB[q])
+	prod := shardStage(b, workers, len(leavesA), func(sb *circuit.Builder, q int) []arith.Signed {
+		return []arith.Signed{arith.SignedProduct2(sb, leavesA[q], leavesB[q])}
+	})
+	products := make([]arith.Signed, len(prod))
+	for q := range prod {
+		products[q] = prod[q][0]
 	}
 	mc.Audit.Product = int64(b.Size()) - before
 
-	mc.entries = opts.upSweep(b, opts.Alg, sched, products, n, &mc.Audit.Up)
+	mc.entries = opts.upSweep(b, opts.Alg, sched, products, n, &mc.Audit.Up, workers)
 
 	// Mark every output bit so the circuit interface is self-describing.
 	for _, e := range mc.entries {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/arith"
+	"repro/internal/circuit"
+	"repro/internal/tctree"
+)
+
+// This file is the parallel construction engine behind
+// Options.BuildWorkers. Every construction phase of the paper's circuits
+// is a sequence of *independent* jobs — the r^ℓ bilinear leaf products,
+// the per-node blocks of a down-sweep transition (Lemma 4.2), the
+// per-block sums of an up-sweep transition (Lemma 4.6) — whose gates the
+// sequential builder happens to emit in job-index order. The engine
+// exploits exactly that: jobs are sharded into contiguous chunks, each
+// chunk builds its gates into a private sub-builder against a snapshot
+// of the main builder's wires, and the chunks are spliced back in index
+// order. Because circuit.Splice is a deterministic arena append, the
+// result is bit-identical to the sequential build — same wire ids, same
+// groups, same Stats, same serialized bytes — which the equivalence
+// tests and golden files pin.
+
+// buildWorkers resolves Options.BuildWorkers: <= 0 and 1 mean the
+// sequential builder, except that a negative value selects GOMAXPROCS.
+func (o *Options) buildWorkers() int {
+	w := o.BuildWorkers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// offsetRep rewires a representation produced inside a chunk sub-builder
+// into main-builder numbering: wires below the snapshot size are shared
+// and keep their id, gate output wires shift by the splice offset.
+func offsetRep(r *arith.Rep, snapshot int, gateBase circuit.Wire) {
+	for i := range r.Terms {
+		if int(r.Terms[i].Wire) >= snapshot {
+			r.Terms[i].Wire = gateBase + (r.Terms[i].Wire - circuit.Wire(snapshot))
+		}
+	}
+}
+
+func offsetSigned(s *arith.Signed, snapshot int, gateBase circuit.Wire) {
+	offsetRep(&s.Pos, snapshot, gateBase)
+	offsetRep(&s.Neg, snapshot, gateBase)
+}
+
+// shardStage runs jobs [0, n) against the builder, bit-identically to
+// executing run(b, 0), run(b, 1), … in order, and returns each job's
+// produced signed values (in the main builder's wire numbering).
+//
+// With workers > 1 the jobs are split into at most `workers` contiguous
+// chunks; each chunk runs concurrently in a sub-builder whose inputs
+// are a snapshot of every wire the main builder has so far, and the
+// finished chunks are spliced back in chunk order. run must only read
+// shared state (the previous level's nodes, coefficient grids, Options)
+// and only touch the builder it is handed.
+func shardStage(b *circuit.Builder, workers, n int, run func(sb *circuit.Builder, job int) []arith.Signed) [][]arith.Signed {
+	out := make([][]arith.Signed, n)
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			out[i] = run(b, i)
+		}
+		return out
+	}
+	chunks := workers
+	if chunks > n {
+		chunks = n
+	}
+	snapshot := b.NumWires()
+	circs := make([]*circuit.Circuit, chunks)
+	panics := make([]any, chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < chunks; ci++ {
+		lo, hi := ci*n/chunks, (ci+1)*n/chunks
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			defer func() { panics[ci] = recover() }()
+			sb := circuit.NewBuilder(snapshot)
+			for i := lo; i < hi; i++ {
+				out[i] = run(sb, i)
+			}
+			circs[ci] = sb.Build()
+		}(ci, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for ci := 0; ci < chunks; ci++ {
+		lo, hi := ci*n/chunks, (ci+1)*n/chunks
+		gateBase := circuit.Wire(b.NumWires())
+		b.Splice(circs[ci], nil)
+		circs[ci] = nil // release the chunk arena as soon as it is copied
+		for i := lo; i < hi; i++ {
+			for j := range out[i] {
+				offsetSigned(&out[i][j], snapshot, gateBase)
+			}
+		}
+	}
+	return out
+}
+
+// sweep is one independent tree down-sweep of a build: T_A, T_B or T_G
+// with its root entries and audit destination.
+type sweep struct {
+	tree  *tctree.Tree
+	root  []arith.Signed
+	audit *[]int64
+}
+
+// downSweeps materializes the given independent tree sweeps. With
+// workers > 1 each sweep builds concurrently in its own sub-builder
+// (internally sharding its transitions across the per-sweep share of
+// the workers) and the sweeps are spliced into b in spec order, which
+// is exactly the order the sequential builder emits them — the result
+// is bit-identical either way. Returned leaves are in b's numbering.
+func (o *Options) downSweeps(b *circuit.Builder, sched tctree.Schedule, n, workers int, sweeps []sweep) [][]arith.Signed {
+	leaves := make([][]arith.Signed, len(sweeps))
+	if workers <= 1 || len(sweeps) < 2 {
+		for i, s := range sweeps {
+			leaves[i] = o.downSweep(b, s.tree, sched, s.root, n, s.audit, workers)
+		}
+		return leaves
+	}
+	per := workers / len(sweeps)
+	if per < 1 {
+		per = 1
+	}
+	snapshot := b.NumWires()
+	circs := make([]*circuit.Circuit, len(sweeps))
+	panics := make([]any, len(sweeps))
+	var wg sync.WaitGroup
+	for i := range sweeps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			sb := circuit.NewBuilder(snapshot)
+			s := sweeps[i]
+			leaves[i] = o.downSweep(sb, s.tree, sched, s.root, n, s.audit, per)
+			circs[i] = sb.Build()
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for i := range sweeps {
+		gateBase := circuit.Wire(b.NumWires())
+		b.Splice(circs[i], nil)
+		circs[i] = nil
+		for j := range leaves[i] {
+			offsetSigned(&leaves[i][j], snapshot, gateBase)
+		}
+	}
+	return leaves
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/matrix"
+)
+
+// serializeBytes captures the full arena state of a circuit — wires,
+// weights, thresholds, groups, outputs — so two circuits compare equal
+// iff they are bit-identical, not merely isomorphic.
+func serializeBytes(t *testing.T, c *circuit.Circuit) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// checkStructural round-trips the circuit through the serializer, whose
+// Read path re-validates every levelization and span invariant. (The
+// full verify.Structural walk lives in parallel_verify_test.go — the
+// verify package imports core, so it cannot be used from an in-package
+// test.)
+func checkStructural(t *testing.T, c *circuit.Circuit, label string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatalf("%s: serialize: %v", label, err)
+	}
+	if _, err := circuit.Read(&buf); err != nil {
+		t.Fatalf("%s: round-trip validation failed: %v", label, err)
+	}
+}
+
+// TestParallelMatMulBitIdentical is the tentpole invariant: a build with
+// BuildWorkers > 1 must produce a circuit byte-for-byte identical to the
+// sequential build — same wire ids, same groups, same audit, same
+// serialized arenas — so golden files, Stats and certificates are
+// oblivious to how the circuit was constructed.
+func TestParallelMatMulBitIdentical(t *testing.T) {
+	alg := bilinear.Strassen()
+	for _, n := range []int{2, 4, 8} {
+		seq, err := BuildMatMul(n, Options{Alg: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 16} {
+			par, err := BuildMatMul(n, Options{Alg: alg, BuildWorkers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Circuit.Stats() != par.Circuit.Stats() {
+				t.Fatalf("n=%d workers=%d: stats diverge: seq %+v par %+v",
+					n, workers, seq.Circuit.Stats(), par.Circuit.Stats())
+			}
+			if !reflect.DeepEqual(seq.Audit, par.Audit) {
+				t.Errorf("n=%d workers=%d: audit diverges: seq %+v par %+v",
+					n, workers, seq.Audit, par.Audit)
+			}
+			if !bytes.Equal(serializeBytes(t, seq.Circuit), serializeBytes(t, par.Circuit)) {
+				t.Fatalf("n=%d workers=%d: serialized circuits differ", n, workers)
+			}
+			checkStructural(t, par.Circuit, "parallel matmul")
+		}
+	}
+}
+
+func TestParallelTraceBitIdentical(t *testing.T) {
+	alg := bilinear.Strassen()
+	for _, n := range []int{2, 4, 8} {
+		seq, err := BuildTrace(n, 6, Options{Alg: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildTrace(n, 6, Options{Alg: alg, BuildWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Audit, par.Audit) {
+			t.Errorf("n=%d: audit diverges: seq %+v par %+v", n, seq.Audit, par.Audit)
+		}
+		if !bytes.Equal(serializeBytes(t, seq.Circuit), serializeBytes(t, par.Circuit)) {
+			t.Fatalf("n=%d: serialized circuits differ", n)
+		}
+		checkStructural(t, par.Circuit, "parallel trace")
+	}
+}
+
+func TestParallelCountBitIdentical(t *testing.T) {
+	alg := bilinear.Strassen()
+	seq, err := BuildCount(4, Options{Alg: alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildCount(4, Options{Alg: alg, BuildWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serializeBytes(t, seq.Circuit), serializeBytes(t, par.Circuit)) {
+		t.Fatal("serialized circuits differ")
+	}
+	checkStructural(t, par.Circuit, "parallel count")
+}
+
+// TestParallelMatMulEvaluates exercises the parallel-built circuit end
+// to end: since the arenas are bit-identical this is implied by the
+// tests above, but it pins the user-visible contract directly.
+func TestParallelMatMulEvaluates(t *testing.T) {
+	alg := bilinear.Strassen()
+	rng := rand.New(rand.NewSource(7))
+	mc, err := BuildMatMul(4, Options{Alg: alg, EntryBits: 3, Signed: true, BuildWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		a := matrix.Random(rng, 4, 4, -3, 3)
+		b := matrix.Random(rng, 4, 4, -3, 3)
+		got, err := mc.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.Mul(b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: circuit product wrong:\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestParallelTraceDecides pins the decision semantics of a circuit
+// built with the concurrent path on a graph with a known triangle count.
+func TestParallelTraceDecides(t *testing.T) {
+	alg := bilinear.Strassen()
+	// K4 has 4 triangles: trace(A³) = 24.
+	adj := matrix.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				adj.Set(i, j, 1)
+			}
+		}
+	}
+	for tau, want := range map[int64]bool{24: true, 25: false, 1: true} {
+		tc, err := BuildTrace(4, tau, Options{Alg: alg, BuildWorkers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.Decide(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("tau=%d: got %v want %v", tau, got, want)
+		}
+	}
+}
+
+// TestBuildWorkersResolution pins the Options knob semantics.
+func TestBuildWorkersResolution(t *testing.T) {
+	for _, c := range []struct {
+		in      int
+		atLeast int
+	}{{0, 1}, {1, 1}, {8, 8}, {-1, 1}} {
+		o := &Options{BuildWorkers: c.in}
+		if got := o.buildWorkers(); got < c.atLeast {
+			t.Errorf("BuildWorkers=%d resolved to %d, want >= %d", c.in, got, c.atLeast)
+		}
+	}
+	if got := (&Options{BuildWorkers: 1}).buildWorkers(); got != 1 {
+		t.Errorf("BuildWorkers=1 resolved to %d", got)
+	}
+}

@@ -1,0 +1,42 @@
+// External test package: verify imports core, so the structural walk of
+// parallel-built circuits has to live outside package core.
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// TestParallelBuildsPassStructuralVerify runs the full structural
+// verifier over circuits produced by the concurrent construction path.
+func TestParallelBuildsPassStructuralVerify(t *testing.T) {
+	alg := bilinear.Strassen()
+	opts := core.Options{Alg: alg, BuildWorkers: 4}
+
+	mc, err := core.BuildMatMul(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Structural(mc.Circuit, verify.StructuralOptions{RequireOutputs: true}).Err(); err != nil {
+		t.Errorf("parallel matmul: %v", err)
+	}
+
+	tc, err := core.BuildTrace(8, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Structural(tc.Circuit, verify.StructuralOptions{RequireOutputs: true}).Err(); err != nil {
+		t.Errorf("parallel trace: %v", err)
+	}
+
+	cc, err := core.BuildCount(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Structural(cc.Circuit, verify.StructuralOptions{RequireOutputs: true}).Err(); err != nil {
+		t.Errorf("parallel count: %v", err)
+	}
+}

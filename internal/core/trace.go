@@ -6,6 +6,7 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
+	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -46,6 +47,7 @@ func BuildTrace(n int, tau int64, opts Options) (*TraceCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(n * n * per)
+	reserveFromEstimate(b, counting.EstimateTrace(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 
 	// The masked root G shares A's input wires above the diagonal and is
@@ -57,16 +59,22 @@ func BuildTrace(n int, tau int64, opts Options) (*TraceCircuit, error) {
 		}
 	}
 
+	workers := opts.buildWorkers()
 	tc := &TraceCircuit{N: n, Tau: tau, Opts: opts, Schedule: sched}
-	leavesA := opts.downSweep(b, tctree.NewTreeA(opts.Alg), sched, rootA, n, &tc.Audit.DownA)
-	leavesB := opts.downSweep(b, tctree.NewTreeB(opts.Alg), sched, rootA, n, &tc.Audit.DownB)
-	leavesG := opts.downSweep(b, tctree.NewTreeG(opts.Alg), sched, rootG, n, &tc.Audit.DownG)
+	lv := opts.downSweeps(b, sched, n, workers, []sweep{
+		{tree: tctree.NewTreeA(opts.Alg), root: rootA, audit: &tc.Audit.DownA},
+		{tree: tctree.NewTreeB(opts.Alg), root: rootA, audit: &tc.Audit.DownB},
+		{tree: tctree.NewTreeG(opts.Alg), root: rootG, audit: &tc.Audit.DownG},
+	})
+	leavesA, leavesB, leavesG := lv[0], lv[1], lv[2]
 
 	before := int64(b.Size())
-	terms := make([]arith.ScaledSigned, 0, len(leavesA))
-	for q := range leavesA {
-		p := arith.SignedProduct3(b, leavesA[q], leavesB[q], leavesG[q])
-		terms = append(terms, arith.ScaledSigned{X: p, Coeff: 1})
+	prod := shardStage(b, workers, len(leavesA), func(sb *circuit.Builder, q int) []arith.Signed {
+		return []arith.Signed{arith.SignedProduct3(sb, leavesA[q], leavesB[q], leavesG[q])}
+	})
+	terms := make([]arith.ScaledSigned, 0, len(prod))
+	for q := range prod {
+		terms = append(terms, arith.ScaledSigned{X: prod[q][0], Coeff: 1})
 	}
 	tc.Audit.Product = int64(b.Size()) - before
 

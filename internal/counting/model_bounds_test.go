@@ -1,0 +1,68 @@
+// External test package: these tests materialize circuits via
+// internal/core, which itself imports counting for Builder.Reserve
+// pre-sizing, so an in-package test would create an import cycle.
+package counting_test
+
+import (
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/tctree"
+)
+
+// The model is a sound upper bound on measured gate counts, phase by
+// phase, where circuits can be materialized.
+func TestModelUpperBoundsTrace(t *testing.T) {
+	alg := bilinear.Strassen()
+	gamma := alg.Params().Gamma
+	for _, l := range []int{1, 2, 3} {
+		n := 1 << l
+		for _, sched := range []tctree.Schedule{
+			tctree.Direct(l),
+			tctree.LogLog(gamma, l),
+		} {
+			tc, err := core.BuildTrace(n, 1, core.Options{Alg: alg, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := counting.EstimateTrace(alg, 1, l, sched)
+			if got, bound := float64(tc.Circuit.Size()), est.Total(); got > bound {
+				t.Errorf("n=%d sched=%v: measured %v > model %v", n, sched, got, bound)
+			}
+			// Phase-wise soundness for the down sweeps.
+			for i := range est.DownA {
+				if float64(tc.Audit.DownA[i]) > est.DownA[i] {
+					t.Errorf("n=%d sched=%v: down-A[%d] measured %d > model %v",
+						n, sched, i, tc.Audit.DownA[i], est.DownA[i])
+				}
+			}
+			if float64(tc.Audit.Product) > est.Product {
+				t.Errorf("n=%d sched=%v: product measured %d > model %v",
+					n, sched, tc.Audit.Product, est.Product)
+			}
+		}
+	}
+}
+
+func TestModelUpperBoundsMatMul(t *testing.T) {
+	alg := bilinear.Strassen()
+	for _, l := range []int{1, 2} {
+		n := 1 << l
+		sched := tctree.Uniform(l, l)
+		mc, err := core.BuildMatMul(n, core.Options{Alg: alg, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := counting.EstimateMatMul(alg, 1, l, sched)
+		if got, bound := float64(mc.Circuit.Size()), est.Total(); got > bound {
+			t.Errorf("n=%d: measured %v > model %v", n, got, bound)
+		}
+		// The model should not be absurdly loose either (within 100x at
+		// these tiny sizes; width bounds dominate the slack).
+		if est.Total() > 100*float64(mc.Circuit.Size()) {
+			t.Errorf("n=%d: model %v is over 100x measured %d", n, est.Total(), mc.Circuit.Size())
+		}
+	}
+}
