@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet cover race bench bench-build experiments fuzz verify clean
+.PHONY: all check build test test-short vet cover race bench bench-build bench-serve experiments fuzz verify serve-test clean
 
 all: build vet test
 
 # The full pre-merge gate: everything in `all` plus the race detector
-# over the concurrency-bearing packages and the certification suite.
-check: all race verify
+# over the concurrency-bearing packages, the evaluation service, and
+# the certification suite.
+check: all race serve-test verify
+
+# The coalescing evaluation service is dispatcher-goroutine heavy, so
+# its suite always runs under the race detector.
+serve-test:
+	$(GO) test -race ./internal/serve
 
 # Certification: the theorem-bound/differential/metamorphic suite, vet,
 # and the race detector over the packages the verifier drives.
@@ -48,6 +54,11 @@ bench:
 bench-build:
 	$(GO) test -run '^$$' -bench 'BuildParallel' -benchmem .
 	$(GO) run ./cmd/tcbench e24
+
+# E25 closed-loop serving benchmark: coalesced vs one-request-per-Eval
+# at 64 concurrent clients; writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/tcbench e25
 
 # Regenerate every experiment table (E1-E23; see EXPERIMENTS.md).
 experiments:

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The BENCH_*.json artifacts written by e24/e25 are machine-read (CI
+// trend tracking); these tests pin their schemas and the e25 acceptance
+// bar. Each skips when its artifact is absent so plain `go test ./...`
+// does not require a prior bench run.
+
+func loadRows(t *testing.T, path string, dst any) {
+	t.Helper()
+	// tcbench writes relative to the repo root; the test runs in the
+	// package directory, so check both.
+	data, err := os.ReadFile("../../" + path)
+	if os.IsNotExist(err) {
+		data, err = os.ReadFile(path)
+	}
+	if os.IsNotExist(err) {
+		t.Skipf("%s not present; run `go run ./cmd/tcbench %s` first", path, map[string]string{
+			"BENCH_build.json": "e24", "BENCH_serve.json": "e25",
+		}[path])
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		t.Fatalf("%s: schema drift: %v", path, err)
+	}
+}
+
+func TestBenchBuildSchema(t *testing.T) {
+	var rows []struct {
+		Circuit   string  `json:"circuit"`
+		N         int     `json:"n"`
+		Workers   int     `json:"workers"`
+		Gates     int     `json:"gates"`
+		BuildSec  float64 `json:"build_sec"`
+		AllocMB   float64 `json:"alloc_mb"`
+		Mallocs   uint64  `json:"mallocs"`
+		Identical bool    `json:"identical_to_sequential"`
+	}
+	loadRows(t, "BENCH_build.json", &rows)
+	if len(rows) == 0 {
+		t.Fatal("BENCH_build.json has no rows")
+	}
+	for i, r := range rows {
+		if r.Circuit == "" || r.N <= 0 || r.Workers == 0 || r.Gates <= 0 || r.BuildSec <= 0 {
+			t.Errorf("row %d malformed: %+v", i, r)
+		}
+		if !r.Identical {
+			t.Errorf("row %d: parallel build not identical to sequential: %+v", i, r)
+		}
+	}
+}
+
+func TestBenchServeSchema(t *testing.T) {
+	var rows []struct {
+		Mode      string  `json:"mode"`
+		Clients   int     `json:"clients"`
+		MaxBatch  int     `json:"max_batch"`
+		Requests  int64   `json:"requests"`
+		Seconds   float64 `json:"seconds"`
+		RPS       float64 `json:"rps"`
+		Speedup   float64 `json:"speedup_vs_baseline"`
+		Identical bool    `json:"identical"`
+		Batches   int64   `json:"batches"`
+		MeanBatch float64 `json:"mean_batch"`
+	}
+	loadRows(t, "BENCH_serve.json", &rows)
+	modes := make(map[string]bool)
+	for i, r := range rows {
+		modes[r.Mode] = true
+		if r.Clients <= 0 || r.Requests <= 0 || r.Seconds <= 0 || r.RPS <= 0 {
+			t.Errorf("row %d malformed: %+v", i, r)
+		}
+		if !r.Identical {
+			t.Errorf("row %d (%s): responses not bit-identical to direct Eval", i, r.Mode)
+		}
+		if r.Mode == "coalesced" && r.Speedup < 3 {
+			t.Errorf("coalesced speedup %.2fx below the 3x acceptance bar", r.Speedup)
+		}
+	}
+	for _, mode := range []string{"per-request-eval", "coalesced", "http-coalesced"} {
+		if !modes[mode] {
+			t.Errorf("BENCH_serve.json missing mode %q", mode)
+		}
+	}
+}

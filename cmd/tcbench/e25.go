@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+// e25: closed-loop serving throughput. 64 concurrent clients hammer one
+// cached N=8 Strassen matmul circuit through internal/serve. The
+// baseline server runs with MaxBatch=1 — every request is one scalar
+// Eval, the one-request-per-Eval regime — and the coalesced server runs
+// with MaxBatch=64, where the dispatcher packs concurrent requests into
+// single bit-sliced EvalPlanes passes. Every response is checked
+// bit-identical to a direct scalar evaluation of the same circuit. An
+// HTTP end-to-end row (JSON marshalling + loopback TCP on top of the
+// coalesced server) is included for context. Rows are written to
+// BENCH_serve.json; cmd/tcbench's schema test enforces speedup >= 3x.
+func e25() {
+	type row struct {
+		Mode      string  `json:"mode"`
+		Clients   int     `json:"clients"`
+		MaxBatch  int     `json:"max_batch"`
+		Requests  int64   `json:"requests"`
+		Seconds   float64 `json:"seconds"`
+		RPS       float64 `json:"rps"`
+		Speedup   float64 `json:"speedup_vs_baseline"`
+		Identical bool    `json:"identical"`
+		Batches   int64   `json:"batches"`
+		MeanBatch float64 `json:"mean_batch"`
+	}
+
+	const (
+		clients  = 64
+		nSamples = 256
+		runFor   = 2 * time.Second
+	)
+	shape := core.Shape{Op: core.OpMatMul, N: 8, Alg: "strassen", EntryBits: 2, Signed: true}
+
+	// Reference build: the inputs and their ground-truth output bits,
+	// computed by direct scalar evaluation outside the service.
+	fmt.Printf("building %s ...\n", shape.Key())
+	built, err := core.BuildShape(shape, -1)
+	if err != nil {
+		panic(err)
+	}
+	c := built.Circuit()
+	outs := c.Outputs()
+	ev := circuit.NewEvaluator(c, 1)
+	defer ev.Close()
+
+	rng := rand.New(rand.NewSource(25))
+	ins := make([][]bool, nSamples)
+	want := make([][]bool, nSamples)
+	mats := make([][2]*matrix.Matrix, nSamples)
+	for i := range ins {
+		a := matrix.Random(rng, 8, 8, -2, 1)
+		b := matrix.Random(rng, 8, 8, -2, 1)
+		mats[i] = [2]*matrix.Matrix{a, b}
+		in, err := built.MatMul.Assign(a, b)
+		if err != nil {
+			panic(err)
+		}
+		ins[i] = in
+		vals := ev.Eval(in)
+		w := make([]bool, len(outs))
+		for j, o := range outs {
+			w[j] = vals[o]
+		}
+		want[i] = w
+	}
+
+	// run drives one closed loop: each client fires its next request the
+	// moment the previous reply lands, for runFor of wall time.
+	run := func(cfg serve.Config, label string) row {
+		s := serve.New(cfg)
+		defer s.Close()
+		if _, err := s.Built(context.Background(), shape); err != nil {
+			panic(err)
+		}
+		var (
+			done      atomic.Bool
+			completed atomic.Int64
+			next      atomic.Int64
+			identical atomic.Bool
+			wg        sync.WaitGroup
+		)
+		identical.Store(true)
+		start := time.Now()
+		for range clients {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !done.Load() {
+					i := int(next.Add(1)-1) % nSamples
+					out, err := s.Do(context.Background(), shape, ins[i])
+					if err != nil {
+						panic(fmt.Sprintf("e25 %s: %v", label, err))
+					}
+					ok := len(out) == len(want[i])
+					for j := range out {
+						ok = ok && out[j] == want[i][j]
+					}
+					if !ok {
+						identical.Store(false)
+					}
+					completed.Add(1)
+				}
+			}()
+		}
+		time.Sleep(runFor)
+		done.Store(true)
+		wg.Wait()
+		sec := time.Since(start).Seconds()
+		snap := s.Snapshot()
+		mean := 0.0
+		if snap.Batches > 0 {
+			mean = float64(snap.Samples) / float64(snap.Batches)
+		}
+		return row{
+			Mode: label, Clients: clients, MaxBatch: cfg.MaxBatch,
+			Requests: completed.Load(), Seconds: sec,
+			RPS:       float64(completed.Load()) / sec,
+			Identical: identical.Load(),
+			Batches:   snap.Batches, MeanBatch: mean,
+		}
+	}
+
+	baseline := run(serve.Config{MaxBatch: 1, Linger: -1}, "per-request-eval")
+	baseline.Speedup = 1
+	coalesced := run(serve.Config{MaxBatch: 64}, "coalesced")
+	coalesced.Speedup = coalesced.RPS / baseline.RPS
+	httpRow := runHTTP(shape, mats, clients, runFor)
+	httpRow.Speedup = httpRow.RPS / baseline.RPS
+
+	rows := []row{baseline, coalesced, {
+		Mode: httpRow.Mode, Clients: httpRow.Clients, MaxBatch: httpRow.MaxBatch,
+		Requests: httpRow.Requests, Seconds: httpRow.Seconds, RPS: httpRow.RPS,
+		Speedup: httpRow.Speedup, Identical: httpRow.Identical,
+		Batches: httpRow.Batches, MeanBatch: httpRow.MeanBatch,
+	}}
+
+	fmt.Printf("%-18s %8s %9s %9s %10s %8s %7s %10s\n",
+		"mode", "clients", "requests", "rps", "speedup", "ident", "batches", "mean-batch")
+	for _, r := range rows {
+		fmt.Printf("%-18s %8d %9d %9.0f %9.2fx %8v %7d %10.1f\n",
+			r.Mode, r.Clients, r.Requests, r.RPS, r.Speedup, r.Identical, r.Batches, r.MeanBatch)
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("rows written to BENCH_serve.json")
+}
+
+type e25Row struct {
+	Mode      string
+	Clients   int
+	MaxBatch  int
+	Requests  int64
+	Seconds   float64
+	RPS       float64
+	Speedup   float64
+	Identical bool
+	Batches   int64
+	MeanBatch float64
+}
+
+// runHTTP is the end-to-end context row: the same closed loop through
+// httptest's loopback listener with pre-marshalled JSON bodies, so the
+// delta against the in-process coalesced row is pure HTTP+JSON cost.
+func runHTTP(shape core.Shape, mats [][2]*matrix.Matrix, clients int, runFor time.Duration) e25Row {
+	s := serve.New(serve.Config{MaxBatch: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := s.Built(context.Background(), shape); err != nil {
+		panic(err)
+	}
+
+	type sample struct {
+		body []byte
+		want string // canonical JSON of the expected product rows
+	}
+	samples := make([]sample, len(mats))
+	for i, ab := range mats {
+		body, err := json.Marshal(map[string]any{
+			"n": shape.N, "alg": shape.Alg,
+			"entry_bits": shape.EntryBits, "signed": shape.Signed,
+			"a": matRows(ab[0]), "b": matRows(ab[1]),
+		})
+		if err != nil {
+			panic(err)
+		}
+		want, err := json.Marshal(matRows(ab[0].Mul(ab[1])))
+		if err != nil {
+			panic(err)
+		}
+		samples[i] = sample{body: body, want: string(want)}
+	}
+
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = clients // keepalive for every client
+	var (
+		done      atomic.Bool
+		completed atomic.Int64
+		next      atomic.Int64
+		identical atomic.Bool
+		wg        sync.WaitGroup
+	)
+	identical.Store(true)
+	start := time.Now()
+	for range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				sm := samples[int(next.Add(1)-1)%len(samples)]
+				resp, err := client.Post(ts.URL+"/v1/matmul", "application/json", bytes.NewReader(sm.body))
+				if err != nil {
+					panic(fmt.Sprintf("e25 http: %v", err))
+				}
+				var got struct {
+					C json.RawMessage `json:"c"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("e25 http: status %d err %v", resp.StatusCode, err))
+				}
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, got.C); err != nil || buf.String() != sm.want {
+					identical.Store(false)
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	time.Sleep(runFor)
+	done.Store(true)
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	snap := s.Snapshot()
+	mean := 0.0
+	if snap.Batches > 0 {
+		mean = float64(snap.Samples) / float64(snap.Batches)
+	}
+	return e25Row{
+		Mode: "http-coalesced", Clients: clients, MaxBatch: 64,
+		Requests: completed.Load(), Seconds: sec,
+		RPS:       float64(completed.Load()) / sec,
+		Identical: identical.Load(),
+		Batches:   snap.Batches, MeanBatch: mean,
+	}
+}
+
+func matRows(m *matrix.Matrix) [][]int64 {
+	rows := make([][]int64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+	}
+	return rows
+}

@@ -50,9 +50,10 @@ var experiments = map[string]struct {
 	"e22": {"Lemma 4.3 validated: geometric vs exhaustively optimal schedules", e22},
 	"e23": {"Batched bit-sliced evaluation: throughput vs batch size and workers", e23},
 	"e24": {"Construction pipeline: pre-sized arenas + sharded sub-builders", e24},
+	"e25": {"Serving: request coalescing vs one-request-per-Eval", e25},
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25"}
 
 func main() {
 	ids := os.Args[1:]

@@ -1,0 +1,111 @@
+// Command tcserve runs the request-coalescing evaluation service over
+// HTTP/JSON (see internal/serve and DESIGN.md "Serving and request
+// coalescing").
+//
+//	tcserve -addr :8714 -max-batch 64 -linger 200us
+//
+// Endpoints:
+//
+//	POST /v1/matmul    POST /v1/trace    POST /v1/triangles
+//	GET  /v1/stats     GET  /healthz
+//	GET  /debug/vars   GET  /debug/pprof/...
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight HTTP requests finish, and every cached
+// circuit's dispatcher drains its queued batches before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8714", "listen address")
+		maxCircuits = flag.Int("max-circuits", 8, "LRU cache size (built circuits)")
+		maxBatch    = flag.Int("max-batch", 64, "max samples coalesced per evaluation")
+		linger      = flag.Duration("linger", 200*time.Microsecond, "batching linger after the first request (0 = none)")
+		queueDepth  = flag.Int("queue-depth", 256, "per-circuit pending-request bound (full queue answers 429)")
+		buildW      = flag.Int("build-workers", -1, "circuit construction workers (-1 = GOMAXPROCS)")
+		evalW       = flag.Int("eval-workers", 1, "batch evaluator workers per circuit")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxCircuits:    *maxCircuits,
+		MaxBatch:       *maxBatch,
+		Linger:         *linger,
+		QueueDepth:     *queueDepth,
+		BuildWorkers:   *buildW,
+		EvalWorkers:    *evalW,
+		RequestTimeout: *reqTimeout,
+	}
+	if *linger == 0 {
+		cfg.Linger = -1 // Config treats 0 as "default"; negative disables
+	}
+	s := serve.New(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	// Diagnostics live beside the API on the same listener. The expvar
+	// and pprof packages register on http.DefaultServeMux as an import
+	// side effect; mounting them explicitly keeps this mux the only one
+	// that serves.
+	expvar.Publish("tcserve", expvar.Func(func() any { return s.Snapshot() }))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("tcserve listening on %s (max-batch=%d linger=%v queue-depth=%d)",
+		*addr, *maxBatch, *linger, *queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("tcserve: %v, draining", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "tcserve: %v\n", err)
+		s.Close()
+		os.Exit(1)
+	}
+
+	// Two-stage drain: stop the HTTP edge first (in-flight handlers keep
+	// their dispatcher replies), then retire the dispatchers.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("tcserve: shutdown: %v", err)
+	}
+	s.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("tcserve: serve: %v", err)
+	}
+	log.Printf("tcserve: drained, bye")
+}

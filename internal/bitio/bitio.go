@@ -8,6 +8,7 @@ package bitio
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -37,20 +38,35 @@ func Pow(base, exp int) int64 {
 	return result
 }
 
-// MulCheck multiplies two int64 values, panicking on overflow.
+// MulCheck multiplies two int64 values, panicking iff the mathematical
+// product does not fit in int64 — exact overflow semantics: every
+// representable product is returned, including magnitudes in
+// (2^62, 2^63) and math.MinInt64 itself (e.g. MinInt64 * 1, or
+// 2^32 * -2^31). Callers use MulCheck purely as an overflow guard on
+// gate counts, weight scalings and threshold arithmetic; none depend on
+// a cutoff below the true int64 range, so admitting the formerly
+// rejected band only widens the legal domain.
 func MulCheck(a, b int64) int64 {
-	hi, lo := bits.Mul64(uint64(abs64(a)), uint64(abs64(b)))
-	if hi != 0 || lo > uint64(1)<<62 {
+	hi, lo := bits.Mul64(mag64(a), mag64(b))
+	if neg := (a < 0) != (b < 0); neg {
+		// Negative product: representable iff |a·b| <= 2^63.
+		if hi != 0 || lo > 1<<63 {
+			panic(fmt.Sprintf("bitio.MulCheck: overflow multiplying %d * %d", a, b))
+		}
+		// lo == 2^63 converts to MinInt64; negating smaller magnitudes
+		// is exact. Either way -int64(lo) is the two's-complement result.
+		return -int64(lo)
+	}
+	// Nonnegative product: representable iff |a·b| <= 2^63 - 1.
+	if hi != 0 || lo > math.MaxInt64 {
 		panic(fmt.Sprintf("bitio.MulCheck: overflow multiplying %d * %d", a, b))
 	}
-	r := int64(lo)
-	if (a < 0) != (b < 0) {
-		r = -r
-	}
-	return r
+	return int64(lo)
 }
 
-// AddCheck adds two int64 values, panicking on overflow.
+// AddCheck adds two int64 values, panicking iff the mathematical sum
+// does not fit in int64 (exact: a same-sign wraparound always crosses
+// zero, and mixed signs can never overflow).
 func AddCheck(a, b int64) int64 {
 	s := a + b
 	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
@@ -59,11 +75,13 @@ func AddCheck(a, b int64) int64 {
 	return s
 }
 
-func abs64(a int64) int64 {
+// mag64 returns |a| as a uint64, exact for every int64 including
+// math.MinInt64 (whose magnitude 2^63 has no int64 representation).
+func mag64(a int64) uint64 {
 	if a < 0 {
-		return -a
+		return -uint64(a)
 	}
-	return a
+	return uint64(a)
 }
 
 // CeilLog returns the least integer l with base^l >= n, for base >= 2 and
@@ -110,8 +128,20 @@ func Log(base, n int) int {
 	return l
 }
 
-// Abs returns the absolute value of a.
-func Abs(a int64) int64 { return abs64(a) }
+// Abs returns the absolute value of a. It panics for math.MinInt64,
+// whose magnitude is not representable in int64: the historical
+// two's-complement wraparound returned a *negative* "absolute value"
+// that silently corrupted every magnitude comparison downstream
+// (weight-budget checks, Bits(Abs(v)) width computations).
+func Abs(a int64) int64 {
+	if a == math.MinInt64 {
+		panic("bitio.Abs: |math.MinInt64| is not representable in int64")
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
 
 // Max returns the larger of a and b.
 func Max(a, b int) int {

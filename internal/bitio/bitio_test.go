@@ -2,6 +2,7 @@ package bitio
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -149,6 +150,140 @@ func TestMulAddCheck(t *testing.T) {
 	if AddCheck(1<<40, 1<<40) != 1<<41 {
 		t.Error("AddCheck wrong")
 	}
+}
+
+// MulCheck must implement exact int64 overflow semantics: every
+// representable product is returned — including magnitudes in
+// (2^62, 2^63), which the historical conservative cutoff rejected, and
+// math.MinInt64 itself — and the first unrepresentable value in every
+// direction panics.
+func TestMulCheckBoundaries(t *testing.T) {
+	ok := []struct {
+		a, b, want int64
+	}{
+		{0, 0, 0},
+		{0, math.MinInt64, 0},
+		{math.MinInt64, 0, 0},
+		{1, math.MaxInt64, math.MaxInt64},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{-1, math.MaxInt64, -math.MaxInt64},
+		{1, math.MinInt64, math.MinInt64},
+		{math.MinInt64, 1, math.MinInt64},
+		{-1, -math.MaxInt64, math.MaxInt64},
+		// The band (2^62, 2^63) the old cutoff wrongly rejected.
+		{1, 1<<62 + 1, 1<<62 + 1},
+		{3, 1 << 61, 3 << 61},                    // 3·2^61 = 1.5·2^62
+		{-3, 1 << 61, -(3 << 61)},                //
+		{1 << 31, 1 << 31, 1 << 62},              //
+		{-(1 << 31), 1 << 32, math.MinInt64},     // exactly -2^63
+		{1 << 32, -(1 << 31), math.MinInt64},     //
+		{-(1 << 21), 1 << 42, math.MinInt64},     //
+		{7, 1317624576693539401, math.MaxInt64},  // 7·(MaxInt64/7), MaxInt64 % 7 == 0
+		{-7, 1317624576693539401, -math.MaxInt64} /**/}
+	for _, c := range ok {
+		if got := MulCheck(c.a, c.b); got != c.want {
+			t.Errorf("MulCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	overflow := [][2]int64{
+		{math.MinInt64, -1}, // |MinInt64| not representable
+		{-1, math.MinInt64},
+		{math.MinInt64, math.MinInt64},
+		{math.MinInt64, 2},
+		{math.MaxInt64, 2},
+		{2, math.MaxInt64},
+		{1 << 32, 1 << 31},        // +2^63 is one past MaxInt64
+		{-(1 << 31), -(1 << 32)},  //
+		{1 << 32, 1<<31 + 1},      //
+		{3037000500, 3037000500},  // floor(sqrt 2^63)+1 squared
+		{math.MaxInt64, math.MaxInt64}}
+	for _, c := range overflow {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MulCheck(%d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			MulCheck(c[0], c[1])
+		}()
+	}
+}
+
+// MulCheck agrees with big-integer multiplication on random operands:
+// returns the exact product when it fits in int64, panics otherwise.
+func TestMulCheckMatchesBigInt(t *testing.T) {
+	prop := func(a, b int64) bool {
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		fits := want.IsInt64()
+		got, panicked := func() (r int64, p bool) {
+			defer func() {
+				if recover() != nil {
+					p = true
+				}
+			}()
+			return MulCheck(a, b), false
+		}()
+		if fits {
+			return !panicked && got == want.Int64()
+		}
+		return panicked
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// AddCheck boundary table: the extreme representable sums and the first
+// overflow on either side, including both MinInt64 corners.
+func TestAddCheckBoundaries(t *testing.T) {
+	ok := []struct {
+		a, b, want int64
+	}{
+		{math.MaxInt64, 0, math.MaxInt64},
+		{math.MinInt64, 0, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, -1},
+		{math.MinInt64, math.MaxInt64, -1},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MinInt64 + 1, -1, math.MinInt64},
+		{1 << 62, 1<<62 - 1, math.MaxInt64},
+		{-(1 << 62), -(1 << 62), math.MinInt64}}
+	for _, c := range ok {
+		if got := AddCheck(c.a, c.b); got != c.want {
+			t.Errorf("AddCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	overflow := [][2]int64{
+		{math.MaxInt64, 1},
+		{1, math.MaxInt64},
+		{math.MinInt64, -1},
+		{-1, math.MinInt64},
+		{math.MinInt64, math.MinInt64},
+		{math.MaxInt64, math.MaxInt64},
+		{1 << 62, 1 << 62}}
+	for _, c := range overflow {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddCheck(%d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			AddCheck(c[0], c[1])
+		}()
+	}
+}
+
+// Abs(MinInt64) must panic rather than return the wrapped negative
+// value that would corrupt magnitude comparisons.
+func TestAbsMinInt64Panics(t *testing.T) {
+	if Abs(math.MaxInt64) != math.MaxInt64 || Abs(-math.MaxInt64) != math.MaxInt64 {
+		t.Error("Abs wrong at ±MaxInt64")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Abs(math.MinInt64) did not panic")
+		}
+	}()
+	Abs(math.MinInt64)
 }
 
 func TestMinMax(t *testing.T) {

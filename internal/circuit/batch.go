@@ -84,6 +84,52 @@ func PackBools(rows [][]bool) *Planes {
 	return p
 }
 
+// Reset reshapes p to hold numWires x batch all-false planes, reusing
+// the existing word storage when it is large enough. Zeroing the words
+// re-establishes the zero-tail invariant (bits at and past the batch
+// size in the final partial block are 0) that PackBools guarantees and
+// every consumer of partial batches relies on, so a Planes recycled
+// across coalesced serving batches of different sizes can never leak a
+// previous batch's samples into the padding lanes.
+func (p *Planes) Reset(numWires, batch int) {
+	if numWires < 0 || batch < 0 {
+		panic(fmt.Sprintf("circuit: invalid plane shape %d wires x %d samples", numWires, batch))
+	}
+	need := planeBlocks(batch) * numWires
+	if cap(p.words) < need {
+		p.words = make([]uint64, need)
+	} else {
+		p.words = p.words[:need]
+		for i := range p.words {
+			p.words[i] = 0
+		}
+	}
+	p.numWires = numWires
+	p.batch = batch
+}
+
+// SetRow sets sample s to the given boolean row. Bits are written in
+// both directions (false clears), so rows may be overwritten freely;
+// combined with Reset this is the fan-in path the request coalescer
+// uses to assemble a ragged batch without per-batch allocation.
+func (p *Planes) SetRow(s int, row []bool) {
+	if s < 0 || s >= p.batch {
+		panic(fmt.Sprintf("circuit: sample %d out of range [0,%d)", s, p.batch))
+	}
+	if len(row) != p.numWires {
+		panic(fmt.Sprintf("circuit: row has %d values, want %d", len(row), p.numWires))
+	}
+	base := (s / 64) * p.numWires
+	bit := uint64(1) << uint(s%64)
+	for w, v := range row {
+		if v {
+			p.words[base+w] |= bit
+		} else {
+			p.words[base+w] &^= bit
+		}
+	}
+}
+
 // planeBlocks returns the number of 64-sample blocks covering batch.
 func planeBlocks(batch int) int { return (batch + 63) / 64 }
 
@@ -121,15 +167,33 @@ func (p *Planes) Assignment(s int, dst []bool) []bool {
 // order — the zero-copy-pipeline primitive: gather one circuit's output
 // wires to feed them as the next circuit's input planes.
 func (p *Planes) Gather(wires []Wire) *Planes {
-	out := NewPlanes(len(wires), p.batch)
-	for blk := 0; blk < planeBlocks(p.batch); blk++ {
+	return p.GatherInto(nil, wires)
+}
+
+// GatherInto is Gather with a reusable destination: dst is reshaped
+// (reusing its storage when possible) and filled with the selected wire
+// planes. Pass nil to allocate. Gathered planes inherit p's zero tails,
+// so the fan-out side of a coalesced batch never sees padding samples.
+func (p *Planes) GatherInto(dst *Planes, wires []Wire) *Planes {
+	if dst == nil {
+		dst = &Planes{}
+	}
+	nblk := planeBlocks(p.batch)
+	dst.numWires = len(wires)
+	dst.batch = p.batch
+	if need := nblk * len(wires); cap(dst.words) < need {
+		dst.words = make([]uint64, need)
+	} else {
+		dst.words = dst.words[:need]
+	}
+	for blk := 0; blk < nblk; blk++ {
 		src := p.words[blk*p.numWires:]
-		dst := out.words[blk*len(wires):]
+		out := dst.words[blk*len(wires):]
 		for i, w := range wires {
-			dst[i] = src[w]
+			out[i] = src[w]
 		}
 	}
-	return out
+	return dst
 }
 
 // Clone returns an independent copy (the Planes returned by EvalPlanes

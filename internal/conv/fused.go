@@ -166,27 +166,11 @@ func (nw *Network) BuildFused(h, w, c int, maxPixel int64, alg *core.Options) (*
 			}
 		}
 
-		outs := b.Embed(mc.Circuit, inputMap)
+		outs := b.Splice(mc.Circuit, inputMap)
 
 		// Rebuild the score representations against the remapped wires
 		// and apply the activation threshold per patch/kernel.
-		reps := mc.EntryReps()
-		idx := 0
-		remapped := make([]arith.Signed, len(reps))
-		for e, rep := range reps {
-			var s arith.Signed
-			for _, t := range rep.Pos.Terms {
-				s.Pos.Terms = append(s.Pos.Terms, arith.Term{Wire: outs[idx], Weight: t.Weight})
-				idx++
-			}
-			s.Pos.Max = rep.Pos.Max
-			for _, t := range rep.Neg.Terms {
-				s.Neg.Terms = append(s.Neg.Terms, arith.Term{Wire: outs[idx], Weight: t.Weight})
-				idx++
-			}
-			s.Neg.Max = rep.Neg.Max
-			remapped[e] = s
-		}
+		remapped := mc.RemapReps(outs)
 
 		nextBits := make([][]circuit.Wire, P*K)
 		for p := 0; p < P; p++ {

@@ -110,6 +110,37 @@ func (cc *CountCircuit) HalfTrace(a *matrix.Matrix) (int64, error) {
 	return cc.halfTrace.Value(vals), nil
 }
 
+// DecodeOutputs reads trace(A³)/2 from the marked-output values alone:
+// outs[i] must be the value of Circuit.Outputs()[i] (per the marking
+// order: the half-trace's positive terms then its negative terms).
+func (cc *CountCircuit) DecodeOutputs(outs []bool) int64 {
+	idx := 0
+	var v int64
+	for _, t := range cc.halfTrace.Pos.Terms {
+		if outs[idx] {
+			v += t.Weight
+		}
+		idx++
+	}
+	for _, t := range cc.halfTrace.Neg.Terms {
+		if outs[idx] {
+			v -= t.Weight
+		}
+		idx++
+	}
+	return v
+}
+
+// DecodeTriangles converts marked-output values to an exact triangle
+// count, validating the adjacency-matrix invariant like Triangles.
+func (cc *CountCircuit) DecodeTriangles(outs []bool) (int64, error) {
+	half := cc.DecodeOutputs(outs)
+	if half < 0 || half%3 != 0 {
+		return 0, fmt.Errorf("core: half-trace %d is not a triangle multiple; input is not a simple adjacency matrix", half)
+	}
+	return half / 3, nil
+}
+
 // Triangles runs the circuit on a graph adjacency matrix and returns
 // the exact triangle count trace(A³)/6.
 func (cc *CountCircuit) Triangles(adj *matrix.Matrix) (int64, error) {

@@ -114,6 +114,34 @@ func (mc *MatMulCircuit) Decode(vals []bool) *matrix.Matrix {
 	return out
 }
 
+// DecodeOutputs reads the product matrix from the marked-output values
+// alone: outs[i] must be the value of Circuit.Outputs()[i], as produced
+// by e.g. Planes.GatherInto over the output wires. Equivalent to Decode
+// on a full wire assignment, but the caller only materializes the
+// handful of output bits instead of every wire — the difference between
+// copying hundreds of bools and tens of kilobytes per served request.
+func (mc *MatMulCircuit) DecodeOutputs(outs []bool) *matrix.Matrix {
+	out := matrix.New(mc.N, mc.N)
+	idx := 0
+	for e, s := range mc.entries {
+		var v int64
+		for _, t := range s.Pos.Terms {
+			if outs[idx] {
+				v += t.Weight
+			}
+			idx++
+		}
+		for _, t := range s.Neg.Terms {
+			if outs[idx] {
+				v -= t.Weight
+			}
+			idx++
+		}
+		out.Data[e] = v
+	}
+	return out
+}
+
 // Multiply runs the circuit end to end: encode, evaluate (in parallel),
 // decode.
 func (mc *MatMulCircuit) Multiply(a, b *matrix.Matrix) (*matrix.Matrix, error) {
@@ -134,6 +162,36 @@ func (mc *MatMulCircuit) DepthBound() int {
 // row-major order (wires in this circuit's own numbering). Advanced
 // composition API: the marked outputs enumerate exactly these terms —
 // for each entry, positive terms then negative terms — so after
-// circuit.Builder.Embed the representations can be rebuilt against the
-// remapped output wires.
+// circuit.Builder.Splice the representations can be rebuilt against the
+// remapped output wires with RemapReps.
 func (mc *MatMulCircuit) EntryReps() []arith.Signed { return mc.entries }
+
+// RemapReps rebuilds the entry representations against the output wires
+// returned by splicing this circuit into a host builder: outs must be
+// the slice circuit.Builder.Splice returned, whose order matches the
+// marking order documented on EntryReps (per entry: positive terms then
+// negative terms).
+func (mc *MatMulCircuit) RemapReps(outs []circuit.Wire) []arith.Signed {
+	idx := 0
+	remapped := make([]arith.Signed, len(mc.entries))
+	for e, rep := range mc.entries {
+		var s arith.Signed
+		s.Pos.Terms = make([]arith.Term, len(rep.Pos.Terms))
+		for i, t := range rep.Pos.Terms {
+			s.Pos.Terms[i] = arith.Term{Wire: outs[idx], Weight: t.Weight}
+			idx++
+		}
+		s.Pos.Max = rep.Pos.Max
+		s.Neg.Terms = make([]arith.Term, len(rep.Neg.Terms))
+		for i, t := range rep.Neg.Terms {
+			s.Neg.Terms[i] = arith.Term{Wire: outs[idx], Weight: t.Weight}
+			idx++
+		}
+		s.Neg.Max = rep.Neg.Max
+		remapped[e] = s
+	}
+	if idx != len(outs) {
+		panic(fmt.Sprintf("core: RemapReps consumed %d wires, got %d", idx, len(outs)))
+	}
+	return remapped
+}

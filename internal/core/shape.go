@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+)
+
+// Op identifies a circuit family served by shape-keyed construction.
+type Op string
+
+const (
+	OpMatMul Op = "matmul" // BuildMatMul: C = AB
+	OpTrace  Op = "trace"  // BuildTrace: trace(A³) >= τ
+	OpCount  Op = "count"  // BuildCount: exact trace(A³)/2
+)
+
+// Shape is a value-comparable description of one buildable circuit:
+// the (op, N, algorithm, Options) tuple the serving layer caches on.
+// Two equal Shapes build bit-identical circuits (construction is
+// deterministic, and BuildWorkers — deliberately absent here — never
+// changes the result, only the build speed), so a Shape is a sound
+// cache key for built circuits.
+type Shape struct {
+	Op  Op     `json:"op"`
+	N   int    `json:"n"`
+	Tau int64  `json:"tau,omitempty"` // OpTrace threshold; ignored otherwise
+	Alg string `json:"alg"`           // algorithm name, see AlgorithmByName
+
+	// The Options fields that shape the circuit. Schedule is always the
+	// ConstantDepth(Depth) schedule: ad-hoc level lists are not
+	// expressible as a flat key.
+	Depth     int  `json:"depth,omitempty"`
+	EntryBits int  `json:"entry_bits,omitempty"`
+	Signed    bool `json:"signed,omitempty"`
+	SharedMSB bool `json:"shared_msb,omitempty"`
+	GroupSize int  `json:"group_size,omitempty"`
+}
+
+// Key returns a canonical string form of the shape, stable across
+// processes — usable as a map key (Shape itself is comparable, but the
+// string form also names cache entries in logs and metrics).
+func (s Shape) Key() string {
+	return fmt.Sprintf("%s/n%d/tau%d/%s/d%d/b%d/s%v/m%v/g%d",
+		s.Op, s.N, s.Tau, s.Alg, s.Depth, s.EntryBits, s.Signed, s.SharedMSB, s.GroupSize)
+}
+
+// AlgorithmByName resolves the bilinear algorithms buildable by name.
+// The registry holds the base algorithms; Kronecker powers and custom
+// coefficient sets require constructing Options directly.
+func AlgorithmByName(name string) (*bilinear.Algorithm, error) {
+	switch name {
+	case "strassen":
+		return bilinear.Strassen(), nil
+	case "winograd":
+		return bilinear.Winograd(), nil
+	case "naive2":
+		return bilinear.Naive(), nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q (want strassen, winograd or naive2)", name)
+}
+
+// Options resolves the shape into construction options. buildWorkers
+// parallelizes construction without affecting the built circuit.
+func (s Shape) Options(buildWorkers int) (Options, error) {
+	alg, err := AlgorithmByName(s.Alg)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Alg:          alg,
+		Depth:        s.Depth,
+		EntryBits:    s.EntryBits,
+		Signed:       s.Signed,
+		SharedMSB:    s.SharedMSB,
+		GroupSize:    s.GroupSize,
+		BuildWorkers: buildWorkers,
+	}, nil
+}
+
+// Built is a shape-built circuit with its typed wrapper: exactly one of
+// MatMul/Trace/Count is non-nil, matching Shape.Op.
+type Built struct {
+	Shape  Shape
+	MatMul *MatMulCircuit
+	Trace  *TraceCircuit
+	Count  *CountCircuit
+}
+
+// BuildShape constructs the circuit a shape describes. buildWorkers
+// sets Options.BuildWorkers (0/1 sequential, negative GOMAXPROCS); it
+// is not part of the cache key because every worker count builds the
+// same circuit.
+func BuildShape(s Shape, buildWorkers int) (*Built, error) {
+	opts, err := s.Options(buildWorkers)
+	if err != nil {
+		return nil, err
+	}
+	bt := &Built{Shape: s}
+	switch s.Op {
+	case OpMatMul:
+		bt.MatMul, err = BuildMatMul(s.N, opts)
+	case OpTrace:
+		bt.Trace, err = BuildTrace(s.N, s.Tau, opts)
+	case OpCount:
+		bt.Count, err = BuildCount(s.N, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown op %q (want matmul, trace or count)", s.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+// Circuit returns the underlying flat threshold circuit.
+func (b *Built) Circuit() *circuit.Circuit {
+	switch {
+	case b.MatMul != nil:
+		return b.MatMul.Circuit
+	case b.Trace != nil:
+		return b.Trace.Circuit
+	case b.Count != nil:
+		return b.Count.Circuit
+	}
+	panic("core: empty Built")
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bilinear"
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// BuildShape must construct, for each op, exactly the circuit the
+// direct builders produce: same serialized bytes, same typed wrapper
+// behaviour. Worker count must not change the result.
+func TestBuildShapeMatchesDirectBuilders(t *testing.T) {
+	serialize := func(c *circuit.Circuit) []byte {
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	opts := Options{Alg: mustAlg(t, "strassen"), EntryBits: 2, Signed: true}
+
+	mm, err := BuildMatMul(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := BuildShape(Shape{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 2, Signed: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.MatMul == nil || bt.Trace != nil || bt.Count != nil {
+		t.Fatal("BuildShape(matmul) populated wrong wrapper")
+	}
+	if !bytes.Equal(serialize(mm.Circuit), serialize(bt.Circuit())) {
+		t.Error("shape-built matmul differs from direct build")
+	}
+
+	trOpts := Options{Alg: mustAlg(t, "strassen")}
+	tr, err := BuildTrace(4, 6, trOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err = BuildShape(Shape{Op: OpTrace, N: 4, Tau: 6, Alg: "strassen"}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Trace == nil {
+		t.Fatal("BuildShape(trace) missing wrapper")
+	}
+	if !bytes.Equal(serialize(tr.Circuit), serialize(bt.Circuit())) {
+		t.Error("shape-built trace differs from direct build (workers=-1)")
+	}
+
+	ccOpts := Options{Alg: mustAlg(t, "strassen")}
+	cc, err := BuildCount(4, ccOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err = BuildShape(Shape{Op: OpCount, N: 4, Alg: "strassen"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count == nil {
+		t.Fatal("BuildShape(count) missing wrapper")
+	}
+	if !bytes.Equal(serialize(cc.Circuit), serialize(bt.Circuit())) {
+		t.Error("shape-built count differs from direct build (workers=2)")
+	}
+}
+
+func mustAlg(t *testing.T, name string) *bilinear.Algorithm {
+	t.Helper()
+	alg, err := AlgorithmByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+func TestBuildShapeErrors(t *testing.T) {
+	if _, err := BuildShape(Shape{Op: "transpose", N: 4, Alg: "strassen"}, 1); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := BuildShape(Shape{Op: OpMatMul, N: 4, Alg: "coppersmith"}, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := BuildShape(Shape{Op: OpMatMul, N: 3, Alg: "strassen"}, 1); err == nil {
+		t.Error("non-power N accepted")
+	}
+}
+
+// Shape keys must distinguish every field that changes the circuit.
+func TestShapeKeyDistinguishes(t *testing.T) {
+	base := Shape{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 1}
+	variants := []Shape{
+		{Op: OpTrace, N: 4, Alg: "strassen", EntryBits: 1},
+		{Op: OpMatMul, N: 8, Alg: "strassen", EntryBits: 1},
+		{Op: OpMatMul, N: 4, Alg: "winograd", EntryBits: 1},
+		{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 2},
+		{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 1, Signed: true},
+		{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 1, SharedMSB: true},
+		{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 1, GroupSize: 4},
+		{Op: OpMatMul, N: 4, Alg: "strassen", EntryBits: 1, Depth: 3},
+		{Op: OpTrace, N: 4, Tau: 12, Alg: "strassen", EntryBits: 1},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, v := range variants {
+		if seen[v.Key()] {
+			t.Errorf("key collision: %s", v.Key())
+		}
+		seen[v.Key()] = true
+	}
+}
+
+// DecodeOutputs on gathered output planes must agree with the full-
+// assignment Decode for every op — the invariant the serving layer's
+// fan-out path rests on.
+func TestDecodeOutputsMatchesFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+
+	mm, err := BuildMatMul(4, Options{Alg: mustAlg(t, "strassen"), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := mm.Circuit.Outputs()
+	for trial := 0; trial < 5; trial++ {
+		a := matrix.Random(rng, 4, 4, -3, 3)
+		b := matrix.Random(rng, 4, 4, -3, 3)
+		in, err := mm.Assign(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := mm.Circuit.Eval(in)
+		want := mm.Decode(vals)
+		outVals := make([]bool, len(outs))
+		for i, w := range outs {
+			outVals[i] = vals[w]
+		}
+		if got := mm.DecodeOutputs(outVals); !got.Equal(want) {
+			t.Fatalf("matmul DecodeOutputs disagrees with Decode:\n%v\nvs\n%v", got, want)
+		}
+		if !want.Equal(a.Mul(b)) {
+			t.Fatal("reference product wrong")
+		}
+	}
+
+	tr, err := BuildTrace(8, 6, Options{Alg: mustAlg(t, "strassen")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trOuts := tr.Circuit.Outputs()
+	if len(trOuts) != 1 {
+		t.Fatalf("trace circuit marks %d outputs, want 1", len(trOuts))
+	}
+	cc, err := BuildCount(8, Options{Alg: mustAlg(t, "strassen")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccOuts := cc.Circuit.Outputs()
+	for trial := 0; trial < 5; trial++ {
+		adj := graph.ErdosRenyi(rng, 8, 0.5).Adjacency()
+
+		want, err := tr.Decide(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _ := tr.Assign(adj)
+		vals := tr.Circuit.Eval(in)
+		if got := tr.DecodeOutputs([]bool{vals[trOuts[0]]}); got != want {
+			t.Fatalf("trace DecodeOutputs %v, Decide %v", got, want)
+		}
+
+		wantTri, err := cc.Triangles(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _ = cc.Assign(adj)
+		vals = cc.Circuit.Eval(in)
+		outVals := make([]bool, len(ccOuts))
+		for i, w := range ccOuts {
+			outVals[i] = vals[w]
+		}
+		gotTri, err := cc.DecodeTriangles(outVals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTri != wantTri {
+			t.Fatalf("count DecodeTriangles %d, Triangles %d", gotTri, wantTri)
+		}
+	}
+}
+
+// RemapReps against the circuit's own outputs reproduces EntryReps —
+// the identity case every Splice-composition builds on.
+func TestRemapRepsIdentity(t *testing.T) {
+	mm, err := BuildMatMul(2, Options{Alg: mustAlg(t, "strassen"), EntryBits: 2, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped := mm.RemapReps(mm.Circuit.Outputs())
+	reps := mm.EntryReps()
+	for e := range reps {
+		for i, tm := range reps[e].Pos.Terms {
+			if remapped[e].Pos.Terms[i] != tm {
+				t.Fatalf("entry %d pos term %d changed under identity remap", e, i)
+			}
+		}
+		for i, tm := range reps[e].Neg.Terms {
+			if remapped[e].Neg.Terms[i] != tm {
+				t.Fatalf("entry %d neg term %d changed under identity remap", e, i)
+			}
+		}
+	}
+}

@@ -109,6 +109,13 @@ func (tc *TraceCircuit) Decide(a *matrix.Matrix) (bool, error) {
 	return vals[tc.output], nil
 }
 
+// DecodeOutputs reads the decision from the marked-output values alone
+// (outs[i] is the value of Circuit.Outputs()[i]; the trace circuit
+// marks exactly one output, the comparison gate).
+func (tc *TraceCircuit) DecodeOutputs(outs []bool) bool {
+	return outs[0]
+}
+
 // DepthBound returns the realized construction's depth guarantee 2t+2
 // (within Theorem 4.5's stated 2d+5).
 func (tc *TraceCircuit) DepthBound() int {

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// dispatch is one entry's dispatcher goroutine: it drains the request
+// queue into batches of up to MaxBatch samples, evaluates each batch in
+// one bit-sliced pass, and fans the output bits back to the waiters.
+//
+// Retirement protocol: when done closes (eviction or server shutdown),
+// the dispatcher serves one final drain of whatever is queued, then
+// closes dead. The ordering — reply to everything dequeued, then close
+// dead — is what makes the waiter side sound: after observing dead, a
+// waiter's reply is either already buffered in its channel or will
+// never arrive, so a non-blocking recheck decides retry-vs-return
+// without any further synchronization.
+func (s *Server) dispatch(e *entry) {
+	defer s.dispatchers.Done()
+	defer e.ev.Close()
+	defer close(e.dead)
+
+	var (
+		batch []*request
+		in    circuit.Planes // packed input planes, reused across batches
+		out   *circuit.Planes // gathered output planes, reused
+		row   []bool          // per-sample output scratch for Assignment
+	)
+	var linger *time.Timer
+	if s.cfg.Linger > 0 {
+		linger = time.NewTimer(s.cfg.Linger)
+		if !linger.Stop() {
+			<-linger.C
+		}
+		defer linger.Stop()
+	}
+
+	for {
+		select {
+		case <-e.done:
+			s.finalDrain(e, &in, &out, &row)
+			return
+		case first := <-e.queue:
+			batch = append(batch[:0], first)
+			// Coalesce: whatever is already queued joins immediately;
+			// then linger briefly for stragglers.
+			s.fill(e, &batch)
+			if len(batch) < s.cfg.MaxBatch && linger != nil {
+				linger.Reset(s.cfg.Linger)
+			lingering:
+				for len(batch) < s.cfg.MaxBatch {
+					select {
+					case r := <-e.queue:
+						batch = append(batch, r)
+					case <-linger.C:
+						break lingering
+					case <-e.done:
+						break lingering
+					}
+				}
+				if !linger.Stop() {
+					select {
+					case <-linger.C:
+					default:
+					}
+				}
+			}
+			out, row = s.serveBatch(e, batch, &in, out, row)
+		}
+	}
+}
+
+// fill non-blockingly moves already-queued requests into the batch.
+func (s *Server) fill(e *entry, batch *[]*request) {
+	for len(*batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-e.queue:
+			*batch = append(*batch, r)
+		default:
+			return
+		}
+	}
+}
+
+// finalDrain serves every request still queued at retirement. Queued
+// work is real accepted work — graceful shutdown completes it rather
+// than erroring it — and the drain runs in MaxBatch slices so eviction
+// under load cannot build one unbounded batch.
+func (s *Server) finalDrain(e *entry, in *circuit.Planes, out **circuit.Planes, row *[]bool) {
+	var batch []*request
+	for {
+		batch = batch[:0]
+		s.fill(e, &batch)
+		if len(batch) == 0 {
+			return
+		}
+		*out, *row = s.serveBatch(e, batch, in, *out, *row)
+	}
+}
+
+// serveBatch evaluates one coalesced batch and replies to every
+// request. Cancelled requests are dropped before the evaluation (their
+// waiters have already returned). Returns the reusable scratch.
+func (s *Server) serveBatch(e *entry, batch []*request, in *circuit.Planes, out *circuit.Planes, row []bool) (*circuit.Planes, []bool) {
+	if s.holdBatch != nil {
+		s.holdBatch <- struct{}{} // announce: a batch is held
+		<-s.holdBatch             // release
+	}
+	// Drop requests whose context ended while queued.
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			s.metrics.dropped.Add(1)
+			r.reply <- reply{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return out, row
+	}
+	s.metrics.batches.Add(1)
+	s.metrics.samples.Add(int64(len(live)))
+	s.metrics.batchSize.observe(int64(len(live)))
+
+	start := time.Now()
+	if len(live) == 1 {
+		// Singleton fast path: a batch of one evaluates cheaper through
+		// the scalar engine than through a 1/64-occupied plane pass.
+		s.metrics.singletons.Add(1)
+		r := live[0]
+		vals := e.ev.Eval(r.in)
+		o := make([]bool, len(e.outs))
+		for i, w := range e.outs {
+			o[i] = vals[w]
+		}
+		s.metrics.evalLatency.observeSince(start)
+		r.reply <- reply{out: o}
+		return out, row
+	}
+
+	// Fan-in: pack the live inputs into reused planes. Reset zeroes the
+	// words, re-establishing the zero-tail invariant for the partial
+	// final block (pinned by the padding-audit tests in
+	// internal/circuit).
+	in.Reset(e.built.Circuit().NumInputs(), len(live))
+	for i, r := range live {
+		in.SetRow(i, r.in)
+	}
+	planes := e.ev.EvalPlanes(in)
+	// Fan-out: gather only the marked-output planes (a few hundred bits
+	// per sample) instead of materializing every wire.
+	out = planes.GatherInto(out, e.outs)
+	s.metrics.evalLatency.observeSince(start)
+	for i, r := range live {
+		row = out.Assignment(i, row)
+		o := make([]bool, len(row))
+		copy(o, row)
+		r.reply <- reply{out: o}
+	}
+	return out, row
+}

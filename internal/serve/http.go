@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Handler returns the server's HTTP/JSON API:
+//
+//	POST /v1/matmul    {"n","alg","entry_bits","signed",...,"a","b"} -> {"c"}
+//	POST /v1/trace     {"n","tau","alg",...,"a"}                     -> {"decision"}
+//	POST /v1/triangles {"n","alg",...,"adj"}                         -> {"count"}
+//	GET  /v1/stats     -> metrics Snapshot
+//	GET  /healthz      -> 200 "ok"
+//
+// Matrices are JSON arrays of int64 rows. Shape fields (alg, depth,
+// entry_bits, signed, shared_msb, group_size) select the cached
+// circuit; omitted fields take the construction defaults. A full queue
+// answers 429, a request that outlives Config.RequestTimeout answers
+// 504, and a draining server answers 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/matmul", s.handleMatMul)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/triangles", s.handleTriangles)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// shapeFields is the wire form of core.Shape minus Op (implied by the
+// endpoint) — embedded in every request body.
+type shapeFields struct {
+	N         int    `json:"n"`
+	Tau       int64  `json:"tau,omitempty"`
+	Alg       string `json:"alg,omitempty"`
+	Depth     int    `json:"depth,omitempty"`
+	EntryBits int    `json:"entry_bits,omitempty"`
+	Signed    bool   `json:"signed,omitempty"`
+	SharedMSB bool   `json:"shared_msb,omitempty"`
+	GroupSize int    `json:"group_size,omitempty"`
+}
+
+func (f shapeFields) shape(op core.Op) core.Shape {
+	alg := f.Alg
+	if alg == "" {
+		alg = "strassen"
+	}
+	return core.Shape{
+		Op: op, N: f.N, Tau: f.Tau, Alg: alg,
+		Depth: f.Depth, EntryBits: f.EntryBits, Signed: f.Signed,
+		SharedMSB: f.SharedMSB, GroupSize: f.GroupSize,
+	}
+}
+
+type matmulRequest struct {
+	shapeFields
+	A [][]int64 `json:"a"`
+	B [][]int64 `json:"b"`
+}
+
+type traceRequest struct {
+	shapeFields
+	A [][]int64 `json:"a"`
+}
+
+type trianglesRequest struct {
+	shapeFields
+	Adj [][]int64 `json:"adj"`
+}
+
+func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
+	var req matmulRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	a, err := toMatrix(req.A)
+	if err == nil {
+		var b *matrix.Matrix
+		if b, err = toMatrix(req.B); err == nil {
+			ctx, cancel := s.requestContext(r)
+			defer cancel()
+			var c *matrix.Matrix
+			if c, err = s.MatMul(ctx, req.shape(core.OpMatMul), a, b); err == nil {
+				writeJSON(w, http.StatusOK, map[string]any{"c": fromMatrix(c)})
+				return
+			}
+		}
+	}
+	s.writeError(w, err)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var req traceRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	a, err := toMatrix(req.A)
+	if err == nil {
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		var dec bool
+		if dec, err = s.Trace(ctx, req.shape(core.OpTrace), a); err == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"decision": dec})
+			return
+		}
+	}
+	s.writeError(w, err)
+}
+
+func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
+	var req trianglesRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	adj, err := toMatrix(req.Adj)
+	if err == nil {
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		var count int64
+		if count, err = s.Triangles(ctx, req.shape(core.OpCount), adj); err == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"count": count})
+			return
+		}
+	}
+	s.writeError(w, err)
+}
+
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeError maps service errors to HTTP statuses: backpressure 429,
+// shutdown 503, deadline 504, cancellation 499 (nginx convention),
+// everything else (validation, unbuildable shapes) 400.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fromMatrix converts a matrix to its JSON row form.
+func fromMatrix(m *matrix.Matrix) [][]int64 {
+	rows := make([][]int64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+	}
+	return rows
+}
+
+// toMatrix validates and converts a JSON row matrix.
+func toMatrix(rows [][]int64) (*matrix.Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("serve: empty matrix")
+	}
+	m := matrix.New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			return nil, fmt.Errorf("serve: ragged matrix: row %d has %d entries, want %d", i, len(row), m.Cols)
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m, nil
+}

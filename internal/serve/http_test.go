@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(21))
+
+	// matmul: response equals the host-side product.
+	a := matrix.Random(rng, 4, 4, -3, 3)
+	b := matrix.Random(rng, 4, 4, -3, 3)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/matmul", map[string]any{
+		"n": 4, "alg": "strassen", "entry_bits": 2, "signed": true,
+		"a": fromMatrix(a), "b": fromMatrix(b),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matmul status %d: %s", resp.StatusCode, body)
+	}
+	var mmOut struct {
+		C [][]int64 `json:"c"`
+	}
+	if err := json.Unmarshal(body, &mmOut); err != nil {
+		t.Fatal(err)
+	}
+	got, err := toMatrix(mmOut.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a.Mul(b)) {
+		t.Fatal("HTTP matmul result differs from host product")
+	}
+
+	// trace and triangles agree with host-side graph counting.
+	g := graph.ErdosRenyi(rng, 4, 0.7)
+	adj := g.Adjacency()
+	tri := g.Triangles()
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/trace", map[string]any{
+		"n": 4, "tau": 6 * tri, "a": fromMatrix(adj),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d: %s", resp.StatusCode, body)
+	}
+	var trOut struct {
+		Decision bool `json:"decision"`
+	}
+	if err := json.Unmarshal(body, &trOut); err != nil {
+		t.Fatal(err)
+	}
+	if !trOut.Decision { // trace(A³) = 6·tri >= 6·tri
+		t.Fatal("trace decision false at exact threshold")
+	}
+
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/triangles", map[string]any{
+		"n": 4, "adj": fromMatrix(adj),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("triangles status %d: %s", resp.StatusCode, body)
+	}
+	var cntOut struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(body, &cntOut); err != nil {
+		t.Fatal(err)
+	}
+	if cntOut.Count != tri {
+		t.Fatalf("HTTP triangles %d, host %d", cntOut.Count, tri)
+	}
+
+	// stats reflects the served traffic.
+	statsResp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(statsResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if snap.Requests != 3 || snap.Samples != 3 {
+		t.Errorf("stats requests=%d samples=%d, want 3/3", snap.Requests, snap.Samples)
+	}
+
+	// healthz.
+	hResp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hResp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Malformed body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/matmul", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+
+	// GET on a POST endpoint.
+	resp, err = ts.Client().Get(ts.URL + "/v1/matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	// Unbuildable shape.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/matmul", map[string]any{
+		"n": 3, "a": [][]int64{{1}}, "b": [][]int64{{1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad shape status %d (%s), want 400", resp.StatusCode, body)
+	}
+
+	// Ragged matrix.
+	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/matmul", map[string]any{
+		"n": 4, "a": [][]int64{{1, 2}, {3}}, "b": [][]int64{{1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ragged matrix status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A saturated queue surfaces as HTTP 429 with a Retry-After hint.
+func TestHTTPBackpressure429(t *testing.T) {
+	s := New(Config{QueueDepth: 1, MaxBatch: 1, Linger: -1})
+	s.holdBatch = make(chan struct{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Build the circuit first so requests go straight to the queue.
+	if _, err := s.Built(t.Context(), core.Shape{Op: core.OpCount, N: 4, Alg: "strassen"}); err != nil {
+		t.Fatal(err)
+	}
+	adj := fromMatrix(graph.Complete(4).Adjacency())
+	req := map[string]any{"n": 4, "adj": adj}
+
+	var wg sync.WaitGroup
+	statuses := make(chan int, 8)
+	post := func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/triangles", req)
+		statuses <- resp.StatusCode
+	}
+	wg.Add(1)
+	go post()
+	<-s.holdBatch // dispatcher holds request #1
+	wg.Add(1)
+	go post() // fills the depth-1 queue
+	for s.metrics.requests.Load() < 2 {
+	}
+	// Now the queue is full: this one must bounce with 429.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/triangles", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	stop := make(chan struct{})
+	go holdService(s.holdBatch, stop)
+	defer close(stop)
+	s.holdBatch <- struct{}{} // release batch #1
+	wg.Wait()
+	close(statuses)
+	for code := range statuses {
+		if code != http.StatusOK {
+			t.Errorf("held request finished with %d, want 200", code)
+		}
+	}
+}
+
+// Example payload in README stays valid: keep this in sync with docs.
+func TestHTTPQuickstartPayload(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	payload := `{"n":2,"alg":"strassen","entry_bits":3,"a":[[1,2],[3,4]],"b":[[5,6],[7,0]]}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/matmul", "application/json", bytes.NewReader([]byte(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		C [][]int64 `json:"c"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{19, 6}, {43, 18}}
+	if fmt.Sprint(out.C) != fmt.Sprint(want) {
+		t.Fatalf("quickstart product %v, want %v", out.C, want)
+	}
+}

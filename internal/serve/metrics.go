@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set. Plain atomics rather than
+// expvar.Publish so that any number of Server instances can coexist in
+// one process (expvar names are global and panic on reuse); cmd/tcserve
+// publishes one server's Snapshot through expvar.Func.
+type metrics struct {
+	requests   atomic.Int64 // Do calls accepted into a queue
+	cacheHits  atomic.Int64 // entry found in LRU
+	cacheMiss  atomic.Int64 // entry built
+	evictions  atomic.Int64 // entries pushed out of the LRU
+	rejected   atomic.Int64 // backpressure: queue full (HTTP 429)
+	cancelled  atomic.Int64 // request context ended before reply
+	dropped    atomic.Int64 // cancelled requests discarded by the dispatcher
+	errors     atomic.Int64 // terminal errors (bad shape, bad input)
+	batches    atomic.Int64 // EvalPlanes/Eval dispatches
+	samples    atomic.Int64 // samples served through batches
+	singletons atomic.Int64 // batches of size 1 (direct Eval path)
+	retries    atomic.Int64 // enqueue raced an eviction and retried
+
+	evalLatency  histogram // per-batch evaluation wall time
+	totalLatency histogram // per-request accept→reply wall time
+	batchSize    histogram // samples per dispatched batch
+}
+
+// histogram is a lock-free power-of-two histogram: bucket i counts
+// observations v with 2^(i-1) < v <= 2^i (bucket 0: v <= 1). Units are
+// microseconds for latencies and samples for batch sizes.
+type histogram struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if v > 0 && v == 1<<(i-1) {
+		i-- // exact powers of two belong to their own bucket
+	}
+	if i > 31 {
+		i = 31
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func (h *histogram) observeSince(start time.Time) {
+	h.observe(time.Since(start).Microseconds())
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count   int64           `json:"count"`
+	Sum     int64           `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^i" -> count
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[string]int64)
+			}
+			s.Buckets[bucketLabel(i)] = n
+		}
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	// Small fixed table beats fmt in the snapshot path; 32 labels total.
+	const digits = "0123456789"
+	if i < 10 {
+		return "le_2^" + digits[i:i+1]
+	}
+	return "le_2^" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// Snapshot is the exported view of the server's counters, JSON-ready
+// for the /v1/stats endpoint and expvar.
+type Snapshot struct {
+	Requests   int64 `json:"requests"`
+	CacheHits  int64 `json:"cache_hits"`
+	CacheMiss  int64 `json:"cache_misses"`
+	Evictions  int64 `json:"evictions"`
+	Rejected   int64 `json:"rejected"`
+	Cancelled  int64 `json:"cancelled"`
+	Dropped    int64 `json:"dropped"`
+	Errors     int64 `json:"errors"`
+	Batches    int64 `json:"batches"`
+	Samples    int64 `json:"samples"`
+	Singletons int64 `json:"singletons"`
+	Retries    int64 `json:"retries"`
+
+	EvalLatencyUS  HistogramSnapshot `json:"eval_latency_us"`
+	TotalLatencyUS HistogramSnapshot `json:"total_latency_us"`
+	BatchSize      HistogramSnapshot `json:"batch_size"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field
+// is individually atomic; cross-field skew is acceptable for metrics).
+func (s *Server) Snapshot() Snapshot {
+	m := &s.metrics
+	return Snapshot{
+		Requests:   m.requests.Load(),
+		CacheHits:  m.cacheHits.Load(),
+		CacheMiss:  m.cacheMiss.Load(),
+		Evictions:  m.evictions.Load(),
+		Rejected:   m.rejected.Load(),
+		Cancelled:  m.cancelled.Load(),
+		Dropped:    m.dropped.Load(),
+		Errors:     m.errors.Load(),
+		Batches:    m.batches.Load(),
+		Samples:    m.samples.Load(),
+		Singletons: m.singletons.Load(),
+		Retries:    m.retries.Load(),
+
+		EvalLatencyUS:  m.evalLatency.snapshot(),
+		TotalLatencyUS: m.totalLatency.snapshot(),
+		BatchSize:      m.batchSize.snapshot(),
+	}
+}

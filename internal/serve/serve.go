@@ -1,0 +1,409 @@
+// Package serve is the request-coalescing evaluation service over the
+// paper's threshold circuits.
+//
+// The economics: a built circuit is expensive (seconds of construction
+// for large N) but reusable, and the bit-sliced evaluator amortizes a
+// single evaluation pass over up to 64 independent samples — one uint64
+// word per wire instead of one bool. A serving workload with concurrent
+// clients is exactly the shape that cashes both in:
+//
+//   - a bounded LRU cache keyed by core.Shape pays construction once
+//     per (op, N, algorithm, options) tuple;
+//   - a per-circuit dispatcher goroutine drains the request queue into
+//     EvalPlanes batches (up to Config.MaxBatch samples, or whatever
+//     arrived within Config.Linger of the first), evaluates once, and
+//     fans the marked-output bits back to the waiting requests.
+//
+// Robustness is part of the contract: per-request deadlines and
+// cancellation via context, a bounded queue with explicit backpressure
+// (ErrBusy → HTTP 429), graceful shutdown that drains queued requests
+// through a final batch, and atomic counters/latency histograms exposed
+// through Snapshot for expvar.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"sync"
+)
+
+var (
+	// ErrBusy reports that the target circuit's request queue is full;
+	// the client should back off (HTTP 429).
+	ErrBusy = errors.New("serve: queue full, retry later")
+	// ErrClosed reports that the server has shut down.
+	ErrClosed = errors.New("serve: server closed")
+
+	// errRetry is the internal signal that an enqueue raced an eviction
+	// or shutdown drain; Do re-resolves the entry a bounded number of
+	// times before giving up.
+	errRetry = errors.New("serve: entry retired, retry")
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxCircuits bounds the LRU cache of built circuits (default 8).
+	MaxCircuits int
+	// MaxBatch is the largest number of samples coalesced into one
+	// evaluation (default 64 — one bit plane word; clamped to [1, 4096]).
+	MaxBatch int
+	// Linger is how long the dispatcher waits for more requests after
+	// the first of a batch arrives (default 200µs). Zero means default;
+	// negative means no lingering (serve whatever is already queued).
+	Linger time.Duration
+	// QueueDepth bounds each circuit's pending-request queue; a full
+	// queue rejects with ErrBusy (default 256).
+	QueueDepth int
+	// BuildWorkers parallelizes circuit construction (0/1 sequential,
+	// negative GOMAXPROCS). Never changes the built circuit.
+	BuildWorkers int
+	// EvalWorkers is the worker count for each circuit's batch
+	// evaluator (default 1: the dispatcher thread evaluates in place).
+	EvalWorkers int
+	// RequestTimeout caps each HTTP request's context (default 30s);
+	// direct Do callers manage their own contexts.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCircuits <= 0 {
+		c.MaxCircuits = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch > 4096 {
+		c.MaxBatch = 4096
+	}
+	switch {
+	case c.Linger == 0:
+		c.Linger = 200 * time.Microsecond
+	case c.Linger < 0:
+		c.Linger = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.EvalWorkers == 0 {
+		c.EvalWorkers = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server coalesces evaluation requests over a bounded cache of built
+// circuits. Safe for concurrent use; create with New and release with
+// Close.
+type Server struct {
+	cfg     Config
+	metrics metrics
+
+	mu     sync.Mutex
+	lru    *list.List // of *entry, front = most recently used
+	byKey  map[core.Shape]*list.Element
+	closed bool
+
+	dispatchers sync.WaitGroup
+
+	// holdBatch, when non-nil, turns every batch dispatch into a
+	// two-phase rendezvous: the dispatcher sends one token when it picks
+	// up a batch (announce) and receives one before evaluating
+	// (release). Tests use it to hold a dispatcher mid-batch and fill
+	// its queue deterministically.
+	holdBatch chan struct{}
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		lru:   list.New(),
+		byKey: make(map[core.Shape]*list.Element),
+	}
+}
+
+// entry is one cached circuit with its dispatcher.
+type entry struct {
+	shape core.Shape
+
+	ready chan struct{} // closed once build completes (built/err set)
+	built *core.Built
+	err   error
+	ev    *circuit.Evaluator
+	outs  []circuit.Wire // marked outputs, decode order
+
+	queue chan *request
+	done  chan struct{} // closed on eviction/shutdown: dispatcher drains and exits
+	dead  chan struct{} // closed by the dispatcher after the final drain:
+	// every request it ever dequeued has been replied to, so a waiter
+	// that observes dead either finds its reply already buffered or
+	// knows it will never come and can safely retry elsewhere.
+}
+
+// request is one queued evaluation.
+type request struct {
+	ctx   context.Context
+	in    []bool
+	start time.Time
+	reply chan reply // buffered (1): the dispatcher never blocks on it
+}
+
+type reply struct {
+	out []bool
+	err error
+}
+
+// getEntry resolves shape to a cached entry, building (and possibly
+// evicting) under the LRU policy, then waits for the build to finish.
+func (s *Server) getEntry(ctx context.Context, shape core.Shape) (*entry, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var e *entry
+	if el, ok := s.byKey[shape]; ok {
+		s.lru.MoveToFront(el)
+		e = el.Value.(*entry)
+		s.metrics.cacheHits.Add(1)
+		s.mu.Unlock()
+	} else {
+		e = &entry{
+			shape: shape,
+			ready: make(chan struct{}),
+			queue: make(chan *request, s.cfg.QueueDepth),
+			done:  make(chan struct{}),
+			dead:  make(chan struct{}),
+		}
+		s.byKey[shape] = s.lru.PushFront(e)
+		s.metrics.cacheMiss.Add(1)
+		// Account the builder/dispatcher while still under the lock:
+		// Close observes `closed` only after this Add, so its Wait can
+		// never race a late Add from a pre-close entry.
+		s.dispatchers.Add(1)
+		var evicted *entry
+		if s.lru.Len() > s.cfg.MaxCircuits {
+			back := s.lru.Back()
+			evicted = back.Value.(*entry)
+			s.lru.Remove(back)
+			delete(s.byKey, evicted.shape)
+			s.metrics.evictions.Add(1)
+		}
+		s.mu.Unlock()
+		if evicted != nil {
+			close(evicted.done) // dispatcher drains its queue and exits
+		}
+		go s.buildEntry(e)
+	}
+	select {
+	case <-e.ready:
+		return e, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// buildEntry constructs the circuit for e and starts its dispatcher.
+func (s *Server) buildEntry(e *entry) {
+	built, err := core.BuildShape(e.shape, s.cfg.BuildWorkers)
+	if err != nil {
+		e.err = err
+		close(e.ready)
+		close(e.dead) // no dispatcher will ever run
+		s.dispatchers.Done()
+		return
+	}
+	e.built = built
+	e.outs = built.Circuit().Outputs()
+	e.ev = circuit.NewEvaluator(built.Circuit(), s.cfg.EvalWorkers)
+	go s.dispatch(e) // inherits the dispatchers slot taken at creation
+	close(e.ready)
+}
+
+// Built resolves (building if needed) the typed circuit wrapper for a
+// shape — the encode/decode companion to Do.
+func (s *Server) Built(ctx context.Context, shape core.Shape) (*core.Built, error) {
+	e, err := s.getEntry(ctx, shape)
+	if err != nil {
+		return nil, err
+	}
+	return e.built, nil
+}
+
+// Do evaluates one input assignment against the shape's circuit and
+// returns the marked-output values (Circuit.Outputs() order), bit-
+// identical to a direct Circuit.Eval. The call coalesces with
+// concurrent Do calls for the same shape into one bit-sliced batch.
+func (s *Server) Do(ctx context.Context, shape core.Shape, in []bool) ([]bool, error) {
+	// An enqueue can race an eviction's final drain; the dead-channel
+	// protocol makes that loss observable, so a couple of retries
+	// (against the freshly rebuilt entry) make Do lossless. Three
+	// attempts bound the pathological build-evict-build loop.
+	for attempt := 0; ; attempt++ {
+		out, err := s.tryDo(ctx, shape, in)
+		if err == errRetry && attempt < 2 {
+			s.metrics.retries.Add(1)
+			continue
+		}
+		if err == errRetry {
+			err = ErrBusy
+		}
+		return out, err
+	}
+}
+
+func (s *Server) tryDo(ctx context.Context, shape core.Shape, in []bool) ([]bool, error) {
+	e, err := s.getEntry(ctx, shape)
+	if err != nil {
+		if err != ErrClosed && ctx.Err() == nil {
+			s.metrics.errors.Add(1)
+		}
+		return nil, err
+	}
+	if want := e.built.Circuit().NumInputs(); len(in) != want {
+		s.metrics.errors.Add(1)
+		return nil, fmt.Errorf("serve: %d input bits for %s, want %d", len(in), shape.Key(), want)
+	}
+	req := &request{ctx: ctx, in: in, start: time.Now(), reply: make(chan reply, 1)}
+	select {
+	case e.queue <- req:
+		s.metrics.requests.Add(1)
+	case <-e.dead:
+		return nil, errRetry
+	case <-ctx.Done():
+		s.metrics.cancelled.Add(1)
+		return nil, ctx.Err()
+	default:
+		s.metrics.rejected.Add(1)
+		return nil, ErrBusy
+	}
+	select {
+	case r := <-req.reply:
+		s.metrics.totalLatency.observeSince(req.start)
+		return r.out, r.err
+	case <-ctx.Done():
+		// The dispatcher still owns the request: it will observe the
+		// cancelled context and drop it, or finish the in-flight batch
+		// and send into the buffered reply channel (collected by GC).
+		s.metrics.cancelled.Add(1)
+		return nil, ctx.Err()
+	case <-e.dead:
+		// The dispatcher retired after we enqueued. Per the dead
+		// protocol the reply is either already buffered or never coming.
+		select {
+		case r := <-req.reply:
+			s.metrics.totalLatency.observeSince(req.start)
+			return r.out, r.err
+		default:
+			return nil, errRetry
+		}
+	}
+}
+
+// MatMul multiplies two matrices through the shape's circuit
+// (shape.Op must be core.OpMatMul).
+func (s *Server) MatMul(ctx context.Context, shape core.Shape, a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	if shape.Op != core.OpMatMul {
+		return nil, fmt.Errorf("serve: MatMul needs op %q, got %q", core.OpMatMul, shape.Op)
+	}
+	bt, err := s.Built(ctx, shape)
+	if err != nil {
+		return nil, err
+	}
+	in, err := bt.MatMul.Assign(a, b)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return nil, err
+	}
+	out, err := s.Do(ctx, shape, in)
+	if err != nil {
+		return nil, err
+	}
+	return bt.MatMul.DecodeOutputs(out), nil
+}
+
+// Trace decides trace(A³) >= shape.Tau through the shape's circuit
+// (shape.Op must be core.OpTrace).
+func (s *Server) Trace(ctx context.Context, shape core.Shape, a *matrix.Matrix) (bool, error) {
+	if shape.Op != core.OpTrace {
+		return false, fmt.Errorf("serve: Trace needs op %q, got %q", core.OpTrace, shape.Op)
+	}
+	bt, err := s.Built(ctx, shape)
+	if err != nil {
+		return false, err
+	}
+	in, err := bt.Trace.Assign(a)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return false, err
+	}
+	out, err := s.Do(ctx, shape, in)
+	if err != nil {
+		return false, err
+	}
+	return bt.Trace.DecodeOutputs(out), nil
+}
+
+// Triangles counts triangles in an adjacency matrix through the
+// shape's circuit (shape.Op must be core.OpCount).
+func (s *Server) Triangles(ctx context.Context, shape core.Shape, adj *matrix.Matrix) (int64, error) {
+	if shape.Op != core.OpCount {
+		return 0, fmt.Errorf("serve: Triangles needs op %q, got %q", core.OpCount, shape.Op)
+	}
+	bt, err := s.Built(ctx, shape)
+	if err != nil {
+		return 0, err
+	}
+	in, err := bt.Count.Assign(adj)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return 0, err
+	}
+	out, err := s.Do(ctx, shape, in)
+	if err != nil {
+		return 0, err
+	}
+	return bt.Count.DecodeTriangles(out)
+}
+
+// Close shuts the server down gracefully: new requests fail with
+// ErrClosed, every cached circuit's dispatcher drains its queued
+// requests through a final batch, and Close returns once all
+// dispatchers have exited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dispatchers.Wait()
+		return
+	}
+	s.closed = true
+	var entries []*entry
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*entry))
+	}
+	s.lru.Init()
+	s.byKey = make(map[core.Shape]*list.Element)
+	s.mu.Unlock()
+	for _, e := range entries {
+		close(e.done)
+	}
+	s.dispatchers.Wait()
+}
+
+// CachedCircuits returns the number of circuits currently cached.
+func (s *Server) CachedCircuits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+func matmulShape(n int) core.Shape {
+	return core.Shape{Op: core.OpMatMul, N: n, Alg: "strassen", EntryBits: 2, Signed: true}
+}
+
+func traceShape(n int, tau int64) core.Shape {
+	return core.Shape{Op: core.OpTrace, N: n, Tau: tau, Alg: "strassen"}
+}
+
+func countShape(n int) core.Shape {
+	return core.Shape{Op: core.OpCount, N: n, Alg: "strassen"}
+}
+
+// Concurrent clients over all three ops: every served answer must be
+// bit-identical to the direct (unserved) evaluation.
+func TestServeConcurrentBitIdentical(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+
+	mmShape, trShape, cntShape := matmulShape(4), traceShape(4, 2), countShape(4)
+	mm, err := core.BuildMatMul(4, mustOpts(t, mmShape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.BuildTrace(4, 2, mustOpts(t, trShape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := core.BuildCount(4, mustOpts(t, cntShape))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	const perClient = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, 3*clients)
+	for cl := 0; cl < clients; cl++ {
+		rng := rand.New(rand.NewSource(int64(cl)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				a := matrix.Random(rng, 4, 4, -3, 3)
+				b := matrix.Random(rng, 4, 4, -3, 3)
+				got, err := s.MatMul(ctx, mmShape, a, b)
+				if err != nil {
+					errc <- err
+					return
+				}
+				want, err := mm.Multiply(a, b)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !got.Equal(want) {
+					errc <- errors.New("matmul result differs from direct Eval")
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + cl)))
+			for i := 0; i < perClient; i++ {
+				adj := graph.ErdosRenyi(rng, 4, 0.6).Adjacency()
+				got, err := s.Trace(ctx, trShape, adj)
+				if err != nil {
+					errc <- err
+					return
+				}
+				want, err := tr.Decide(adj)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want {
+					errc <- errors.New("trace decision differs from direct Eval")
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + cl)))
+			for i := 0; i < perClient; i++ {
+				adj := graph.ErdosRenyi(rng, 4, 0.6).Adjacency()
+				got, err := s.Triangles(ctx, cntShape, adj)
+				if err != nil {
+					errc <- err
+					return
+				}
+				want, err := cc.Triangles(adj)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want {
+					errc <- errors.New("triangle count differs from direct Eval")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Requests != 3*clients*perClient {
+		t.Errorf("requests %d, want %d", snap.Requests, 3*clients*perClient)
+	}
+	if snap.Samples != snap.Requests {
+		t.Errorf("samples %d != requests %d: lost or duplicated work", snap.Samples, snap.Requests)
+	}
+	if snap.CacheMiss != 3 {
+		t.Errorf("cache misses %d, want 3 (one build per shape)", snap.CacheMiss)
+	}
+}
+
+func mustOpts(t *testing.T, s core.Shape) core.Options {
+	t.Helper()
+	opts, err := s.Options(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+// holdService answers the two-phase holdBatch rendezvous in the
+// background: every announced batch is immediately released.
+func holdService(hb chan struct{}, stop chan struct{}) {
+	for {
+		select {
+		case <-hb:
+			hb <- struct{}{}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// With the dispatcher held mid-batch, piled-up requests must coalesce
+// into one following batch.
+func TestServeCoalesces(t *testing.T) {
+	s := New(Config{})
+	s.holdBatch = make(chan struct{})
+	defer s.Close()
+	ctx := context.Background()
+	shape := countShape(4)
+	if _, err := s.Built(ctx, shape); err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+
+	results := make(chan int64, 32)
+	errc := make(chan error, 32)
+	post := func() {
+		got, err := s.Triangles(ctx, shape, adj)
+		if err != nil {
+			errc <- err
+			return
+		}
+		results <- got
+	}
+	go post()
+	<-s.holdBatch // dispatcher holds batch #1 (the single first request)
+
+	const piled = 20
+	for i := 0; i < piled; i++ {
+		go post()
+	}
+	// Wait until every piled request is enqueued (requests counts
+	// successful enqueues; the first one is already held in batch #1).
+	for s.metrics.requests.Load() < piled+1 {
+		time.Sleep(time.Millisecond)
+	}
+	s.holdBatch <- struct{}{} // release batch #1
+	<-s.holdBatch             // batch #2 announced: the piled requests
+	s.holdBatch <- struct{}{} // release it
+
+	for i := 0; i < piled+1; i++ {
+		select {
+		case got := <-results:
+			if got != 4 { // K4 has C(4,3) = 4 triangles
+				t.Fatalf("triangles = %d, want 4", got)
+			}
+		case err := <-errc:
+			t.Fatal(err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for replies")
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Batches != 2 {
+		t.Errorf("batches %d, want 2 (singleton + one coalesced)", snap.Batches)
+	}
+	if snap.Samples != piled+1 {
+		t.Errorf("samples %d, want %d", snap.Samples, piled+1)
+	}
+}
+
+// A request cancelled while queued must return the context error, and
+// the dispatcher must drop it rather than evaluate it.
+func TestServeCancellationMidQueue(t *testing.T) {
+	s := New(Config{})
+	s.holdBatch = make(chan struct{})
+	defer s.Close()
+	ctx := context.Background()
+	shape := countShape(4)
+	if _, err := s.Built(ctx, shape); err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Triangles(ctx, shape, adj)
+		first <- err
+	}()
+	<-s.holdBatch // batch #1 held
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := s.Triangles(cctx, shape, adj)
+		cancelled <- err
+	}()
+	for s.metrics.requests.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // the queued request's waiter gives up
+	if err := <-cancelled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+	}
+
+	s.holdBatch <- struct{}{} // release batch #1
+	stop := make(chan struct{})
+	go holdService(s.holdBatch, stop)
+	defer close(stop)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// The dispatcher must eventually account the cancelled request as
+	// dropped, not evaluated: its sample never enters a batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && s.Snapshot().Dropped < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	snap := s.Snapshot()
+	if snap.Dropped != 1 {
+		t.Errorf("dropped %d, want 1: cancelled request not discarded", snap.Dropped)
+	}
+	if snap.Samples != 1 {
+		t.Errorf("samples %d, want 1: cancelled request was evaluated", snap.Samples)
+	}
+}
+
+// A full queue rejects immediately with ErrBusy (the HTTP 429 path).
+func TestServeBackpressure(t *testing.T) {
+	s := New(Config{QueueDepth: 2, MaxBatch: 1, Linger: -1})
+	s.holdBatch = make(chan struct{})
+	defer s.Close()
+	ctx := context.Background()
+	shape := countShape(4)
+	if _, err := s.Built(ctx, shape); err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+
+	replies := make(chan error, 8)
+	post := func() {
+		_, err := s.Triangles(ctx, shape, adj)
+		replies <- err
+	}
+	go post()
+	<-s.holdBatch // dispatcher blocked holding request #1; queue empty
+	go post()
+	go post()
+	for s.metrics.requests.Load() < 3 {
+		time.Sleep(time.Millisecond) // #2 and #3 now fill the queue
+	}
+	if _, err := s.Triangles(ctx, shape, adj); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overflow request returned %v, want ErrBusy", err)
+	}
+	if got := s.Snapshot().Rejected; got != 1 {
+		t.Errorf("rejected %d, want 1", got)
+	}
+
+	stop := make(chan struct{})
+	go holdService(s.holdBatch, stop)
+	defer close(stop)
+	s.holdBatch <- struct{}{} // release the held batch
+	for i := 0; i < 3; i++ {
+		if err := <-replies; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Close drains queued requests through final batches: accepted work
+// completes, new work is refused.
+func TestServeShutdownDrains(t *testing.T) {
+	s := New(Config{})
+	s.holdBatch = make(chan struct{})
+	ctx := context.Background()
+	shape := countShape(4)
+	if _, err := s.Built(ctx, shape); err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+
+	results := make(chan error, 16)
+	post := func() {
+		got, err := s.Triangles(ctx, shape, adj)
+		if err == nil && got != 4 {
+			err = errors.New("wrong count after drain")
+		}
+		results <- err
+	}
+	go post()
+	<-s.holdBatch // batch #1 held
+	const queued = 5
+	for i := 0; i < queued; i++ {
+		go post()
+	}
+	for s.metrics.requests.Load() < queued+1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	stop := make(chan struct{})
+	go holdService(s.holdBatch, stop)
+	defer close(stop)
+	s.holdBatch <- struct{}{} // release batch #1; drain follows
+
+	for i := 0; i < queued+1; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("request failed across shutdown: %v", err)
+		}
+	}
+	<-closed
+	if _, err := s.Triangles(ctx, shape, adj); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close request returned %v, want ErrClosed", err)
+	}
+}
+
+// The LRU keeps at most MaxCircuits entries; evicted shapes rebuild on
+// demand and answer correctly (enqueue-vs-eviction races resolve
+// through the retry protocol).
+func TestServeLRUEviction(t *testing.T) {
+	s := New(Config{MaxCircuits: 1})
+	defer s.Close()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(rng, 4, 4, -3, 3)
+	b := matrix.Random(rng, 4, 4, -3, 3)
+	want := a.Mul(b)
+	adj := graph.Complete(4).Adjacency()
+
+	for round := 0; round < 3; round++ {
+		got, err := s.MatMul(ctx, matmulShape(4), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatal("matmul wrong after eviction churn")
+		}
+		tri, err := s.Triangles(ctx, countShape(4), adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tri != 4 {
+			t.Fatalf("triangles %d, want 4", tri)
+		}
+		if n := s.CachedCircuits(); n != 1 {
+			t.Fatalf("cache holds %d circuits, want 1", n)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Evictions < 5 {
+		t.Errorf("evictions %d, want >= 5 under churn", snap.Evictions)
+	}
+}
+
+// A shape that cannot build returns its construction error and does not
+// wedge the server.
+func TestServeBuildError(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	bad := core.Shape{Op: core.OpMatMul, N: 3, Alg: "strassen"} // 3 not a power of 2
+	if _, err := s.Do(ctx, bad, nil); err == nil {
+		t.Fatal("unbuildable shape accepted")
+	}
+	// The server still serves good shapes afterwards.
+	adj := graph.Complete(4).Adjacency()
+	if tri, err := s.Triangles(ctx, countShape(4), adj); err != nil || tri != 4 {
+		t.Fatalf("good shape after bad: %d, %v", tri, err)
+	}
+}
+
+// Do validates input length against the built circuit.
+func TestServeInputLengthValidated(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Do(context.Background(), countShape(4), make([]bool, 3)); err == nil {
+		t.Fatal("wrong-length input accepted")
+	}
+}
+
+// An already-expired context fails fast without being evaluated.
+func TestServeDeadlineBeforeEnqueue(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	shape := countShape(4)
+	if _, err := s.Built(context.Background(), shape); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	adj := graph.Complete(4).Adjacency()
+	if _, err := s.Triangles(ctx, shape, adj); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
