@@ -2,14 +2,32 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet cover race bench bench-build bench-serve experiments fuzz verify serve-test clean
+.PHONY: all check ci fmt-check fuzz-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
 
 all: build vet test
 
-# The full pre-merge gate: everything in `all` plus the race detector
-# over the concurrency-bearing packages, the evaluation service, and
-# the certification suite.
-check: all race serve-test verify
+# The pre-merge gate: build + vet + the -short suites everywhere, the
+# race detector over the concurrency-bearing packages, the evaluation
+# service, and the certification suite. Uses test-short consistently so
+# the gate stays minutes, not tens of minutes; `make test` runs the
+# guarded long builds.
+check: build vet test-short race serve-test verify
+
+# Mirrors .github/workflows/ci.yml job for job, so a green local `make
+# ci` predicts a green CI run (module download aside).
+ci: fmt-check check fuzz-smoke
+
+# The CI formatting gate: gofmt must have nothing to say.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# The CI fuzz gate: a brief seed-corpus + 30s mutation pass over the
+# batched evaluator (the full `make fuzz` rotates every fuzz target).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEvalBatch -fuzztime 30s ./internal/circuit/
 
 # The coalescing evaluation service is dispatcher-goroutine heavy, so
 # its suite always runs under the race detector.
@@ -59,6 +77,11 @@ bench-build:
 # at 64 concurrent clients; writes BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/tcbench e25
+
+# E26 store benchmark: cold parallel build vs content-addressed
+# cache-load for N=8/16 Strassen matmul; writes BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/tcbench e26
 
 # Regenerate every experiment table (E1-E23; see EXPERIMENTS.md).
 experiments:

@@ -22,7 +22,7 @@ func loadRows(t *testing.T, path string, dst any) {
 	}
 	if os.IsNotExist(err) {
 		t.Skipf("%s not present; run `go run ./cmd/tcbench %s` first", path, map[string]string{
-			"BENCH_build.json": "e24", "BENCH_serve.json": "e25",
+			"BENCH_build.json": "e24", "BENCH_serve.json": "e25", "BENCH_store.json": "e26",
 		}[path])
 	}
 	if err != nil {
@@ -90,6 +90,40 @@ func TestBenchServeSchema(t *testing.T) {
 	for _, mode := range []string{"per-request-eval", "coalesced", "http-coalesced"} {
 		if !modes[mode] {
 			t.Errorf("BENCH_serve.json missing mode %q", mode)
+		}
+	}
+}
+
+func TestBenchStoreSchema(t *testing.T) {
+	var rows []struct {
+		Circuit   string  `json:"circuit"`
+		N         int     `json:"n"`
+		Gates     int     `json:"gates"`
+		Bytes     int64   `json:"bytes"`
+		BuildSec  float64 `json:"build_sec"`
+		SaveSec   float64 `json:"save_sec"`
+		LoadSec   float64 `json:"load_sec"`
+		Speedup   float64 `json:"speedup_load_vs_build"`
+		Identical bool    `json:"identical"`
+	}
+	loadRows(t, "BENCH_store.json", &rows)
+	sizes := make(map[int]bool)
+	for i, r := range rows {
+		sizes[r.N] = true
+		if r.Circuit == "" || r.N <= 0 || r.Gates <= 0 || r.Bytes <= 0 ||
+			r.BuildSec <= 0 || r.SaveSec <= 0 || r.LoadSec <= 0 {
+			t.Errorf("row %d malformed: %+v", i, r)
+		}
+		if !r.Identical {
+			t.Errorf("row %d (n=%d): reloaded circuit not bit-identical to the build", i, r.N)
+		}
+		if r.N == 16 && r.Speedup < 5 {
+			t.Errorf("n=16 cache-load speedup %.2fx below the 5x acceptance bar", r.Speedup)
+		}
+	}
+	for _, n := range []int{8, 16} {
+		if !sizes[n] {
+			t.Errorf("BENCH_store.json missing the n=%d row", n)
 		}
 	}
 }

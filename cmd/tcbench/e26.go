@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// e26: build-once/serve-many economics of the content-addressed circuit
+// store. For N=8 and N=16 Strassen matmul, a cold parallel build is
+// timed against saving into and reloading from the disk cache. The
+// reloaded circuit must be bit-identical: its re-encoded envelope must
+// equal the original's byte for byte, and a batch of random samples
+// must evaluate to the same output bits on both. Rows are written to
+// BENCH_store.json; cmd/tcbench's schema test enforces load >= 5x
+// faster than cold build for the N=16 row.
+func e26() {
+	type row struct {
+		Circuit   string  `json:"circuit"`
+		N         int     `json:"n"`
+		Gates     int     `json:"gates"`
+		Bytes     int64   `json:"bytes"`
+		BuildSec  float64 `json:"build_sec"`
+		SaveSec   float64 `json:"save_sec"`
+		LoadSec   float64 `json:"load_sec"`
+		Speedup   float64 `json:"speedup_load_vs_build"`
+		Identical bool    `json:"identical"`
+	}
+
+	dir, err := os.MkdirTemp("", "tcbench-e26-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	cache, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+
+	var rows []row
+	for _, n := range []int{8, 16} {
+		shape := core.Shape{Op: core.OpMatMul, N: n, Alg: "strassen", EntryBits: 2, Signed: true}
+		fmt.Printf("cold build %s ...\n", shape.Key())
+
+		start := time.Now()
+		built, err := core.BuildShape(shape, -1)
+		if err != nil {
+			panic(err)
+		}
+		buildSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		path, err := cache.Save(built)
+		if err != nil {
+			panic(err)
+		}
+		saveSec := time.Since(start).Seconds()
+		fi, err := os.Stat(path)
+		if err != nil {
+			panic(err)
+		}
+
+		// Best of three loads: the first pays the page-cache fill, which
+		// is real but noisy; steady-state reload is what a restarting
+		// server sees on a warm machine.
+		var loaded *core.Built
+		loadSec := 0.0
+		for i := 0; i < 3; i++ {
+			start = time.Now()
+			loaded, err = cache.Load(shape)
+			if err != nil {
+				panic(err)
+			}
+			if sec := time.Since(start).Seconds(); i == 0 || sec < loadSec {
+				loadSec = sec
+			}
+		}
+
+		rows = append(rows, row{
+			Circuit: "matmul/strassen", N: n,
+			Gates: built.Circuit().Size(), Bytes: fi.Size(),
+			BuildSec: buildSec, SaveSec: saveSec, LoadSec: loadSec,
+			Speedup:   buildSec / loadSec,
+			Identical: identicalBuilt(built, loaded),
+		})
+	}
+
+	fmt.Printf("%-16s %4s %9s %11s %10s %9s %9s %9s %6s\n",
+		"circuit", "n", "gates", "bytes", "build-s", "save-s", "load-s", "speedup", "ident")
+	for _, r := range rows {
+		fmt.Printf("%-16s %4d %9d %11d %10.3f %9.3f %9.3f %8.1fx %6v\n",
+			r.Circuit, r.N, r.Gates, r.Bytes, r.BuildSec, r.SaveSec, r.LoadSec, r.Speedup, r.Identical)
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_store.json", append(out, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("rows written to BENCH_store.json")
+}
+
+// identicalBuilt checks the two bit-identity properties the store
+// guarantees: re-encoding the reloaded Built reproduces the original
+// envelope byte for byte, and both circuits produce the same marked
+// output bits on a random 64-sample batch.
+func identicalBuilt(a, b *core.Built) bool {
+	ea, err := store.Encode(a)
+	if err != nil {
+		return false
+	}
+	eb, err := store.Encode(b)
+	if err != nil {
+		return false
+	}
+	if !bytes.Equal(ea, eb) {
+		return false
+	}
+
+	ca, cb := a.Circuit(), b.Circuit()
+	rng := rand.New(rand.NewSource(26))
+	ins := make([][]bool, 64)
+	for i := range ins {
+		in := make([]bool, ca.NumInputs())
+		for j := range in {
+			in[j] = rng.Intn(2) == 1
+		}
+		ins[i] = in
+	}
+	eva := circuit.NewEvaluator(ca, 0)
+	defer eva.Close()
+	evb := circuit.NewEvaluator(cb, 0)
+	defer evb.Close()
+	va, vb := eva.EvalBatch(ins), evb.EvalBatch(ins)
+	for i := range va {
+		for _, o := range ca.Outputs() {
+			if va[i][o] != vb[i][o] {
+				return false
+			}
+		}
+	}
+	return true
+}

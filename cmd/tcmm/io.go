@@ -10,7 +10,9 @@ import (
 )
 
 // cmdSave builds a circuit and writes it in the binary codec, so
-// expensive constructions are paid once.
+// expensive constructions are paid once. With -cache-dir it instead
+// saves into the content-addressed store (checksummed envelope that
+// also carries the decode maps, reloadable by `tcmm load` and tcserve).
 func cmdSave(args []string) error {
 	fs := flag.NewFlagSet("save", flag.ExitOnError)
 	kind := fs.String("kind", "matmul", "matmul|trace|count")
@@ -21,8 +23,13 @@ func cmdSave(args []string) error {
 	signed := fs.Bool("signed", false, "allow negative entries")
 	tau := fs.Int64("tau", 6, "trace threshold (trace kind only)")
 	shared := fs.Bool("shared", false, "enable the MSB-sharing optimization")
-	out := fs.String("out", "circuit.tcm", "output path")
+	out := fs.String("out", "circuit.tcm", "output path (raw codec; ignored with -cache-dir)")
+	cacheDir := fs.String("cache-dir", "", "save into this content-addressed store instead of -out")
 	fs.Parse(args)
+
+	if *cacheDir != "" {
+		return saveToStore(*cacheDir, shapeFromFlags(*kind, *n, *algName, *d, *bits, *signed, *tau, *shared))
+	}
 
 	alg, err := tcmm.LookupAlgorithm(*algName)
 	if err != nil {

@@ -53,6 +53,8 @@ func main() {
 		err = cmdExport(args)
 	case "save":
 		err = cmdSave(args)
+	case "load":
+		err = cmdLoad(args)
 	case "sim":
 		err = cmdSim(args)
 	case "inspect":
@@ -84,7 +86,8 @@ commands:
   dot         emit a small circuit in Graphviz DOT format
   count       build the exact-count circuit and count triangles
   export      write a built-in algorithm as JSON (feed back via -algfile)
-  save        build a circuit and cache it on disk (binary codec)
+  save        build a circuit and cache it on disk (binary codec or -cache-dir store)
+  load        reload a circuit from a -cache-dir store (optionally -certify)
   sim         profile a saved circuit on a device (placement, congestion)
   inspect     print a saved circuit's level and fan-in anatomy
 

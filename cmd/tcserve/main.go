@@ -2,7 +2,7 @@
 // HTTP/JSON (see internal/serve and DESIGN.md "Serving and request
 // coalescing").
 //
-//	tcserve -addr :8714 -max-batch 64 -linger 200us
+//	tcserve -addr :8714 -max-batch 64 -linger 200us -cache-dir /var/cache/tc
 //
 // Endpoints:
 //
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		evalW       = flag.Int("eval-workers", 1, "batch evaluator workers per circuit")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		cacheDir    = flag.String("cache-dir", "", "content-addressed circuit store; LRU misses warm-start from disk (empty = build-only)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,15 @@ func main() {
 	}
 	if *linger == 0 {
 		cfg.Linger = -1 // Config treats 0 as "default"; negative disables
+	}
+	if *cacheDir != "" {
+		cache, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcserve: open cache: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+		log.Printf("tcserve: circuit store at %s", cache.Dir())
 	}
 	s := serve.New(cfg)
 

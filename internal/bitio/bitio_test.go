@@ -172,13 +172,13 @@ func TestMulCheckBoundaries(t *testing.T) {
 		{-1, -math.MaxInt64, math.MaxInt64},
 		// The band (2^62, 2^63) the old cutoff wrongly rejected.
 		{1, 1<<62 + 1, 1<<62 + 1},
-		{3, 1 << 61, 3 << 61},                    // 3·2^61 = 1.5·2^62
-		{-3, 1 << 61, -(3 << 61)},                //
-		{1 << 31, 1 << 31, 1 << 62},              //
-		{-(1 << 31), 1 << 32, math.MinInt64},     // exactly -2^63
-		{1 << 32, -(1 << 31), math.MinInt64},     //
-		{-(1 << 21), 1 << 42, math.MinInt64},     //
-		{7, 1317624576693539401, math.MaxInt64},  // 7·(MaxInt64/7), MaxInt64 % 7 == 0
+		{3, 1 << 61, 3 << 61},                   // 3·2^61 = 1.5·2^62
+		{-3, 1 << 61, -(3 << 61)},               //
+		{1 << 31, 1 << 31, 1 << 62},             //
+		{-(1 << 31), 1 << 32, math.MinInt64},    // exactly -2^63
+		{1 << 32, -(1 << 31), math.MinInt64},    //
+		{-(1 << 21), 1 << 42, math.MinInt64},    //
+		{7, 1317624576693539401, math.MaxInt64}, // 7·(MaxInt64/7), MaxInt64 % 7 == 0
 		{-7, 1317624576693539401, -math.MaxInt64} /**/}
 	for _, c := range ok {
 		if got := MulCheck(c.a, c.b); got != c.want {
@@ -192,10 +192,10 @@ func TestMulCheckBoundaries(t *testing.T) {
 		{math.MinInt64, 2},
 		{math.MaxInt64, 2},
 		{2, math.MaxInt64},
-		{1 << 32, 1 << 31},        // +2^63 is one past MaxInt64
-		{-(1 << 31), -(1 << 32)},  //
-		{1 << 32, 1<<31 + 1},      //
-		{3037000500, 3037000500},  // floor(sqrt 2^63)+1 squared
+		{1 << 32, 1 << 31},       // +2^63 is one past MaxInt64
+		{-(1 << 31), -(1 << 32)}, //
+		{1 << 32, 1<<31 + 1},     //
+		{3037000500, 3037000500}, // floor(sqrt 2^63)+1 squared
 		{math.MaxInt64, math.MaxInt64}}
 	for _, c := range overflow {
 		func() {

@@ -24,6 +24,13 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := Read(bytes.NewReader(data))
+		cb, errB := ReadBytes(data)
+		if errB == nil && err != nil {
+			// ReadBytes is strictly stricter than Read (it additionally
+			// rejects trailing bytes); it must never accept what the
+			// streaming decoder rejects.
+			t.Fatalf("ReadBytes accepted input Read rejected: %v", err)
+		}
 		if err != nil {
 			return
 		}
@@ -35,6 +42,14 @@ func FuzzRead(f *testing.F) {
 		c.OutputValues(vals)
 		_ = c.Energy(vals)
 		_ = c.Stats()
+		if errB == nil {
+			vb := cb.Eval(in)
+			for i := range vals {
+				if vals[i] != vb[i] {
+					t.Fatal("Read and ReadBytes decoded different circuits")
+				}
+			}
+		}
 	})
 }
 

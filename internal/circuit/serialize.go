@@ -8,93 +8,164 @@ import (
 )
 
 // Binary circuit format, versioned: circuits with millions of gates
-// round-trip in a few hundred milliseconds, so a built matmul circuit
-// can be cached on disk instead of reconstructed.
+// round-trip in tens of milliseconds, so a built matmul circuit can be
+// cached on disk instead of reconstructed (see internal/store for the
+// checksummed envelope and the content-addressed cache on top).
 //
 // Layout (little endian):
 //
 //	magic "TCM1" | numInputs | numGroups | numGates | numWires(stored)
 //	per group: inStart inEnd gateStart gateCount level
 //	wires[] | weights[] | thresholds[] | gateGroup[] | numOutputs | outputs[]
+//
+// Counts and weights are int64; wire ids and gate groups are int32. The
+// encoder and decoder use manual little-endian loops over bulk byte
+// buffers rather than encoding/binary's reflective slice path — the
+// difference between ~100 MB/s and multiple GB/s, which is what makes a
+// disk cache load an order of magnitude cheaper than a rebuild.
 
 const magic = "TCM1"
 
+const (
+	// headerLimit rejects absurd gate/wire counts before any allocation.
+	headerLimit = int64(1) << 34
+	// chunkElems bounds per-step allocation when decoding from a stream
+	// whose true length is unknown: a hostile header claiming 2^34 gates
+	// fails at EOF with bounded memory instead of OOMing up front.
+	chunkElems = 1 << 16
+)
+
 // WriteTo serializes the circuit. It implements io.WriterTo.
 func (c *Circuit) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
 	cw := &countWriter{w: bw}
-	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	e := &encoder{w: cw, buf: make([]byte, 0, 1<<16)}
 
-	if _, err := cw.Write([]byte(magic)); err != nil {
-		return cw.n, err
-	}
-	header := []int64{
-		int64(c.numInputs), int64(len(c.groups)), int64(len(c.thresholds)), int64(len(c.wires)),
-	}
-	if err := write(header); err != nil {
-		return cw.n, err
-	}
+	e.raw([]byte(magic))
+	e.i64(int64(c.numInputs), int64(len(c.groups)), int64(len(c.thresholds)), int64(len(c.wires)))
 	for _, g := range c.groups {
-		if err := write([]int64{g.inStart, g.inEnd, int64(g.gateStart), int64(g.gateCount), int64(g.level)}); err != nil {
-			return cw.n, err
+		e.i64(g.inStart, g.inEnd, int64(g.gateStart), int64(g.gateCount), int64(g.level))
+	}
+	e.i32s(c.wires)
+	e.i64s(c.weights)
+	e.i64s(c.thresholds)
+	e.i32s(c.gateGroup)
+	e.i64(int64(len(c.outputs)))
+	e.i32s(c.outputs)
+	e.flush()
+	if e.err == nil {
+		e.err = bw.Flush()
+	}
+	return cw.n, e.err
+}
+
+// encoder batches little-endian values into a byte buffer and flushes
+// it to w whenever it fills. All methods are no-ops after an error.
+type encoder struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (e *encoder) flush() {
+	if e.err == nil && len(e.buf) > 0 {
+		_, e.err = e.w.Write(e.buf)
+	}
+	e.buf = e.buf[:0]
+}
+
+func (e *encoder) room(n int) bool {
+	if len(e.buf)+n > cap(e.buf) {
+		e.flush()
+	}
+	return e.err == nil
+}
+
+func (e *encoder) raw(p []byte) {
+	if e.room(len(p)) {
+		e.buf = append(e.buf, p...)
+	}
+}
+
+func (e *encoder) i64(vs ...int64) {
+	for _, v := range vs {
+		if !e.room(8) {
+			return
 		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
 	}
-	for _, arr := range []any{c.wires, c.weights, c.thresholds, c.gateGroup} {
-		if err := write(arr); err != nil {
-			return cw.n, err
+}
+
+func (e *encoder) i64s(vs []int64) {
+	for _, v := range vs {
+		if !e.room(8) {
+			return
 		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
 	}
-	if err := write(int64(len(c.outputs))); err != nil {
-		return cw.n, err
+}
+
+func (e *encoder) i32s(vs []int32) {
+	for _, v := range vs {
+		if !e.room(4) {
+			return
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(v))
 	}
-	if err := write(c.outputs); err != nil {
-		return cw.n, err
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
 }
 
 // Read deserializes a circuit written by WriteTo, validating structural
 // invariants so a corrupted stream cannot produce an inconsistent
-// circuit.
+// circuit. It consumes exactly the circuit's bytes from r. Slices grow
+// chunk by chunk as data actually arrives, so a lying header fails at
+// EOF with bounded memory; when the whole payload is already in memory
+// ReadBytes is faster (exact allocations, length checked up front).
 func Read(r io.Reader) (*Circuit, error) {
-	br := bufio.NewReader(r)
-	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	br := bufio.NewReaderSize(r, 1<<16)
+	scratch := make([]byte, 8*chunkElems)
 
-	head := make([]byte, 4)
+	head := scratch[:4]
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("circuit: read magic: %w", err)
 	}
 	if string(head) != magic {
 		return nil, fmt.Errorf("circuit: bad magic %q", head)
 	}
+	readI64s := func(dst []int64) error {
+		b := scratch[:8*len(dst)]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return err
+		}
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		return nil
+	}
+
 	var header [4]int64
-	if err := read(&header); err != nil {
+	if err := readI64s(header[:]); err != nil {
 		return nil, fmt.Errorf("circuit: read header: %w", err)
 	}
 	numInputs, numGroups, numGates, numWires := header[0], header[1], header[2], header[3]
-	const limit = int64(1) << 34
-	if numInputs < 0 || numGroups < 0 || numGates < 0 || numWires < 0 ||
-		numGroups > numGates || numGates > limit || numWires > limit || numInputs > limit {
-		return nil, fmt.Errorf("circuit: implausible header %v", header)
+	if err := checkHeader(numInputs, numGroups, numGates, numWires); err != nil {
+		return nil, err
 	}
 
-	// Never allocate on the header's say-so alone: a hostile stream can
-	// claim 2^34 gates. Slices grow chunk by chunk as data actually
-	// arrives, so a lying header fails at EOF with bounded memory.
-	const chunk = 1 << 16
+	// Never allocate on the header's say-so alone (see chunkElems).
 	readWires := func(n int64) ([]Wire, error) {
 		var out []Wire
 		for n > 0 {
 			step := n
-			if step > chunk {
-				step = chunk
+			if step > chunkElems {
+				step = chunkElems
+			}
+			b := scratch[:4*step]
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, err
 			}
 			buf := make([]Wire, step)
-			if err := read(buf); err != nil {
-				return nil, err
+			for i := range buf {
+				buf[i] = Wire(binary.LittleEndian.Uint32(b[4*i:]))
 			}
 			out = append(out, buf...)
 			n -= step
@@ -105,11 +176,11 @@ func Read(r io.Reader) (*Circuit, error) {
 		var out []int64
 		for n > 0 {
 			step := n
-			if step > chunk {
-				step = chunk
+			if step > chunkElems {
+				step = chunkElems
 			}
 			buf := make([]int64, step)
-			if err := read(buf); err != nil {
+			if err := readI64s(buf); err != nil {
 				return nil, err
 			}
 			out = append(out, buf...)
@@ -121,7 +192,7 @@ func Read(r io.Reader) (*Circuit, error) {
 	c := &Circuit{numInputs: int(numInputs)}
 	for i := int64(0); i < numGroups; i++ {
 		var g [5]int64
-		if err := read(&g); err != nil {
+		if err := readI64s(g[:]); err != nil {
 			return nil, fmt.Errorf("circuit: read group %d: %w", i, err)
 		}
 		c.groups = append(c.groups, group{
@@ -139,25 +210,161 @@ func Read(r io.Reader) (*Circuit, error) {
 	if c.thresholds, err = readInt64s(numGates); err != nil {
 		return nil, fmt.Errorf("circuit: read thresholds: %w", err)
 	}
-	gg, err := readWires(numGates) // int32s, same shape as wires
-	if err != nil {
+	if c.gateGroup, err = readWires(numGates); err != nil { // int32s, same shape as wires
 		return nil, fmt.Errorf("circuit: read gate groups: %w", err)
 	}
-	c.gateGroup = gg
-	var nOut int64
-	if err := read(&nOut); err != nil {
+	var nOut [1]int64
+	if err := readI64s(nOut[:]); err != nil {
 		return nil, fmt.Errorf("circuit: read output count: %w", err)
 	}
-	if nOut < 0 || nOut > numInputs+numGates {
-		return nil, fmt.Errorf("circuit: implausible output count %d", nOut)
+	if nOut[0] < 0 || nOut[0] > numInputs+numGates {
+		return nil, fmt.Errorf("circuit: implausible output count %d", nOut[0])
 	}
-	if c.outputs, err = readWires(nOut); err != nil {
+	if c.outputs, err = readWires(nOut[0]); err != nil {
 		return nil, fmt.Errorf("circuit: read outputs: %w", err)
 	}
-	if err := c.validate(); err != nil {
+	if err := c.finish(); err != nil {
 		return nil, err
 	}
-	// Rebuild derived state.
+	return c, nil
+}
+
+// ReadBytes deserializes a circuit from an in-memory buffer holding
+// exactly the bytes WriteTo produced. Unlike Read it checks the claimed
+// element counts against len(data) before allocating, so every slice is
+// allocated exactly once at its final size — the fast path for the
+// on-disk circuit cache, where the checksummed envelope already holds
+// the payload in memory.
+func ReadBytes(data []byte) (*Circuit, error) {
+	d := &sliceDecoder{data: data}
+	if !d.has(4) || string(data[:4]) != magic {
+		if len(data) >= 4 {
+			return nil, fmt.Errorf("circuit: bad magic %q", data[:4])
+		}
+		return nil, fmt.Errorf("circuit: bad magic: truncated")
+	}
+	d.off = 4
+
+	numInputs := d.i64()
+	numGroups := d.i64()
+	numGates := d.i64()
+	numWires := d.i64()
+	if d.err != nil {
+		return nil, fmt.Errorf("circuit: read header: %w", d.err)
+	}
+	if err := checkHeader(numInputs, numGroups, numGates, numWires); err != nil {
+		return nil, err
+	}
+	// Byte budget: groups + wires + weights + thresholds + gateGroup +
+	// output count must fit in what's actually present, so the exact
+	// allocations below never trust the header alone. Counts are bounded
+	// by headerLimit (2^34), so the sum stays far from int64 overflow.
+	need := numGroups*40 + numWires*(4+8) + numGates*(8+4) + 8
+	if int64(len(data)-d.off) < need {
+		return nil, fmt.Errorf("circuit: truncated: header claims %d bytes, have %d", need, len(data)-d.off)
+	}
+
+	c := &Circuit{numInputs: int(numInputs)}
+	c.groups = make([]group, numGroups)
+	for i := range c.groups {
+		c.groups[i] = group{
+			inStart: d.i64(), inEnd: d.i64(),
+			gateStart: int32(d.i64()), gateCount: int32(d.i64()), level: int32(d.i64()),
+		}
+	}
+	c.wires = d.i32s(numWires)
+	c.weights = d.i64s(numWires)
+	c.thresholds = d.i64s(numGates)
+	c.gateGroup = d.i32s(numGates)
+	nOut := d.i64()
+	if d.err != nil {
+		return nil, fmt.Errorf("circuit: decode: %w", d.err)
+	}
+	if nOut < 0 || nOut > numInputs+numGates || int64(len(data)-d.off) < nOut*4 {
+		return nil, fmt.Errorf("circuit: implausible output count %d", nOut)
+	}
+	c.outputs = d.i32s(nOut)
+	if d.err != nil {
+		return nil, fmt.Errorf("circuit: read outputs: %w", d.err)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("circuit: %d trailing bytes after circuit payload", len(data)-d.off)
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// checkHeader rejects implausible counts shared by both decoders.
+func checkHeader(numInputs, numGroups, numGates, numWires int64) error {
+	if numInputs < 0 || numGroups < 0 || numGates < 0 || numWires < 0 ||
+		numGroups > numGates || numGates > headerLimit || numWires > headerLimit || numInputs > headerLimit {
+		return fmt.Errorf("circuit: implausible header [%d %d %d %d]", numInputs, numGroups, numGates, numWires)
+	}
+	return nil
+}
+
+// sliceDecoder reads little-endian values out of a byte slice. All
+// methods return zero values after the first error.
+type sliceDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *sliceDecoder) has(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.data)-d.off < n {
+		d.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+func (d *sliceDecoder) i64() int64 {
+	if !d.has(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *sliceDecoder) i64s(n int64) []int64 {
+	if !d.has(int(n * 8)) {
+		return nil
+	}
+	out := make([]int64, n)
+	b := d.data[d.off:]
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	d.off += int(n * 8)
+	return out
+}
+
+func (d *sliceDecoder) i32s(n int64) []int32 {
+	if !d.has(int(n * 4)) {
+		return nil
+	}
+	out := make([]int32, n)
+	b := d.data[d.off:]
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	d.off += int(n * 4)
+	return out
+}
+
+// finish validates a freshly decoded circuit and rebuilds the derived
+// state Build computes (depth, cached edge count, level index).
+func (c *Circuit) finish() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
 	c.edges = c.computeEdges()
 	for _, g := range c.groups {
 		if int(g.level) > c.depth {
@@ -168,7 +375,7 @@ func Read(r io.Reader) (*Circuit, error) {
 	for gi, gr := range c.groups {
 		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
 	}
-	return c, nil
+	return nil
 }
 
 // validate checks the invariants Build guarantees by construction.

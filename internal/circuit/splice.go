@@ -53,7 +53,7 @@ func (b *Builder) Splice(src *Circuit, inputMap []Wire) []Wire {
 		}
 	}
 
-	posBase := int64(len(b.c.wires))     // span offset for copied groups
+	posBase := int64(len(b.c.wires)) // span offset for copied groups
 	gateBase := int32(len(b.c.thresholds))
 	groupBase := int32(len(b.c.groups))
 	wireBase := b.numWires // new wire id of src gate 0

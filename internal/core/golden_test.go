@@ -8,8 +8,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"repro/internal/bilinear"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -30,18 +28,37 @@ type goldenStats struct {
 	DepthBound int    `json:"depth_bound"`
 }
 
-// The Strassen matmul builders' complexity measures are pinned against
-// golden files: these numbers back the paper-comparison tables, so a
-// drift is either a regression or a deliberate change to re-baseline
-// with `go test ./internal/core -run StatsGolden -update`.
+// The Strassen builders' complexity measures — matmul, trace and count
+// at N=4/8 — are pinned against golden files: these numbers back the
+// paper-comparison tables, so a drift is either a regression or a
+// deliberate change to re-baseline with
+// `go test ./internal/core -run StatsGolden -update`.
 func TestStatsGolden(t *testing.T) {
+	var cases []Shape
 	for _, n := range []int{4, 8} {
-		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
-			mc, err := BuildMatMul(n, Options{Alg: bilinear.Strassen()})
+		cases = append(cases,
+			Shape{Op: OpMatMul, N: n, Alg: "strassen"},
+			Shape{Op: OpTrace, N: n, Tau: 6, Alg: "strassen"},
+			Shape{Op: OpCount, N: n, Alg: "strassen"},
+		)
+	}
+	for _, shape := range cases {
+		t.Run(fmt.Sprintf("%s_n%d", shape.Op, shape.N), func(t *testing.T) {
+			bt, err := BuildShape(shape, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			st := mc.Circuit.Stats()
+			c := bt.Circuit()
+			var depthBound int
+			switch {
+			case bt.MatMul != nil:
+				depthBound = bt.MatMul.DepthBound()
+			case bt.Trace != nil:
+				depthBound = bt.Trace.DepthBound()
+			case bt.Count != nil:
+				depthBound = bt.Count.DepthBound()
+			}
+			st := c.Stats()
 			got, err := json.MarshalIndent(goldenStats{
 				Stats:      st.String(),
 				Inputs:     st.Inputs,
@@ -50,14 +67,14 @@ func TestStatsGolden(t *testing.T) {
 				Edges:      st.Edges,
 				Stored:     st.StoredEdges,
 				MaxFanIn:   st.MaxFanIn,
-				LevelSizes: mc.Circuit.LevelSizes(),
-				DepthBound: mc.DepthBound(),
+				LevelSizes: c.LevelSizes(),
+				DepthBound: depthBound,
 			}, "", "  ")
 			if err != nil {
 				t.Fatal(err)
 			}
 			got = append(got, '\n')
-			path := filepath.Join("testdata", fmt.Sprintf("matmul_strassen_n%d_stats.golden", n))
+			path := filepath.Join("testdata", fmt.Sprintf("%s_strassen_n%d_stats.golden", shape.Op, shape.N))
 			if *update {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
 					t.Fatal(err)

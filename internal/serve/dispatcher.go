@@ -24,7 +24,7 @@ func (s *Server) dispatch(e *entry) {
 
 	var (
 		batch []*request
-		in    circuit.Planes // packed input planes, reused across batches
+		in    circuit.Planes  // packed input planes, reused across batches
 		out   *circuit.Planes // gathered output planes, reused
 		row   []bool          // per-sample output scratch for Assignment
 	)

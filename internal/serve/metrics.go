@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // metrics is the server's counter set. Plain atomics rather than
@@ -23,6 +25,8 @@ type metrics struct {
 	samples    atomic.Int64 // samples served through batches
 	singletons atomic.Int64 // batches of size 1 (direct Eval path)
 	retries    atomic.Int64 // enqueue raced an eviction and retried
+	diskHits   atomic.Int64 // LRU misses warm-started from the disk store
+	diskSaves  atomic.Int64 // builds persisted to the disk store
 
 	evalLatency  histogram // per-batch evaluation wall time
 	totalLatency histogram // per-request accept→reply wall time
@@ -60,8 +64,8 @@ func (h *histogram) observeSince(start time.Time) {
 
 // HistogramSnapshot is a point-in-time copy of one histogram.
 type HistogramSnapshot struct {
-	Count   int64           `json:"count"`
-	Sum     int64           `json:"sum"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
 	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^i" -> count
 }
 
@@ -103,6 +107,16 @@ type Snapshot struct {
 	Singletons int64 `json:"singletons"`
 	Retries    int64 `json:"retries"`
 
+	// Disk warm-start counters (zero unless Config.Cache is set):
+	// an LRU miss resolved from the on-disk store instead of a build,
+	// and builds persisted back to it.
+	DiskHits  int64 `json:"disk_hits"`
+	DiskSaves int64 `json:"disk_saves"`
+
+	// Store, when a disk cache is configured, is its own counter
+	// snapshot (including corrupt-artifact detections).
+	Store *store.Stats `json:"store,omitempty"`
+
 	EvalLatencyUS  HistogramSnapshot `json:"eval_latency_us"`
 	TotalLatencyUS HistogramSnapshot `json:"total_latency_us"`
 	BatchSize      HistogramSnapshot `json:"batch_size"`
@@ -112,7 +126,15 @@ type Snapshot struct {
 // is individually atomic; cross-field skew is acceptable for metrics).
 func (s *Server) Snapshot() Snapshot {
 	m := &s.metrics
+	var st *store.Stats
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		st = &cs
+	}
 	return Snapshot{
+		DiskHits:   m.diskHits.Load(),
+		DiskSaves:  m.diskSaves.Load(),
+		Store:      st,
 		Requests:   m.requests.Load(),
 		CacheHits:  m.cacheHits.Load(),
 		CacheMiss:  m.cacheMiss.Load(),

@@ -31,6 +31,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/store"
 	"sync"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// RequestTimeout caps each HTTP request's context (default 30s);
 	// direct Do callers manage their own contexts.
 	RequestTimeout time.Duration
+	// Cache, when non-nil, is the content-addressed on-disk circuit
+	// store: an LRU miss first tries to load the built circuit from
+	// disk (corrupt artifacts are rejected and healed), and fresh
+	// builds are persisted back — so a restarted server warm-starts
+	// instead of paying construction again. Nil means build-only.
+	Cache *store.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -213,9 +220,24 @@ func (s *Server) getEntry(ctx context.Context, shape core.Shape) (*entry, error)
 	}
 }
 
-// buildEntry constructs the circuit for e and starts its dispatcher.
+// buildEntry resolves the circuit for e — from the disk store when one
+// is configured (LoadOrBuild rejects and heals corrupt artifacts, and
+// persists fresh builds), otherwise by construction — and starts its
+// dispatcher.
 func (s *Server) buildEntry(e *entry) {
-	built, err := core.BuildShape(e.shape, s.cfg.BuildWorkers)
+	var built *core.Built
+	var err error
+	if s.cfg.Cache != nil {
+		var fromDisk bool
+		built, fromDisk, err = s.cfg.Cache.LoadOrBuild(e.shape, s.cfg.BuildWorkers)
+		if fromDisk {
+			s.metrics.diskHits.Add(1)
+		} else if err == nil {
+			s.metrics.diskSaves.Add(1)
+		}
+	} else {
+		built, err = core.BuildShape(e.shape, s.cfg.BuildWorkers)
+	}
 	if err != nil {
 		e.err = err
 		close(e.ready)

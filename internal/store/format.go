@@ -1,0 +1,286 @@
+// Package store persists built circuits: a versioned, checksummed
+// binary envelope around the circuit codec plus the typed-wrapper
+// metadata (core.BuiltMeta), and a content-addressed on-disk cache
+// keyed by a SHA-256 fingerprint of the shape and the format version.
+//
+// The economics mirror an inference stack: construction is seconds of
+// CPU for large N (even parallelized — see internal/core's pipeline),
+// evaluation is microseconds, and the artifact is deterministic per
+// core.Shape. So the circuit is built once, fingerprinted, and
+// reloaded everywhere else — a cache load is an order of magnitude
+// cheaper than a rebuild (tcbench e26 measures it).
+//
+// Envelope layout (little endian):
+//
+//	magic "TCS1" | u32 formatVersion
+//	u32 keyLen   | shape key string (core.Shape.Key())
+//	u64 metaLen  | BuiltMeta section (see appendMeta)
+//	u64 circLen  | circuit codec bytes (circuit.WriteTo format)
+//	u32 CRC-32C over everything above
+//
+// The trailing CRC-32C (Castagnoli, hardware-accelerated) catches
+// corruption and truncation before any section is trusted; the shape
+// key is stored in clear and must match the requested shape exactly,
+// so a fingerprint collision or a renamed file cannot smuggle the
+// wrong circuit in; and the circuit and metadata sections each
+// re-validate their own structural invariants (circuit.ReadBytes,
+// core.RestoreBuilt). Integrity uses CRC, not SHA-256: the content
+// address authenticates *which* artifact a file claims to be, the CRC
+// only needs to catch bit rot and torn writes at disk bandwidth.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/arith"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/tctree"
+)
+
+const (
+	envelopeMagic = "TCS1"
+	// FormatVersion is bumped on any incompatible layout change; it is
+	// part of both the envelope header and the cache fingerprint, so a
+	// version bump simply misses the old files instead of misreading
+	// them.
+	FormatVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes a Built into the envelope format.
+func Encode(b *core.Built) ([]byte, error) {
+	var circ bytes.Buffer
+	if _, err := b.Circuit().WriteTo(&circ); err != nil {
+		return nil, fmt.Errorf("store: encode circuit: %w", err)
+	}
+	meta := appendMeta(nil, b.Meta())
+	key := b.Shape.Key()
+
+	out := make([]byte, 0, len(envelopeMagic)+4+4+len(key)+8+len(meta)+8+circ.Len()+4)
+	out = append(out, envelopeMagic...)
+	out = binary.LittleEndian.AppendUint32(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(key)))
+	out = append(out, key...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(meta)))
+	out = append(out, meta...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(circ.Len()))
+	out = append(out, circ.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out, nil
+}
+
+// Decode parses an envelope and restores the Built for shape. Every
+// failure mode — truncation, bit flips, version or shape mismatch,
+// inconsistent sections — returns an error wrapping ErrCorrupt (except
+// a clean version mismatch, which wraps ErrVersion so callers can
+// distinguish "stale format" from "damaged file").
+func Decode(shape core.Shape, data []byte) (*core.Built, error) {
+	const minLen = 4 + 4 + 4 + 8 + 8 + 4
+	if len(data) < minLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any envelope", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != envelopeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (have %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+	// From here on the bytes are authentic; mismatches mean the file
+	// was written by a different writer, not damaged in place.
+	if v := binary.LittleEndian.Uint32(body[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has format v%d, this build reads v%d", ErrVersion, v, FormatVersion)
+	}
+	d := &decoder{data: body, off: 8}
+	key := string(d.bytes(int64(d.u32())))
+	meta := d.bytes(int64(d.u64()))
+	circ := d.bytes(int64(d.u64()))
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
+	}
+	if want := shape.Key(); key != want {
+		return nil, fmt.Errorf("%w: envelope is for shape %q, want %q", ErrCorrupt, key, want)
+	}
+	m, err := decodeMeta(meta)
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+	}
+	c, err := circuit.ReadBytes(circ)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	built, err := core.RestoreBuilt(shape, c, m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return built, nil
+}
+
+// appendMeta serializes a BuiltMeta:
+//
+//	u64 schedLen | sched[] (i64)
+//	4 audits (DownA DownB DownG Up): u64 len | values[] (i64)
+//	product i64 | auditOutput i64
+//	u64 numReps | per rep: pos half, neg half
+//	  half: u64 nTerms | terms[] (i32 wire, i64 weight) | i64 max
+//	i64 output wire
+func appendMeta(out []byte, m core.BuiltMeta) []byte {
+	i64 := func(v int64) { out = binary.LittleEndian.AppendUint64(out, uint64(v)) }
+	i64s := func(vs []int64) {
+		i64(int64(len(vs)))
+		for _, v := range vs {
+			i64(v)
+		}
+	}
+	i64(int64(len(m.Schedule)))
+	for _, h := range m.Schedule {
+		i64(int64(h))
+	}
+	i64s(m.Audit.DownA)
+	i64s(m.Audit.DownB)
+	i64s(m.Audit.DownG)
+	i64s(m.Audit.Up)
+	i64(m.Audit.Product)
+	i64(m.Audit.Output)
+	i64(int64(len(m.Reps)))
+	for _, r := range m.Reps {
+		for _, half := range []arith.Rep{r.Pos, r.Neg} {
+			i64(int64(len(half.Terms)))
+			for _, t := range half.Terms {
+				out = binary.LittleEndian.AppendUint32(out, uint32(t.Wire))
+				i64(t.Weight)
+			}
+			i64(half.Max)
+		}
+	}
+	i64(int64(m.Output))
+	return out
+}
+
+func decodeMeta(data []byte) (core.BuiltMeta, error) {
+	d := &decoder{data: data}
+	var m core.BuiltMeta
+
+	schedLen := d.count(8)
+	if d.err == nil {
+		m.Schedule = make(tctree.Schedule, schedLen)
+		for i := range m.Schedule {
+			m.Schedule[i] = int(d.i64())
+		}
+	}
+	audit := func() []int64 {
+		n := d.count(8)
+		if d.err != nil || n == 0 {
+			return nil
+		}
+		vs := make([]int64, n)
+		for i := range vs {
+			vs[i] = d.i64()
+		}
+		return vs
+	}
+	m.Audit.DownA = audit()
+	m.Audit.DownB = audit()
+	m.Audit.DownG = audit()
+	m.Audit.Up = audit()
+	m.Audit.Product = d.i64()
+	m.Audit.Output = d.i64()
+
+	numReps := d.count(32) // a rep is at least two empty halves (16 bytes each)
+	if d.err == nil {
+		m.Reps = make([]arith.Signed, numReps)
+		for i := range m.Reps {
+			for _, half := range []*arith.Rep{&m.Reps[i].Pos, &m.Reps[i].Neg} {
+				nTerms := d.count(12)
+				if d.err != nil {
+					break
+				}
+				half.Terms = make([]arith.Term, nTerms)
+				for j := range half.Terms {
+					half.Terms[j] = arith.Term{Wire: circuit.Wire(d.u32()), Weight: d.i64()}
+				}
+				half.Max = d.i64()
+			}
+		}
+	}
+	m.Output = circuit.Wire(d.i64())
+	if d.err != nil {
+		return core.BuiltMeta{}, d.err
+	}
+	if d.off != len(data) {
+		return core.BuiltMeta{}, fmt.Errorf("%d trailing metadata bytes", len(data)-d.off)
+	}
+	return m, nil
+}
+
+// decoder reads little-endian values out of a byte slice; methods
+// return zeros after the first error.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) has(n int64) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || int64(len(d.data)-d.off) < n {
+		d.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+// count reads a u64 element count and rejects any value whose minimum
+// encoding (elemSize bytes each) cannot fit in the remaining input, so
+// a hostile length cannot drive a large allocation.
+func (d *decoder) count(elemSize int64) int64 {
+	n := d.i64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(len(d.data)-d.off)/elemSize {
+		d.err = fmt.Errorf("implausible element count %d", n)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) i64() int64 {
+	if !d.has(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) u64() uint64 { return uint64(d.i64()) }
+
+func (d *decoder) u32() uint32 {
+	if !d.has(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) bytes(n int64) []byte {
+	if !d.has(n) {
+		return nil
+	}
+	b := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+var (
+	// ErrMiss reports that the cache holds no artifact for the shape.
+	ErrMiss = errors.New("store: cache miss")
+	// ErrCorrupt reports that an artifact exists but failed validation
+	// (checksum, structure, or shape mismatch); callers should rebuild.
+	ErrCorrupt = errors.New("store: corrupt artifact")
+	// ErrVersion reports an artifact written by a different format
+	// version — intact, but unreadable by this build. It wraps
+	// ErrCorrupt so a plain errors.Is(err, ErrCorrupt) treats both as
+	// "rebuild"; in practice the fingerprint includes the version, so
+	// this only surfaces for hand-renamed files.
+	ErrVersion = fmt.Errorf("%w (format version mismatch)", ErrCorrupt)
+)
+
+// Fingerprint returns the content address of a shape's artifact: the
+// hex SHA-256 of the format version and the shape's canonical key
+// (which covers op, N, tau, algorithm, and every circuit-shaping
+// Options field). Equal shapes build bit-identical circuits, so the
+// fingerprint names the artifact, not a particular build of it.
+func Fingerprint(s core.Shape) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "tcstore\x00v%d\x00%s", FormatVersion, s.Key())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits    int64 `json:"hits"`     // successful loads
+	Misses  int64 `json:"misses"`   // absent artifacts
+	Corrupt int64 `json:"corrupt"`  // artifacts rejected by validation
+	Saves   int64 `json:"saves"`    // artifacts written
+	SaveErr int64 `json:"save_err"` // failed writes
+}
+
+// Cache is a content-addressed on-disk store of built circuits. All
+// methods are safe for concurrent use by multiple goroutines and
+// multiple processes: writers stage to a temp file and atomically
+// rename into place, so readers only ever observe complete artifacts,
+// and concurrent writers of the same shape are idempotent (last rename
+// wins with identical bytes).
+type Cache struct {
+	dir string
+
+	hits, misses, corrupt, saves, saveErr atomic.Int64
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the artifact path for a shape, whether or not it exists.
+func (c *Cache) Path(s core.Shape) string {
+	return filepath.Join(c.dir, Fingerprint(s)+".tcs")
+}
+
+// Load reads, validates and restores the cached Built for shape.
+// Returns ErrMiss when absent and an ErrCorrupt-wrapping error when
+// the artifact fails any validation layer.
+func (c *Cache) Load(shape core.Shape) (*core.Built, error) {
+	data, err := os.ReadFile(c.Path(shape))
+	if errors.Is(err, os.ErrNotExist) {
+		c.misses.Add(1)
+		return nil, ErrMiss
+	}
+	if err != nil {
+		c.misses.Add(1)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	built, err := Decode(shape, data)
+	if err != nil {
+		c.corrupt.Add(1)
+		return nil, err
+	}
+	c.hits.Add(1)
+	return built, nil
+}
+
+// Save writes b's artifact, staging to a temp file in the same
+// directory and renaming into place so concurrent readers and writers
+// never observe a partial file. Returns the artifact path.
+func (c *Cache) Save(b *core.Built) (string, error) {
+	path, err := c.save(b)
+	if err != nil {
+		c.saveErr.Add(1)
+		return "", err
+	}
+	c.saves.Add(1)
+	return path, nil
+}
+
+func (c *Cache) save(b *core.Built) (string, error) {
+	data, err := Encode(b)
+	if err != nil {
+		return "", err
+	}
+	path := c.Path(b.Shape)
+	tmp, err := os.CreateTemp(c.dir, ".tcs-tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: write %s: %w", tmp.Name(), err)
+	}
+	// Flush before rename: an artifact must never become visible under
+	// its content address with pages still in flight, or a crash could
+	// leave a named-but-hollow file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("store: publish %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// Remove deletes a shape's artifact (used after detecting corruption;
+// missing files are not an error).
+func (c *Cache) Remove(shape core.Shape) error {
+	err := os.Remove(c.Path(shape))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// LoadOrBuild resolves a shape from disk, falling back to a build.
+// On a hit it returns (built, true, nil). On a miss — or a corrupt
+// artifact, which is deleted — it builds with buildWorkers workers,
+// saves the result (best-effort: a read-only cache directory degrades
+// to build-only operation), and returns (built, false, nil).
+func (c *Cache) LoadOrBuild(shape core.Shape, buildWorkers int) (*core.Built, bool, error) {
+	built, err := c.Load(shape)
+	if err == nil {
+		return built, true, nil
+	}
+	if errors.Is(err, ErrCorrupt) {
+		// A damaged artifact never heals; drop it so the rebuild below
+		// repopulates the slot.
+		_ = c.Remove(shape)
+	}
+	built, berr := core.BuildShape(shape, buildWorkers)
+	if berr != nil {
+		return nil, false, berr
+	}
+	_, _ = c.Save(built)
+	return built, false, nil
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+		Saves:   c.saves.Load(),
+		SaveErr: c.saveErr.Load(),
+	}
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// A reloaded circuit must pass the full certification suite — the
+// theorem-bound checks plus the differential oracle — exactly like a
+// fresh build: deserialization must not lose or distort anything the
+// verifier measures (levelization, fan-in, magnitudes, depth/size
+// bounds, decode maps).
+func TestReloadedCircuitCertifies(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range testShapes() {
+		t.Run(shape.Key(), func(t *testing.T) {
+			bt, err := core.BuildShape(shape, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cache.Save(bt); err != nil {
+				t.Fatal(err)
+			}
+			rt, err := cache.Load(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert, err := verify.CertifyBuilt(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cert.OK {
+				t.Fatalf("reloaded circuit fails certification: %v", cert.Err())
+			}
+
+			rng := rand.New(rand.NewSource(13))
+			switch {
+			case rt.MatMul != nil:
+				err = verify.DifferentialMatMul(rt.MatMul, rng, 4)
+			case rt.Trace != nil:
+				err = verify.DifferentialTrace(rt.Trace, rng, 4)
+			case rt.Count != nil:
+				err = verify.DifferentialCount(rt.Count, rng, 4)
+			}
+			if err != nil {
+				t.Fatalf("differential oracle on reloaded circuit: %v", err)
+			}
+		})
+	}
+}

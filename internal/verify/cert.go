@@ -360,6 +360,23 @@ func CertifyTriangle(t *core.TriangleCircuit) (*Certificate, error) {
 	return Certify(t.Circuit, TriangleParams(t))
 }
 
+// CertifyBuilt certifies whichever typed circuit a Built carries — the
+// entry point for re-certifying circuits reloaded from the on-disk
+// store, where the wrapper was restored from metadata rather than
+// constructed: the theorem bounds must hold for the deserialized gates
+// exactly as they did for the original build.
+func CertifyBuilt(b *core.Built) (*Certificate, error) {
+	switch {
+	case b.MatMul != nil:
+		return CertifyMatMul(b.MatMul)
+	case b.Trace != nil:
+		return CertifyTrace(b.Trace)
+	case b.Count != nil:
+		return CertifyCount(b.Count)
+	}
+	return nil, fmt.Errorf("verify: empty Built")
+}
+
 // CertifyRectMatMul certifies the padded inner circuit of a rectangular
 // product.
 func CertifyRectMatMul(rc *core.RectMatMulCircuit) (*Certificate, error) {
