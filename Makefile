@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci fmt-check fuzz-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
+.PHONY: all check ci fmt-check fuzz-smoke bench-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ check: build vet test-short race serve-test verify
 
 # Mirrors .github/workflows/ci.yml job for job, so a green local `make
 # ci` predicts a green CI run (module download aside).
-ci: fmt-check check fuzz-smoke
+ci: fmt-check check fuzz-smoke bench-smoke
 
 # The CI formatting gate: gofmt must have nothing to say.
 fmt-check:
@@ -28,6 +28,13 @@ fmt-check:
 # batched evaluator (the full `make fuzz` rotates every fuzz target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEvalBatch -fuzztime 30s ./internal/circuit/
+
+# The CI parallel-build regression gate: the sharded builder at N=8 must
+# stay within 20% of sequential wall clock (min over repeats); exits
+# nonzero otherwise. Skips itself when GOMAXPROCS < 2 — single-core
+# machines cannot measure parallel speedup.
+bench-smoke:
+	$(GO) run ./cmd/tcbench -smoke
 
 # The coalescing evaluation service is dispatcher-goroutine heavy, so
 # its suite always runs under the race detector.
@@ -66,9 +73,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Construction-pipeline benchmarks: sequential vs sharded sub-builder
+# Construction-pipeline benchmarks: sequential vs fork/adopt sharded
 # builds (Go benchmarks with allocation stats), then the E24 scaling
-# table, which writes BENCH_build.json.
+# table, which writes BENCH_build.json. Add the N=32 rows (build, eval,
+# certify — minutes of wall clock) with:
+#   go run ./cmd/tcbench -n32 e24
 bench-build:
 	$(GO) test -run '^$$' -bench 'BuildParallel' -benchmem .
 	$(GO) run ./cmd/tcbench e24

@@ -133,7 +133,7 @@ func BenchmarkE6_TraceBuild(b *testing.B) {
 }
 
 // E24 — construction-pipeline scaling: the same N=16 trace build with
-// the sequential builder versus the sharded sub-builder path
+// the sequential builder versus the fork/adopt sharded path
 // (Options.BuildWorkers). The circuits are bit-identical either way;
 // only wall-clock and allocation behaviour differ. workers=-1 resolves
 // to GOMAXPROCS.
@@ -181,7 +181,7 @@ func BenchmarkE7_MatMulBuild(b *testing.B) {
 }
 
 // E24 — construction-pipeline scaling for matmul: N=16 Strassen build,
-// sequential versus sharded sub-builders (see E6 counterpart).
+// sequential versus fork/adopt sharding (see E6 counterpart).
 func BenchmarkE7_MatMulBuildParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, -1} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

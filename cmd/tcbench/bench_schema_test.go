@@ -36,26 +36,34 @@ func loadRows(t *testing.T, path string, dst any) {
 }
 
 func TestBenchBuildSchema(t *testing.T) {
-	var rows []struct {
-		Circuit   string  `json:"circuit"`
-		N         int     `json:"n"`
-		Workers   int     `json:"workers"`
-		Gates     int     `json:"gates"`
-		BuildSec  float64 `json:"build_sec"`
-		AllocMB   float64 `json:"alloc_mb"`
-		Mallocs   uint64  `json:"mallocs"`
-		Identical bool    `json:"identical_to_sequential"`
-	}
+	var rows []buildBenchRow
 	loadRows(t, "BENCH_build.json", &rows)
 	if len(rows) == 0 {
 		t.Fatal("BENCH_build.json has no rows")
 	}
+	n32 := map[string]bool{}
 	for i, r := range rows {
-		if r.Circuit == "" || r.N <= 0 || r.Workers == 0 || r.Gates <= 0 || r.BuildSec <= 0 {
+		if r.Circuit == "" || r.N <= 0 || r.Workers == 0 || r.Gates <= 0 ||
+			r.Repeats <= 0 || r.BuildSecMean <= 0 || r.BuildSecMin <= 0 ||
+			r.GoMaxProcs <= 0 || r.NumCPU <= 0 {
 			t.Errorf("row %d malformed: %+v", i, r)
+		}
+		if r.BuildSecMin > r.BuildSecMean*(1+1e-9) {
+			t.Errorf("row %d: min %.4f exceeds mean %.4f", i, r.BuildSecMin, r.BuildSecMean)
 		}
 		if !r.Identical {
 			t.Errorf("row %d: parallel build not identical to sequential: %+v", i, r)
+		}
+		if r.N == 32 {
+			n32[r.Circuit] = true
+			if r.Workers == 1 && !r.Checked {
+				t.Errorf("row %d: sequential N=32 %s row not evaluated+certified", i, r.Circuit)
+			}
+		}
+	}
+	for _, circ := range []string{"trace", "matmul"} {
+		if !n32[circ] {
+			t.Errorf("BENCH_build.json missing the N=32 %s row", circ)
 		}
 	}
 }

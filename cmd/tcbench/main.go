@@ -5,17 +5,22 @@
 //
 // Usage:
 //
-//	tcbench           run every experiment
-//	tcbench e3 e10    run selected experiments
+//	tcbench                    run every experiment
+//	tcbench e3 e10             run selected experiments
+//	tcbench -n32 e24           include the N=32 build rows in e24
+//	tcbench -smoke             parallel-build regression gate (exit 1 on fail)
+//	tcbench -cpuprofile=p.out  profile the selected experiments
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -49,15 +54,64 @@ var experiments = map[string]struct {
 	"e21": {"Social-network scale: sparse counting vs circuit model", e21},
 	"e22": {"Lemma 4.3 validated: geometric vs exhaustively optimal schedules", e22},
 	"e23": {"Batched bit-sliced evaluation: throughput vs batch size and workers", e23},
-	"e24": {"Construction pipeline: pre-sized arenas + sharded sub-builders", e24},
+	"e24": {"Construction pipeline: fork/adopt sharded builds + measured sizing", e24},
 	"e25": {"Serving: request coalescing vs one-request-per-Eval", e25},
 	"e26": {"Store: cache-load vs cold parallel build", e26},
 }
 
 var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26"}
 
-func main() {
-	ids := os.Args[1:]
+var withN32 = flag.Bool("n32", false,
+	"include the N=32 build+eval+certify rows in e24 (minutes of wall clock)")
+
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so the profile defers fire before the
+// process exits.
+func run() int {
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to `file`")
+	smoke := flag.Bool("smoke", false,
+		"run the parallel-build regression gate (e24 at N=8, workers 1 vs 4) and exit nonzero if the sharded path is >20% slower")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+		}
+	}()
+
+	if *smoke {
+		if benchSmoke() {
+			return 0
+		}
+		return 1
+	}
+
+	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = order
 	}
@@ -65,12 +119,13 @@ func main() {
 		exp, ok := experiments[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tcbench: unknown experiment %q\n", id)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("== %s: %s ==\n", id, exp.title)
 		exp.run()
 		fmt.Println()
 	}
+	return 0
 }
 
 // e1: verify every algorithm's bilinear identity and run the recursive
@@ -755,87 +810,123 @@ func e23() {
 	fmt.Println("worker pool splits 64-sample blocks with no per-level goroutine spawning")
 }
 
-// e24: the construction pipeline — the same circuits built with the
-// sequential builder and with the sharded sub-builder path
-// (Options.BuildWorkers), timed and allocation-profiled. The builds are
-// bit-identical (Stats are compared here; byte identity is asserted in
-// internal/core tests), so the table isolates pure construction cost.
-// The rows are also written to BENCH_build.json for machine consumption.
-func e24() {
-	type row struct {
-		Circuit   string  `json:"circuit"`
-		N         int     `json:"n"`
-		Workers   int     `json:"workers"`
-		Gates     int     `json:"gates"`
-		BuildSec  float64 `json:"build_sec"`
-		AllocMB   float64 `json:"alloc_mb"`
-		Mallocs   uint64  `json:"mallocs"`
-		Identical bool    `json:"identical_to_sequential"`
+// buildBenchRow is one BENCH_build.json entry. Timing is min/mean over
+// Repeats back-to-back builds (min is the contention-free figure, mean
+// shows the spread); GoMaxProcs/NumCPU record the parallelism actually
+// available, since workers > GOMAXPROCS cannot produce wall-clock
+// speedup no matter how low the sharding overhead is.
+type buildBenchRow struct {
+	Circuit      string  `json:"circuit"`
+	N            int     `json:"n"`
+	Workers      int     `json:"workers"`
+	Gates        int     `json:"gates"`
+	Repeats      int     `json:"repeats"`
+	BuildSecMean float64 `json:"build_sec_mean"`
+	BuildSecMin  float64 `json:"build_sec_min"`
+	AllocMB      float64 `json:"alloc_mb"`
+	Mallocs      uint64  `json:"mallocs"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	Identical    bool    `json:"identical_to_sequential"`
+	Checked      bool    `json:"eval_certified"`
+}
+
+// measureBuild times repeats back-to-back builds, returning mean/min
+// seconds plus the first run's allocation figures and circuit.
+func measureBuild(repeats int, build func() *tcmm.Circuit) (mean, min, allocMB float64, mallocs uint64, c *tcmm.Circuit) {
+	var total float64
+	for i := 0; i < repeats; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		got := build()
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		total += sec
+		if i == 0 {
+			min = sec
+			allocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+			mallocs = after.Mallocs - before.Mallocs
+			c = got
+		} else if sec < min {
+			min = sec
+		}
 	}
+	return total / float64(repeats), min, allocMB, mallocs, c
+}
+
+// e24: the construction pipeline — the same circuits built with the
+// sequential builder and with the fork/adopt sharded path
+// (Options.BuildWorkers), timed over repeats and allocation-profiled.
+// The builds are bit-identical (Stats are compared here; byte identity
+// is asserted on serialized bytes in internal/core tests), so the table
+// isolates pure construction cost. With -n32 the first N=32 trace and
+// matmul circuits are built, evaluated against a host-side reference
+// and certified. Rows go to BENCH_build.json for machine consumption.
+func e24() {
 	maxProcs := runtime.GOMAXPROCS(0)
 	workersList := []int{1, 2, 4}
 	if maxProcs > 4 {
 		workersList = append(workersList, maxProcs)
 	}
 
-	measure := func(build func() *tcmm.Circuit) (float64, float64, uint64, *tcmm.Circuit) {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		c := build()
-		sec := time.Since(start).Seconds()
-		runtime.ReadMemStats(&after)
-		return sec,
-			float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-			after.Mallocs - before.Mallocs,
-			c
-	}
-
-	var rows []row
-	fmt.Printf("GOMAXPROCS=%d\n", maxProcs)
-	fmt.Printf("%-8s %4s %8s %10s %10s %10s %10s %6s\n",
-		"circuit", "N", "workers", "gates", "build-sec", "alloc-MB", "mallocs", "ident")
-	emit := func(name string, n int, build func(workers int) *tcmm.Circuit) {
+	var rows []buildBenchRow
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d\n", maxProcs, runtime.NumCPU())
+	fmt.Printf("%-8s %4s %8s %10s %4s %10s %10s %10s %10s %6s\n",
+		"circuit", "N", "workers", "gates", "reps", "mean-sec", "min-sec", "alloc-MB", "mallocs", "ident")
+	emit := func(name string, n, repeats int, build func(workers int) *tcmm.Circuit, check func(*tcmm.Circuit)) {
 		var seqStats tcmm.CircuitStats
-		var seqSec float64
+		var seqMin float64
 		for _, w := range workersList {
-			sec, mb, mallocs, c := measure(func() *tcmm.Circuit { return build(w) })
+			mean, min, mb, mallocs, c := measureBuild(repeats, func() *tcmm.Circuit { return build(w) })
 			ident := true
 			if w == 1 {
-				seqStats, seqSec = c.Stats(), sec
+				seqStats, seqMin = c.Stats(), min
 			} else {
 				ident = c.Stats() == seqStats
 			}
-			rows = append(rows, row{name, n, w, c.Size(), sec, mb, mallocs, ident})
-			speed := ""
-			if w > 1 && sec > 0 {
-				speed = fmt.Sprintf(" (%.2fx)", seqSec/sec)
+			checked := false
+			if w == 1 && check != nil {
+				check(c)
+				checked = true
 			}
-			fmt.Printf("%-8s %4d %8d %10d %10.3f %10.1f %10d %6v%s\n",
-				name, n, w, c.Size(), sec, mb, mallocs, ident, speed)
+			rows = append(rows, buildBenchRow{name, n, w, c.Size(), repeats,
+				mean, min, mb, mallocs, maxProcs, runtime.NumCPU(), ident, checked})
+			speed := ""
+			if w > 1 && min > 0 {
+				speed = fmt.Sprintf(" (%.2fx)", seqMin/min)
+			}
+			fmt.Printf("%-8s %4d %8d %10d %4d %10.3f %10.3f %10.1f %10d %6v%s\n",
+				name, n, w, c.Size(), repeats, mean, min, mb, mallocs, ident, speed)
 		}
 	}
 
 	for _, n := range []int{8, 16} {
 		n := n
-		emit("trace", n, func(w int) *tcmm.Circuit {
+		emit("trace", n, 5, func(w int) *tcmm.Circuit {
 			tc, err := tcmm.NewTrace(n, 6, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: w})
 			if err != nil {
 				panic(err)
 			}
 			return tc.Circuit
-		})
+		}, nil)
 	}
 	for _, n := range []int{8, 16} {
 		n := n
-		emit("matmul", n, func(w int) *tcmm.Circuit {
+		emit("matmul", n, 5, func(w int) *tcmm.Circuit {
 			mc, err := tcmm.NewMatMul(n, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: w})
 			if err != nil {
 				panic(err)
 			}
 			return mc.Circuit
-		})
+		}, nil)
+	}
+
+	if *withN32 {
+		rows = append(rows, e24N32()...)
+	} else {
+		fmt.Println("(N=32 rows skipped; pass -n32 to build, evaluate and certify them)")
 	}
 
 	out, err := json.MarshalIndent(rows, "", "  ")
@@ -847,9 +938,137 @@ func e24() {
 	}
 	fmt.Println("rows written to BENCH_build.json")
 	if maxProcs == 1 {
-		fmt.Println("note: GOMAXPROCS=1 — the sharded path pays goroutine+splice overhead with")
+		fmt.Println("note: GOMAXPROCS=1 — the sharded path pays its (small) merge overhead with")
 		fmt.Println("no parallel speedup available; wall-clock gains require multiple cores")
 	}
+}
+
+// e24N32 builds the N=32 trace and matmul circuits — the largest
+// instances the benchmark materializes — with the LogLog(γ, 5) schedule
+// and MSB sharing, sequentially and with 4 workers, then evaluates the
+// sequential build against a host-side reference and certifies it
+// against the structural invariants and the Theorem 4.4/4.9 bounds.
+func e24N32() []buildBenchRow {
+	alg := tcmm.Strassen()
+	sched := tcmm.LogLogSchedule(alg.Params().Gamma, 5)
+	opts := func(w int) tcmm.Options {
+		return tcmm.Options{Alg: alg, Schedule: sched, SharedMSB: true, BuildWorkers: w}
+	}
+	rng := rand.New(rand.NewSource(32))
+	maxProcs := runtime.GOMAXPROCS(0)
+	var rows []buildBenchRow
+
+	// g is drawn before the builds so the trace circuit's τ can be the
+	// graph's own trace — the decision must come back true.
+	g := tcmm.ErdosRenyi(rng, 32, 0.2)
+	adj := g.Adjacency()
+	tau := adj.TraceCube()
+
+	emit := func(name string, w int, build func() *tcmm.Circuit, seqStats *tcmm.CircuitStats) {
+		mean, min, mb, mallocs, c := measureBuild(1, build)
+		ident := w == 1 || c.Stats() == *seqStats
+		if w == 1 {
+			*seqStats = c.Stats()
+		}
+		rows = append(rows, buildBenchRow{name, 32, w, c.Size(), 1,
+			mean, min, mb, mallocs, maxProcs, runtime.NumCPU(), ident, w == 1})
+		fmt.Printf("%-8s %4d %8d %10d %4d %10.3f %10.3f %10.1f %10d %6v\n",
+			name, 32, w, c.Size(), 1, mean, min, mb, mallocs, ident)
+	}
+
+	var traceStats tcmm.CircuitStats
+	for _, w := range []int{1, 4} {
+		w := w
+		var tc *tcmm.TraceCircuit
+		emit("trace", w, func() *tcmm.Circuit {
+			var err error
+			tc, err = tcmm.NewTrace(32, tau, opts(w))
+			if err != nil {
+				panic(err)
+			}
+			return tc.Circuit
+		}, &traceStats)
+		if w == 1 {
+			// Evaluate + certify the sequential build, untimed.
+			ok, err := tc.Decide(adj)
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				panic("N=32 trace: trace >= its own value failed")
+			}
+			if _, err := tcmm.CertifyTrace(tc); err != nil {
+				panic(fmt.Sprintf("N=32 trace certify: %v", err))
+			}
+			fmt.Println("  trace N=32: evaluated against host trace and certified")
+		}
+	}
+
+	var mmStats tcmm.CircuitStats
+	for _, w := range []int{1, 4} {
+		w := w
+		var mc *tcmm.MatMulCircuit
+		emit("matmul", w, func() *tcmm.Circuit {
+			var err error
+			mc, err = tcmm.NewMatMul(32, opts(w))
+			if err != nil {
+				panic(err)
+			}
+			return mc.Circuit
+		}, &mmStats)
+		if w == 1 {
+			a := tcmm.RandomBinaryMatrix(rng, 32, 32, 0.5)
+			bm := tcmm.RandomBinaryMatrix(rng, 32, 32, 0.5)
+			got, err := mc.Multiply(a, bm)
+			if err != nil {
+				panic(err)
+			}
+			if !got.Equal(a.Mul(bm)) {
+				panic("N=32 matmul: product disagrees with host-side reference")
+			}
+			if _, err := tcmm.CertifyMatMul(mc); err != nil {
+				panic(fmt.Sprintf("N=32 matmul certify: %v", err))
+			}
+			fmt.Println("  matmul N=32: product checked against A·B and certified")
+		}
+	}
+	return rows
+}
+
+// benchSmoke is the -smoke regression gate: the sharded path at N=8
+// must stay within 20% of the sequential builder's wall clock (and on
+// multicore machines it should win outright). Builds are repeated and
+// compared on min time to shake scheduler noise out of a CI runner.
+func benchSmoke() bool {
+	const n, repeats, tolerance = 8, 10, 1.20
+	if runtime.GOMAXPROCS(0) < 2 {
+		fmt.Println("bench-smoke: GOMAXPROCS < 2 — parallel speedup is unmeasurable; skipping gate")
+		return true
+	}
+	build := func(w int) func() *tcmm.Circuit {
+		return func() *tcmm.Circuit {
+			tc, err := tcmm.NewTrace(n, 6, tcmm.Options{Alg: tcmm.Strassen(), BuildWorkers: w})
+			if err != nil {
+				panic(err)
+			}
+			return tc.Circuit
+		}
+	}
+	_, seqMin, _, _, seq := measureBuild(repeats, build(1))
+	_, parMin, _, _, par := measureBuild(repeats, build(4))
+	fmt.Printf("bench-smoke: N=%d trace, GOMAXPROCS=%d: workers=1 min %.4fs, workers=4 min %.4fs (%.2fx)\n",
+		n, runtime.GOMAXPROCS(0), seqMin, parMin, seqMin/parMin)
+	if seq.Stats() != par.Stats() {
+		fmt.Println("bench-smoke: FAIL — parallel build not identical to sequential")
+		return false
+	}
+	if parMin > seqMin*tolerance {
+		fmt.Printf("bench-smoke: FAIL — workers=4 is %.0f%% slower than workers=1 (gate: %.0f%%)\n",
+			(parMin/seqMin-1)*100, (tolerance-1)*100)
+		return false
+	}
+	fmt.Println("bench-smoke: PASS")
+	return true
 }
 
 func sortedNames() []string {

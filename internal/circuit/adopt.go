@@ -1,0 +1,106 @@
+package circuit
+
+// Fork returns a shard builder rooted at the receiver's current wire
+// frontier: the fork sees every wire the parent has created so far as an
+// input (same ids), and — unlike a detached NewBuilder snapshot — it
+// resolves those wires to their true topological levels by delegating to
+// the parent's tables. Gates added to the fork therefore carry their
+// final, absolute levels, which is what lets Adopt merge the fork back
+// with a verbatim group-table copy instead of re-deriving levels by
+// walking every stored edge.
+//
+// Contract: between Fork and the matching Adopt the parent's gate tables
+// must not change except through other forks being adopted *after* this
+// fork's gates are complete — concretely, the parallel construction
+// engine forks all shards of a stage first, builds them concurrently
+// (the parent is only read), and adopts them in index order. Forks of
+// forks are fine: level lookups chase the parent chain.
+func (b *Builder) Fork() *Builder {
+	if b.built {
+		panic("circuit: builder reused after Build")
+	}
+	sb := NewBuilder(b.NumWires())
+	sb.parent = b
+	return sb
+}
+
+// Adopt moves every gate of a fork into the builder as a bulk arena
+// append with index rebasing: wires below the fork point keep their ids,
+// fork-created gate wires shift to the builder's current frontier, and
+// the group table — including the levels the fork already computed
+// against the parent's true wire levels — copies verbatim with offset
+// spans. Compared to Build+Splice this skips the fork's Build (rightsize
+// copy, edge cache, level-group index) and Splice's per-edge level
+// rescan: each arena is touched exactly once, in one streaming pass.
+//
+// The fork is consumed: it must have been created by Fork on this
+// builder, and it cannot be used again afterwards. Adopting forks in
+// shard-index order yields arenas bit-identical to building the shards'
+// gates sequentially in that order, which the parallel construction
+// tests pin on serialized bytes.
+func (b *Builder) Adopt(f *Builder) {
+	if b.built {
+		panic("circuit: builder reused after Build")
+	}
+	if f.built {
+		panic("circuit: fork adopted twice (or used after Build)")
+	}
+	if f.parent != b {
+		panic("circuit: Adopt of a builder that is not a fork of this builder")
+	}
+	f.built = true // consume
+
+	fork := Wire(f.c.numInputs) // fork point: first fork-created wire id
+	delta := b.numWires - fork  // rebase distance for fork gate wires
+	posBase := int64(len(b.c.wires))
+	gateBase := int32(len(b.c.thresholds))
+	groupBase := int32(len(b.c.groups))
+
+	// Wires: bulk append, then rebase the fresh (cache-hot) span in
+	// place. Wires below the fork point are parent wires and keep their
+	// ids — that is the zero-copy handoff: no input map, no validation
+	// pass, the fork's numbering is already the builder's below the
+	// fork point.
+	b.c.wires = append(b.c.wires, f.c.wires...)
+	for i, w := range b.c.wires[posBase:] {
+		if w >= fork {
+			b.c.wires[posBase+int64(i)] = w + delta
+		}
+	}
+	b.c.weights = append(b.c.weights, f.c.weights...)
+	b.c.thresholds = append(b.c.thresholds, f.c.thresholds...)
+	ggBase := len(b.c.gateGroup)
+	b.c.gateGroup = append(b.c.gateGroup, f.c.gateGroup...)
+	for i := range b.c.gateGroup[ggBase:] {
+		b.c.gateGroup[ggBase+i] += groupBase
+	}
+	for _, gr := range f.c.groups {
+		b.c.groups = append(b.c.groups, group{
+			inStart:   gr.inStart + posBase,
+			inEnd:     gr.inEnd + posBase,
+			gateStart: gr.gateStart + gateBase,
+			gateCount: gr.gateCount,
+			level:     gr.level, // already absolute: Fork levels are final
+		})
+	}
+	if f.c.depth > b.c.depth {
+		b.c.depth = f.c.depth
+	}
+	b.numWires += int32(len(f.c.thresholds))
+	for _, o := range f.c.outputs {
+		if o >= fork {
+			o += delta
+		}
+		b.c.outputs = append(b.c.outputs, o)
+	}
+	f.c = Circuit{} // release the fork's arena references
+}
+
+// StoredEdges returns the number of stored input-span positions so far
+// (the physical arena length Splice/Adopt append to). Together with Size
+// and NumGroups this is the builder-side footprint triple the parallel
+// construction engine measures on one shard job to pre-size the others.
+func (b *Builder) StoredEdges() int64 { return int64(len(b.c.wires)) }
+
+// NumGroups returns the number of gate groups added so far.
+func (b *Builder) NumGroups() int { return len(b.c.groups) }

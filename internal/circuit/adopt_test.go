@@ -1,0 +1,264 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// emitJob appends nOps random gates/groups that read either the shared
+// pre-stage wires or the job's own earlier outputs — the shape of one
+// shard job's gate stream (stage jobs never read other jobs' gates).
+// Inputs are drawn by *index* into the pools, so replaying the same rng
+// in a fork and in the sequential builder emits logically identical
+// gates even though the fork's local wire ids differ until Adopt.
+func emitJob(b *Builder, rng *rand.Rand, nOps int, shared []Wire) {
+	var local []Wire
+	for i := 0; i < nOps; i++ {
+		fanin := 1 + rng.Intn(4)
+		ins := make([]Wire, fanin)
+		ws := make([]int64, fanin)
+		for j := range ins {
+			pool := shared
+			if len(local) > 0 && rng.Intn(2) == 1 {
+				pool = local
+			}
+			ins[j] = pool[rng.Intn(len(pool))]
+			ws[j] = int64(rng.Intn(9) - 4)
+		}
+		if rng.Intn(3) == 0 {
+			ts := make([]int64, 1+rng.Intn(3))
+			for j := range ts {
+				ts[j] = int64(rng.Intn(7) - 3)
+			}
+			local = append(local, b.GateGroup(ins, ws, ts)...)
+		} else {
+			local = append(local, b.Gate(ins, ws, int64(rng.Intn(7)-3)))
+		}
+	}
+}
+
+// wireRange returns the wires [0, n) — a shared input pool.
+func wireRange(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = Wire(i)
+	}
+	return ws
+}
+
+func serialized(t *testing.T, c *Circuit) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Forking shards at one frontier and adopting them in index order is
+// bit-identical to emitting the same gate streams sequentially — the
+// invariant the parallel construction engine rests on. Exercised across
+// random host prefixes and shard counts, including empty shards.
+func TestForkAdoptBitIdentical(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nin := 2 + rng.Intn(5)
+		hostOps := rng.Intn(12)
+		shards := 1 + rng.Intn(5)
+		shardOps := make([]int, shards)
+		shardSeed := make([]int64, shards)
+		for i := range shardOps {
+			shardOps[i] = rng.Intn(10) // 0 is a legal (empty) shard
+			shardSeed[i] = rng.Int63()
+		}
+		hostSeed := rng.Int63()
+
+		seq := NewBuilder(nin)
+		emitJob(seq, rand.New(rand.NewSource(hostSeed)), hostOps, wireRange(nin))
+		frontier := wireRange(seq.NumWires())
+		for i := range shardOps {
+			emitJob(seq, rand.New(rand.NewSource(shardSeed[i])), shardOps[i], frontier)
+		}
+		if seq.NumWires() > nin {
+			seq.MarkOutput(Wire(seq.NumWires() - 1))
+		}
+		want := serialized(t, seq.Build())
+
+		par := NewBuilder(nin)
+		emitJob(par, rand.New(rand.NewSource(hostSeed)), hostOps, wireRange(nin))
+		forks := make([]*Builder, shards)
+		for i := range forks {
+			forks[i] = par.Fork()
+			emitJob(forks[i], rand.New(rand.NewSource(shardSeed[i])), shardOps[i], frontier)
+		}
+		for _, f := range forks {
+			par.Adopt(f)
+		}
+		if par.NumWires() > nin {
+			par.MarkOutput(Wire(par.NumWires() - 1))
+		}
+		got := serialized(t, par.Build())
+		return bytes.Equal(want, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Forks of forks: a two-level fork tree (stage fork with chunk forks
+// inside, as downSweeps nests shardStage) collapses to the sequential
+// bytes when the chunks are adopted into the stage and the stage into
+// the host, each in index order.
+func TestForkAdoptNested(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nin := 2 + rng.Intn(4)
+		hostSeed, aSeed, bSeed, cSeed := rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63()
+
+		seq := NewBuilder(nin)
+		emitJob(seq, rand.New(rand.NewSource(hostSeed)), 6, wireRange(nin))
+		hostFrontier := wireRange(seq.NumWires())
+		emitJob(seq, rand.New(rand.NewSource(aSeed)), 5, hostFrontier)
+		innerFrontier := wireRange(seq.NumWires())
+		emitJob(seq, rand.New(rand.NewSource(bSeed)), 5, innerFrontier)
+		emitJob(seq, rand.New(rand.NewSource(cSeed)), 5, innerFrontier)
+		want := serialized(t, seq.Build())
+
+		par := NewBuilder(nin)
+		emitJob(par, rand.New(rand.NewSource(hostSeed)), 6, wireRange(nin))
+		stage := par.Fork()
+		emitJob(stage, rand.New(rand.NewSource(aSeed)), 5, hostFrontier)
+		inner1 := stage.Fork()
+		emitJob(inner1, rand.New(rand.NewSource(bSeed)), 5, innerFrontier)
+		inner2 := stage.Fork()
+		emitJob(inner2, rand.New(rand.NewSource(cSeed)), 5, innerFrontier)
+		stage.Adopt(inner1)
+		stage.Adopt(inner2)
+		par.Adopt(stage)
+		got := serialized(t, par.Build())
+		return bytes.Equal(want, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Gates created in a fork carry their final absolute levels (the parent
+// chain resolves host wire levels), so depth and per-gate levels match
+// the sequential build even when the fork reads deep host wires.
+func TestForkLevelsAbsolute(t *testing.T) {
+	b := NewBuilder(1)
+	w := b.Input(0)
+	for i := 0; i < 4; i++ {
+		w = b.Gate([]Wire{w}, []int64{1}, 1) // depth-4 chain
+	}
+	f := b.Fork()
+	if got := f.WireLevel(w); got != 4 {
+		t.Fatalf("fork sees host wire at level %d, want 4", got)
+	}
+	fw := f.Gate([]Wire{w}, []int64{1}, 1)
+	if got := f.WireLevel(fw); got != 5 {
+		t.Fatalf("fork gate level %d, want 5", got)
+	}
+	b.Adopt(f)
+	c := b.Build()
+	if c.Depth() != 5 {
+		t.Errorf("depth %d after adopt, want 5", c.Depth())
+	}
+	if got := c.GateLevel(c.Size() - 1); got != 5 {
+		t.Errorf("adopted gate level %d, want 5", got)
+	}
+}
+
+// Outputs marked inside a fork arrive rebased in the parent's numbering
+// and in marking order.
+func TestAdoptRemapsOutputs(t *testing.T) {
+	b := NewBuilder(2)
+	host := b.Gate([]Wire{0, 1}, []int64{1, 1}, 1)
+	f1 := b.Fork()
+	f1.Gate([]Wire{host}, []int64{1}, 1)
+	f2 := b.Fork()
+	fg := f2.Gate([]Wire{host}, []int64{1}, 1)
+	f2.MarkOutput(host) // parent wire: keeps its id
+	f2.MarkOutput(fg)   // fork gate: rebases past f1's adopted gate
+	b.Adopt(f1)
+	b.Adopt(f2)
+	c := b.Build()
+	// 2 inputs + host gate (wire 2) + f1's gate (wire 3) + f2's (wire 4).
+	outs := c.Outputs()
+	if len(outs) != 2 || outs[0] != host || outs[1] != Wire(4) {
+		t.Errorf("outputs %v, want [%d 4]", outs, host)
+	}
+}
+
+// Adopt consumes the fork and enforces its provenance.
+func TestAdoptPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"adopt non-fork", func() {
+			b := NewBuilder(1)
+			b.Adopt(NewBuilder(1))
+		}},
+		{"adopt another builder's fork", func() {
+			b1, b2 := NewBuilder(1), NewBuilder(1)
+			b2.Adopt(b1.Fork())
+		}},
+		{"adopt twice", func() {
+			b := NewBuilder(1)
+			f := b.Fork()
+			b.Adopt(f)
+			b.Adopt(f)
+		}},
+		{"adopt built fork", func() {
+			b := NewBuilder(1)
+			f := b.Fork()
+			f.Build()
+			b.Adopt(f)
+		}},
+		{"adopt after Build", func() {
+			b := NewBuilder(1)
+			f := b.Fork()
+			b.Build()
+			b.Adopt(f)
+		}},
+		{"fork after Build", func() {
+			b := NewBuilder(1)
+			b.Build()
+			b.Fork()
+		}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}
+
+// The footprint accessors track the builder arenas exactly — they are
+// what the engine measures on one job to pre-size the other shards.
+func TestFootprintAccessors(t *testing.T) {
+	b := NewBuilder(3)
+	if b.StoredEdges() != 0 || b.NumGroups() != 0 {
+		t.Fatalf("fresh builder footprint %d/%d, want 0/0", b.StoredEdges(), b.NumGroups())
+	}
+	b.Gate([]Wire{0, 1}, []int64{1, 1}, 1)
+	b.GateGroup([]Wire{0, 1, 2}, []int64{1, 1, 1}, []int64{1, 2})
+	if b.StoredEdges() != 5 {
+		t.Errorf("StoredEdges %d, want 5", b.StoredEdges())
+	}
+	if b.NumGroups() != 2 {
+		t.Errorf("NumGroups %d, want 2", b.NumGroups())
+	}
+	if b.Size() != 3 {
+		t.Errorf("Size %d, want 3", b.Size())
+	}
+}

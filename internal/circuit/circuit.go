@@ -127,6 +127,10 @@ type Builder struct {
 	numWires int32
 	built    bool
 
+	// parent is non-nil for shard builders created by Fork: wires below
+	// numInputs are the parent's, and their levels resolve through it.
+	parent *Builder
+
 	// Memoized constant wires (see Const); -1 = not yet minted.
 	constTrue  Wire
 	constFalse Wire
@@ -243,6 +247,11 @@ func (b *Builder) GateGroup(inputs []Wire, weights []int64, thresholds []int64) 
 
 func (b *Builder) wireLevel(w Wire) int32 {
 	if int(w) < b.c.numInputs {
+		if b.parent != nil {
+			// Fork: the wire belongs to (an ancestor of) the parent
+			// builder, whose tables are read-only while forks build.
+			return b.parent.wireLevel(w)
+		}
 		return 0
 	}
 	return b.c.groups[b.c.gateGroup[int(w)-b.c.numInputs]].level

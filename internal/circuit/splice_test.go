@@ -7,9 +7,60 @@ import (
 	"testing/quick"
 )
 
+// Chain two XOR circuits via Splice: xor(xor(a,b), c) is 3-input
+// parity.
+func TestSpliceChain(t *testing.T) {
+	xor := buildXor()
+	b := NewBuilder(3)
+	mid := b.Splice(xor, []Wire{b.Input(0), b.Input(1)})
+	out := b.Splice(xor, []Wire{mid[0], b.Input(2)})
+	b.MarkOutput(out[0])
+	c := b.Build()
+	if c.Size() != 2*xor.Size() {
+		t.Errorf("size %d, want %d", c.Size(), 2*xor.Size())
+	}
+	if c.Depth() != 2*xor.Depth() {
+		t.Errorf("depth %d, want %d", c.Depth(), 2*xor.Depth())
+	}
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := in[0] != in[1] != in[2]
+		if got := c.OutputValues(c.Eval(in))[0]; got != want {
+			t.Errorf("parity(%v) = %v", in, got)
+		}
+	}
+}
+
+// Splicing into a circuit with pre-existing gates keeps levels
+// consistent (depth = host wire level + spliced depth).
+func TestSpliceDepthStacking(t *testing.T) {
+	xor := buildXor()
+	b := NewBuilder(2)
+	// A depth-3 identity chain in the host first.
+	w := b.Input(0)
+	for i := 0; i < 3; i++ {
+		w = b.Gate([]Wire{w}, []int64{1}, 1)
+	}
+	outs := b.Splice(xor, []Wire{w, b.Input(1)})
+	b.MarkOutput(outs[0])
+	c := b.Build()
+	if c.Depth() != 3+xor.Depth() {
+		t.Errorf("depth %d, want %d", c.Depth(), 3+xor.Depth())
+	}
+	// Function: xor(chained a, b) = xor(a, b).
+	for mask := 0; mask < 4; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0}
+		want := in[0] != in[1]
+		if got := c.OutputValues(c.Eval(in))[0]; got != want {
+			t.Errorf("mask %d wrong", mask)
+		}
+	}
+}
+
 // Splicing a sub-circuit built against a snapshot of the host's wires
 // (nil inputMap) is bit-identical to building the same gates directly
-// on the host — the mechanism the parallel core builders rely on.
+// on the host — the mechanism external circuit composition (conv,
+// fused networks) relies on; the core builders use Fork/Adopt.
 func TestSpliceIdentityBitIdentical(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

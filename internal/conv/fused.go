@@ -13,7 +13,7 @@ import (
 
 // FusedNetwork compiles an entire spiking convolution network into ONE
 // threshold circuit: image pixel bits in, final-layer activation bits
-// out. Each layer's GEMM circuit is embedded (circuit.Builder.Embed)
+// out. Each layer's GEMM circuit is spliced in (circuit.Builder.Splice)
 // with its kernel-matrix inputs tied to constant wires, patch
 // extraction is pure rewiring, and each activation is a single
 // threshold gate — so the whole network is a fixed-depth threshold

@@ -27,13 +27,11 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/arith"
 	"repro/internal/bilinear"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
-	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -69,11 +67,11 @@ type Options struct {
 	// BuildWorkers sets the construction parallelism of BuildMatMul,
 	// BuildTrace and BuildCount: the independent tree down-sweeps build
 	// concurrently, and each transition's node blocks plus the r^ℓ leaf
-	// products are sharded across per-worker sub-builders that are
-	// spliced back in deterministic index order. The resulting circuit
-	// is bit-identical to the sequential build (same Stats, same
-	// serialized bytes). 0 or 1 means sequential; a negative value means
-	// GOMAXPROCS.
+	// products are sharded across per-worker builder forks that are
+	// adopted back in deterministic index order (see circuit.Fork/Adopt).
+	// The resulting circuit is bit-identical to the sequential build
+	// (same Stats, same serialized bytes). 0 or 1 means sequential; a
+	// negative value means GOMAXPROCS.
 	BuildWorkers int
 }
 
@@ -175,7 +173,7 @@ type gridNZ struct {
 // returning the leaf scalars (level L) and appending per-transition gate
 // counts to *audit. Each transition's (parent, relative path) node jobs
 // are independent — they read only the previous level — so with
-// workers > 1 they are sharded across sub-builders (see parallel.go);
+// workers > 1 they are sharded across builder forks (see parallel.go);
 // the job decomposition below emits gates in the same order either way.
 func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.Schedule,
 	root []arith.Signed, n int, audit *[]int64, workers int) []arith.Signed {
@@ -189,10 +187,12 @@ func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.
 		m := n / int(bitio.Pow(T, h))
 		paths := int(bitio.Pow(r, delta))
 
-		// Precompute the nonzeros of every relative-path grid.
+		// Precompute the nonzeros of every relative-path grid. Each
+		// path's grid is independent, so the precompute shards across
+		// the workers too (it is pure arithmetic, no gates).
 		nzs := make([][]gridNZ, paths)
-		tctree.Paths(r, delta, func(idx int64, p []int) {
-			g := tree.CoefGrid(p)
+		parallelFor(workers, paths, func(idx int) {
+			g := tree.CoefGrid(tctree.Path(r, delta, int64(idx)))
 			var list []gridNZ
 			for bi := 0; bi < g.Dim; bi++ {
 				for bj := 0; bj < g.Dim; bj++ {
@@ -237,7 +237,7 @@ func (o *Options) downSweep(b *circuit.Builder, tree *tctree.Tree, sched tctree.
 // upSweep assembles T_AB bottom-up from the leaf products, returning the
 // root's n x n entries. Each transition decomposes into independent
 // (node, block X, block Y) jobs matching the sequential emission order,
-// so workers > 1 shards them across sub-builders (see parallel.go).
+// so workers > 1 shards them across builder forks (see parallel.go).
 func (o *Options) upSweep(b *circuit.Builder, alg *bilinear.Algorithm, sched tctree.Schedule,
 	products []arith.Signed, n int, audit *[]int64, workers int) []arith.Signed {
 
@@ -259,17 +259,39 @@ func (o *Options) upSweep(b *circuit.Builder, alg *bilinear.Algorithm, sched tct
 
 		// Invert the grids: for each block (X, Y), which descendant
 		// paths contribute with what weight (Lemma 4.6's size(u_l)).
+		// Workers build private inversions over contiguous path ranges;
+		// concatenating them in range order preserves the ascending
+		// path order a sequential enumeration produces, so the gate
+		// emission downstream is unchanged.
 		perBlock := make([][]gridNZ, d*d) // reuse gridNZ: bi=path index
-		tctree.Paths(r, delta, func(idx int64, p []int) {
-			g := tg.CoefGrid(p)
-			for X := 0; X < d; X++ {
-				for Y := 0; Y < d; Y++ {
-					if w := g.At(X, Y); w != 0 {
-						perBlock[X*d+Y] = append(perBlock[X*d+Y], gridNZ{bi: int(idx), coef: w})
+		chunks := workers
+		if chunks > paths {
+			chunks = paths
+		}
+		if chunks < 1 {
+			chunks = 1
+		}
+		parts := make([][][]gridNZ, chunks)
+		parallelFor(chunks, chunks, func(ci int) {
+			lo, hi := ci*paths/chunks, (ci+1)*paths/chunks
+			local := make([][]gridNZ, d*d)
+			for idx := lo; idx < hi; idx++ {
+				g := tg.CoefGrid(tctree.Path(r, delta, int64(idx)))
+				for X := 0; X < d; X++ {
+					for Y := 0; Y < d; Y++ {
+						if w := g.At(X, Y); w != 0 {
+							local[X*d+Y] = append(local[X*d+Y], gridNZ{bi: idx, coef: w})
+						}
 					}
 				}
 			}
+			parts[ci] = local
 		})
+		for _, local := range parts {
+			for e, l := range local {
+				perBlock[e] = append(perBlock[e], l...)
+			}
+		}
 
 		before := int64(b.Size())
 		count := len(cur.nodes) / paths
@@ -365,29 +387,6 @@ func (o *Options) encodeMatrix(dst []bool, base int, m *matrix.Matrix) error {
 		}
 	}
 	return nil
-}
-
-// reserveFromEstimate pre-sizes the builder's arenas from the counting
-// model's gate bound for the construction about to run. The model is a
-// sound upper bound on the builders' measured gate counts (asserted in
-// counting tests), so large builds stop paying repeated arena
-// reallocation/copy; Build trims whatever the bound overshoots. Stored
-// edges are not modeled in closed form — measured builds sit near 2.2
-// stored positions per gate, so 3x is a safe arena guess — and group
-// count never exceeds the gate count. Estimates beyond the clamp (or
-// non-finite ones, for N far past what can be materialized) reserve the
-// clamp and let append growth take over.
-func reserveFromEstimate(b *circuit.Builder, est counting.Estimate) {
-	total := est.Total()
-	if !(total > 0) || math.IsInf(total, 0) {
-		return
-	}
-	const maxGates = 64 << 20 // 64M gates ≈ 2.5 GB of arena; past this, grow on demand
-	g := int64(maxGates)
-	if total < maxGates {
-		g = int64(total)
-	}
-	b.Reserve(int(g), 3*g, int(g))
 }
 
 // ceilDiv returns ceil(a/b) for b > 0 and any integer a.

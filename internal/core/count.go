@@ -6,7 +6,6 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
-	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -47,7 +46,6 @@ func BuildCount(n int, opts Options) (*CountCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(n * n * per)
-	reserveFromEstimate(b, counting.EstimateCount(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 	rootG := make([]arith.Signed, n*n)
 	for i := 0; i < n; i++ {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
-	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -48,7 +47,6 @@ func BuildMatMul(n int, opts Options) (*MatMulCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(2 * n * n * per)
-	reserveFromEstimate(b, counting.EstimateMatMul(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 	rootB := opts.inputMatrix(b, n*n*per, n)
 

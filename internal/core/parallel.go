@@ -15,13 +15,15 @@ import (
 // the per-node blocks of a down-sweep transition (Lemma 4.2), the
 // per-block sums of an up-sweep transition (Lemma 4.6) — whose gates the
 // sequential builder happens to emit in job-index order. The engine
-// exploits exactly that: jobs are sharded into contiguous chunks, each
-// chunk builds its gates into a private sub-builder against a snapshot
-// of the main builder's wires, and the chunks are spliced back in index
-// order. Because circuit.Splice is a deterministic arena append, the
-// result is bit-identical to the sequential build — same wire ids, same
-// groups, same Stats, same serialized bytes — which the equivalence
-// tests and golden files pin.
+// exploits exactly that: job 0 of a stage runs in the main builder
+// (preserving the sequential emission prefix and measuring the per-job
+// arena footprint), the remaining jobs are sharded into contiguous
+// chunks that build concurrently in pre-sized circuit.Fork builders,
+// and the chunks are adopted back in index order. circuit.Adopt is a
+// bulk arena append with index rebasing — no intermediate Build, no
+// per-edge level rescan — so the result is bit-identical to the
+// sequential build (same wire ids, same groups, same Stats, same
+// serialized bytes), which the equivalence tests and golden files pin.
 
 // buildWorkers resolves Options.BuildWorkers: <= 0 and 1 mean the
 // sequential builder, except that a negative value selects GOMAXPROCS.
@@ -36,9 +38,9 @@ func (o *Options) buildWorkers() int {
 	return w
 }
 
-// offsetRep rewires a representation produced inside a chunk sub-builder
-// into main-builder numbering: wires below the snapshot size are shared
-// and keep their id, gate output wires shift by the splice offset.
+// offsetRep rewires a representation produced inside a chunk fork into
+// main-builder numbering: wires below the fork frontier are shared and
+// keep their id, fork gate wires shift to where Adopt placed them.
 func offsetRep(r *arith.Rep, snapshot int, gateBase circuit.Wire) {
 	for i := range r.Terms {
 		if int(r.Terms[i].Wire) >= snapshot {
@@ -52,30 +54,145 @@ func offsetSigned(s *arith.Signed, snapshot int, gateBase circuit.Wire) {
 	offsetRep(&s.Neg, snapshot, gateBase)
 }
 
+// footprint is the builder arena cost of a span of jobs: the triple the
+// engine measures on job 0 to pre-size the shards of the remaining jobs.
+type footprint struct {
+	gates  int
+	edges  int64
+	groups int
+}
+
+func measure(b *circuit.Builder) footprint {
+	return footprint{gates: b.Size(), edges: b.StoredEdges(), groups: b.NumGroups()}
+}
+
+func (f footprint) minus(g footprint) footprint {
+	return footprint{gates: f.gates - g.gates, edges: f.edges - g.edges, groups: f.groups - g.groups}
+}
+
+// scale returns the footprint of n jobs sized like this one-job
+// footprint, with headroom for job-to-job variance (grid nonzero counts
+// differ between relative paths). Undershoot is harmless — the arenas
+// append-grow past the reservation.
+func (f footprint) scale(n int, headroomPct int) footprint {
+	h := int64(100 + headroomPct)
+	return footprint{
+		gates:  int(int64(f.gates) * int64(n) * h / 100),
+		edges:  f.edges * int64(n) * h / 100,
+		groups: int(int64(f.groups) * int64(n) * h / 100),
+	}
+}
+
+// reserveMore grows b's arenas by the given footprint beyond their
+// current lengths. Reservation never changes arena contents, so the
+// serialized bytes are unaffected (Build right-sizes any overshoot).
+func reserveMore(b *circuit.Builder, f footprint) {
+	cur := measure(b)
+	b.Reserve(cur.gates+f.gates, cur.edges+f.edges, cur.groups+f.groups)
+}
+
 // shardStage runs jobs [0, n) against the builder, bit-identically to
 // executing run(b, 0), run(b, 1), … in order, and returns each job's
 // produced signed values (in the main builder's wire numbering).
 //
-// With workers > 1 the jobs are split into at most `workers` contiguous
-// chunks; each chunk runs concurrently in a sub-builder whose inputs
-// are a snapshot of every wire the main builder has so far, and the
-// finished chunks are spliced back in chunk order. run must only read
+// Job 0 always runs in the main builder; its measured arena delta sizes
+// the reservations for the rest of the stage. With workers > 1 the
+// remaining jobs split into at most `workers` contiguous chunks, each
+// chunk builds concurrently in a pre-sized Fork of the main builder
+// (the fork resolves shared wire levels through the frozen parent), and
+// the finished forks are adopted back in chunk order — a bulk arena
+// move, not a copy through an intermediate Circuit. run must only read
 // shared state (the previous level's nodes, coefficient grids, Options)
 // and only touch the builder it is handed.
 func shardStage(b *circuit.Builder, workers, n int, run func(sb *circuit.Builder, job int) []arith.Signed) [][]arith.Signed {
 	out := make([][]arith.Signed, n)
-	if workers <= 1 || n < 2 {
-		for i := 0; i < n; i++ {
+	if n == 0 {
+		return out
+	}
+	before := measure(b)
+	out[0] = run(b, 0)
+	perJob := measure(b).minus(before)
+	if n == 1 {
+		return out
+	}
+	if workers <= 1 {
+		reserveMore(b, perJob.scale(n-1, 25))
+		for i := 1; i < n; i++ {
 			out[i] = run(b, i)
 		}
 		return out
+	}
+	rest := n - 1 // jobs [1, n) build in forks
+	chunks := workers
+	if chunks > rest {
+		chunks = rest
+	}
+	snapshot := b.NumWires()
+	forks := make([]*circuit.Builder, chunks)
+	panics := make([]any, chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < chunks; ci++ {
+		lo, hi := 1+ci*rest/chunks, 1+(ci+1)*rest/chunks
+		f := b.Fork()
+		forks[ci] = f
+		wg.Add(1)
+		go func(f *circuit.Builder, ci, lo, hi int) {
+			defer wg.Done()
+			defer func() { panics[ci] = recover() }()
+			fp := perJob.scale(hi-lo, 25)
+			f.Reserve(fp.gates, fp.edges, fp.groups)
+			for i := lo; i < hi; i++ {
+				out[i] = run(f, i)
+			}
+		}(f, ci, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	// One exact reservation for the whole merge, then adopt in chunk
+	// order: each adoption is a single streaming append per arena.
+	var total footprint
+	for _, f := range forks {
+		fp := measure(f)
+		total.gates += fp.gates
+		total.edges += fp.edges
+		total.groups += fp.groups
+	}
+	reserveMore(b, total)
+	for ci, f := range forks {
+		lo, hi := 1+ci*rest/chunks, 1+(ci+1)*rest/chunks
+		gateBase := circuit.Wire(b.NumWires())
+		b.Adopt(f)
+		forks[ci] = nil
+		for i := lo; i < hi; i++ {
+			for j := range out[i] {
+				offsetSigned(&out[i][j], snapshot, gateBase)
+			}
+		}
+	}
+	return out
+}
+
+// parallelFor runs f(0), …, f(n-1) across workers goroutines in
+// contiguous index chunks, propagating the first panic. The iterations
+// must be independent (each writes only its own slot of shared output).
+// It is the engine's helper for pure precompute that used to run
+// sequentially between gate stages — coefficient-grid nonzeros — not
+// for gate emission, which goes through shardStage.
+func parallelFor(workers, n int, f func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
 	}
 	chunks := workers
 	if chunks > n {
 		chunks = n
 	}
-	snapshot := b.NumWires()
-	circs := make([]*circuit.Circuit, chunks)
 	panics := make([]any, chunks)
 	var wg sync.WaitGroup
 	for ci := 0; ci < chunks; ci++ {
@@ -84,11 +201,9 @@ func shardStage(b *circuit.Builder, workers, n int, run func(sb *circuit.Builder
 		go func(ci, lo, hi int) {
 			defer wg.Done()
 			defer func() { panics[ci] = recover() }()
-			sb := circuit.NewBuilder(snapshot)
 			for i := lo; i < hi; i++ {
-				out[i] = run(sb, i)
+				f(i)
 			}
-			circs[ci] = sb.Build()
 		}(ci, lo, hi)
 	}
 	wg.Wait()
@@ -97,18 +212,6 @@ func shardStage(b *circuit.Builder, workers, n int, run func(sb *circuit.Builder
 			panic(p)
 		}
 	}
-	for ci := 0; ci < chunks; ci++ {
-		lo, hi := ci*n/chunks, (ci+1)*n/chunks
-		gateBase := circuit.Wire(b.NumWires())
-		b.Splice(circs[ci], nil)
-		circs[ci] = nil // release the chunk arena as soon as it is copied
-		for i := lo; i < hi; i++ {
-			for j := range out[i] {
-				offsetSigned(&out[i][j], snapshot, gateBase)
-			}
-		}
-	}
-	return out
 }
 
 // sweep is one independent tree down-sweep of a build: T_A, T_B or T_G
@@ -120,11 +223,12 @@ type sweep struct {
 }
 
 // downSweeps materializes the given independent tree sweeps. With
-// workers > 1 each sweep builds concurrently in its own sub-builder
-// (internally sharding its transitions across the per-sweep share of
-// the workers) and the sweeps are spliced into b in spec order, which
-// is exactly the order the sequential builder emits them — the result
-// is bit-identical either way. Returned leaves are in b's numbering.
+// workers > 1 each sweep builds concurrently in its own Fork of the
+// main builder (internally sharding its transitions across the
+// per-sweep share of the workers — forks of the sweep fork), and the
+// sweeps are adopted into b in spec order, which is exactly the order
+// the sequential builder emits them — the result is bit-identical
+// either way. Returned leaves are in b's numbering.
 func (o *Options) downSweeps(b *circuit.Builder, sched tctree.Schedule, n, workers int, sweeps []sweep) [][]arith.Signed {
 	leaves := make([][]arith.Signed, len(sweeps))
 	if workers <= 1 || len(sweeps) < 2 {
@@ -138,19 +242,19 @@ func (o *Options) downSweeps(b *circuit.Builder, sched tctree.Schedule, n, worke
 		per = 1
 	}
 	snapshot := b.NumWires()
-	circs := make([]*circuit.Circuit, len(sweeps))
+	forks := make([]*circuit.Builder, len(sweeps))
 	panics := make([]any, len(sweeps))
 	var wg sync.WaitGroup
 	for i := range sweeps {
+		f := b.Fork()
+		forks[i] = f
 		wg.Add(1)
-		go func(i int) {
+		go func(f *circuit.Builder, i int) {
 			defer wg.Done()
 			defer func() { panics[i] = recover() }()
-			sb := circuit.NewBuilder(snapshot)
 			s := sweeps[i]
-			leaves[i] = o.downSweep(sb, s.tree, sched, s.root, n, s.audit, per)
-			circs[i] = sb.Build()
-		}(i)
+			leaves[i] = o.downSweep(f, s.tree, sched, s.root, n, s.audit, per)
+		}(f, i)
 	}
 	wg.Wait()
 	for _, p := range panics {
@@ -158,10 +262,18 @@ func (o *Options) downSweeps(b *circuit.Builder, sched tctree.Schedule, n, worke
 			panic(p)
 		}
 	}
-	for i := range sweeps {
+	var total footprint
+	for _, f := range forks {
+		fp := measure(f)
+		total.gates += fp.gates
+		total.edges += fp.edges
+		total.groups += fp.groups
+	}
+	reserveMore(b, total)
+	for i, f := range forks {
 		gateBase := circuit.Wire(b.NumWires())
-		b.Splice(circs[i], nil)
-		circs[i] = nil
+		b.Adopt(f)
+		forks[i] = nil
 		for j := range leaves[i] {
 			offsetSigned(&leaves[i][j], snapshot, gateBase)
 		}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/arith"
 	"repro/internal/bilinear"
 	"repro/internal/circuit"
 	"repro/internal/matrix"
@@ -157,6 +158,52 @@ func TestParallelTraceDecides(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("tau=%d: got %v want %v", tau, got, want)
+		}
+	}
+}
+
+// TestShardStageRaggedBitIdentical drives shardStage directly with
+// ragged job counts around the chunk boundaries (1, 63, 64, 65) and
+// worker counts both below and far above the job count. Every
+// configuration must produce serialized bytes identical to the
+// sequential run AND hand back the same rebased wires — the fork/adopt
+// merge contract at its rawest.
+func TestShardStageRaggedBitIdentical(t *testing.T) {
+	runJobs := func(workers, jobs int) ([]byte, []circuit.Wire) {
+		b := circuit.NewBuilder(4)
+		// Host context so fork wires start past a nontrivial frontier.
+		host := b.Gate([]circuit.Wire{0, 1}, []int64{1, 1}, 1)
+		out := shardStage(b, workers, jobs, func(sb *circuit.Builder, job int) []arith.Signed {
+			// Ragged: job j emits 1 + j%3 gates with job-dependent
+			// weights/thresholds, reading shared frontier wires only.
+			w := host
+			for g := 0; g <= job%3; g++ {
+				w = sb.Gate([]circuit.Wire{0, w}, []int64{1, int64(job%5) - 2}, int64(job%4))
+			}
+			return []arith.Signed{{Pos: arith.Rep{Terms: []arith.Term{{Wire: w, Weight: 1}}, Max: 1}}}
+		})
+		wires := make([]circuit.Wire, 0, jobs)
+		for _, sigs := range out {
+			for _, s := range sigs {
+				for _, tm := range s.Pos.Terms {
+					b.MarkOutput(tm.Wire)
+					wires = append(wires, tm.Wire)
+				}
+			}
+		}
+		return serializeBytes(t, b.Build()), wires
+	}
+	for _, jobs := range []int{1, 63, 64, 65} {
+		wantBytes, wantWires := runJobs(1, jobs)
+		for _, workers := range []int{2, 4, 7, 64, 128} {
+			gotBytes, gotWires := runJobs(workers, jobs)
+			if !bytes.Equal(wantBytes, gotBytes) {
+				t.Fatalf("jobs=%d workers=%d: serialized circuits differ from sequential", jobs, workers)
+			}
+			if !reflect.DeepEqual(wantWires, gotWires) {
+				t.Fatalf("jobs=%d workers=%d: rebased output wires differ: %v vs %v",
+					jobs, workers, gotWires, wantWires)
+			}
 		}
 	}
 }

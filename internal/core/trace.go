@@ -6,7 +6,6 @@ import (
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/circuit"
-	"repro/internal/counting"
 	"repro/internal/matrix"
 	"repro/internal/tctree"
 )
@@ -47,7 +46,6 @@ func BuildTrace(n int, tau int64, opts Options) (*TraceCircuit, error) {
 
 	per := opts.perEntry()
 	b := circuit.NewBuilder(n * n * per)
-	reserveFromEstimate(b, counting.EstimateTrace(opts.Alg, opts.EntryBits, L, sched))
 	rootA := opts.inputMatrix(b, 0, n)
 
 	// The masked root G shares A's input wires above the diagonal and is

@@ -63,8 +63,13 @@ type Config struct {
 	// QueueDepth bounds each circuit's pending-request queue; a full
 	// queue rejects with ErrBusy (default 256).
 	QueueDepth int
-	// BuildWorkers parallelizes circuit construction (0/1 sequential,
-	// negative GOMAXPROCS). Never changes the built circuit.
+	// BuildWorkers parallelizes cold circuit construction on a cache
+	// miss. 0 (the default) means GOMAXPROCS — the fork/adopt sharded
+	// builder is never slower than sequential by more than its small
+	// merge overhead and wins outright on multicore, so cold starts
+	// parallelize unless explicitly disabled with 1. Negative also
+	// selects GOMAXPROCS. Never changes the built circuit (parallel
+	// builds are bit-identical to sequential).
 	BuildWorkers int
 	// EvalWorkers is the worker count for each circuit's batch
 	// evaluator (default 1: the dispatcher thread evaluates in place).
@@ -98,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.BuildWorkers == 0 {
+		c.BuildWorkers = -1 // core resolves negative to GOMAXPROCS
 	}
 	if c.EvalWorkers == 0 {
 		c.EvalWorkers = 1

@@ -178,6 +178,27 @@ func Paths(r, delta int, f func(index int64, path []int)) {
 	rec(0, 0)
 }
 
+// Path returns the path in [r]^delta with the given lexicographic index
+// (the inverse of the index Paths reports): the digits of index written
+// big-endian in base r. It is the random-access companion to Paths that
+// lets independent workers materialize disjoint path ranges without
+// enumerating a shared prefix.
+func Path(r, delta int, index int64) []int {
+	max := int64(1)
+	for i := 0; i < delta; i++ {
+		max *= int64(r)
+	}
+	if index < 0 || index >= max {
+		panic(fmt.Sprintf("tctree: path index %d out of range [0,%d)", index, max))
+	}
+	p := make([]int, delta)
+	for i := delta - 1; i >= 0; i-- {
+		p[i] = int(index % int64(r))
+		index /= int64(r)
+	}
+	return p
+}
+
 // SizeSum returns Σ size(u) over all relative paths of length delta; by
 // the multinomial identities (3) and (5) this equals (Σ_k nz_k)^delta
 // (s_A^δ for T_A, s_C^δ for T_G/T_AB). Computed directly for testing the
