@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci fmt-check fuzz-smoke bench-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
+.PHONY: all check ci fmt-check fuzz-smoke bench-smoke loadgen-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ check: build vet test-short race serve-test verify
 
 # Mirrors .github/workflows/ci.yml job for job, so a green local `make
 # ci` predicts a green CI run (module download aside).
-ci: fmt-check check fuzz-smoke bench-smoke
+ci: fmt-check check fuzz-smoke bench-smoke loadgen-smoke
 
 # The CI formatting gate: gofmt must have nothing to say.
 fmt-check:
@@ -35,6 +35,14 @@ fuzz-smoke:
 # machines cannot measure parallel speedup.
 bench-smoke:
 	$(GO) run ./cmd/tcbench -smoke
+
+# The CI serving regression gate: start tcserve, drive it with tcload's
+# -smoke burst (closed loop, binary frame protocol, responses verified
+# against direct evaluation), and fail if throughput drops below half
+# the committed BENCH_serve.json e27 baseline. Skips itself when
+# GOMAXPROCS < 2 — the sharded-dispatch number needs real parallelism.
+loadgen-smoke:
+	scripts/loadgen_smoke.sh
 
 # The coalescing evaluation service is dispatcher-goroutine heavy, so
 # its suite always runs under the race detector.
@@ -82,10 +90,11 @@ bench-build:
 	$(GO) test -run '^$$' -bench 'BuildParallel' -benchmem .
 	$(GO) run ./cmd/tcbench e24
 
-# E25 closed-loop serving benchmark: coalesced vs one-request-per-Eval
-# at 64 concurrent clients; writes BENCH_serve.json.
+# Serving benchmarks, both sections of BENCH_serve.json: E25 closed-loop
+# coalescing vs one-request-per-Eval, then E27 sharded dispatch with
+# latency quantiles (closed-loop JSON + frame, open-loop Zipf/Poisson).
 bench-serve:
-	$(GO) run ./cmd/tcbench e25
+	$(GO) run ./cmd/tcbench e25 e27
 
 # E26 store benchmark: cold parallel build vs content-addressed
 # cache-load for N=8/16 Strassen matmul; writes BENCH_store.json.

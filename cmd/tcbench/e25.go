@@ -8,7 +8,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,22 +26,11 @@ import (
 // single bit-sliced EvalPlanes passes. Every response is checked
 // bit-identical to a direct scalar evaluation of the same circuit. An
 // HTTP end-to-end row (JSON marshalling + loopback TCP on top of the
-// coalesced server) is included for context. Rows are written to
-// BENCH_serve.json; cmd/tcbench's schema test enforces speedup >= 3x.
+// coalesced server) is included for context. Rows are written to the
+// "e25" section of BENCH_serve.json (e27's rows are preserved);
+// cmd/tcbench's schema test enforces speedup >= 3x.
 func e25() {
-	type row struct {
-		Mode      string  `json:"mode"`
-		Clients   int     `json:"clients"`
-		MaxBatch  int     `json:"max_batch"`
-		Requests  int64   `json:"requests"`
-		Seconds   float64 `json:"seconds"`
-		RPS       float64 `json:"rps"`
-		Speedup   float64 `json:"speedup_vs_baseline"`
-		Identical bool    `json:"identical"`
-		Batches   int64   `json:"batches"`
-		MeanBatch float64 `json:"mean_batch"`
-	}
-
+	type row = e25Row
 	const (
 		clients  = 64
 		nSamples = 256
@@ -146,12 +134,7 @@ func e25() {
 	httpRow := runHTTP(shape, mats, clients, runFor)
 	httpRow.Speedup = httpRow.RPS / baseline.RPS
 
-	rows := []row{baseline, coalesced, {
-		Mode: httpRow.Mode, Clients: httpRow.Clients, MaxBatch: httpRow.MaxBatch,
-		Requests: httpRow.Requests, Seconds: httpRow.Seconds, RPS: httpRow.RPS,
-		Speedup: httpRow.Speedup, Identical: httpRow.Identical,
-		Batches: httpRow.Batches, MeanBatch: httpRow.MeanBatch,
-	}}
+	rows := []row{baseline, coalesced, httpRow}
 
 	fmt.Printf("%-18s %8s %9s %9s %10s %8s %7s %10s\n",
 		"mode", "clients", "requests", "rps", "speedup", "ident", "batches", "mean-batch")
@@ -160,27 +143,9 @@ func e25() {
 			r.Mode, r.Clients, r.Requests, r.RPS, r.Speedup, r.Identical, r.Batches, r.MeanBatch)
 	}
 
-	out, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		panic(err)
-	}
-	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
-		panic(err)
-	}
-	fmt.Println("rows written to BENCH_serve.json")
-}
-
-type e25Row struct {
-	Mode      string
-	Clients   int
-	MaxBatch  int
-	Requests  int64
-	Seconds   float64
-	RPS       float64
-	Speedup   float64
-	Identical bool
-	Batches   int64
-	MeanBatch float64
+	file := loadServeBench()
+	file.E25 = rows
+	file.save()
 }
 
 // runHTTP is the end-to-end context row: the same closed loop through

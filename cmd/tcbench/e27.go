@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// e27: sharded-dispatch serving under a realistic load harness. The
+// server runs with Shards=GOMAXPROCS per-core dispatchers (striped
+// queues + work stealing); three modes are measured through
+// internal/load with p50/p99/p999 latency quantiles:
+//
+//   - http-sharded: e25's closed-loop 64-client JSON workload on the
+//     sharded server, directly comparable to e25's "http-coalesced" row
+//     (speedup_vs_e25_http is against that row's committed rps).
+//   - http-sharded-frame: the same closed loop over the binary /v1/eval
+//     frame protocol — the marshalling tax made visible.
+//   - http-zipf-open: an open-loop Poisson arrival stream at 70% of the
+//     measured frame-mode capacity, shape popularity Zipf-distributed
+//     over four circuits; latency is anchored at the scheduled arrival
+//     (coordinated-omission-free), so the quantiles include queue delay.
+//
+// Every response is verified against a direct scalar evaluation. Rows
+// land in the "e27" section of BENCH_serve.json; the schema test arms
+// the ≥3x acceptance bar only for rows measured with GOMAXPROCS ≥ 4 —
+// on smaller hosts the honest number is published and the multi-core
+// bar is enforced by the CI loadgen job instead.
+func e27() {
+	const (
+		clients  = 64
+		maxBatch = 64
+		runFor   = 2 * time.Second
+		nSamples = 256
+		zipfS    = 1.3
+	)
+	gmp := runtime.GOMAXPROCS(0)
+	mmShape := core.Shape{Op: core.OpMatMul, N: 8, Alg: "strassen", EntryBits: 2, Signed: true}
+
+	fmt.Printf("building %s ...\n", mmShape.Key())
+	mm, err := load.NewPool(mmShape, nSamples, 27)
+	if err != nil {
+		panic(err)
+	}
+
+	s := serve.New(serve.Config{MaxBatch: maxBatch, Shards: 0}) // 0 = GOMAXPROCS
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = clients
+	if _, err := s.Built(context.Background(), mmShape); err != nil {
+		panic(err)
+	}
+
+	e25HTTP := 0.0
+	for _, r := range loadServeBench().E25 {
+		if r.Mode == "http-coalesced" {
+			e25HTTP = r.RPS
+		}
+	}
+	if e25HTTP == 0 {
+		fmt.Println("e27: no e25 http-coalesced row in BENCH_serve.json; run e25 first for speedup columns")
+	}
+
+	// runMode drives one measurement: pick drives the request (returning
+	// the identity verdict); closed loop when rate is 0.
+	runMode := func(mode string, rate, zs float64, seed int64,
+		pick func(ctx context.Context, rng *rand.Rand) (bool, error)) e27Row {
+		var identical atomic.Bool
+		identical.Store(true)
+		res, err := load.Run(context.Background(), load.Options{
+			Workers: clients, Rate: rate, Duration: runFor, Seed: seed,
+		}, func(ctx context.Context, rng *rand.Rand) error {
+			ok, err := pick(ctx, rng)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				identical.Store(false)
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		if res.Err != nil {
+			panic(fmt.Sprintf("e27 %s: %v", mode, res.Err))
+		}
+		row := e27Row{
+			Mode: mode, Shards: gmp, Clients: clients, MaxBatch: maxBatch,
+			RateRPS: rate, ZipfS: zs,
+			Requests: res.OK, Seconds: res.Elapsed.Seconds(), RPS: res.RPS,
+			P50us:     res.Latency.Quantile(0.50),
+			P99us:     res.Latency.Quantile(0.99),
+			P999us:    res.Latency.Quantile(0.999),
+			Identical: identical.Load(), GoMaxProcs: gmp,
+		}
+		if e25HTTP > 0 && rate == 0 {
+			row.SpeedupVsE25HTTP = res.RPS / e25HTTP
+		}
+		return row
+	}
+
+	sharded := runMode("http-sharded", 0, 0, 27,
+		func(ctx context.Context, rng *rand.Rand) (bool, error) {
+			return load.PostJSON(client, ts.URL, mm, &mm.Samples[rng.Intn(len(mm.Samples))])
+		})
+	framed := runMode("http-sharded-frame", 0, 0, 28,
+		func(ctx context.Context, rng *rand.Rand) (bool, error) {
+			return load.PostFrame(client, ts.URL, &mm.Samples[rng.Intn(len(mm.Samples))])
+		})
+
+	// Open loop: rank 0 is the hot matmul circuit; the tail keeps three
+	// cheaper circuits warm in the LRU.
+	zipfShapes := []core.Shape{
+		mmShape,
+		{Op: core.OpCount, N: 4, Alg: "strassen"},
+		{Op: core.OpTrace, N: 4, Tau: 2, Alg: "strassen"},
+		{Op: core.OpMatMul, N: 4, Alg: "strassen", EntryBits: 2, Signed: true},
+	}
+	pools := make([]*load.Pool, len(zipfShapes))
+	pools[0] = mm
+	for i, sh := range zipfShapes[1:] {
+		fmt.Printf("building %s ...\n", sh.Key())
+		if pools[i+1], err = load.NewPool(sh, 64, int64(40+i)); err != nil {
+			panic(err)
+		}
+		if _, err := s.Built(context.Background(), sh); err != nil {
+			panic(err)
+		}
+	}
+	cdf := make([]float64, len(zipfShapes))
+	acc := 0.0
+	for i, p := range load.PMF(zipfS, len(zipfShapes)) {
+		acc += p
+		cdf[i] = acc
+	}
+	rate := framed.RPS * 0.7
+	open := runMode("http-zipf-open", rate, zipfS, 29,
+		func(ctx context.Context, rng *rand.Rand) (bool, error) {
+			rank := 0
+			u := rng.Float64()
+			for rank < len(cdf)-1 && u > cdf[rank] {
+				rank++
+			}
+			pool := pools[rank]
+			return load.PostFrame(client, ts.URL, &pool.Samples[rng.Intn(len(pool.Samples))])
+		})
+
+	rows := []e27Row{sharded, framed, open}
+	fmt.Printf("%-18s %7s %8s %9s %9s %9s %9s %8s %8s\n",
+		"mode", "shards", "clients", "rps", "p50_us", "p99_us", "p999_us", "ident", "vs-e25")
+	for _, r := range rows {
+		fmt.Printf("%-18s %7d %8d %9.0f %9d %9d %9d %8v %7.2fx\n",
+			r.Mode, r.Shards, r.Clients, r.RPS, r.P50us, r.P99us, r.P999us, r.Identical, r.SpeedupVsE25HTTP)
+	}
+
+	file := loadServeBench() // re-read: keep e25 rows exactly as on disk
+	file.E27 = rows
+	file.save()
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BENCH_serve.json holds both serving experiments keyed by experiment
+// name, so e25 and e27 can be (re)run independently: each reads the
+// file, replaces its own section, and writes the result back.
+type serveBenchFile struct {
+	E25 []e25Row `json:"e25"`
+	E27 []e27Row `json:"e27"`
+}
+
+type e25Row struct {
+	Mode      string  `json:"mode"`
+	Clients   int     `json:"clients"`
+	MaxBatch  int     `json:"max_batch"`
+	Requests  int64   `json:"requests"`
+	Seconds   float64 `json:"seconds"`
+	RPS       float64 `json:"rps"`
+	Speedup   float64 `json:"speedup_vs_baseline"`
+	Identical bool    `json:"identical"`
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// e27Row is one sharded-dispatch load measurement. Closed-loop modes
+// anchor latency at the call; the open-loop mode anchors at the
+// scheduled Poisson arrival (coordinated-omission-free), so its
+// quantiles include queue delay. GoMaxProcs records the parallelism the
+// numbers were measured under — the ≥3x acceptance bar is only
+// meaningful on a multi-core host (see the schema test).
+type e27Row struct {
+	Mode             string  `json:"mode"`
+	Shards           int     `json:"shards"`
+	Clients          int     `json:"clients"`
+	MaxBatch         int     `json:"max_batch"`
+	RateRPS          float64 `json:"rate_rps,omitempty"` // open-loop target (0 = closed loop)
+	ZipfS            float64 `json:"zipf_s,omitempty"`   // shape-popularity exponent (0 = single shape)
+	Requests         int64   `json:"requests"`
+	Seconds          float64 `json:"seconds"`
+	RPS              float64 `json:"rps"`
+	P50us            int64   `json:"p50_us"`
+	P99us            int64   `json:"p99_us"`
+	P999us           int64   `json:"p999_us"`
+	Identical        bool    `json:"identical"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	SpeedupVsE25HTTP float64 `json:"speedup_vs_e25_http,omitempty"`
+}
+
+const serveBenchPath = "BENCH_serve.json"
+
+// loadServeBench reads the current file; a missing file is an empty
+// one. Files written before e27 existed were a bare e25 row array —
+// migrate those in place so an old checkout upgrades on the next run.
+func loadServeBench() serveBenchFile {
+	var f serveBenchFile
+	data, err := os.ReadFile(serveBenchPath)
+	if os.IsNotExist(err) {
+		return f
+	}
+	if err != nil {
+		panic(err)
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		if legacyErr := json.Unmarshal(data, &f.E25); legacyErr == nil {
+			return f
+		}
+		panic(fmt.Sprintf("%s: %v (delete it and rerun e25+e27)", serveBenchPath, err))
+	}
+	return f
+}
+
+func (f serveBenchFile) save() {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(serveBenchPath, append(out, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rows written to %s\n", serveBenchPath)
+}

@@ -1,0 +1,266 @@
+// Command tcload is an open-loop load generator for tcserve (see
+// internal/load and DESIGN.md "Sharded dispatch and the load harness").
+//
+//	tcload -url http://localhost:8714 -rate 2000 -duration 30s
+//	tcload -url http://localhost:8714 -workers 64 -frame=false   # closed-loop JSON
+//	tcload -smoke -url http://localhost:8714                     # CI regression gate
+//
+// Shape popularity is Zipf-distributed over the rank-ordered -shapes
+// list (rank 0 most popular), the arrival process is Poisson at -rate
+// (0 = closed loop), and latency is measured from each request's
+// scheduled arrival, so queue delay under overload shows up in the
+// p99/p999 columns instead of silently throttling the generator
+// (coordinated omission). Inputs are precomputed by building each shape
+// locally, which also yields ground truth: with -check every response
+// is verified against a direct scalar evaluation.
+//
+// -smoke is the CI gate: a short closed-loop frame-protocol burst whose
+// throughput must reach -min-rps-frac of the committed
+// BENCH_serve.json e27 baseline. It skips (exit 0) when GOMAXPROCS < 2
+// — the sharded-vs-coalesced comparison is only meaningful with real
+// parallelism.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		url      = flag.String("url", "http://localhost:8714", "tcserve base URL")
+		workers  = flag.Int("workers", 64, "concurrent request workers")
+		rate     = flag.Float64("rate", 0, "target arrivals/sec, Poisson (0 = closed loop)")
+		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -requests is set)")
+		requests = flag.Int64("requests", 0, "stop after this many requests (0 = run for -duration)")
+		zipfS    = flag.Float64("zipf-s", 1.3, "shape-popularity Zipf exponent (> 1)")
+		shapes   = flag.String("shapes", "matmul:8,count:4,trace:4:2",
+			"rank-ordered op:n[:tau] list, most popular first")
+		frame   = flag.Bool("frame", true, "binary /v1/eval protocol (false = JSON endpoints)")
+		check   = flag.Bool("check", true, "verify responses against direct local evaluation")
+		samples = flag.Int("samples", 64, "precomputed request samples per shape")
+		seed    = flag.Int64("seed", 1, "RNG seed (workload is deterministic given the seed)")
+		jsonOut = flag.Bool("json", false, "emit the result as one JSON object on stdout")
+		smoke   = flag.Bool("smoke", false,
+			"CI regression gate: 3s closed-loop frame burst vs the committed baseline")
+		baseline = flag.String("baseline", "BENCH_serve.json", "baseline file for -smoke")
+		minFrac  = flag.Float64("min-rps-frac", 0.5,
+			"-smoke fails below this fraction of the baseline e27 frame-mode rps")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if gmp := runtime.GOMAXPROCS(0); gmp < 2 {
+			fmt.Printf("tcload: smoke skipped: GOMAXPROCS=%d (sharded dispatch needs >= 2 cores)\n", gmp)
+			return 0
+		}
+		*rate, *duration, *requests, *frame, *check = 0, 3*time.Second, 0, true, true
+	}
+
+	shapeList, err := parseShapes(*shapes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcload: %v\n", err)
+		return 2
+	}
+	pools := make([]*load.Pool, len(shapeList))
+	for i, sh := range shapeList {
+		fmt.Fprintf(os.Stderr, "tcload: building %s ...\n", sh.Key())
+		if pools[i], err = load.NewPool(sh, *samples, *seed+int64(100*i)); err != nil {
+			fmt.Fprintf(os.Stderr, "tcload: build %s: %v\n", sh.Key(), err)
+			return 2
+		}
+	}
+	cdf := make([]float64, len(pools))
+	if len(pools) > 1 {
+		if *zipfS <= 1 {
+			fmt.Fprintf(os.Stderr, "tcload: -zipf-s must be > 1 with multiple shapes\n")
+			return 2
+		}
+		acc := 0.0
+		for i, p := range load.PMF(*zipfS, len(pools)) {
+			acc += p
+			cdf[i] = acc
+		}
+	} else {
+		cdf[0] = 1
+	}
+
+	// Persistent connections: one keepalive slot per worker, so steady
+	// state pays no TCP/TLS setup per request.
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: *workers, MaxIdleConns: *workers},
+		Timeout:   60 * time.Second,
+	}
+
+	var mismatches atomic.Int64
+	res, err := load.Run(context.Background(), load.Options{
+		Workers: *workers, Rate: *rate, Duration: *duration, Count: *requests, Seed: *seed,
+	}, func(ctx context.Context, rng *rand.Rand) error {
+		rank := 0
+		u := rng.Float64()
+		for rank < len(cdf)-1 && u > cdf[rank] {
+			rank++
+		}
+		pool := pools[rank]
+		sm := &pool.Samples[rng.Intn(len(pool.Samples))]
+		var ok bool
+		var perr error
+		if *frame {
+			ok, perr = load.PostFrame(client, *url, sm)
+		} else {
+			ok, perr = load.PostJSON(client, *url, pool, sm)
+		}
+		if perr != nil {
+			return perr
+		}
+		if *check && !ok {
+			mismatches.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcload: %v\n", err)
+		return 2
+	}
+
+	identical := mismatches.Load() == 0
+	if *jsonOut {
+		out, _ := json.Marshal(map[string]any{
+			"sent": res.Sent, "ok": res.OK, "failed": res.Failed,
+			"seconds": res.Elapsed.Seconds(), "rps": res.RPS,
+			"p50_us": res.Latency.Quantile(0.50), "p99_us": res.Latency.Quantile(0.99),
+			"p999_us": res.Latency.Quantile(0.999), "max_us": res.Latency.Max(),
+			"identical": identical, "gomaxprocs": runtime.GOMAXPROCS(0),
+		})
+		fmt.Println(string(out))
+	} else {
+		loop := "closed"
+		if *rate > 0 {
+			loop = fmt.Sprintf("open @ %.0f/s", *rate)
+		}
+		fmt.Printf("tcload: %s loop, %d workers, %d shapes, %s\n", loop, *workers, len(pools),
+			map[bool]string{true: "frame", false: "json"}[*frame])
+		fmt.Printf("  sent %d  ok %d  failed %d  in %.2fs  =>  %.0f rps\n",
+			res.Sent, res.OK, res.Failed, res.Elapsed.Seconds(), res.RPS)
+		fmt.Printf("  latency µs: p50 %d  p99 %d  p999 %d  max %d\n",
+			res.Latency.Quantile(0.50), res.Latency.Quantile(0.99),
+			res.Latency.Quantile(0.999), res.Latency.Max())
+		if *check {
+			fmt.Printf("  identical: %v\n", identical)
+		}
+	}
+
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "tcload: %d requests failed (first: %v)\n", res.Failed, res.Err)
+		return 1
+	}
+	if *check && !identical {
+		fmt.Fprintf(os.Stderr, "tcload: %d responses differ from direct evaluation\n", mismatches.Load())
+		return 1
+	}
+	if *smoke {
+		return smokeVerdict(*baseline, *minFrac, res.RPS)
+	}
+	return 0
+}
+
+// smokeVerdict compares measured throughput to the committed e27
+// frame-mode baseline row.
+func smokeVerdict(path string, minFrac, rps float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcload: smoke baseline: %v\n", err)
+		return 2
+	}
+	var file struct {
+		E27 []struct {
+			Mode string  `json:"mode"`
+			RPS  float64 `json:"rps"`
+		} `json:"e27"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		fmt.Fprintf(os.Stderr, "tcload: smoke baseline %s: %v\n", path, err)
+		return 2
+	}
+	base := 0.0
+	for _, r := range file.E27 {
+		if r.Mode == "http-sharded-frame" {
+			base = r.RPS
+		}
+	}
+	if base == 0 {
+		fmt.Fprintf(os.Stderr, "tcload: smoke baseline %s has no http-sharded-frame row\n", path)
+		return 2
+	}
+	floor := base * minFrac
+	fmt.Printf("tcload: smoke: %.0f rps vs baseline %.0f (floor %.0f = %.0f%%)\n",
+		rps, base, floor, minFrac*100)
+	if rps < floor {
+		fmt.Fprintf(os.Stderr, "tcload: smoke FAILED: rps regression below the floor\n")
+		return 1
+	}
+	fmt.Println("tcload: smoke passed")
+	return 0
+}
+
+// parseShapes parses the rank-ordered "op:n[:tau]" list. Matmul shapes
+// default to the benchmarks' 2-bit signed entries so pools agree with
+// the committed e25/e27 workload.
+func parseShapes(spec string) ([]core.Shape, error) {
+	var out []core.Shape
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("shape %q: want op:n[:tau]", part)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("shape %q: bad n", part)
+		}
+		sh := core.Shape{N: n, Alg: "strassen"}
+		switch fields[0] {
+		case "matmul":
+			sh.Op, sh.EntryBits, sh.Signed = core.OpMatMul, 2, true
+		case "trace":
+			sh.Op = core.OpTrace
+		case "count", "triangles":
+			sh.Op = core.OpCount
+		default:
+			return nil, fmt.Errorf("shape %q: unknown op (matmul, trace, count)", part)
+		}
+		if len(fields) == 3 {
+			if sh.Op != core.OpTrace {
+				return nil, fmt.Errorf("shape %q: tau only applies to trace", part)
+			}
+			tau, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shape %q: bad tau", part)
+			}
+			sh.Tau = tau
+		}
+		out = append(out, sh)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shapes list")
+	}
+	return out, nil
+}

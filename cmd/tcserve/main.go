@@ -1,12 +1,15 @@
 // Command tcserve runs the request-coalescing evaluation service over
-// HTTP/JSON (see internal/serve and DESIGN.md "Serving and request
-// coalescing").
+// HTTP — JSON endpoints plus the binary /v1/eval frame protocol, with
+// each circuit's dispatch sharded across -shards per-core dispatchers
+// (see internal/serve and DESIGN.md "Sharded dispatch and the load
+// harness").
 //
 //	tcserve -addr :8714 -max-batch 64 -linger 200us -cache-dir /var/cache/tc
 //
 // Endpoints:
 //
 //	POST /v1/matmul    POST /v1/trace    POST /v1/triangles
+//	POST /v1/eval      (binary TCF1 frames, application/x-tcframe)
 //	GET  /v1/stats     GET  /healthz
 //	GET  /debug/vars   GET  /debug/pprof/...
 //
@@ -39,7 +42,8 @@ func main() {
 		maxCircuits = flag.Int("max-circuits", 8, "LRU cache size (built circuits)")
 		maxBatch    = flag.Int("max-batch", 64, "max samples coalesced per evaluation")
 		linger      = flag.Duration("linger", 200*time.Microsecond, "batching linger after the first request (0 = none)")
-		queueDepth  = flag.Int("queue-depth", 256, "per-circuit pending-request bound (full queue answers 429)")
+		queueDepth  = flag.Int("queue-depth", 256, "per-circuit pending-request bound across stripes (full queues answer 429)")
+		shards      = flag.Int("shards", 0, "dispatcher goroutines per circuit (0 = GOMAXPROCS); striped queues + work stealing")
 		buildW      = flag.Int("build-workers", -1, "circuit construction workers (-1 = GOMAXPROCS)")
 		evalW       = flag.Int("eval-workers", 1, "batch evaluator workers per circuit")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
@@ -53,6 +57,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		Linger:         *linger,
 		QueueDepth:     *queueDepth,
+		Shards:         *shards,
 		BuildWorkers:   *buildW,
 		EvalWorkers:    *evalW,
 		RequestTimeout: *reqTimeout,
@@ -93,8 +98,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("tcserve listening on %s (max-batch=%d linger=%v queue-depth=%d)",
-		*addr, *maxBatch, *linger, *queueDepth)
+	log.Printf("tcserve listening on %s (max-batch=%d linger=%v queue-depth=%d shards=%d)",
+		*addr, *maxBatch, *linger, *queueDepth, *shards)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

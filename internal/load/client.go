@@ -1,0 +1,54 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// PostFrame sends one binary /v1/eval request and checks the reply bits
+// against the sample's ground truth. The bool is the identity verdict;
+// transport failures and non-200 statuses are errors.
+func PostFrame(client *http.Client, baseURL string, sm *Sample) (bool, error) {
+	resp, err := client.Post(baseURL+"/v1/eval", serve.FrameContentType, bytes.NewReader(sm.Frame))
+	if err != nil {
+		return false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("load: %s: status %d: %s", baseURL+"/v1/eval", resp.StatusCode, body)
+	}
+	out, err := serve.DecodeFrameResponse(body)
+	if err != nil {
+		return false, err
+	}
+	return sm.BitsEqual(out), nil
+}
+
+// PostJSON sends one JSON request to the pool's endpoint and checks the
+// response value against the sample's ground truth.
+func PostJSON(client *http.Client, baseURL string, p *Pool, sm *Sample) (bool, error) {
+	resp, err := client.Post(baseURL+p.Path, "application/json", bytes.NewReader(sm.JSONBody))
+	if err != nil {
+		return false, err
+	}
+	var got map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("load: %s: status %d err %v", baseURL+p.Path, resp.StatusCode, err)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, got[p.RespKey]); err != nil {
+		return false, err
+	}
+	return buf.String() == sm.WantJSON, nil
+}

@@ -1,0 +1,155 @@
+// Package load is the measurement half of the serving story: an
+// open-loop load generator (Poisson arrivals, Zipf-distributed shape
+// popularity) with log-linear latency histograms, shared by the
+// cmd/tcload CLI and tcbench's E27 experiment. The runner measures
+// latency from each request's *scheduled* arrival time, not from when a
+// worker got around to sending it, so a slow server cannot hide queue
+// delay by slowing the generator down (the coordinated-omission trap of
+// closed-loop harnesses).
+package load
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// histSubBits sub-buckets per octave bound quantile resolution:
+	// 3 bits = 8 sub-buckets = at most 12.5% relative error per bucket.
+	histSubBits = 3
+	histLinear  = 1 << histSubBits // values below this resolve exactly
+	// histMaxK is the last tracked octave: values of 2^32 and above
+	// (over an hour, in microseconds) saturate into one overflow bucket.
+	histMaxK    = 31
+	histBuckets = histLinear + (histMaxK-histSubBits+1)*histLinear + 1
+)
+
+// Hist is a log-linear histogram of non-negative int64 observations
+// (microseconds, by convention): exact below 8, then 8 sub-buckets per
+// power of two, then a saturating overflow bucket. It is not
+// goroutine-safe — each worker owns one and the results are Merged.
+type Hist struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one value. Negative values clamp to zero; values at
+// or above 2^32 saturate into the overflow bucket (their exact value
+// still feeds Max and Sum, so an overflow quantile reports the observed
+// maximum rather than a fictional bound).
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+func bucketIndex(v int64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // 2^k <= v < 2^(k+1)
+	if k > histMaxK {
+		return histBuckets - 1
+	}
+	sub := int(v>>(uint(k)-histSubBits)) - histLinear
+	return histLinear + (k-histSubBits)*histLinear + sub
+}
+
+// bucketUpper is the largest value a bucket can hold (the quantile
+// estimate for hits in that bucket).
+func bucketUpper(i int) int64 {
+	if i < histLinear {
+		return int64(i)
+	}
+	j := i - histLinear
+	k := histSubBits + j/histLinear
+	sub := int64(j % histLinear)
+	width := int64(1) << (uint(k) - histSubBits)
+	return (histLinear+sub)*width + width - 1
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Max returns the largest observation (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper estimate of the q-quantile: the upper bound
+// of the bucket holding the ceil(q·count)-th smallest observation,
+// clamped to the observed maximum (so a quantile never exceeds any real
+// observation, single samples resolve exactly, and overflow hits report
+// the true max). An empty histogram reports 0; q outside [0,1] clamps.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= target {
+			if i == histBuckets-1 {
+				return h.max
+			}
+			if v := bucketUpper(i); v < h.max {
+				return v
+			}
+			return h.max
+		}
+	}
+	return h.max // unreachable: cum totals h.count
+}
+
+// Merge folds o into h bucket-wise; exact counts, sums and extremes are
+// preserved, so per-worker histograms merge into the run total without
+// loss.
+func (h *Hist) Merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}

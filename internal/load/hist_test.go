@@ -1,0 +1,133 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %d, want 0", q, v)
+		}
+	}
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram stats: count=%d mean=%g min=%d max=%d",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	// A single observation is every quantile, exactly — the max clamp
+	// makes even coarse buckets resolve a lone sample.
+	for _, v := range []int64{0, 1, 7, 8, 100, 123456, 1 << 30} {
+		var h Hist
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single sample %d: Quantile(%g) = %d", v, q, got)
+			}
+		}
+		if h.Min() != v || h.Max() != v || h.Mean() != float64(v) {
+			t.Errorf("single sample %d: min=%d max=%d mean=%g", v, h.Min(), h.Max(), h.Mean())
+		}
+	}
+}
+
+// Bucket-boundary values: exact powers of two and their neighbours land
+// in buckets whose bounds contain them, and the quantile estimate never
+// errs by more than the documented 12.5% (values < 8 are exact).
+func TestHistBucketBoundaries(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 63, 64, 65,
+		1023, 1024, 1025, 1<<20 - 1, 1 << 20, 1<<20 + 1} {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Errorf("value %d: bucket %d upper bound %d below the value", v, i, up)
+		}
+		if i > 0 && bucketUpper(i-1) >= v {
+			t.Errorf("value %d: previous bucket %d already holds it (upper %d)", v, i-1, bucketUpper(i-1))
+		}
+		if v < histLinear && up != v {
+			t.Errorf("small value %d resolved to %d, want exact", v, up)
+		}
+		if v >= histLinear && float64(up-v) > 0.125*float64(v) {
+			t.Errorf("value %d: upper bound %d is over 12.5%% away", v, up)
+		}
+	}
+	// Quantiles over a known population stay within the resolution
+	// bound of the true order statistic.
+	var h Hist
+	for v := int64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		truth := int64(math.Ceil(q * 10000))
+		got := h.Quantile(q)
+		if got < truth || float64(got-truth) > 0.125*float64(truth) {
+			t.Errorf("uniform 1..10000: Quantile(%g) = %d, true %d", q, got, truth)
+		}
+	}
+}
+
+func TestHistOverflowSaturates(t *testing.T) {
+	var h Hist
+	huge := int64(1)<<40 + 12345 // way past the 2^32 tracked range
+	h.Observe(huge)
+	h.Observe(huge * 2)
+	h.Observe(3)
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	// Both giants share the saturating bucket; the quantile there
+	// reports the observed max, not a fictional bucket bound.
+	if got := h.Quantile(0.99); got != huge*2 {
+		t.Errorf("overflow Quantile(0.99) = %d, want observed max %d", got, huge*2)
+	}
+	if got := h.Quantile(0.01); got != 3 {
+		t.Errorf("Quantile(0.01) = %d, want 3", got)
+	}
+	if h.Max() != huge*2 {
+		t.Errorf("max %d, want %d", h.Max(), huge*2)
+	}
+	// Negative observations clamp to zero rather than corrupting state.
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Errorf("min after negative observe = %d, want 0", h.Min())
+	}
+}
+
+// Merging per-dispatcher histograms must be lossless: the merged view
+// equals the histogram that would have observed every sample directly.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 5000)
+		whole.Observe(v)
+		parts[i%len(parts)].Observe(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	var empty Hist
+	merged.Merge(&empty) // merging an empty histogram is a no-op
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Errorf("merged stats diverge: count %d/%d min %d/%d max %d/%d mean %g/%g",
+			merged.Count(), whole.Count(), merged.Min(), whole.Min(),
+			merged.Max(), whole.Max(), merged.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Errorf("Quantile(%g): merged %d, whole %d", q, m, w)
+		}
+	}
+	if merged.buckets != whole.buckets {
+		t.Error("merged bucket array differs from direct observation")
+	}
+}

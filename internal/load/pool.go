@@ -1,0 +1,147 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+// Sample is one precomputed request for a shape: the binary /v1/eval
+// frame, the equivalent JSON body, and ground truth for both protocols
+// from a direct scalar evaluation done at pool-build time — so checking
+// a response under load costs a comparison, not an evaluation.
+type Sample struct {
+	Frame    []byte // /v1/eval request body
+	WantBits []bool // expected marked-output bits (Circuit.Outputs order)
+	JSONBody []byte // request body for Path
+	WantJSON string // canonical JSON of the expected value under RespKey
+}
+
+// Pool is a shape's request material for a load run.
+type Pool struct {
+	Shape   core.Shape
+	Path    string // JSON endpoint ("/v1/matmul", "/v1/trace", "/v1/triangles")
+	RespKey string // JSON response field holding the checked value
+	Samples []Sample
+}
+
+// NewPool builds the shape's circuit once and precomputes n seeded
+// random request samples with their expected answers.
+func NewPool(sh core.Shape, n int, seed int64) (*Pool, error) {
+	built, err := core.BuildShape(sh, -1)
+	if err != nil {
+		return nil, err
+	}
+	c := built.Circuit()
+	outs := c.Outputs()
+	ev := circuit.NewEvaluator(c, 1)
+	defer ev.Close()
+	rng := rand.New(rand.NewSource(seed))
+
+	pool := &Pool{Shape: sh, Samples: make([]Sample, n)}
+	switch sh.Op {
+	case core.OpMatMul:
+		pool.Path, pool.RespKey = "/v1/matmul", "c"
+	case core.OpTrace:
+		pool.Path, pool.RespKey = "/v1/trace", "decision"
+	case core.OpCount:
+		pool.Path, pool.RespKey = "/v1/triangles", "count"
+	default:
+		return nil, fmt.Errorf("load: unknown op %q", sh.Op)
+	}
+
+	for i := range pool.Samples {
+		sm := &pool.Samples[i]
+		var in []bool
+		var want any
+		body := map[string]any{
+			"n": sh.N, "alg": sh.Alg,
+		}
+		if sh.Depth != 0 {
+			body["depth"] = sh.Depth
+		}
+		if sh.GroupSize != 0 {
+			body["group_size"] = sh.GroupSize
+		}
+		switch sh.Op {
+		case core.OpMatMul:
+			a := matrix.Random(rng, sh.N, sh.N, -2, 1)
+			b := matrix.Random(rng, sh.N, sh.N, -2, 1)
+			if in, err = built.MatMul.Assign(a, b); err != nil {
+				return nil, err
+			}
+			body["entry_bits"], body["signed"] = sh.EntryBits, sh.Signed
+			if sh.SharedMSB {
+				body["shared_msb"] = true
+			}
+			body["a"], body["b"] = matJSONRows(a), matJSONRows(b)
+			want = matJSONRows(a.Mul(b))
+		case core.OpTrace:
+			adj := graph.ErdosRenyi(rng, sh.N, 0.5).Adjacency()
+			if in, err = built.Trace.Assign(adj); err != nil {
+				return nil, err
+			}
+			body["tau"], body["a"] = sh.Tau, matJSONRows(adj)
+			dec, err := built.Trace.Decide(adj)
+			if err != nil {
+				return nil, err
+			}
+			want = dec
+		case core.OpCount:
+			adj := graph.ErdosRenyi(rng, sh.N, 0.5).Adjacency()
+			if in, err = built.Count.Assign(adj); err != nil {
+				return nil, err
+			}
+			body["adj"] = matJSONRows(adj)
+			cnt, err := built.Count.Triangles(adj)
+			if err != nil {
+				return nil, err
+			}
+			want = cnt
+		}
+		if sm.Frame, err = serve.EncodeFrame(sh, in); err != nil {
+			return nil, err
+		}
+		if sm.JSONBody, err = json.Marshal(body); err != nil {
+			return nil, err
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			return nil, err
+		}
+		sm.WantJSON = string(wantJSON)
+		vals := ev.Eval(in)
+		sm.WantBits = make([]bool, len(outs))
+		for j, o := range outs {
+			sm.WantBits[j] = vals[o]
+		}
+	}
+	return pool, nil
+}
+
+// BitsEqual reports whether decoded output bits match the sample.
+func (sm *Sample) BitsEqual(out []bool) bool {
+	if len(out) != len(sm.WantBits) {
+		return false
+	}
+	for i := range out {
+		if out[i] != sm.WantBits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func matJSONRows(m *matrix.Matrix) [][]int64 {
+	rows := make([][]int64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+	}
+	return rows
+}

@@ -1,0 +1,178 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Workers is the number of concurrent request executors (default 1).
+	Workers int
+	// Rate is the target arrival rate in requests/second. Positive
+	// rates run the open loop: a Poisson pacer schedules arrivals on an
+	// ideal timeline and latency is measured from the scheduled instant.
+	// Zero runs the closed loop: each worker fires its next request the
+	// moment the previous reply lands (the e25 regime), and latency is
+	// the call duration.
+	Rate float64
+	// Duration bounds the run by wall clock; Count bounds it by request
+	// total. At least one must be set; whichever trips first stops the
+	// run.
+	Duration time.Duration
+	Count    int64
+	// Seed makes worker RNG streams (and through them, shape choices)
+	// deterministic. Worker w draws from Seed+w; the pacer from Seed-1.
+	Seed int64
+}
+
+// Result is one run's aggregate outcome.
+type Result struct {
+	Sent    int64         // requests issued
+	OK      int64         // successful replies
+	Failed  int64         // errored replies
+	Elapsed time.Duration // first send to last reply
+	RPS     float64       // OK replies per elapsed second
+	Latency Hist          // microseconds; see Options.Rate for the anchor
+	Err     error         // first failure, for diagnosis
+}
+
+// Run drives do under the configured loop shape. do receives a
+// per-worker seeded RNG (for workload choices like Zipf shape picks);
+// it must be safe for concurrent calls. The context cancels the run
+// early; in-flight requests finish and are counted.
+func Run(ctx context.Context, opts Options, do func(ctx context.Context, rng *rand.Rand) error) (Result, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Duration <= 0 && opts.Count <= 0 {
+		return Result{}, fmt.Errorf("load: need a Duration or Count bound")
+	}
+	// The Duration bound stops issuing new requests; in-flight ones run
+	// to completion under the caller's context so the tail is measured,
+	// not truncated.
+	loopCtx := ctx
+	if opts.Duration > 0 {
+		var cancel context.CancelFunc
+		loopCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	type worker struct {
+		hist           Hist
+		sent, ok, fail int64
+		err            error
+	}
+	workers := make([]worker, opts.Workers)
+	var budget chan struct{}
+	if opts.Count > 0 {
+		budget = make(chan struct{}, opts.Count)
+		for i := int64(0); i < opts.Count; i++ {
+			budget <- struct{}{}
+		}
+		close(budget)
+	}
+	takeBudget := func() bool {
+		if budget == nil {
+			return true
+		}
+		_, ok := <-budget
+		return ok
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	if opts.Rate > 0 {
+		// Open loop: the pacer emits scheduled arrival instants on an
+		// ideal Poisson timeline (exponential gaps, mean 1/rate). The
+		// timeline never waits for workers — if they fall behind, the
+		// arrivals channel backs up and each late start still measures
+		// from its scheduled instant, charging the backlog to the server
+		// instead of silently thinning the load.
+		arrivals := make(chan time.Time, 4*opts.Workers)
+		prng := rand.New(rand.NewSource(opts.Seed - 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(arrivals)
+			next := start
+			for takeBudget() {
+				next = next.Add(time.Duration(prng.ExpFloat64() / opts.Rate * float64(time.Second)))
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-loopCtx.Done():
+						return
+					}
+				}
+				select {
+				case arrivals <- next:
+				case <-loopCtx.Done():
+					return
+				}
+			}
+		}()
+		for w := range workers {
+			wg.Add(1)
+			go func(w *worker, rng *rand.Rand) {
+				defer wg.Done()
+				for scheduled := range arrivals {
+					w.sent++
+					err := do(ctx, rng)
+					w.hist.Observe(time.Since(scheduled).Microseconds())
+					if err != nil {
+						w.fail++
+						if w.err == nil {
+							w.err = err
+						}
+					} else {
+						w.ok++
+					}
+				}
+			}(&workers[w], rand.New(rand.NewSource(opts.Seed+int64(w))))
+		}
+	} else {
+		// Closed loop: back-to-back requests per worker.
+		for w := range workers {
+			wg.Add(1)
+			go func(w *worker, rng *rand.Rand) {
+				defer wg.Done()
+				for loopCtx.Err() == nil && takeBudget() {
+					w.sent++
+					t0 := time.Now()
+					err := do(ctx, rng)
+					w.hist.Observe(time.Since(t0).Microseconds())
+					if err != nil {
+						w.fail++
+						if w.err == nil {
+							w.err = err
+						}
+					} else {
+						w.ok++
+					}
+				}
+			}(&workers[w], rand.New(rand.NewSource(opts.Seed+int64(w))))
+		}
+	}
+	wg.Wait()
+
+	var res Result
+	res.Elapsed = time.Since(start)
+	for w := range workers {
+		res.Sent += workers[w].sent
+		res.OK += workers[w].ok
+		res.Failed += workers[w].fail
+		res.Latency.Merge(&workers[w].hist)
+		if res.Err == nil {
+			res.Err = workers[w].err
+		}
+	}
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.RPS = float64(res.OK) / sec
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRunClosedLoopCount(t *testing.T) {
+	res, err := Run(context.Background(), Options{Workers: 4, Count: 40, Seed: 1},
+		func(ctx context.Context, rng *rand.Rand) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 40 || res.OK != 40 || res.Failed != 0 {
+		t.Fatalf("sent/ok/failed = %d/%d/%d, want 40/40/0", res.Sent, res.OK, res.Failed)
+	}
+	if res.Latency.Count() != 40 {
+		t.Fatalf("latency count %d, want 40", res.Latency.Count())
+	}
+	// Closed-loop latency anchors at the call, so the 1ms sleep is a
+	// floor for every observation.
+	if min := res.Latency.Min(); min < 900 {
+		t.Errorf("min latency %dµs below the 1ms service floor", min)
+	}
+	if res.RPS <= 0 {
+		t.Errorf("rps %.1f, want positive", res.RPS)
+	}
+}
+
+func TestRunOpenLoopDuration(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		Workers: 4, Rate: 2000, Duration: 300 * time.Millisecond, Seed: 2,
+	}, func(ctx context.Context, rng *rand.Rand) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("open loop sent nothing")
+	}
+	if res.OK != res.Sent || res.Latency.Count() != res.Sent {
+		t.Fatalf("ok=%d latency=%d, want both %d", res.OK, res.Latency.Count(), res.Sent)
+	}
+	// ~600 scheduled arrivals; allow wide slop for a loaded CI box, but
+	// an unpaced runner would send tens of thousands.
+	if res.Sent > 1800 {
+		t.Errorf("sent %d requests in 300ms at rate 2000/s: pacer not pacing", res.Sent)
+	}
+}
+
+// The coordinated-omission property: with one worker and a 5ms service
+// time at a 1kHz schedule, arrivals outrun service 5x, so scheduled-
+// time latency must grow far beyond the 5ms a closed-loop (or
+// send-time-anchored) harness would report.
+func TestRunOpenLoopMeasuresBacklog(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		Workers: 1, Rate: 1000, Count: 50, Seed: 3,
+	}, func(ctx context.Context, rng *rand.Rand) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 50 {
+		t.Fatalf("sent %d, want 50", res.Sent)
+	}
+	// The 50th request is scheduled at ~50ms but served at ~250ms; even
+	// with generous scheduling slop the p99 must dwarf the service time.
+	if p99 := res.Latency.Quantile(0.99); p99 < 50000 {
+		t.Errorf("open-loop p99 %dµs does not include queue delay (service 5000µs)", p99)
+	}
+}
+
+func TestRunErrorsSurfaced(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(context.Background(), Options{Workers: 2, Count: 10, Seed: 4},
+		func(ctx context.Context, rng *rand.Rand) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 10 || res.OK != 0 {
+		t.Fatalf("failed/ok = %d/%d, want 10/0", res.Failed, res.OK)
+	}
+	if !errors.Is(res.Err, boom) {
+		t.Errorf("first error %v, want boom", res.Err)
+	}
+	if _, err := Run(context.Background(), Options{}, func(context.Context, *rand.Rand) error { return nil }); err == nil {
+		t.Error("unbounded run accepted; want an error")
+	}
+}

@@ -1,0 +1,56 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks 0..n-1 with P(rank = k) ∝ 1/(1+k)^s — the standard
+// skewed-popularity model for cache workloads (a few shapes take most
+// of the traffic; the tail stays warm). Seeded and fully deterministic:
+// two Zipfs built from the same (seed, s, n) produce identical streams.
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf builds a generator over n ranks with exponent s > 1 (the
+// stdlib sampler's domain; s→1⁺ approaches the classical harmonic
+// distribution, larger s concentrates mass on rank 0).
+func NewZipf(seed int64, s float64, n int) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("load: zipf needs at least 1 rank, got %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("load: zipf exponent must be > 1, got %g", s)
+	}
+	return &Zipf{
+		z: rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1)),
+		n: n,
+	}, nil
+}
+
+// Next draws the next rank in [0, n).
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// PMF returns the theoretical probability of each rank for exponent s
+// over n ranks: P(k) = (1+k)^(-s) / Σ_j (1+j)^(-s), matching the
+// sampler's v=1 parameterization. This is what the statistical
+// acceptance test (and any calibration of -zipf-s) compares observed
+// frequencies against.
+func PMF(s float64, n int) []float64 {
+	p := make([]float64, n)
+	var z float64
+	for k := range p {
+		p[k] = math.Pow(1+float64(k), -s)
+		z += p[k]
+	}
+	for k := range p {
+		p[k] /= z
+	}
+	return p
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Round trip: every shape field and every input bit survives
+// encode/decode for a spread of shapes, including the tricky header
+// values (negative Tau zigzags, bit counts off byte boundaries).
+func TestFrameRoundTrip(t *testing.T) {
+	shapes := []core.Shape{
+		{Op: core.OpMatMul, N: 4, Alg: "strassen", EntryBits: 2, Signed: true},
+		{Op: core.OpTrace, N: 8, Tau: -127, Alg: "winograd", Depth: 6, SharedMSB: true},
+		{Op: core.OpCount, N: 16, Alg: "naive2", GroupSize: 3},
+		{Op: core.OpTrace, N: 4, Tau: 1 << 40, Alg: "strassen"},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range shapes {
+		for _, nbits := range []int{0, 1, 7, 8, 9, 64, 193} {
+			in := make([]bool, nbits)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			b, err := EncodeFrame(shape, in)
+			if err != nil {
+				t.Fatalf("%s/%d bits: %v", shape.Key(), nbits, err)
+			}
+			gotShape, gotIn, err := DecodeFrame(b)
+			if err != nil {
+				t.Fatalf("%s/%d bits: decode: %v", shape.Key(), nbits, err)
+			}
+			if gotShape != shape {
+				t.Errorf("shape %+v round-tripped to %+v", shape, gotShape)
+			}
+			if len(gotIn) != len(in) {
+				t.Fatalf("%d bits round-tripped to %d", len(in), len(gotIn))
+			}
+			for i := range in {
+				if gotIn[i] != in[i] {
+					t.Errorf("%s/%d bits: bit %d flipped", shape.Key(), nbits, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFrameResponseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, nbits := range []int{0, 1, 8, 13, 200} {
+		out := make([]bool, nbits)
+		for i := range out {
+			out[i] = rng.Intn(2) == 1
+		}
+		got, err := DecodeFrameResponse(EncodeFrameResponse(out))
+		if err != nil {
+			t.Fatalf("%d bits: %v", nbits, err)
+		}
+		if len(got) != nbits {
+			t.Fatalf("%d bits round-tripped to %d", nbits, len(got))
+		}
+		for i := range out {
+			if got[i] != out[i] {
+				t.Errorf("%d bits: bit %d flipped", nbits, i)
+			}
+		}
+	}
+}
+
+// The decoder is strict: every malformed frame is rejected, never
+// silently misread.
+func TestFrameDecodeRejectsMalformed(t *testing.T) {
+	shape := countShape(4)
+	good, err := EncodeFrame(shape, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(good); err != nil {
+		t.Fatalf("baseline frame rejected: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:5],
+		"bad magic":      append([]byte("TCX1"), good[4:]...),
+		"response magic": append([]byte("TCR1"), good[4:]...),
+		"unknown op":     mutate(good, 4, 99),
+		"unknown alg":    mutate(good, 5, 99),
+		"unknown flags":  mutate(good, 6, 0x80),
+		"truncated bits": good[:len(good)-1],
+		"trailing byte":  append(append([]byte{}, good...), 0),
+		// The last byte holds 3 payload bits; bit 3 is padding.
+		"nonzero padding": mutate(good, len(good)-1, good[len(good)-1]|0x08),
+	}
+	for name, frame := range cases {
+		if _, _, err := DecodeFrame(frame); err == nil {
+			t.Errorf("%s: decode accepted a malformed frame", name)
+		}
+	}
+
+	if _, err := EncodeFrame(core.Shape{Op: "nope", Alg: "strassen"}, nil); err == nil {
+		t.Error("encode accepted an unknown op")
+	}
+	if _, err := EncodeFrame(core.Shape{Op: core.OpCount, Alg: "nope"}, nil); err == nil {
+		t.Error("encode accepted an unknown algorithm")
+	}
+
+	if _, err := DecodeFrameResponse([]byte("TCF1")); err == nil {
+		t.Error("response decode accepted a request magic")
+	}
+	resp := EncodeFrameResponse([]bool{true})
+	if _, err := DecodeFrameResponse(append(resp, 0)); err == nil {
+		t.Error("response decode accepted a trailing byte")
+	}
+}
+
+func mutate(b []byte, i int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[i] = v
+	return out
+}
+
+// End to end over HTTP: a binary /v1/eval round trip must decode to the
+// same triangle count as the JSON endpoint and the host-side count.
+func TestHTTPEvalFrame(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	shape := countShape(4)
+	cc, err := core.BuildCount(4, mustOpts(t, shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Complete(4)
+	in, err := cc.Assign(g.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeFrame(shape, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/eval", FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != FrameContentType {
+		t.Errorf("response content type %q, want %q", ct, FrameContentType)
+	}
+	out, err := DecodeFrameResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := cc.DecodeTriangles(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Triangles(); tri != want {
+		t.Fatalf("frame triangles %d, host %d", tri, want)
+	}
+
+	// Malformed frames answer 400; wrong input width is a terminal 400.
+	resp, err = ts.Client().Post(ts.URL+"/v1/eval", FrameContentType, bytes.NewReader([]byte("garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage frame status %d, want 400", resp.StatusCode)
+	}
+	short, err := EncodeFrame(shape, make([]bool, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/v1/eval", FrameContentType, bytes.NewReader(short))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-width frame status %d, want 400", resp.StatusCode)
+	}
+}

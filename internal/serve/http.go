@@ -5,23 +5,27 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
 )
 
-// Handler returns the server's HTTP/JSON API:
+// Handler returns the server's HTTP API:
 //
 //	POST /v1/matmul    {"n","alg","entry_bits","signed",...,"a","b"} -> {"c"}
 //	POST /v1/trace     {"n","tau","alg",...,"a"}                     -> {"decision"}
 //	POST /v1/triangles {"n","alg",...,"adj"}                         -> {"count"}
+//	POST /v1/eval      binary frame (see frame.go)                   -> binary frame
 //	GET  /v1/stats     -> metrics Snapshot
 //	GET  /healthz      -> 200 "ok"
 //
 // Matrices are JSON arrays of int64 rows. Shape fields (alg, depth,
 // entry_bits, signed, shared_msb, group_size) select the cached
-// circuit; omitted fields take the construction defaults. A full queue
+// circuit; omitted fields take the construction defaults. /v1/eval
+// trades the JSON ergonomics for throughput: raw circuit input bits in,
+// raw marked-output bits back, no per-request marshalling. A full queue
 // answers 429, a request that outlives Config.RequestTimeout answers
 // 504, and a draining server answers 503.
 func (s *Server) Handler() http.Handler {
@@ -29,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/matmul", s.handleMatMul)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/v1/triangles", s.handleTriangles)
+	mux.HandleFunc("/v1/eval", s.handleEval)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Snapshot())
 	})
@@ -135,6 +140,36 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeError(w, err)
+}
+
+// handleEval is the binary-frame endpoint: shape + packed input bits
+// in, packed marked-output bits back. Errors stay JSON (with the same
+// status mapping as the JSON endpoints) so failures remain readable.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	shape, in, err := DecodeFrame(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	out, err := s.Do(ctx, shape, in)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(EncodeFrameResponse(out))
 }
 
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {

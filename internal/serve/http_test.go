@@ -170,7 +170,7 @@ func TestHTTPErrors(t *testing.T) {
 
 // A saturated queue surfaces as HTTP 429 with a Retry-After hint.
 func TestHTTPBackpressure429(t *testing.T) {
-	s := New(Config{QueueDepth: 1, MaxBatch: 1, Linger: -1})
+	s := New(Config{QueueDepth: 1, MaxBatch: 1, Linger: -1, Shards: 1})
 	s.holdBatch = make(chan struct{})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())

@@ -25,6 +25,7 @@ type metrics struct {
 	samples    atomic.Int64 // samples served through batches
 	singletons atomic.Int64 // batches of size 1 (direct Eval path)
 	retries    atomic.Int64 // enqueue raced an eviction and retried
+	steals     atomic.Int64 // requests stolen from sibling stripes
 	diskHits   atomic.Int64 // LRU misses warm-started from the disk store
 	diskSaves  atomic.Int64 // builds persisted to the disk store
 
@@ -107,6 +108,10 @@ type Snapshot struct {
 	Singletons int64 `json:"singletons"`
 	Retries    int64 `json:"retries"`
 
+	// Steals counts requests a dispatcher pulled from a sibling shard's
+	// stripe (linger-expiry and idle-notification work stealing).
+	Steals int64 `json:"steals"`
+
 	// Disk warm-start counters (zero unless Config.Cache is set):
 	// an LRU miss resolved from the on-disk store instead of a build,
 	// and builds persisted back to it.
@@ -147,6 +152,7 @@ func (s *Server) Snapshot() Snapshot {
 		Samples:    m.samples.Load(),
 		Singletons: m.singletons.Load(),
 		Retries:    m.retries.Load(),
+		Steals:     m.steals.Load(),
 
 		EvalLatencyUS:  m.evalLatency.snapshot(),
 		TotalLatencyUS: m.totalLatency.snapshot(),

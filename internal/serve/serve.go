@@ -9,10 +9,20 @@
 //
 //   - a bounded LRU cache keyed by core.Shape pays construction once
 //     per (op, N, algorithm, options) tuple;
-//   - a per-circuit dispatcher goroutine drains the request queue into
-//     EvalPlanes batches (up to Config.MaxBatch samples, or whatever
-//     arrived within Config.Linger of the first), evaluates once, and
-//     fans the marked-output bits back to the waiting requests.
+//   - each circuit's dispatch is sharded over Config.Shards per-core
+//     dispatcher goroutines, one striped bounded queue each. A
+//     dispatcher drains its stripe into EvalPlanes batches (up to
+//     Config.MaxBatch samples, or whatever arrived within Config.Linger
+//     of the first), steals from sibling stripes when its linger
+//     expires with batch capacity left, evaluates once, and fans the
+//     marked-output bits back to the waiting requests. Idle dispatchers
+//     are woken by an enqueue notification and steal too, so a stalled
+//     or busy shard never strands its queued requests.
+//
+// The sharding mirrors the paper's depth/size trade-off at the serving
+// layer: wide, shallow parallelism. One popular shape is served by up
+// to Shards cores concurrently instead of funneling every request
+// through a single dispatcher goroutine.
 //
 // Robustness is part of the contract: per-request deadlines and
 // cancellation via context, a bounded queue with explicit backpressure
@@ -32,7 +42,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/store"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 var (
@@ -60,9 +72,18 @@ type Config struct {
 	// the first of a batch arrives (default 200µs). Zero means default;
 	// negative means no lingering (serve whatever is already queued).
 	Linger time.Duration
-	// QueueDepth bounds each circuit's pending-request queue; a full
-	// queue rejects with ErrBusy (default 256).
+	// QueueDepth bounds each circuit's pending-request capacity, summed
+	// across its striped queues; when every stripe is full the enqueue
+	// rejects with ErrBusy (default 256).
 	QueueDepth int
+	// Shards is the number of dispatcher goroutines (and queue stripes)
+	// per cached circuit. Requests spread round-robin over the stripes;
+	// a dispatcher whose linger expires below MaxBatch steals from
+	// sibling stripes, and idle dispatchers steal on enqueue
+	// notification, so concurrent requests for one hot shape coalesce
+	// into batches without serializing behind one goroutine. 0 or
+	// negative means GOMAXPROCS; clamped to at most 64.
+	Shards int
 	// BuildWorkers parallelizes cold circuit construction on a cache
 	// miss. 0 (the default) means GOMAXPROCS — the fork/adopt sharded
 	// builder is never slower than sequential by more than its small
@@ -104,6 +125,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > 64 {
+		c.Shards = 64
+	}
 	if c.BuildWorkers == 0 {
 		c.BuildWorkers = -1 // core resolves negative to GOMAXPROCS
 	}
@@ -134,8 +161,14 @@ type Server struct {
 	// two-phase rendezvous: the dispatcher sends one token when it picks
 	// up a batch (announce) and receives one before evaluating
 	// (release). Tests use it to hold a dispatcher mid-batch and fill
-	// its queue deterministically.
+	// its queue deterministically (meaningful with Shards: 1).
 	holdBatch chan struct{}
+
+	// evalGate, when non-nil, is called with the shard index before each
+	// batch evaluation. The fault-injection tests use it to stall one
+	// dispatcher mid-batch and assert that sibling dispatchers steal the
+	// stalled stripe's queued requests.
+	evalGate func(shard int)
 }
 
 // New returns a ready Server.
@@ -147,22 +180,38 @@ func New(cfg Config) *Server {
 	}
 }
 
-// entry is one cached circuit with its dispatcher.
+// entry is one cached circuit with its sharded dispatch state.
 type entry struct {
 	shape core.Shape
 
 	ready chan struct{} // closed once build completes (built/err set)
 	built *core.Built
 	err   error
-	ev    *circuit.Evaluator
 	outs  []circuit.Wire // marked outputs, decode order
 
+	// stripes are the per-dispatcher bounded queues (and each
+	// dispatcher's private evaluator). Enqueues spread round-robin via
+	// rr; notify (capacity 1) wakes one idle dispatcher to steal after
+	// an enqueue, so a request never waits on a busy stripe while a
+	// sibling dispatcher sits idle.
+	stripes []stripe
+	rr      atomic.Uint32
+	notify  chan struct{}
+
+	running atomic.Int32  // dispatchers not yet retired; the last closes dead
+	done    chan struct{} // closed on eviction/shutdown: dispatchers drain and exit
+	dead    chan struct{} // closed after the final drains: every request any
+	// dispatcher ever dequeued has been replied to, so a waiter that
+	// observes dead either finds its reply already buffered or knows it
+	// will never come and can safely retry elsewhere.
+}
+
+// stripe is one dispatcher's slice of an entry: its bounded request
+// queue and its private batch evaluator (EvalPlanes scratch is not
+// shareable across goroutines).
+type stripe struct {
 	queue chan *request
-	done  chan struct{} // closed on eviction/shutdown: dispatcher drains and exits
-	dead  chan struct{} // closed by the dispatcher after the final drain:
-	// every request it ever dequeued has been replied to, so a waiter
-	// that observes dead either finds its reply already buffered or
-	// knows it will never come and can safely retry elsewhere.
+	ev    *circuit.Evaluator
 }
 
 // request is one queued evaluation.
@@ -193,18 +242,28 @@ func (s *Server) getEntry(ctx context.Context, shape core.Shape) (*entry, error)
 		s.metrics.cacheHits.Add(1)
 		s.mu.Unlock()
 	} else {
+		depth := (s.cfg.QueueDepth + s.cfg.Shards - 1) / s.cfg.Shards
+		if depth < 1 {
+			depth = 1
+		}
 		e = &entry{
-			shape: shape,
-			ready: make(chan struct{}),
-			queue: make(chan *request, s.cfg.QueueDepth),
-			done:  make(chan struct{}),
-			dead:  make(chan struct{}),
+			shape:   shape,
+			ready:   make(chan struct{}),
+			stripes: make([]stripe, s.cfg.Shards),
+			notify:  make(chan struct{}, 1),
+			done:    make(chan struct{}),
+			dead:    make(chan struct{}),
+		}
+		for i := range e.stripes {
+			e.stripes[i].queue = make(chan *request, depth)
 		}
 		s.byKey[shape] = s.lru.PushFront(e)
 		s.metrics.cacheMiss.Add(1)
-		// Account the builder/dispatcher while still under the lock:
-		// Close observes `closed` only after this Add, so its Wait can
-		// never race a late Add from a pre-close entry.
+		// Account the builder (and, transitively, the entry's dispatcher
+		// group — the last dispatcher to retire releases the slot) while
+		// still under the lock: Close observes `closed` only after this
+		// Add, so its Wait can never race a late Add from a pre-close
+		// entry.
 		s.dispatchers.Add(1)
 		var evicted *entry
 		if s.lru.Len() > s.cfg.MaxCircuits {
@@ -231,7 +290,7 @@ func (s *Server) getEntry(ctx context.Context, shape core.Shape) (*entry, error)
 // buildEntry resolves the circuit for e — from the disk store when one
 // is configured (LoadOrBuild rejects and heals corrupt artifacts, and
 // persists fresh builds), otherwise by construction — and starts its
-// dispatcher.
+// dispatcher shards.
 func (s *Server) buildEntry(e *entry) {
 	var built *core.Built
 	var err error
@@ -255,8 +314,13 @@ func (s *Server) buildEntry(e *entry) {
 	}
 	e.built = built
 	e.outs = built.Circuit().Outputs()
-	e.ev = circuit.NewEvaluator(built.Circuit(), s.cfg.EvalWorkers)
-	go s.dispatch(e) // inherits the dispatchers slot taken at creation
+	e.running.Store(int32(len(e.stripes)))
+	for i := range e.stripes {
+		e.stripes[i].ev = circuit.NewEvaluator(built.Circuit(), s.cfg.EvalWorkers)
+	}
+	for i := range e.stripes {
+		go s.dispatch(e, i) // the group inherits the dispatchers slot taken at creation
+	}
 	close(e.ready)
 }
 
@@ -305,17 +369,36 @@ func (s *Server) tryDo(ctx context.Context, shape core.Shape, in []bool) ([]bool
 		return nil, fmt.Errorf("serve: %d input bits for %s, want %d", len(in), shape.Key(), want)
 	}
 	req := &request{ctx: ctx, in: in, start: time.Now(), reply: make(chan reply, 1)}
-	select {
-	case e.queue <- req:
+	// Striped enqueue: try the round-robin home stripe first, then every
+	// sibling — one busy stripe must not reject while others have room.
+	accepted := false
+	home := int(e.rr.Add(1) - 1)
+	for i := 0; i < len(e.stripes) && !accepted; i++ {
+		select {
+		case e.stripes[(home+i)%len(e.stripes)].queue <- req:
+			accepted = true
+		default:
+		}
+	}
+	if accepted {
 		s.metrics.requests.Add(1)
-	case <-e.dead:
-		return nil, errRetry
-	case <-ctx.Done():
-		s.metrics.cancelled.Add(1)
-		return nil, ctx.Err()
-	default:
-		s.metrics.rejected.Add(1)
-		return nil, ErrBusy
+		// Wake one idle dispatcher to gather (capacity-1 token: a
+		// pending token already guarantees a future steal sweep).
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	} else {
+		select {
+		case <-e.dead:
+			return nil, errRetry
+		case <-ctx.Done():
+			s.metrics.cancelled.Add(1)
+			return nil, ctx.Err()
+		default:
+			s.metrics.rejected.Add(1)
+			return nil, ErrBusy
+		}
 	}
 	select {
 	case r := <-req.reply:

@@ -161,7 +161,7 @@ func holdService(hb chan struct{}, stop chan struct{}) {
 // With the dispatcher held mid-batch, piled-up requests must coalesce
 // into one following batch.
 func TestServeCoalesces(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Shards: 1})
 	s.holdBatch = make(chan struct{})
 	defer s.Close()
 	ctx := context.Background()
@@ -221,7 +221,7 @@ func TestServeCoalesces(t *testing.T) {
 // A request cancelled while queued must return the context error, and
 // the dispatcher must drop it rather than evaluate it.
 func TestServeCancellationMidQueue(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Shards: 1})
 	s.holdBatch = make(chan struct{})
 	defer s.Close()
 	ctx := context.Background()
@@ -276,7 +276,7 @@ func TestServeCancellationMidQueue(t *testing.T) {
 
 // A full queue rejects immediately with ErrBusy (the HTTP 429 path).
 func TestServeBackpressure(t *testing.T) {
-	s := New(Config{QueueDepth: 2, MaxBatch: 1, Linger: -1})
+	s := New(Config{QueueDepth: 2, MaxBatch: 1, Linger: -1, Shards: 1})
 	s.holdBatch = make(chan struct{})
 	defer s.Close()
 	ctx := context.Background()
@@ -319,7 +319,7 @@ func TestServeBackpressure(t *testing.T) {
 // Close drains queued requests through final batches: accepted work
 // completes, new work is refused.
 func TestServeShutdownDrains(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Shards: 1})
 	s.holdBatch = make(chan struct{})
 	ctx := context.Background()
 	shape := countShape(4)

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Property test for the striped-queue/work-stealing protocol: across
+// shard counts, batch sizes and linger expiries (including none), N
+// concurrent producers hammering one shape must each get back exactly
+// one reply per request, bit-identical to a sequential Eval of the same
+// input, with the server's own accounting agreeing that nothing was
+// lost or evaluated twice (samples == requests).
+func TestShardedExactlyOnceBitIdentical(t *testing.T) {
+	shape := countShape(4)
+	cc, err := core.BuildCount(4, mustOpts(t, shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference inputs: distinct random graphs with their direct-Eval
+	// answers (DecodeOutputs order equals Do's output order).
+	rng := rand.New(rand.NewSource(77))
+	const kinds = 8
+	ins := make([][]bool, kinds)
+	want := make([][]bool, kinds)
+	for k := range ins {
+		adj := graph.ErdosRenyi(rng, 4, 0.2+0.1*float64(k)).Adjacency()
+		in, err := cc.Assign(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[k] = in
+		vals := cc.Circuit.Eval(in)
+		outs := cc.Circuit.Outputs()
+		w := make([]bool, len(outs))
+		for j, o := range outs {
+			w[j] = vals[o]
+		}
+		want[k] = w
+	}
+
+	// Random linger expiries: the rendezvous between linger timers and
+	// stealing is the fragile part, so sweep no-linger, short and long.
+	cfgs := []Config{
+		{Shards: 2, MaxBatch: 8, Linger: -1},
+		{Shards: 3, MaxBatch: 4, Linger: 20 * time.Microsecond, QueueDepth: 48},
+		{Shards: 4, MaxBatch: 64, Linger: 200 * time.Microsecond},
+		{Shards: 5, MaxBatch: 1, Linger: 50 * time.Microsecond},
+	}
+	for ci, cfg := range cfgs {
+		t.Run(fmt.Sprintf("cfg%d_shards%d", ci, cfg.Shards), func(t *testing.T) {
+			s := New(cfg)
+			defer s.Close()
+			ctx := context.Background()
+			if _, err := s.Built(ctx, shape); err != nil {
+				t.Fatal(err)
+			}
+			const producers = 8
+			const perProducer = 40
+			errc := make(chan error, producers)
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					prng := rand.New(rand.NewSource(int64(1000*ci + p)))
+					for i := 0; i < perProducer; i++ {
+						k := prng.Intn(kinds)
+						out, err := s.Do(ctx, shape, ins[k])
+						if err != nil {
+							errc <- fmt.Errorf("producer %d: %v", p, err)
+							return
+						}
+						if len(out) != len(want[k]) {
+							errc <- fmt.Errorf("producer %d: %d output bits, want %d", p, len(out), len(want[k]))
+							return
+						}
+						for j := range out {
+							if out[j] != want[k][j] {
+								errc <- fmt.Errorf("producer %d: output bit %d differs from sequential Eval", p, j)
+								return
+							}
+						}
+					}
+					errc <- nil
+				}(p)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap := s.Snapshot()
+			if snap.Requests != producers*perProducer {
+				t.Errorf("requests %d, want %d", snap.Requests, producers*perProducer)
+			}
+			if snap.Samples != snap.Requests {
+				t.Errorf("samples %d != requests %d: lost or duplicated work", snap.Samples, snap.Requests)
+			}
+			if snap.Dropped != 0 || snap.Rejected != 0 {
+				t.Errorf("dropped=%d rejected=%d, want 0/0", snap.Dropped, snap.Rejected)
+			}
+		})
+	}
+}
+
+// Close racing live traffic must lose nothing: every Do that returns
+// nil error carries bits identical to sequential Eval, every other
+// return is ErrClosed (the only acceptable refusal), and the server's
+// accounting balances — accepted requests are either evaluated or
+// (post-drain stragglers) retried into ErrClosed, never silently
+// dropped.
+func TestShardedCloseDrainLossless(t *testing.T) {
+	shape := countShape(4)
+	cc, err := core.BuildCount(4, mustOpts(t, shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+	in, err := cc.Assign(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cc.Circuit.Eval(in)
+	outs := cc.Circuit.Outputs()
+	want := make([]bool, len(outs))
+	for j, o := range outs {
+		want[j] = vals[o]
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		s := New(Config{Shards: 4, MaxBatch: 8, Linger: 50 * time.Microsecond})
+		ctx := context.Background()
+		if _, err := s.Built(ctx, shape); err != nil {
+			t.Fatal(err)
+		}
+		const producers = 8
+		var served atomic.Int64
+		errc := make(chan error, producers)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					out, err := s.Do(ctx, shape, in)
+					if errors.Is(err, ErrClosed) {
+						errc <- nil
+						return
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					for j := range out {
+						if out[j] != want[j] {
+							errc <- errors.New("reply across Close differs from sequential Eval")
+							return
+						}
+					}
+					served.Add(1)
+				}
+			}()
+		}
+		// Let traffic build, then slam the door mid-flight.
+		for served.Load() < 20 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		s.Close()
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := s.Snapshot()
+		if snap.Samples != snap.Requests {
+			t.Errorf("trial %d: samples %d != requests %d after drain", trial, snap.Samples, snap.Requests)
+		}
+	}
+}
+
+// Fault injection: stall one dispatcher mid-batch (blocked eval gate)
+// and assert the steal path drains its stripe — requests that round-
+// robin onto the stalled shard's queue must be answered by siblings
+// well before the request deadline would escalate to 504.
+func TestShardedStealsFromStalledShard(t *testing.T) {
+	shape := countShape(4)
+	s := New(Config{Shards: 2, MaxBatch: 8, Linger: 50 * time.Microsecond})
+	defer s.Close()
+
+	// LIFO defers: the stalled dispatcher must be released before the
+	// deferred Close waits on it, even when an assertion fails the test.
+	release := make(chan struct{})
+	releaseStalled := sync.OnceFunc(func() { close(release) })
+	defer releaseStalled()
+	entered := make(chan int, 1)
+	var gateOnce sync.Once
+	s.evalGate = func(shard int) {
+		stall := false
+		gateOnce.Do(func() {
+			entered <- shard
+			stall = true
+		})
+		if stall {
+			<-release // hold this dispatcher mid-batch until the test ends
+		}
+	}
+
+	ctx := context.Background()
+	if _, err := s.Built(ctx, shape); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := core.BuildCount(4, mustOpts(t, shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+	in, err := cc.Assign(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bait request: whichever dispatcher picks it up stalls in its
+	// evaluation gate, wedging that shard with a non-empty stripe queue
+	// still attached to it.
+	bait := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, shape, in)
+		bait <- err
+	}()
+	stalledShard := <-entered
+
+	// Now load the server. Round-robin spreads these over both stripes;
+	// the stalled shard cannot serve its share, so every request that
+	// lands there must be stolen by the healthy dispatcher. The deadline
+	// stands in for the HTTP 504 escalation: nothing may hit it.
+	const piled = 40
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	errc := make(chan error, piled)
+	for i := 0; i < piled; i++ {
+		go func() {
+			_, err := s.Do(dctx, shape, in)
+			errc <- err
+		}()
+	}
+	for i := 0; i < piled; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("request failed while shard %d was stalled: %v", stalledShard, err)
+		}
+	}
+	if steals := s.Snapshot().Steals; steals == 0 {
+		t.Error("no steals recorded: the stalled shard's stripe was not drained by siblings")
+	}
+
+	releaseStalled() // unwedge the stalled dispatcher; the bait completes
+	if err := <-bait; err != nil {
+		t.Fatalf("bait request failed after release: %v", err)
+	}
+}

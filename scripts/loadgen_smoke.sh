@@ -1,0 +1,46 @@
+#!/bin/sh
+# CI load-generator smoke: start tcserve, drive it with tcload's -smoke
+# regression gate (3s closed-loop burst over the binary frame protocol),
+# and fail on an rps regression against the committed BENCH_serve.json
+# e27 baseline. tcload itself skips (exit 0) when GOMAXPROCS < 2 — the
+# sharded-dispatch comparison needs real parallelism — so this script is
+# safe on single-core machines too.
+#
+# Usage: scripts/loadgen_smoke.sh [min-rps-frac]
+# Runs from the repo root (where BENCH_serve.json lives).
+set -eu
+
+MIN_FRAC="${1:-0.5}"
+ADDR="127.0.0.1:18719"
+BIN_DIR="$(mktemp -d)"
+SERVE_PID=""
+
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$BIN_DIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN_DIR/tcserve" ./cmd/tcserve
+go build -o "$BIN_DIR/tcload" ./cmd/tcload
+
+"$BIN_DIR/tcserve" -addr "$ADDR" &
+SERVE_PID=$!
+
+# Wait for the server to come up (it builds nothing at startup, so this
+# is quick; 10s is a generous bound for a loaded runner).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "loadgen_smoke: tcserve did not become healthy" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "loadgen_smoke: tcserve exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$BIN_DIR/tcload" -smoke -url "http://$ADDR" -min-rps-frac "$MIN_FRAC"
