@@ -25,9 +25,11 @@ fmt-check:
 	fi
 
 # The CI fuzz gate: a brief seed-corpus + 30s mutation pass over the
-# batched evaluator (the full `make fuzz` rotates every fuzz target).
+# batched evaluator and the TCS2 store decoder — the two surfaces that
+# parse adversarial bytes (the full `make fuzz` rotates every target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEvalBatch -fuzztime 30s ./internal/circuit/
+	$(GO) test -run '^$$' -fuzz FuzzTCS2 -fuzztime 30s ./internal/store/
 
 # The CI parallel-build regression gate: the sharded builder at N=8 must
 # stay within 20% of sequential wall clock (min over repeats); exits
@@ -112,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEvalBatch -fuzztime=30s ./internal/circuit/
 	$(GO) test -fuzz=FuzzSumBits -fuzztime=30s ./internal/arith/
 	$(GO) test -fuzz=FuzzEncodeSigned -fuzztime=30s ./internal/arith/
+	$(GO) test -fuzz=FuzzTCS2 -fuzztime=30s ./internal/store/
 
 clean:
 	$(GO) clean ./...

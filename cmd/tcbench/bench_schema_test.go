@@ -127,35 +127,53 @@ func TestBenchServeSchema(t *testing.T) {
 }
 
 func TestBenchStoreSchema(t *testing.T) {
-	var rows []struct {
-		Circuit   string  `json:"circuit"`
-		N         int     `json:"n"`
-		Gates     int     `json:"gates"`
-		Bytes     int64   `json:"bytes"`
-		BuildSec  float64 `json:"build_sec"`
-		SaveSec   float64 `json:"save_sec"`
-		LoadSec   float64 `json:"load_sec"`
-		Speedup   float64 `json:"speedup_load_vs_build"`
-		Identical bool    `json:"identical"`
-	}
+	var rows []storeBenchRow
 	loadRows(t, "BENCH_store.json", &rows)
-	sizes := make(map[int]bool)
+	have := make(map[[2]any]bool)
 	for i, r := range rows {
-		sizes[r.N] = true
+		have[[2]any{r.N, r.Format}] = true
 		if r.Circuit == "" || r.N <= 0 || r.Gates <= 0 || r.Bytes <= 0 ||
-			r.BuildSec <= 0 || r.SaveSec <= 0 || r.LoadSec <= 0 {
+			r.Repeats <= 0 || r.GoMaxProcs <= 0 || r.NumCPU <= 0 ||
+			r.BuildSecMean <= 0 || r.BuildSecMin <= 0 ||
+			r.SaveSecMean <= 0 || r.SaveSecMin <= 0 ||
+			r.LoadColdSec <= 0 || r.LoadWarmSecMean <= 0 || r.LoadWarmSecMin <= 0 ||
+			r.BytesVsTCS1 <= 0 {
 			t.Errorf("row %d malformed: %+v", i, r)
 		}
-		if !r.Identical {
-			t.Errorf("row %d (n=%d): reloaded circuit not bit-identical to the build", i, r.N)
+		if r.Format != "tcs1" && r.Format != "tcs2" {
+			t.Errorf("row %d: unknown format %q", i, r.Format)
 		}
-		if r.N == 16 && r.Speedup < 5 {
-			t.Errorf("n=16 cache-load speedup %.2fx below the 5x acceptance bar", r.Speedup)
+		if r.BuildSecMin > r.BuildSecMean*(1+1e-9) ||
+			r.SaveSecMin > r.SaveSecMean*(1+1e-9) ||
+			r.LoadWarmSecMin > r.LoadWarmSecMean*(1+1e-9) {
+			t.Errorf("row %d: a min exceeds its mean: %+v", i, r)
+		}
+		if !r.Identical {
+			t.Errorf("row %d (n=%d %s): reloaded circuit not bit-identical to the build", i, r.N, r.Format)
+		}
+		if !r.Certified {
+			t.Errorf("row %d (n=%d %s): reloaded circuit failed re-certification", i, r.N, r.Format)
+		}
+		// The TCS2 acceptance bars, armed on the N=16 row: a quarter of
+		// the TCS1 footprint, saving no slower than building, and a warm
+		// mapped reload at least 20x faster than the cold parallel build.
+		if r.N == 16 && r.Format == "tcs2" {
+			if r.BytesVsTCS1 > 0.25 {
+				t.Errorf("n=16 tcs2 artifact is %.1f%% of TCS1, above the 25%% bar", r.BytesVsTCS1*100)
+			}
+			if r.SaveSecMean > r.BuildSecMean {
+				t.Errorf("n=16 tcs2 save %.3fs slower than build %.3fs", r.SaveSecMean, r.BuildSecMean)
+			}
+			if r.Speedup < 20 {
+				t.Errorf("n=16 tcs2 mapped-load speedup %.2fx below the 20x acceptance bar", r.Speedup)
+			}
 		}
 	}
 	for _, n := range []int{8, 16} {
-		if !sizes[n] {
-			t.Errorf("BENCH_store.json missing the n=%d row", n)
+		for _, format := range []string{"tcs1", "tcs2"} {
+			if !have[[2]any{n, format}] {
+				t.Errorf("BENCH_store.json missing the n=%d %s row", n, format)
+			}
 		}
 	}
 }

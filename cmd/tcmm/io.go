@@ -25,10 +25,11 @@ func cmdSave(args []string) error {
 	shared := fs.Bool("shared", false, "enable the MSB-sharing optimization")
 	out := fs.String("out", "circuit.tcm", "output path (raw codec; ignored with -cache-dir)")
 	cacheDir := fs.String("cache-dir", "", "save into this content-addressed store instead of -out")
+	format := fs.String("format", "tcs2", "store envelope format: tcs2 (compact, mmap-able) or tcs1 (legacy)")
 	fs.Parse(args)
 
 	if *cacheDir != "" {
-		return saveToStore(*cacheDir, shapeFromFlags(*kind, *n, *algName, *d, *bits, *signed, *tau, *shared))
+		return saveToStore(*cacheDir, shapeFromFlags(*kind, *n, *algName, *d, *bits, *signed, *tau, *shared), *format)
 	}
 
 	alg, err := tcmm.LookupAlgorithm(*algName)

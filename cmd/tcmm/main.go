@@ -55,6 +55,8 @@ func main() {
 		err = cmdSave(args)
 	case "load":
 		err = cmdLoad(args)
+	case "stat":
+		err = cmdStat(args)
 	case "sim":
 		err = cmdSim(args)
 	case "inspect":
@@ -88,6 +90,7 @@ commands:
   export      write a built-in algorithm as JSON (feed back via -algfile)
   save        build a circuit and cache it on disk (binary codec or -cache-dir store)
   load        reload a circuit from a -cache-dir store (optionally -certify)
+  stat        summarize a store artifact from its header alone (no load)
   sim         profile a saved circuit on a device (placement, congestion)
   inspect     print a saved circuit's level and fan-in anatomy
 

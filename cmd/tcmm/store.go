@@ -29,11 +29,27 @@ func shapeFromFlags(kind string, n int, alg string, d, bits int, signed bool, ta
 	return s
 }
 
+// storeOptions maps a -format flag value onto store.Options.
+func storeOptions(format string) (store.Options, error) {
+	switch format {
+	case "", "tcs2":
+		return store.Options{}, nil
+	case "tcs1":
+		return store.Options{Format: store.FormatVersion}, nil
+	default:
+		return store.Options{}, fmt.Errorf("unknown format %q (want tcs1 or tcs2)", format)
+	}
+}
+
 // saveToStore builds the shaped circuit and persists it into the
 // content-addressed cache (parallel build; the artifact is identical
 // to a sequential one).
-func saveToStore(dir string, shape core.Shape) error {
-	cache, err := store.Open(dir)
+func saveToStore(dir string, shape core.Shape, format string) error {
+	opts, err := storeOptions(format)
+	if err != nil {
+		return err
+	}
+	cache, err := store.OpenWith(dir, opts)
 	if err != nil {
 		return err
 	}
@@ -98,6 +114,42 @@ func cmdLoad(args []string) error {
 			return fmt.Errorf("reloaded circuit fails certification: %v", cert.Err())
 		}
 		fmt.Printf("  certification: OK (%d checks)\n", len(cert.Checks))
+	}
+	return nil
+}
+
+// cmdStat summarizes one or more on-disk artifacts from their headers
+// alone — shape, dimensions, format generation and (TCS2) root digest —
+// without loading, verifying or expanding the circuit.
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tcmm stat <artifact.tcs> [more...]")
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no artifacts given")
+	}
+	dim := func(v int64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprint(v)
+	}
+	for _, path := range fs.Args() {
+		info, err := store.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: TCS%d, %d bytes\n", info.Path, info.Format, info.FileSize)
+		fmt.Printf("  shape   %s\n", info.ShapeKey)
+		fmt.Printf("  gates=%s groups=%s inputs=%s outputs=%s edges(stored)=%s depth=%s\n",
+			dim(info.Gates), dim(info.Groups), dim(info.Inputs),
+			dim(info.Outputs), dim(info.StoredEdges), dim(info.Depth))
+		if info.RootDigest != "" {
+			fmt.Printf("  root    sha256:%s (%d integrity segments)\n", info.RootDigest, info.Segments)
+		}
 	}
 	return nil
 }

@@ -78,6 +78,7 @@ func (b *Builder) Adopt(f *Builder) {
 		b.c.groups = append(b.c.groups, group{
 			inStart:   gr.inStart + posBase,
 			inEnd:     gr.inEnd + posBase,
+			wOff:      gr.wOff + posBase, // forks are canonical: stays parallel
 			gateStart: gr.gateStart + gateBase,
 			gateCount: gr.gateCount,
 			level:     gr.level, // already absolute: Fork levels are final

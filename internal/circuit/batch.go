@@ -309,8 +309,8 @@ func NewEvaluator(c *Circuit, workers int) *Evaluator {
 			continue
 		}
 		unit := true
-		for i := gr.inStart; i < gr.inEnd; i++ {
-			if w := c.weights[i]; w < -1 || w > 1 {
+		for _, w := range c.weights[gr.wOff : gr.wOff+(gr.inEnd-gr.inStart)] {
+			if w < -1 || w > 1 {
 				unit = false
 				break
 			}
@@ -476,18 +476,21 @@ func (e *Evaluator) evalGroupPlanes(gi int32, planes []uint64, mask uint64, slot
 	for i := range acc {
 		acc[i] = 0
 	}
+	wires := c.wires[gr.inStart:gr.inEnd]
+	ws := c.weights[gr.wOff : gr.wOff+int64(len(wires))]
+	wb := gr.wireBase
 	var base int64 // weight mass applied to every sample
 	if e.unitGroup[gi] {
 		// Unit path: carry-save popcount of the +1 and -1 planes.
 		pos := e.cnts[slot][:e.cntPlanes]
 		neg := e.cnts[slot][e.cntPlanes:]
 		usedP, usedN := 0, 0
-		for i := gr.inStart; i < gr.inEnd; i++ {
-			x := planes[c.wires[i]]
+		for i, rw := range wires {
+			x := planes[wb+rw]
 			if x == 0 {
 				continue
 			}
-			switch c.weights[i] {
+			switch ws[i] {
 			case 1:
 				usedP = csAdd(pos, x, usedP)
 			case -1:
@@ -512,12 +515,12 @@ func (e *Evaluator) evalGroupPlanes(gi int32, planes []uint64, mask uint64, slot
 		// General path: scatter each weight into the per-sample
 		// accumulators, iterating whichever of plane/complement has
 		// fewer set bits.
-		for i := gr.inStart; i < gr.inEnd; i++ {
-			x := planes[c.wires[i]]
+		for i, rw := range wires {
+			x := planes[wb+rw]
 			if x == 0 {
 				continue
 			}
-			w := c.weights[i]
+			w := ws[i]
 			if x == ^uint64(0) {
 				base += w
 				continue

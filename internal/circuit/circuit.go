@@ -34,11 +34,23 @@ type Wire = int32
 
 // group is a set of consecutive gates sharing one input span, differing
 // only in threshold.
+//
+// Builder-built circuits store wires and weights as parallel arrays:
+// wOff == inStart and wireBase == 0 for every group. Circuits assembled
+// from the TCS2 compact format (see Assemble) share spans between
+// groups instead — inStart/inEnd select a *relative* wire pattern that
+// many groups reference, wireBase rebases it to absolute wire ids, and
+// wOff selects an independently deduplicated weight span of the same
+// length. Every reader of a span must therefore go through the
+// (wireBase, wOff) indirection; the hot paths keep the canonical case
+// branch-free because the arithmetic degenerates to the old indexing.
 type group struct {
-	inStart, inEnd int64 // span into wires/weights
+	inStart, inEnd int64 // span into wires (relative ids when wireBase != 0)
+	wOff           int64 // weight span offset (== inStart when parallel)
 	gateStart      int32 // first gate index
 	gateCount      int32
 	level          int32
+	wireBase       Wire // added to every stored wire id in the span
 }
 
 // Circuit is an immutable threshold circuit produced by a Builder.
@@ -53,6 +65,8 @@ type Circuit struct {
 
 	depth       int
 	edges       int64     // cached Σ fan-in·gateCount, set by Build/Read
+	storedEdges int64     // cached Σ span length, set by Build/Read/Assemble
+	shared      bool      // spans are dictionary-shared (set by Assemble)
 	levelGroups [][]int32 // group indices by level
 
 	outputs []Wire
@@ -85,8 +99,22 @@ func (c *Circuit) computeEdges() int64 {
 }
 
 // StoredEdges returns the number of physically stored connections after
-// span sharing (a storage statistic, not a circuit-complexity measure).
-func (c *Circuit) StoredEdges() int64 { return int64(len(c.wires)) }
+// gate-group span sharing (a storage statistic, not a circuit-complexity
+// measure): the sum of span lengths over all groups. For builder-built
+// circuits this equals len(wires); circuits assembled from the compact
+// format dedup further (many groups share one pattern), and reporting
+// the span sum keeps Stats identical across representations of the same
+// circuit.
+func (c *Circuit) StoredEdges() int64 { return c.storedEdges }
+
+// computeStoredEdges derives the stored-edge count from the group table.
+func (c *Circuit) computeStoredEdges() int64 {
+	var e int64
+	for _, g := range c.groups {
+		e += g.inEnd - g.inStart
+	}
+	return e
+}
 
 // MaxFanIn returns the maximum number of inputs to any gate.
 func (c *Circuit) MaxFanIn() int {
@@ -228,6 +256,7 @@ func (b *Builder) GateGroup(inputs []Wire, weights []int64, thresholds []int64) 
 	b.c.groups = append(b.c.groups, group{
 		inStart:   start,
 		inEnd:     int64(len(b.c.wires)),
+		wOff:      start,
 		gateStart: gateStart,
 		gateCount: int32(len(thresholds)),
 		level:     lvl + 1,
@@ -306,6 +335,7 @@ func (b *Builder) Build() *Circuit {
 	c.gateGroup = rightsize(c.gateGroup)
 	c.groups = rightsize(c.groups)
 	c.edges = c.computeEdges()
+	c.storedEdges = int64(len(c.wires))
 	c.levelGroups = make([][]int32, c.depth)
 	for gi, gr := range c.groups {
 		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
@@ -368,11 +398,14 @@ func (c *Circuit) newWireVals(inputs []bool) []bool {
 // evalGroup computes the shared weighted sum once and applies every
 // member gate's threshold.
 func (c *Circuit) evalGroup(gi int32, vals []bool) {
-	gr := c.groups[gi]
+	gr := &c.groups[gi]
+	wires := c.wires[gr.inStart:gr.inEnd]
+	ws := c.weights[gr.wOff : gr.wOff+int64(len(wires))]
+	wb := gr.wireBase
 	var sum int64
-	for i := gr.inStart; i < gr.inEnd; i++ {
-		if vals[c.wires[i]] {
-			sum += c.weights[i]
+	for i, w := range wires {
+		if vals[wb+w] {
+			sum += ws[i]
 		}
 	}
 	base := c.numInputs + int(gr.gateStart)
@@ -523,10 +556,12 @@ type GateSpec struct {
 func (c *Circuit) VisitEdges(f func(gate int, src Wire, weight int64)) {
 	for gi := range c.groups {
 		gr := &c.groups[gi]
+		wires := c.wires[gr.inStart:gr.inEnd]
+		ws := c.weights[gr.wOff : gr.wOff+int64(len(wires))]
 		for k := int32(0); k < gr.gateCount; k++ {
 			g := int(gr.gateStart + k)
-			for i := gr.inStart; i < gr.inEnd; i++ {
-				f(g, c.wires[i], c.weights[i])
+			for i, w := range wires {
+				f(g, gr.wireBase+w, ws[i])
 			}
 		}
 	}
@@ -542,10 +577,26 @@ func (c *Circuit) Threshold(g int) int64 { return c.thresholds[g] }
 // This is the allocation-free inspection primitive the verification
 // layer walks circuits with; use Gate for an owned copy.
 func (c *Circuit) VisitGates(f func(g int, inputs []Wire, weights []int64, threshold int64, level int)) {
+	// For dictionary-shared circuits the stored span holds relative wire
+	// ids; materialize absolute ids into one per-call scratch buffer
+	// (reused across groups) so the callback contract — borrowed slices,
+	// valid only during the call — is unchanged.
+	var scratch []Wire
+	if c.shared {
+		scratch = make([]Wire, c.MaxFanIn())
+	}
 	for gi := range c.groups {
 		gr := &c.groups[gi]
 		ins := c.wires[gr.inStart:gr.inEnd:gr.inEnd]
-		ws := c.weights[gr.inStart:gr.inEnd:gr.inEnd]
+		if gr.wireBase != 0 {
+			abs := scratch[:len(ins)]
+			for i, w := range ins {
+				abs[i] = gr.wireBase + w
+			}
+			ins = abs
+		}
+		n := gr.inEnd - gr.inStart
+		ws := c.weights[gr.wOff : gr.wOff+n : gr.wOff+n]
 		for k := int32(0); k < gr.gateCount; k++ {
 			g := int(gr.gateStart + k)
 			f(g, ins, ws, c.thresholds[g], int(gr.level))
@@ -573,10 +624,17 @@ func (c *Circuit) WithThreshold(g int, t int64) *Circuit {
 // Gate returns a copy of gate g's description.
 func (c *Circuit) Gate(g int) GateSpec {
 	gr := c.groups[c.gateGroup[g]]
-	return GateSpec{
+	n := gr.inEnd - gr.inStart
+	spec := GateSpec{
 		Inputs:    append([]Wire(nil), c.wires[gr.inStart:gr.inEnd]...),
-		Weights:   append([]int64(nil), c.weights[gr.inStart:gr.inEnd]...),
+		Weights:   append([]int64(nil), c.weights[gr.wOff:gr.wOff+n]...),
 		Threshold: c.thresholds[g],
 		Level:     int(gr.level),
 	}
+	if gr.wireBase != 0 {
+		for i := range spec.Inputs {
+			spec.Inputs[i] += gr.wireBase
+		}
+	}
+	return spec
 }

@@ -1,0 +1,193 @@
+package circuit
+
+import "fmt"
+
+// This file is the circuit-side half of the TCS2 compact format (the
+// envelope, segment directory and hashing live in internal/store): a
+// raw-parts constructor for circuits whose wire and weight arenas are
+// shared dictionaries — possibly aliasing a read-only file mapping —
+// and a group-granular visitor the encoder walks to discover those
+// dictionaries in the first place.
+//
+// The representation trick: the constructions of Lemmas 3.1/4.2 stamp
+// out the same gate pattern at every block position, so across a
+// multi-million-group circuit the *shape* of an input span (its wire
+// ids relative to the first one) and its weight vector repeat massively
+// — at N=16 the 333k groups of the Strassen matmul circuit share 23k
+// relative wire patterns and 1.8k weight spans. Storing each pattern
+// once and giving every group a (pattern, wireBase, weight-span)
+// reference shrinks the stored arenas ~5x below the parallel layout,
+// and because the patterns are raw little-endian arrays they can be
+// used in place from an mmap with no per-load decode of the hot data.
+
+// RawGroup describes one gate group in dictionary form: the wire span
+// [InStart, InEnd) indexes the shared relative-pattern arena and is
+// rebased by WireBase; WOff locates an equal-length weight span.
+type RawGroup struct {
+	InStart, InEnd int64 // relative wire pattern in Raw.Wires
+	WOff           int64 // weight span offset in Raw.Weights
+	GateCount      int32
+	Level          int32
+	WireBase       Wire // added to every pattern value
+}
+
+// Raw bundles the pre-parsed parts of a compact circuit. Wires and
+// Weights may alias read-only storage (an mmap'd file): Assemble never
+// writes to them, and neither does any method of the resulting Circuit.
+// Thresholds, Groups and Outputs are owned by the circuit.
+type Raw struct {
+	NumInputs  int
+	Wires      []Wire  // concatenated relative patterns (shared, read-only)
+	Weights    []int64 // concatenated weight spans (shared, read-only)
+	Thresholds []int64 // per gate, in gate order
+	Groups     []RawGroup
+	Outputs    []Wire
+}
+
+// Assemble validates r and builds a dictionary-shared Circuit around
+// its arenas. Validation guarantees memory safety of every evaluation
+// and inspection path — span and weight offsets in bounds, every
+// resolved wire id within [0, wires-so-far) so acyclicity and index
+// safety hold, outputs in range — at O(dictionary + groups) cost, not
+// O(expanded edges): per-pattern wire extrema are computed once per
+// distinct span and reused by every group referencing it. Deeper
+// semantic invariants (declared levels matching the recomputed
+// levelization) are *not* re-derived here; they are covered by the
+// integrity envelope in internal/store and, on demand, by the
+// verification layer's structural walkers, exactly like a TCM1 load
+// trusts its checksummed file for everything validate() doesn't check.
+func Assemble(r Raw) (*Circuit, error) {
+	if r.NumInputs < 0 {
+		return nil, fmt.Errorf("circuit: assemble: negative input count %d", r.NumInputs)
+	}
+	if int64(r.NumInputs)+int64(len(r.Thresholds)) > int64(1)<<31-1 {
+		return nil, fmt.Errorf("circuit: assemble: %d wires overflow int32", int64(r.NumInputs)+int64(len(r.Thresholds)))
+	}
+	nw := int64(len(r.Wires))
+	nwt := int64(len(r.Weights))
+	maxLevel := int32(0)
+
+	// Wire extrema per distinct span, shared across the groups that
+	// reference it — the pass that keeps validation off the expanded
+	// edge list.
+	type span struct{ lo, hi int64 }
+	extrema := make(map[span][2]int64)
+
+	c := &Circuit{numInputs: r.NumInputs, shared: true}
+	c.groups = make([]group, len(r.Groups))
+	c.thresholds = r.Thresholds
+	c.wires = r.Wires
+	c.weights = r.Weights
+	c.gateGroup = make([]int32, len(r.Thresholds))
+
+	gateStart := int32(0)
+	for gi, rg := range r.Groups {
+		if rg.GateCount < 1 {
+			return nil, fmt.Errorf("circuit: assemble: group %d has %d gates", gi, rg.GateCount)
+		}
+		if rg.Level < 1 || int(rg.Level) > len(r.Groups) {
+			return nil, fmt.Errorf("circuit: assemble: group %d has level %d", gi, rg.Level)
+		}
+		if rg.InStart < 0 || rg.InEnd < rg.InStart || rg.InEnd > nw {
+			return nil, fmt.Errorf("circuit: assemble: group %d has bad span [%d,%d)", gi, rg.InStart, rg.InEnd)
+		}
+		n := rg.InEnd - rg.InStart
+		if rg.WOff < 0 || rg.WOff+n > nwt {
+			return nil, fmt.Errorf("circuit: assemble: group %d has bad weight span [%d,%d)", gi, rg.WOff, rg.WOff+n)
+		}
+		if int64(gateStart)+int64(rg.GateCount) > int64(len(r.Thresholds)) {
+			return nil, fmt.Errorf("circuit: assemble: groups cover more than %d gates", len(r.Thresholds))
+		}
+		if n > 0 {
+			key := span{rg.InStart, rg.InEnd}
+			mm, ok := extrema[key]
+			if !ok {
+				mm = [2]int64{int64(r.Wires[rg.InStart]), int64(r.Wires[rg.InStart])}
+				for _, w := range r.Wires[rg.InStart+1 : rg.InEnd] {
+					if int64(w) < mm[0] {
+						mm[0] = int64(w)
+					}
+					if int64(w) > mm[1] {
+						mm[1] = int64(w)
+					}
+				}
+				extrema[key] = mm
+			}
+			// Every resolved id must name an input or an earlier gate:
+			// that is both the acyclicity invariant and the bounds check
+			// evaluation relies on.
+			lo := int64(rg.WireBase) + mm[0]
+			hi := int64(rg.WireBase) + mm[1]
+			if lo < 0 || hi >= int64(r.NumInputs)+int64(gateStart) {
+				return nil, fmt.Errorf("circuit: assemble: group %d references wire range [%d,%d] outside [0,%d)",
+					gi, lo, hi, int64(r.NumInputs)+int64(gateStart))
+			}
+		}
+		c.groups[gi] = group{
+			inStart:   rg.InStart,
+			inEnd:     rg.InEnd,
+			wOff:      rg.WOff,
+			gateStart: gateStart,
+			gateCount: rg.GateCount,
+			level:     rg.Level,
+			wireBase:  rg.WireBase,
+		}
+		for g := gateStart; g < gateStart+rg.GateCount; g++ {
+			c.gateGroup[g] = int32(gi)
+		}
+		gateStart += rg.GateCount
+		if rg.Level > maxLevel {
+			maxLevel = rg.Level
+		}
+		c.storedEdges += n
+	}
+	if int(gateStart) != len(r.Thresholds) {
+		return nil, fmt.Errorf("circuit: assemble: groups cover %d gates, have %d", gateStart, len(r.Thresholds))
+	}
+	maxWire := Wire(r.NumInputs + len(r.Thresholds))
+	for _, o := range r.Outputs {
+		if o < 0 || o >= maxWire {
+			return nil, fmt.Errorf("circuit: assemble: output wire %d out of range", o)
+		}
+	}
+	c.outputs = r.Outputs
+	c.depth = int(maxLevel)
+	c.edges = c.computeEdges()
+	c.levelGroups = make([][]int32, c.depth)
+	for gi, gr := range c.groups {
+		c.levelGroups[gr.level-1] = append(c.levelGroups[gr.level-1], int32(gi))
+	}
+	return c, nil
+}
+
+// GroupView is one gate group as seen by the compact encoder: the
+// stored wire span exactly as the arena holds it (relative ids when
+// WireBase != 0 — note RawWires[i]+WireBase is the absolute id, so
+// RawWires[i]-RawWires[0] is base-independent and pattern identity is
+// preserved across representations), plus the weight and threshold
+// spans. All slices are borrowed; do not modify or retain.
+type GroupView struct {
+	RawWires   []Wire
+	WireBase   Wire
+	Weights    []int64
+	Thresholds []int64
+	Level      int
+}
+
+// VisitGroups calls f once per gate group in creation order. This is
+// the encoder-side walk: group granularity (not gate granularity, as
+// VisitGates) is what exposes the span sharing the compact format
+// deduplicates.
+func (c *Circuit) VisitGroups(f func(gv GroupView)) {
+	for gi := range c.groups {
+		gr := &c.groups[gi]
+		n := gr.inEnd - gr.inStart
+		f(GroupView{
+			RawWires:   c.wires[gr.inStart:gr.inEnd:gr.inEnd],
+			WireBase:   gr.wireBase,
+			Weights:    c.weights[gr.wOff : gr.wOff+n : gr.wOff+n],
+			Thresholds: c.thresholds[gr.gateStart : gr.gateStart+gr.gateCount : int64(gr.gateStart)+int64(gr.gateCount)],
+			Level:      int(gr.level),
+		})
+	}
+}

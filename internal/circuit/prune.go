@@ -26,7 +26,7 @@ func (c *Circuit) Prune() (*Circuit, int) {
 		stack = stack[:len(stack)-1]
 		gr := c.groups[c.gateGroup[g]]
 		for p := gr.inStart; p < gr.inEnd; p++ {
-			w := c.wires[p]
+			w := gr.wireBase + c.wires[p]
 			if int(w) < c.numInputs {
 				continue
 			}
@@ -72,8 +72,8 @@ func (c *Circuit) Prune() (*Circuit, int) {
 		inputs := make([]Wire, span)
 		weights := make([]int64, span)
 		for i := 0; i < span; i++ {
-			inputs[i] = remap[c.wires[gr.inStart+int64(i)]]
-			weights[i] = c.weights[gr.inStart+int64(i)]
+			inputs[i] = remap[gr.wireBase+c.wires[gr.inStart+int64(i)]]
+			weights[i] = c.weights[gr.wOff+int64(i)]
 		}
 		outs := b.GateGroup(inputs, weights, thresholds)
 		for i, g := range members {

@@ -43,6 +43,16 @@ func (b *Builder) Splice(src *Circuit, inputMap []Wire) []Wire {
 		}
 	}
 
+	// Circuits assembled from the compact format store spans as shared
+	// relative patterns; those cannot be block-copied (the remap below is
+	// per-value, not a uniform shift), so they are re-expanded gate group
+	// by gate group. The result is a canonical parallel-arena region,
+	// identical to what splicing the equivalent builder-built circuit
+	// produces.
+	if src.shared {
+		return b.spliceShared(src, inputMap)
+	}
+
 	// Levels of the wires standing in for src's inputs.
 	inLevel := make([]int32, src.numInputs)
 	for i := range inLevel {
@@ -107,6 +117,7 @@ func (b *Builder) Splice(src *Circuit, inputMap []Wire) []Wire {
 		b.c.groups = append(b.c.groups, group{
 			inStart:   gr.inStart + posBase,
 			inEnd:     gr.inEnd + posBase,
+			wOff:      gr.wOff + posBase, // canonical src: stays parallel
 			gateStart: gr.gateStart + gateBase,
 			gateCount: gr.gateCount,
 			level:     lvl + 1,
@@ -127,6 +138,44 @@ func (b *Builder) Splice(src *Circuit, inputMap []Wire) []Wire {
 		default:
 			outs[i] = inputMap[o]
 		}
+	}
+	return outs
+}
+
+// spliceShared re-expands a dictionary-shared circuit through GateGroup,
+// one group at a time. Slower than the block copy (per-value remap and
+// span re-append are unavoidable once spans alias a pattern dictionary)
+// but it canonicalizes the copied region, so everything downstream —
+// Adopt parity, serialization, further splices — sees an ordinary
+// parallel arena.
+func (b *Builder) spliceShared(src *Circuit, inputMap []Wire) []Wire {
+	nIn := int32(src.numInputs)
+	gateWire := make([]Wire, src.Size()) // src gate -> new wire
+	mapW := func(w Wire) Wire {
+		if w < nIn {
+			if inputMap == nil {
+				return w
+			}
+			return inputMap[w]
+		}
+		return gateWire[w-nIn]
+	}
+	scratch := make([]Wire, src.MaxFanIn())
+	for gi := range src.groups {
+		gr := &src.groups[gi]
+		n := gr.inEnd - gr.inStart
+		ins := scratch[:n]
+		for i, w := range src.wires[gr.inStart:gr.inEnd] {
+			ins[i] = mapW(gr.wireBase + w)
+		}
+		outs := b.GateGroup(ins,
+			src.weights[gr.wOff:gr.wOff+n],
+			src.thresholds[gr.gateStart:gr.gateStart+gr.gateCount])
+		copy(gateWire[gr.gateStart:], outs)
+	}
+	outs := make([]Wire, len(src.outputs))
+	for i, o := range src.outputs {
+		outs[i] = mapW(o)
 	}
 	return outs
 }

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// The TCS2 arenas are little-endian arrays on disk. On a little-endian
+// host with a suitably aligned buffer they are usable in place — that
+// is the whole point of the mmap path — and the helpers here are the
+// single seam where that reinterpretation happens. Everywhere else the
+// codec goes through encoding/binary, so a big-endian or misaligned
+// host silently degrades to a correct copying decode.
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// i64Bytes and i32Bytes view a slice's backing memory as bytes in host
+// order. They are only used to form dictionary map keys during encode —
+// any injective encoding works there — never for on-disk bytes.
+func i64Bytes(vs []int64) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*8)
+}
+
+func i32Bytes(vs []int32) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4)
+}
+
+// sliceI64 reinterprets b (length a multiple of 8) as little-endian
+// int64s. With alias set — and a little-endian host and 8-aligned
+// buffer — the result shares b's memory and the caller must keep b
+// alive and unwritten; otherwise the values are copied out.
+func sliceI64(b []byte, alias bool) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if alias && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// sliceI32 is sliceI64 for int32 arenas (4-byte alignment).
+func sliceI32(b []byte, alias bool) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if alias && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// uvarint reads one varint, joining the decoder's sticky-error flow.
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errors.ErrUnsupported }
+
+func munmap(_ []byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. The mapping
+// survives closing f; release it with munmap.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("store: %d bytes exceeds the address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash/crc32"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// resealTCS2 recomputes the leaf table and root digest of a (possibly
+// mutated) TCS2 envelope whose geometry is still self-consistent. This
+// is the fuzzer's key: without it every mutation dies at the integrity
+// wall and the structural validation behind it — directory geometry,
+// dictionary tables, stream decoding, assembly — never gets exercised.
+// The directory's position inside the header is recovered by trying
+// each of the 8 possible padding widths and keeping the one whose
+// segment sizes sum to the payload length.
+func resealTCS2(data []byte) ([]byte, bool) {
+	if len(data) < tcs2TailLen || string(data[len(data)-4:]) != tcs2TailMagic {
+		return nil, false
+	}
+	tail := data[len(data)-tcs2TailLen:]
+	headerLen := int64(binary.LittleEndian.Uint64(tail[32:]))
+	payloadLen := int64(binary.LittleEndian.Uint64(tail[40:]))
+	numSegs := int64(binary.LittleEndian.Uint32(tail[48:]))
+	if headerLen < 24 || payloadLen < 0 || numSegs < 0 || numSegs > 1<<16 ||
+		headerLen+payloadLen+4*numSegs+tcs2TailLen != int64(len(data)) {
+		return nil, false
+	}
+	header := data[:headerLen]
+	for pad := int64(0); pad < 8; pad++ {
+		dirOff := headerLen - pad - numSegs*tcs2DirRowLen
+		if dirOff < 0 {
+			break
+		}
+		sizes := make([]int64, numSegs)
+		sum := int64(0)
+		for i := range sizes {
+			sz := int64(binary.LittleEndian.Uint64(header[dirOff+int64(i)*tcs2DirRowLen+8:]))
+			if sz < 0 || sz > payloadLen {
+				sum = -1
+				break
+			}
+			sizes[i] = sz
+			sum += sz
+		}
+		if sum != payloadLen {
+			continue
+		}
+		out := append([]byte(nil), data...)
+		table := out[headerLen+payloadLen : headerLen+payloadLen+4*numSegs]
+		off := headerLen
+		for i, sz := range sizes {
+			binary.LittleEndian.PutUint32(table[4*i:], crc32.Checksum(out[off:off+sz], crcTable))
+			off += sz
+		}
+		h := sha256.New()
+		h.Write(out[:headerLen])
+		h.Write(table)
+		copy(out[len(out)-tcs2TailLen:], h.Sum(nil))
+		return out, true
+	}
+	return nil, false
+}
+
+var fuzzShape = core.Shape{Op: core.OpMatMul, N: 4, Alg: "strassen"}
+
+var fuzzSeed = sync.OnceValues(func() ([]byte, error) {
+	bt, err := core.BuildShape(fuzzShape, 0)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeTCS2(bt)
+})
+
+// FuzzTCS2 hammers the decoder with mutated envelopes. The contract
+// under test: any input either decodes to a valid Built or returns an
+// error — never a panic, never unbounded allocation (the expansion
+// budget), never an out-of-range access through the dictionary
+// indirection. Each input is tried both raw (integrity wall) and
+// resealed (structural wall).
+func FuzzTCS2(f *testing.F) {
+	seed, err := fuzzSeed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // torn write
+	f.Add(seed[:tcs2TailLen]) // tail only
+	f.Add([]byte(tcs2Magic))  // magic only
+	f.Add([]byte{})           // empty
+	truncTail := append([]byte(nil), seed[len(seed)-tcs2TailLen:]...)
+	f.Add(truncTail) // tail with no body
+	flip := append([]byte(nil), seed...)
+	flip[len(flip)/3] ^= 0x80
+	f.Add(flip) // payload damage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if b, err := DecodeTCS2(fuzzShape, data); err == nil && b == nil {
+			t.Fatal("nil Built without error")
+		}
+		if resealed, ok := resealTCS2(data); ok {
+			if b, err := DecodeTCS2(fuzzShape, resealed); err == nil {
+				if b == nil {
+					t.Fatal("nil Built without error")
+				}
+				// Anything that decodes must re-encode without panicking.
+				if _, err := EncodeTCS2(b); err != nil {
+					t.Fatalf("accepted envelope failed to re-encode: %v", err)
+				}
+			}
+		}
+	})
+}
