@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci fmt-check fuzz-smoke bench-smoke loadgen-smoke build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
+.PHONY: all check ci fmt-check fuzz-smoke bench-smoke loadgen-smoke bench-compare bench-baseline build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ check: build vet test-short race serve-test verify
 
 # Mirrors .github/workflows/ci.yml job for job, so a green local `make
 # ci` predicts a green CI run (module download aside).
-ci: fmt-check check fuzz-smoke bench-smoke loadgen-smoke
+ci: fmt-check check fuzz-smoke bench-smoke loadgen-smoke bench-compare
 
 # The CI formatting gate: gofmt must have nothing to say.
 fmt-check:
@@ -37,6 +37,25 @@ fuzz-smoke:
 # machines cannot measure parallel speedup.
 bench-smoke:
 	$(GO) run ./cmd/tcbench -smoke
+
+# The CI experiment-grid regression gate: run the smoke grid (every
+# measured experiment e23-e27 at N=8, each sample a fresh subprocess)
+# and diff it against the committed baseline under bench/baselines/.
+# The tolerance is deliberately generous — the baseline was measured on
+# a 1-core container and hosted runners differ on every absolute
+# number — so only a large directional regression trips it; `tcexp
+# compare` prints the machine-mismatch warning when that applies.
+bench-compare:
+	$(GO) run ./cmd/tcexp run -grid exp/smoke.json -out results
+	$(GO) run ./cmd/tcexp compare -tol 0.6 bench/baselines/smoke results/latest
+
+# Re-measure the committed smoke baseline in place (run on the
+# reference box, inspect the diff, commit).
+bench-baseline:
+	$(GO) run ./cmd/tcexp run -grid exp/smoke.json -out results
+	rm -rf bench/baselines/smoke
+	mkdir -p bench/baselines
+	cp -rL results/latest bench/baselines/smoke
 
 # The CI serving regression gate: start tcserve, drive it with tcload's
 # -smoke burst (closed loop, binary frame protocol, responses verified

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/store"
 	"repro/internal/verify"
 )
@@ -35,12 +36,16 @@ type storeBenchRow struct {
 	Repeats         int     `json:"repeats"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
 	NumCPU          int     `json:"num_cpu"`
+	GitSHA          string  `json:"git_sha"`
 	BuildSecMean    float64 `json:"build_sec_mean"`
+	BuildSecStd     float64 `json:"build_sec_std"`
 	BuildSecMin     float64 `json:"build_sec_min"`
 	SaveSecMean     float64 `json:"save_sec_mean"`
+	SaveSecStd      float64 `json:"save_sec_std"`
 	SaveSecMin      float64 `json:"save_sec_min"`
 	LoadColdSec     float64 `json:"load_cold_sec"`
 	LoadWarmSecMean float64 `json:"load_warm_sec_mean"`
+	LoadWarmSecStd  float64 `json:"load_warm_sec_std"`
 	LoadWarmSecMin  float64 `json:"load_warm_sec_min"`
 	Speedup         float64 `json:"speedup_load_vs_build"`
 	BytesVsTCS1     float64 `json:"bytes_vs_tcs1"`
@@ -78,20 +83,16 @@ func e26() {
 
 		fmt.Printf("cold build %s x%d ...\n", shape.Key(), repeats)
 		var built *core.Built
-		buildMean, buildMin := 0.0, 0.0
+		buildSecs := make([]float64, 0, repeats)
 		for i := 0; i < repeats; i++ {
 			start := time.Now()
 			built, err = core.BuildShape(shape, -1)
 			if err != nil {
 				panic(err)
 			}
-			sec := time.Since(start).Seconds()
-			buildMean += sec
-			if i == 0 || sec < buildMin {
-				buildMin = sec
-			}
+			buildSecs = append(buildSecs, time.Since(start).Seconds())
 		}
-		buildMean /= float64(repeats)
+		buildMean, buildStd, buildMin := exp.Stats(buildSecs)
 
 		var tcs1Bytes int64
 		for _, format := range []string{"tcs1", "tcs2"} {
@@ -106,20 +107,16 @@ func e26() {
 			}
 
 			var path string
-			saveMean, saveMin := 0.0, 0.0
+			saveSecs := make([]float64, 0, repeats)
 			for i := 0; i < repeats; i++ {
 				start := time.Now()
 				path, err = writer.Save(built)
 				if err != nil {
 					panic(err)
 				}
-				sec := time.Since(start).Seconds()
-				saveMean += sec
-				if i == 0 || sec < saveMin {
-					saveMin = sec
-				}
+				saveSecs = append(saveSecs, time.Since(start).Seconds())
 			}
-			saveMean /= float64(repeats)
+			saveMean, saveStd, saveMin := exp.Stats(saveSecs)
 			fi, err := os.Stat(path)
 			if err != nil {
 				panic(err)
@@ -142,20 +139,16 @@ func e26() {
 				panic(err)
 			}
 			loadCold := time.Since(start).Seconds()
-			warmMean, warmMin := 0.0, 0.0
+			warmSecs := make([]float64, 0, repeats)
 			for i := 0; i < repeats; i++ {
 				start = time.Now()
 				loaded, err = reader.Load(shape)
 				if err != nil {
 					panic(err)
 				}
-				sec := time.Since(start).Seconds()
-				warmMean += sec
-				if i == 0 || sec < warmMin {
-					warmMin = sec
-				}
+				warmSecs = append(warmSecs, time.Since(start).Seconds())
 			}
-			warmMean /= float64(repeats)
+			warmMean, warmStd, warmMin := exp.Stats(warmSecs)
 
 			// Identity and certification run against the last warm load —
 			// under TCS2 a circuit whose arenas alias the mapped file.
@@ -171,9 +164,11 @@ func e26() {
 				Circuit: "matmul/strassen", N: n, Format: format,
 				Gates: built.Circuit().Size(), Bytes: fi.Size(),
 				Repeats: repeats, GoMaxProcs: maxProcs, NumCPU: runtime.NumCPU(),
-				BuildSecMean: buildMean, BuildSecMin: buildMin,
-				SaveSecMean: saveMean, SaveSecMin: saveMin,
-				LoadColdSec: loadCold, LoadWarmSecMean: warmMean, LoadWarmSecMin: warmMin,
+				GitSHA:       exp.GitSHA(),
+				BuildSecMean: buildMean, BuildSecStd: buildStd, BuildSecMin: buildMin,
+				SaveSecMean: saveMean, SaveSecStd: saveStd, SaveSecMin: saveMin,
+				LoadColdSec:     loadCold,
+				LoadWarmSecMean: warmMean, LoadWarmSecStd: warmStd, LoadWarmSecMin: warmMin,
 				Speedup:     buildMin / warmMin,
 				BytesVsTCS1: float64(fi.Size()) / float64(tcs1Bytes),
 				Identical:   identical, Certified: certified,

@@ -1,0 +1,25 @@
+package main
+
+import "math"
+
+// ipow computes base^exp exactly in int64 arithmetic, reporting
+// overflow instead of silently rounding. The e2 table used
+// int64(math.Pow(...)) here, which goes wrong twice for large δ/s:
+// math.Pow computes through float64 logs (its integer results are not
+// guaranteed exact even below 2^53), and past 2^63 the conversion back
+// to int64 is undefined. Exponents in the tables are tiny, so the
+// linear product loop is the obviously-correct choice over fast
+// exponentiation (whose squarings can overflow spuriously).
+func ipow(base int64, exp int) (int64, bool) {
+	if base < 0 || exp < 0 {
+		return 0, false
+	}
+	v := int64(1)
+	for i := 0; i < exp; i++ {
+		if base != 0 && v > math.MaxInt64/base {
+			return 0, false
+		}
+		v *= base
+	}
+	return v, true
+}

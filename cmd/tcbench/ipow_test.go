@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// ipow must agree with math/big everywhere it reports ok, and must
+// report !ok exactly when the true value exceeds int64 — the float
+// rounding bug it replaces corrupted the e2 multinomial-identity table
+// silently for larger δ/s.
+func TestIpowExactVsBig(t *testing.T) {
+	maxInt := new(big.Int).SetInt64(math.MaxInt64)
+	for base := int64(0); base <= 30; base++ {
+		for exp := 0; exp <= 45; exp++ {
+			want := new(big.Int).Exp(big.NewInt(base), big.NewInt(int64(exp)), nil)
+			fits := want.Cmp(maxInt) <= 0
+			got, ok := ipow(base, exp)
+			if ok != fits {
+				t.Fatalf("ipow(%d, %d): ok=%v, want fits=%v (true value %s)", base, exp, ok, fits, want)
+			}
+			if ok && got != want.Int64() {
+				t.Fatalf("ipow(%d, %d) = %d, want %s", base, exp, got, want)
+			}
+		}
+	}
+}
+
+// The e2 regime the bug report names: Strassen-family parameters
+// (r=7, s=12) at depths well past the original table's δ<=6.
+func TestIpowPaperConstants(t *testing.T) {
+	cases := []struct {
+		base int64
+		exp  int
+		want int64
+		ok   bool
+	}{
+		{7, 6, 117649, true},
+		{12, 6, 2985984, true},
+		{7, 22, 3909821048582988049, true}, // largest power of 7 in int64
+		{7, 23, 0, false},
+		{12, 17, 2218611106740436992, true}, // largest power of 12 in int64
+		{12, 18, 0, false},
+		{2, 62, 1 << 62, true},
+		{2, 63, 0, false},
+		{1, 1000, 1, true},
+		{0, 5, 0, true},
+		{0, 0, 1, true},
+		{-2, 2, 0, false}, // negative bases are not in this domain
+		{2, -1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ipow(c.base, c.exp)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ipow(%d, %d) = (%d, %v), want (%d, %v)", c.base, c.exp, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// The float path this replaces really is wrong in-range: pin one case
+// where int64(math.Pow) disagrees with the exact value, so the reason
+// for ipow's existence stays documented and enforced.
+func TestMathPowIsInexactSomewhere(t *testing.T) {
+	found := false
+	for base := int64(3); base <= 30 && !found; base++ {
+		for exp := 1; exp <= 45; exp++ {
+			exact, ok := ipow(base, exp)
+			if !ok {
+				break
+			}
+			if int64(math.Pow(float64(base), float64(exp))) != exact {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("math.Pow happened to be exact for every in-range case on this platform")
+	}
+}

@@ -9,6 +9,7 @@
 //	tcbench e3 e10             run selected experiments
 //	tcbench -n32 e24           include the N=32 build rows in e24
 //	tcbench -smoke             parallel-build regression gate (exit 1 on fail)
+//	tcbench -cell '{...}'      one experiment-grid cell, JSON metrics on stdout (for tcexp)
 //	tcbench -cpuprofile=p.out  profile the selected experiments
 package main
 
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	tcmm "repro"
+	"repro/internal/exp"
 )
 
 var experiments = map[string]struct {
@@ -74,7 +76,13 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to `file`")
 	smoke := flag.Bool("smoke", false,
 		"run the parallel-build regression gate (e24 at N=8, workers 1 vs 4) and exit nonzero if the sharded path is >20% slower")
+	cell := flag.String("cell", "",
+		"run one experiment-grid cell (JSON spec from tcexp) and print its metrics as JSON on stdout")
 	flag.Parse()
+
+	if *cell != "" {
+		return runCell(*cell)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -163,8 +171,15 @@ func e2() {
 	fmt.Printf("T_A for %s: level h has r^h nodes of dimension N/T^h\n", alg.Name)
 	fmt.Printf("%6s %10s %14s %14s\n", "δ", "paths r^δ", "Σ size (T_A)", "s_A^δ")
 	for delta := 1; delta <= 6; delta++ {
-		paths := int64(math.Pow(float64(alg.R), float64(delta)))
-		sum := int64(math.Pow(float64(p.SA), float64(delta)))
+		// Exact integer exponentiation: int64(math.Pow(...)) rounds
+		// through float64 and silently corrupts the table for larger
+		// δ/s (see ipow and its math/big test).
+		paths, okR := ipow(int64(alg.R), delta)
+		sum, okS := ipow(int64(p.SA), delta)
+		if !okR || !okS {
+			fmt.Printf("%6d  (r^δ or s_A^δ exceeds int64 — table ends here)\n", delta)
+			break
+		}
 		fmt.Printf("%6d %10d %14d %14d\n", delta, paths, sum, sum)
 	}
 	fmt.Println("(equality Σ size = s^δ is asserted exactly by internal/tctree tests)")
@@ -823,38 +838,57 @@ type buildBenchRow struct {
 	Gates        int     `json:"gates"`
 	Repeats      int     `json:"repeats"`
 	BuildSecMean float64 `json:"build_sec_mean"`
+	BuildSecStd  float64 `json:"build_sec_std"`
 	BuildSecMin  float64 `json:"build_sec_min"`
 	AllocMB      float64 `json:"alloc_mb"`
 	Mallocs      uint64  `json:"mallocs"`
 	GoMaxProcs   int     `json:"gomaxprocs"`
 	NumCPU       int     `json:"num_cpu"`
+	GitSHA       string  `json:"git_sha"`
 	Identical    bool    `json:"identical_to_sequential"`
 	Checked      bool    `json:"eval_certified"`
 }
 
-// measureBuild times repeats back-to-back builds, returning mean/min
-// seconds plus the first run's allocation figures and circuit.
-func measureBuild(repeats int, build func() *tcmm.Circuit) (mean, min, allocMB float64, mallocs uint64, c *tcmm.Circuit) {
-	var total float64
+// buildMeasurement aggregates repeated builds of one circuit.
+type buildMeasurement struct {
+	Mean, Std, Min float64
+	AllocMB        float64
+	Mallocs        uint64
+	Circuit        *tcmm.Circuit
+}
+
+// measureBuild times repeats back-to-back builds. Timing reports
+// mean/std/min; allocation reports the MINIMUM across repeats — run 0
+// carries one-time warmup allocations (evaluator pool init, coefficient
+// grid precompute, lazily grown runtime structures) that overstate the
+// steady-state cost of a build, and the minimum is the run with the
+// least of that incidental noise in it.
+func measureBuild(repeats int, build func() *tcmm.Circuit) buildMeasurement {
+	var m buildMeasurement
+	secs := make([]float64, 0, repeats)
 	for i := 0; i < repeats; i++ {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		got := build()
-		sec := time.Since(start).Seconds()
+		secs = append(secs, time.Since(start).Seconds())
 		runtime.ReadMemStats(&after)
-		total += sec
+		allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+		mallocs := after.Mallocs - before.Mallocs
 		if i == 0 {
-			min = sec
-			allocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
-			mallocs = after.Mallocs - before.Mallocs
-			c = got
-		} else if sec < min {
-			min = sec
+			m.AllocMB, m.Mallocs, m.Circuit = allocMB, mallocs, got
+		} else {
+			if allocMB < m.AllocMB {
+				m.AllocMB = allocMB
+			}
+			if mallocs < m.Mallocs {
+				m.Mallocs = mallocs
+			}
 		}
 	}
-	return total / float64(repeats), min, allocMB, mallocs, c
+	m.Mean, m.Std, m.Min = exp.Stats(secs)
+	return m
 }
 
 // e24: the construction pipeline — the same circuits built with the
@@ -880,10 +914,11 @@ func e24() {
 		var seqStats tcmm.CircuitStats
 		var seqMin float64
 		for _, w := range workersList {
-			mean, min, mb, mallocs, c := measureBuild(repeats, func() *tcmm.Circuit { return build(w) })
+			m := measureBuild(repeats, func() *tcmm.Circuit { return build(w) })
+			c := m.Circuit
 			ident := true
 			if w == 1 {
-				seqStats, seqMin = c.Stats(), min
+				seqStats, seqMin = c.Stats(), m.Min
 			} else {
 				ident = c.Stats() == seqStats
 			}
@@ -893,13 +928,14 @@ func e24() {
 				checked = true
 			}
 			rows = append(rows, buildBenchRow{name, n, w, c.Size(), repeats,
-				mean, min, mb, mallocs, maxProcs, runtime.NumCPU(), ident, checked})
+				m.Mean, m.Std, m.Min, m.AllocMB, m.Mallocs, maxProcs, runtime.NumCPU(),
+				exp.GitSHA(), ident, checked})
 			speed := ""
-			if w > 1 && min > 0 {
-				speed = fmt.Sprintf(" (%.2fx)", seqMin/min)
+			if w > 1 && m.Min > 0 {
+				speed = fmt.Sprintf(" (%.2fx)", seqMin/m.Min)
 			}
 			fmt.Printf("%-8s %4d %8d %10d %4d %10.3f %10.3f %10.1f %10d %6v%s\n",
-				name, n, w, c.Size(), repeats, mean, min, mb, mallocs, ident, speed)
+				name, n, w, c.Size(), repeats, m.Mean, m.Min, m.AllocMB, m.Mallocs, ident, speed)
 		}
 	}
 
@@ -966,15 +1002,17 @@ func e24N32() []buildBenchRow {
 	tau := adj.TraceCube()
 
 	emit := func(name string, w int, build func() *tcmm.Circuit, seqStats *tcmm.CircuitStats) {
-		mean, min, mb, mallocs, c := measureBuild(1, build)
+		m := measureBuild(1, build)
+		c := m.Circuit
 		ident := w == 1 || c.Stats() == *seqStats
 		if w == 1 {
 			*seqStats = c.Stats()
 		}
 		rows = append(rows, buildBenchRow{name, 32, w, c.Size(), 1,
-			mean, min, mb, mallocs, maxProcs, runtime.NumCPU(), ident, w == 1})
+			m.Mean, m.Std, m.Min, m.AllocMB, m.Mallocs, maxProcs, runtime.NumCPU(),
+			exp.GitSHA(), ident, w == 1})
 		fmt.Printf("%-8s %4d %8d %10d %4d %10.3f %10.3f %10.1f %10d %6v\n",
-			name, 32, w, c.Size(), 1, mean, min, mb, mallocs, ident)
+			name, 32, w, c.Size(), 1, m.Mean, m.Min, m.AllocMB, m.Mallocs, ident)
 	}
 
 	var traceStats tcmm.CircuitStats
@@ -1055,15 +1093,18 @@ func benchSmoke() bool {
 			return tc.Circuit
 		}
 	}
-	_, seqMin, _, _, seq := measureBuild(repeats, build(1))
-	_, parMin, _, _, par := measureBuild(repeats, build(4))
+	seq := measureBuild(repeats, build(1))
+	par := measureBuild(repeats, build(4))
+	seqMin, parMin := seq.Min, par.Min
 	fmt.Printf("bench-smoke: N=%d trace, GOMAXPROCS=%d: workers=1 min %.4fs, workers=4 min %.4fs (%.2fx)\n",
 		n, runtime.GOMAXPROCS(0), seqMin, parMin, seqMin/parMin)
-	if seq.Stats() != par.Stats() {
+	if seq.Circuit.Stats() != par.Circuit.Stats() {
 		fmt.Println("bench-smoke: FAIL — parallel build not identical to sequential")
 		return false
 	}
-	if parMin > seqMin*tolerance {
+	// Same predicate as `tcexp compare` and tcload -smoke: a
+	// lower-is-better metric regresses when it exceeds baseline*(1+tol).
+	if exp.Regressed(exp.LowerIsBetter, seqMin, parMin, tolerance-1) {
 		fmt.Printf("bench-smoke: FAIL — workers=4 is %.0f%% slower than workers=1 (gate: %.0f%%)\n",
 			(parMin/seqMin-1)*100, (tolerance-1)*100)
 		return false

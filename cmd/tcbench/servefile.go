@@ -4,14 +4,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/exp"
 )
 
 // BENCH_serve.json holds both serving experiments keyed by experiment
 // name, so e25 and e27 can be (re)run independently: each reads the
-// file, replaces its own section, and writes the result back.
+// file, replaces its own section, and writes the result back. GitSHA
+// records the commit of the most recent (re)generation — serve rows
+// are single closed/open-loop runs, so the provenance lives at file
+// level rather than as a per-row std.
 type serveBenchFile struct {
-	E25 []e25Row `json:"e25"`
-	E27 []e27Row `json:"e27"`
+	GitSHA string   `json:"git_sha"`
+	E25    []e25Row `json:"e25"`
+	E27    []e27Row `json:"e27"`
 }
 
 type e25Row struct {
@@ -75,6 +81,7 @@ func loadServeBench() serveBenchFile {
 }
 
 func (f serveBenchFile) save() {
+	f.GitSHA = exp.GitSHA()
 	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		panic(err)

@@ -1,0 +1,148 @@
+// Command tcexp is the reproducible experiment-grid runner: one
+// command re-runs the measured experiments (E23–E27) over a JSON grid
+// of (experiment, N, workers) cells, each sample in a fresh tcbench
+// subprocess, and writes a timestamped results directory with
+// mean/std/min per metric plus the machine metadata (GOMAXPROCS,
+// NumCPU, go version, git SHA) needed to read the numbers later.
+//
+//	tcexp run -grid exp/smoke.json                 # writes results/<name>-<stamp>/
+//	tcexp run -grid exp/smoke.json -out /tmp/r     # elsewhere
+//	tcexp compare bench/baselines/smoke results/latest
+//	tcexp compare -tol 0.25 old/ new/              # tighter gate
+//
+// `tcexp compare` exits 1 when any tracked metric regresses beyond the
+// tolerance — the CI bench-compare job runs exactly that against the
+// committed baselines under bench/baselines/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func nowUTC() time.Time { return time.Now().UTC() }
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, `usage:
+  tcexp run -grid FILE [-out DIR] [-tcbench BIN]
+  tcexp compare [-tol FRAC] OLD_DIR NEW_DIR`)
+	return 2
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "run":
+		return runGrid(args[1:])
+	case "compare":
+		return runCompare(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "tcexp: unknown command %q\n", args[0])
+		return usage()
+	}
+}
+
+func runGrid(args []string) int {
+	fs := flag.NewFlagSet("tcexp run", flag.ExitOnError)
+	gridPath := fs.String("grid", "", "experiment grid spec (JSON)")
+	out := fs.String("out", "results", "parent directory for the timestamped results dir")
+	tcbench := fs.String("tcbench", "", "prebuilt tcbench binary (default: go build it once into a temp dir)")
+	fs.Parse(args)
+	if *gridPath == "" {
+		fmt.Fprintln(os.Stderr, "tcexp run: -grid is required")
+		return 2
+	}
+
+	grid, err := exp.LoadGrid(*gridPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+		return 2
+	}
+
+	root, err := exp.RepoRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+		return 2
+	}
+	log := func(s string) { fmt.Fprintln(os.Stderr, s) }
+
+	bin := *tcbench
+	if bin == "" {
+		tmp, err := os.MkdirTemp("", "tcexp-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+			return 2
+		}
+		defer os.RemoveAll(tmp)
+		log("building tcbench ...")
+		if bin, err = exp.BuildTCBench(context.Background(), root, tmp); err != nil {
+			fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+			return 2
+		}
+	}
+
+	runner := &exp.SubprocessRunner{Bin: bin, Dir: root}
+	res, err := exp.Run(context.Background(), grid, *gridPath, runner, log)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+		return 1
+	}
+	dir, err := res.WriteDir(*out, nowUTC())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Markdown())
+	fmt.Printf("\nresults written to %s (results.json, results.md, results.csv)\n", dir)
+	return 0
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("tcexp compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.5,
+		"fractional regression tolerance (0.5 = fail when >50% worse than baseline)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return usage()
+	}
+	oldRes, err := exp.LoadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp compare: baseline: %v\n", err)
+		return 2
+	}
+	newRes, err := exp.LoadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcexp compare: current: %v\n", err)
+		return 2
+	}
+	deltas, warnings := exp.Compare(oldRes, newRes, *tol)
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "tcexp compare: warning: %s\n", w)
+	}
+	fmt.Printf("baseline %s (commit %s) vs current %s (commit %s), tolerance %g%%\n\n",
+		oldRes.Started, short(oldRes.Machine.GitSHA), newRes.Started, short(newRes.Machine.GitSHA), *tol*100)
+	fmt.Print(exp.CompareReport(deltas, *tol))
+	if reg := exp.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "\ntcexp compare: %d metric(s) regressed beyond %g%% tolerance\n",
+			len(reg), *tol*100)
+		return 1
+	}
+	fmt.Println("\ntcexp compare: no regression beyond tolerance")
+	return 0
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

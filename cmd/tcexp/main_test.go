@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// writeResults materializes a Results value as a results directory the
+// compare command can load.
+func writeResults(t *testing.T, r *exp.Results) string {
+	t.Helper()
+	dir, err := r.WriteDir(t.TempDir(), time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func baselineResults() *exp.Results {
+	return &exp.Results{
+		Name: "t", Started: "2026-08-07T12:00:00Z", Grid: "g.json",
+		Machine: exp.Machine{GoMaxProcs: 1, NumCPU: 1, GoVersion: "go1.24.0", GitSHA: "unknown", OS: "linux", Arch: "amd64"},
+		Cells: []exp.CellResult{{
+			Experiment: "e24", N: 8, Workers: 1, Repeats: 3, Warmup: 1,
+			Metrics: map[string]exp.Metric{
+				"build_sec": {Mean: 0.01, Std: 0.001, Min: 0.009, Samples: []float64{0.009, 0.01, 0.011}},
+			},
+		}},
+	}
+}
+
+// TestCompareExitCodes drives the real command entry point: exit 0 on a
+// clean diff, exit 1 when a synthetic 2x regression is injected, exit 2
+// on unusable input.
+func TestCompareExitCodes(t *testing.T) {
+	base := writeResults(t, baselineResults())
+
+	if code := run([]string{"compare", base, base}); code != 0 {
+		t.Errorf("self-compare: exit %d, want 0", code)
+	}
+
+	worse := baselineResults()
+	m := worse.Cells[0].Metrics["build_sec"]
+	m.Mean, m.Std, m.Min = m.Mean*2, m.Std*2, m.Min*2
+	for i := range m.Samples {
+		m.Samples[i] *= 2
+	}
+	worse.Cells[0].Metrics["build_sec"] = m
+	if code := run([]string{"compare", base, writeResults(t, worse)}); code != 1 {
+		t.Errorf("2x regression: exit %d, want 1", code)
+	}
+
+	if code := run([]string{"compare", base, filepath.Join(t.TempDir(), "missing")}); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+	if code := run([]string{"compare", base}); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+}
+
+// TestCompareToleranceFlag: the same 2x regression passes when -tol is
+// loosened past the injected delta.
+func TestCompareToleranceFlag(t *testing.T) {
+	base := writeResults(t, baselineResults())
+	worse := baselineResults()
+	m := worse.Cells[0].Metrics["build_sec"]
+	m.Mean, m.Std, m.Min = m.Mean*2, m.Std*2, m.Min*2
+	worse.Cells[0].Metrics["build_sec"] = m
+	worseDir := writeResults(t, worse)
+	if code := run([]string{"compare", "-tol", "1.5", base, worseDir}); code != 0 {
+		t.Errorf("-tol 1.5 over a 2x delta: exit %d, want 0", code)
+	}
+	if code := run([]string{"compare", "-tol", "0.5", base, worseDir}); code != 1 {
+		t.Errorf("-tol 0.5 over a 2x delta: exit %d, want 1", code)
+	}
+}
+
+// TestResultsJSONIsCanonical guards the on-disk contract the CI job and
+// committed baselines rely on: results.json round-trips through the
+// exp.Results schema without losing cells or metrics.
+func TestResultsJSONIsCanonical(t *testing.T) {
+	dir := writeResults(t, baselineResults())
+	data, err := os.ReadFile(filepath.Join(dir, "results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r exp.Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 1 || len(r.Cells[0].Metrics) != 1 {
+		t.Errorf("round trip lost data: %+v", r)
+	}
+}

@@ -4,6 +4,7 @@
 //	tcload -url http://localhost:8714 -rate 2000 -duration 30s
 //	tcload -url http://localhost:8714 -workers 64 -frame=false   # closed-loop JSON
 //	tcload -smoke -url http://localhost:8714                     # CI regression gate
+//	tcload -probe -url http://localhost:8714                     # exit 0 iff /healthz is 200
 //
 // Shape popularity is Zipf-distributed over the rank-ordered -shapes
 // list (rank 0 most popular), the arrival process is Poisson at -rate
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/load"
 )
 
@@ -61,8 +63,14 @@ func run() int {
 		baseline = flag.String("baseline", "BENCH_serve.json", "baseline file for -smoke")
 		minFrac  = flag.Float64("min-rps-frac", 0.5,
 			"-smoke fails below this fraction of the baseline e27 frame-mode rps")
+		probe = flag.Bool("probe", false,
+			"GET -url/healthz once and exit 0/1 — a curl-free readiness probe for scripts")
 	)
 	flag.Parse()
+
+	if *probe {
+		return probeHealth(*url)
+	}
 
 	if *smoke {
 		if gmp := runtime.GOMAXPROCS(0); gmp < 2 {
@@ -179,6 +187,23 @@ func run() int {
 	return 0
 }
 
+// probeHealth is the scripts' readiness check: one short GET of
+// /healthz, quiet, exit 0 iff the server answered 200. It exists so
+// scripts/loadgen_smoke.sh needs no curl/wget on minimal runners — the
+// tcload binary is already built there.
+func probeHealth(base string) int {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	return 0
+}
+
 // smokeVerdict compares measured throughput to the committed e27
 // frame-mode baseline row.
 func smokeVerdict(path string, minFrac, rps float64) int {
@@ -210,7 +235,10 @@ func smokeVerdict(path string, minFrac, rps float64) int {
 	floor := base * minFrac
 	fmt.Printf("tcload: smoke: %.0f rps vs baseline %.0f (floor %.0f = %.0f%%)\n",
 		rps, base, floor, minFrac*100)
-	if rps < floor {
+	// Same predicate as `tcexp compare` and tcbench -smoke: a
+	// higher-is-better metric regresses when it falls under
+	// baseline*(1-tol); here tol is 1 - minFrac.
+	if exp.Regressed(exp.HigherIsBetter, base, rps, 1-minFrac) {
 		fmt.Fprintf(os.Stderr, "tcload: smoke FAILED: rps regression below the floor\n")
 		return 1
 	}

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Direction says which way a metric is supposed to move.
+type Direction int
+
+const (
+	LowerIsBetter Direction = iota
+	HigherIsBetter
+)
+
+func (d Direction) String() string {
+	if d == HigherIsBetter {
+		return "higher"
+	}
+	return "lower"
+}
+
+// MetricDirection classifies a metric by name. Throughput and speedup
+// metrics go up; everything else the cells emit — seconds, latency
+// quantiles, allocation, artifact bytes, gate counts — goes down.
+func MetricDirection(name string) Direction {
+	switch {
+	case strings.HasSuffix(name, "_per_sec"),
+		strings.HasSuffix(name, "rps"),
+		strings.HasPrefix(name, "speedup"):
+		return HigherIsBetter
+	default:
+		return LowerIsBetter
+	}
+}
+
+// Regressed is the one regression predicate every gate in this repo
+// applies: a lower-is-better metric regresses when it exceeds the
+// baseline by more than tol (fractional), a higher-is-better metric
+// when it falls more than tol below it. tcbench -smoke (parallel vs
+// sequential build), tcload -smoke (rps vs the committed e27 row) and
+// `tcexp compare` all route through here, so "regression" means the
+// same inequality everywhere. A non-positive baseline can't anchor a
+// relative comparison and never regresses.
+func Regressed(dir Direction, baseline, got, tol float64) bool {
+	if baseline <= 0 {
+		return false
+	}
+	if dir == HigherIsBetter {
+		return got < baseline*(1-tol)
+	}
+	return got > baseline*(1+tol)
+}
+
+// Delta is one metric's old-vs-new comparison. Ratio is new/old of the
+// compared statistic (min for lower-is-better — the contention-free
+// figure — mean for throughput, whose per-run means are the stabler
+// statistic).
+type Delta struct {
+	Cell      string
+	Metric    string
+	Direction Direction
+	Old, New  float64
+	Ratio     float64
+	Regressed bool
+}
+
+// Compare matches cells by key and evaluates every shared metric
+// against the tolerance. It returns all deltas (for the report) plus
+// warnings for cells or metrics present on one side only and for
+// machine-metadata mismatches that make timing comparisons soft.
+func Compare(old, new *Results, tol float64) (deltas []Delta, warnings []string) {
+	if old.Machine.NumCPU != new.Machine.NumCPU || old.Machine.GoMaxProcs != new.Machine.GoMaxProcs {
+		warnings = append(warnings, fmt.Sprintf(
+			"machines differ: baseline GOMAXPROCS=%d/%d cpus, current GOMAXPROCS=%d/%d cpus — absolute timings are comparable only in direction",
+			old.Machine.GoMaxProcs, old.Machine.NumCPU, new.Machine.GoMaxProcs, new.Machine.NumCPU))
+	}
+	oldCells := make(map[string]CellResult, len(old.Cells))
+	for _, c := range old.Cells {
+		oldCells[c.Key()] = c
+	}
+	seen := make(map[string]bool)
+	for _, nc := range new.Cells {
+		key := nc.Key()
+		seen[key] = true
+		oc, ok := oldCells[key]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("cell %s: no baseline (new cell?)", key))
+			continue
+		}
+		for _, name := range metricNames(nc.Metrics) {
+			om, ok := oc.Metrics[name]
+			if !ok {
+				warnings = append(warnings, fmt.Sprintf("cell %s: metric %q has no baseline", key, name))
+				continue
+			}
+			nm := nc.Metrics[name]
+			dir := MetricDirection(name)
+			ov, nv := om.Min, nm.Min
+			if dir == HigherIsBetter {
+				ov, nv = om.Mean, nm.Mean
+			}
+			d := Delta{
+				Cell: key, Metric: name, Direction: dir,
+				Old: ov, New: nv,
+				Regressed: Regressed(dir, ov, nv, tol),
+			}
+			if ov != 0 {
+				d.Ratio = nv / ov
+			}
+			deltas = append(deltas, d)
+		}
+		for _, name := range metricNames(oc.Metrics) {
+			if _, ok := nc.Metrics[name]; !ok {
+				warnings = append(warnings, fmt.Sprintf("cell %s: baseline metric %q missing from new run", key, name))
+			}
+		}
+	}
+	for _, oc := range old.Cells {
+		if !seen[oc.Key()] {
+			warnings = append(warnings, fmt.Sprintf("cell %s: in baseline but not in new run", oc.Key()))
+		}
+	}
+	return deltas, warnings
+}
+
+// Regressions filters the deltas that tripped the tolerance.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CompareReport renders the deltas as an aligned text table, worst
+// ratio first within each verdict class.
+func CompareReport(deltas []Delta, tol float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-22s %-7s %12s %12s %8s  %s\n",
+		"cell", "metric", "want", "baseline", "current", "ratio", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = fmt.Sprintf("REGRESSED (>%g%% tolerance)", tol*100)
+		}
+		fmt.Fprintf(&b, "%-18s %-22s %-7s %12s %12s %7.2fx  %s\n",
+			d.Cell, d.Metric, d.Direction.String(), fnum(d.Old), fnum(d.New), d.Ratio, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// doubled returns a deep copy of the fixture with one lower-is-better
+// metric (e24/n8/w2 build_sec) doubled and one higher-is-better metric
+// (e27/n8/w2 rps) halved — both 2x moves in the bad direction.
+func regressedFixture() *Results {
+	r := fixtureResults()
+	cells := make([]CellResult, len(r.Cells))
+	for i, c := range r.Cells {
+		m := make(map[string]Metric, len(c.Metrics))
+		for k, v := range c.Metrics {
+			s := append([]float64(nil), v.Samples...)
+			m[k] = Metric{Mean: v.Mean, Std: v.Std, Min: v.Min, Samples: s}
+		}
+		c.Metrics = m
+		cells[i] = c
+	}
+	r.Cells = cells
+	scale := func(key, metric string, f float64) {
+		for i := range r.Cells {
+			if r.Cells[i].Key() != key {
+				continue
+			}
+			m := r.Cells[i].Metrics[metric]
+			m.Mean *= f
+			m.Std *= f
+			m.Min *= f
+			for j := range m.Samples {
+				m.Samples[j] *= f
+			}
+			r.Cells[i].Metrics[metric] = m
+		}
+	}
+	scale("e24/n8/w2", "build_sec", 2)
+	scale("e27/n8/w2", "rps", 0.5)
+	return r
+}
+
+// TestCompareSelf: identical runs never regress, at any tolerance.
+func TestCompareSelf(t *testing.T) {
+	old := fixtureResults()
+	deltas, warnings := Compare(old, fixtureResults(), 0)
+	if len(warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", warnings)
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Errorf("self-compare regressed: %+v", reg)
+	}
+	for _, d := range deltas {
+		if d.Ratio != 1 {
+			t.Errorf("%s/%s: ratio %g, want 1", d.Cell, d.Metric, d.Ratio)
+		}
+	}
+}
+
+// TestCompareSyntheticRegression is the gate's core promise: a 2x move
+// in the bad direction — slower build, halved throughput — trips the
+// gate in both metric directions, and only the doctored metrics trip.
+// (At tol 0.4: build_sec 2x = +100% > 40%; rps halved = -50% > 40%.)
+func TestCompareSyntheticRegression(t *testing.T) {
+	deltas, _ := Compare(fixtureResults(), regressedFixture(), 0.4)
+	reg := Regressions(deltas)
+	want := map[string]bool{
+		"e24/n8/w2 build_sec": true,
+		"e27/n8/w2 rps":       true,
+	}
+	got := map[string]bool{}
+	for _, d := range reg {
+		got[d.Cell+" "+d.Metric] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("regressions %v, want exactly %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing expected regression %s", k)
+		}
+	}
+	// The inequality is strict: a halved throughput sits exactly on the
+	// 50% line and does NOT regress at tol 0.5, while the doubled build
+	// time (+100%) still does.
+	if reg := Regressions(mustDeltas(Compare(fixtureResults(), regressedFixture(), 0.5))); len(reg) != 1 {
+		t.Errorf("tol 0.5: %d regressions, want 1 (build_sec only)", len(reg))
+	}
+	// A 2x regression survives only tolerances past its own delta.
+	if reg := Regressions(mustDeltas(Compare(fixtureResults(), regressedFixture(), 1.5))); len(reg) != 0 {
+		t.Errorf("tol 1.5: %d regressions, want 0", len(reg))
+	}
+}
+
+func mustDeltas(d []Delta, _ []string) []Delta { return d }
+
+// TestCompareWarnings: machine mismatch and one-sided cells/metrics are
+// warnings, not silent drops.
+func TestCompareWarnings(t *testing.T) {
+	old := fixtureResults()
+	new_ := fixtureResults()
+	new_.Machine.NumCPU = 4
+	new_.Machine.GoMaxProcs = 4
+	new_.Cells = new_.Cells[:2] // drop e27 from the new run
+	delete(new_.Cells[0].Metrics, "gates")
+	deltas, warnings := Compare(old, new_, 0.5)
+	wantSubstrings := []string{"machines differ", "e27/n8/w2", `metric "gates" missing`}
+	all := strings.Join(warnings, "\n")
+	for _, sub := range wantSubstrings {
+		if !strings.Contains(all, sub) {
+			t.Errorf("warnings missing %q:\n%s", sub, all)
+		}
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Errorf("warnings leaked into regressions: %+v", reg)
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Markdown renders the results as one GitHub table per experiment,
+// ready to paste into EXPERIMENTS.md: a row per (n, workers) cell, a
+// mean±std column and a min column per metric.
+func (r *Results) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", r.Name)
+	fmt.Fprintf(&b, "started %s · commit %s · go %s · GOMAXPROCS=%d NumCPU=%d (%s/%s)\n",
+		r.Started, shortSHA(r.Machine.GitSHA), r.Machine.GoVersion,
+		r.Machine.GoMaxProcs, r.Machine.NumCPU, r.Machine.OS, r.Machine.Arch)
+	for _, exp := range r.experiments() {
+		cells := r.cellsOf(exp)
+		names := metricNames(cells[0].Metrics)
+		fmt.Fprintf(&b, "\n## %s\n\n", exp)
+		b.WriteString("| n | workers | repeats |")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s (mean±std) | %s (min) |", name, name)
+		}
+		b.WriteString("\n|---|---|---|")
+		for range names {
+			b.WriteString("---|---|")
+		}
+		b.WriteString("\n")
+		for _, c := range cells {
+			fmt.Fprintf(&b, "| %d | %d | %d |", c.N, c.Workers, c.Repeats)
+			for _, name := range names {
+				m := c.Metrics[name]
+				fmt.Fprintf(&b, " %s ± %s | %s |", fnum(m.Mean), fnum(m.Std), fnum(m.Min))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the results in long form — one line per (cell, metric) —
+// the shape spreadsheet pivots and trend plots want.
+func (r *Results) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,n,workers,repeats,metric,mean,std,min\n")
+	for _, c := range r.Cells {
+		for _, name := range metricNames(c.Metrics) {
+			m := c.Metrics[name]
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%s,%s,%s,%s\n",
+				c.Experiment, c.N, c.Workers, c.Repeats, name,
+				fnum(m.Mean), fnum(m.Std), fnum(m.Min))
+		}
+	}
+	return b.String()
+}
+
+// experiments returns the distinct experiment ids in first-seen order.
+func (r *Results) experiments() []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Experiment] {
+			seen[c.Experiment] = true
+			order = append(order, c.Experiment)
+		}
+	}
+	return order
+}
+
+// cellsOf returns the experiment's cells ordered by (n, workers).
+func (r *Results) cellsOf(exp string) []CellResult {
+	var cells []CellResult
+	for _, c := range r.Cells {
+		if c.Experiment == exp {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].N != cells[j].N {
+			return cells[i].N < cells[j].N
+		}
+		return cells[i].Workers < cells[j].Workers
+	})
+	return cells
+}
+
+// fnum formats a measurement compactly without scientific surprises
+// for the magnitudes the grids produce (seconds, MB, rps, µs).
+func fnum(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

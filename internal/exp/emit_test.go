@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// fixtureResults is a fixed two-experiment Results value the golden
+// emitter tests render. Everything in it is pinned — machine included —
+// so the goldens are byte-stable across machines and commits.
+func fixtureResults() *Results {
+	return &Results{
+		Name:    "golden",
+		Started: "2026-08-07T12:00:00Z",
+		Grid:    "exp/golden.json",
+		Machine: Machine{
+			GoMaxProcs: 1, NumCPU: 1, GoVersion: "go1.24.0",
+			GitSHA: "dd01628160e3a1b2c3d4e5f60718293a4b5c6d7e",
+			OS:     "linux", Arch: "amd64",
+		},
+		Cells: []CellResult{
+			{
+				Experiment: "e24", N: 16, Workers: 1, Repeats: 3, Warmup: 1,
+				Metrics: map[string]Metric{
+					"build_sec": {Mean: 0.125, Std: 0.0025, Min: 0.1225, Samples: []float64{0.1225, 0.125, 0.1275}},
+					"gates":     {Mean: 181000, Std: 0, Min: 181000, Samples: []float64{181000, 181000, 181000}},
+				},
+			},
+			{
+				// Out of (n, workers) order on purpose: the Markdown
+				// emitter must sort rows, the CSV preserves run order.
+				Experiment: "e24", N: 8, Workers: 2, Repeats: 3, Warmup: 1,
+				Metrics: map[string]Metric{
+					"build_sec": {Mean: 0.008, Std: 0.0005, Min: 0.0075, Samples: []float64{0.0085, 0.008, 0.0075}},
+					"gates":     {Mean: 22716, Std: 0, Min: 22716, Samples: []float64{22716, 22716, 22716}},
+				},
+			},
+			{
+				Experiment: "e27", N: 8, Workers: 2, Repeats: 3, Warmup: 1,
+				Metrics: map[string]Metric{
+					"rps":    {Mean: 150.5, Std: 12.25, Min: 140, Samples: []float64{140, 147.5, 164}},
+					"p99_us": {Mean: 113110, Std: 1000, Min: 112110, Samples: []float64{112110, 113110, 114110}},
+				},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/exp -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s\n(re-bless with `go test ./internal/exp -update` if the change is intended)",
+			name, got, want)
+	}
+}
+
+func TestMarkdownGolden(t *testing.T) {
+	checkGolden(t, "golden.md", fixtureResults().Markdown())
+}
+
+func TestCSVGolden(t *testing.T) {
+	checkGolden(t, "golden.csv", fixtureResults().CSV())
+}

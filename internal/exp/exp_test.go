@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	cases := []struct {
+		name           string
+		in             []float64
+		mean, std, min float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []float64{4.5}, 4.5, 0, 4.5},
+		{"pair", []float64{2, 4}, 3, math.Sqrt2, 2},
+		{"triple", []float64{1, 2, 3}, 2, 1, 1},
+		{"constant", []float64{7, 7, 7, 7}, 7, 0, 7},
+	}
+	for _, c := range cases {
+		mean, std, min := Stats(c.in)
+		if math.Abs(mean-c.mean) > 1e-12 || math.Abs(std-c.std) > 1e-12 || min != c.min {
+			t.Errorf("%s: Stats(%v) = (%g, %g, %g), want (%g, %g, %g)",
+				c.name, c.in, mean, std, min, c.mean, c.std, c.min)
+		}
+	}
+}
+
+func TestGridExpand(t *testing.T) {
+	g := &Grid{
+		Name: "t", Repeats: 3, Warmup: 1, CellSeconds: 0.25,
+		Cells: []CellSpec{
+			{Experiment: "e24", N: []int{8, 16}, Workers: []int{1, 2}},
+			{Experiment: "e26", N: []int{8}}, // empty workers axis -> w=1
+		},
+	}
+	if err := g.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Expand()
+	wantKeys := []string{
+		"e24/n8/w1", "e24/n8/w2", "e24/n16/w1", "e24/n16/w2", "e26/n8/w1",
+	}
+	if len(cells) != len(wantKeys) {
+		t.Fatalf("Expand: %d cells, want %d", len(cells), len(wantKeys))
+	}
+	for i, c := range cells {
+		if c.Key() != wantKeys[i] {
+			t.Errorf("cell %d key %q, want %q", i, c.Key(), wantKeys[i])
+		}
+		if c.Repeats != 3 || c.Warmup != 1 || c.Seconds != 0.25 {
+			t.Errorf("cell %s did not inherit grid defaults: %+v", c.Key(), c)
+		}
+	}
+}
+
+func TestGridOverrides(t *testing.T) {
+	w := 0
+	g := &Grid{
+		Name: "t", Repeats: 3, Warmup: 2,
+		Cells: []CellSpec{
+			{Experiment: "e23", N: []int{8}, Repeats: 5, Warmup: &w},
+		},
+	}
+	if err := g.validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Expand()[0]
+	if c.Repeats != 5 || c.Warmup != 0 {
+		t.Errorf("per-spec overrides ignored: repeats=%d warmup=%d, want 5, 0", c.Repeats, c.Warmup)
+	}
+}
+
+func TestGridValidateRejects(t *testing.T) {
+	bad := []Grid{
+		{Repeats: 3, Cells: []CellSpec{{Experiment: "e24", N: []int{8}}}},            // no name
+		{Name: "t", Repeats: 1, Cells: []CellSpec{{Experiment: "e24", N: []int{8}}}}, // repeats < 2
+		{Name: "t", Cells: []CellSpec{{Experiment: "e99", N: []int{8}}}},             // unknown experiment
+		{Name: "t", Cells: []CellSpec{{Experiment: "e24"}}},                          // empty n axis
+		{Name: "t", Cells: []CellSpec{{Experiment: "e24", N: []int{0}}}},             // bad n
+		{Name: "t", Cells: []CellSpec{{Experiment: "e24", N: []int{8}, Workers: []int{0}}}},
+		{Name: "t"}, // no cells
+	}
+	for i := range bad {
+		if err := bad[i].validate(); err == nil {
+			t.Errorf("grid %d: validate accepted an invalid grid: %+v", i, bad[i])
+		}
+	}
+}
+
+func TestLoadGridDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	spec := `{"name": "d", "cells": [{"experiment": "e24", "n": [8]}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Repeats != 3 || g.CellSeconds != 0.5 {
+		t.Errorf("defaults not applied: repeats=%d cell_seconds=%g, want 3, 0.5", g.Repeats, g.CellSeconds)
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	higher := []string{"samples_per_sec", "rps", "speedup_load_vs_build"}
+	lower := []string{"build_sec", "p99_us", "alloc_mb", "mallocs", "gates", "bytes", "energy_gates", "mean_batch"}
+	for _, n := range higher {
+		if MetricDirection(n) != HigherIsBetter {
+			t.Errorf("MetricDirection(%q) = lower, want higher", n)
+		}
+	}
+	for _, n := range lower {
+		if MetricDirection(n) != LowerIsBetter {
+			t.Errorf("MetricDirection(%q) = higher, want lower", n)
+		}
+	}
+}
+
+func TestRegressed(t *testing.T) {
+	cases := []struct {
+		dir            Direction
+		base, got, tol float64
+		want           bool
+	}{
+		{LowerIsBetter, 1.0, 1.49, 0.5, false}, // within tolerance
+		{LowerIsBetter, 1.0, 1.51, 0.5, true},  // beyond it
+		{LowerIsBetter, 1.0, 0.5, 0.5, false},  // improvement
+		{HigherIsBetter, 100, 51, 0.5, false},
+		{HigherIsBetter, 100, 49, 0.5, true},
+		{HigherIsBetter, 100, 200, 0.5, false},
+		{LowerIsBetter, 0, 1e9, 0.5, false}, // no baseline anchor
+		{HigherIsBetter, -1, 0, 0.5, false},
+	}
+	for i, c := range cases {
+		if got := Regressed(c.dir, c.base, c.got, c.tol); got != c.want {
+			t.Errorf("case %d: Regressed(%v, %g, %g, %g) = %v, want %v",
+				i, c.dir, c.base, c.got, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestWellFormedSHA(t *testing.T) {
+	good := []string{"unknown", "dd01628", "dd01628160e3a1b2c3d4e5f60718293a4b5c6d7e"}
+	bad := []string{"", "xyz", "DD01628", "dd0162", "dd01628160e3a1b2c3d4e5f60718293a4b5c6d7e0"}
+	for _, s := range good {
+		if !WellFormedSHA(s) {
+			t.Errorf("WellFormedSHA(%q) = false, want true", s)
+		}
+	}
+	for _, s := range bad {
+		if WellFormedSHA(s) {
+			t.Errorf("WellFormedSHA(%q) = true, want false", s)
+		}
+	}
+}

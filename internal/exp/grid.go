@@ -1,0 +1,165 @@
+// Package exp is the reproducible experiment-grid runner behind
+// cmd/tcexp (see DESIGN.md "Experiment grid and regression tracking").
+//
+// A grid is a small JSON file naming the axes to sweep: which
+// experiments (the measured subset e23–e27 of EXPERIMENTS.md), which
+// problem sizes N, which worker/shard counts, how many repeats, and how
+// many leading warmup runs to discard. The runner executes every cell
+// sample in a fresh subprocess (`tcbench -cell`), so no run inherits a
+// warmed allocator, a populated page cache entry, or a grown heap from
+// its predecessor, aggregates the samples into mean/std/min, and writes
+// a timestamped results directory with the machine metadata needed to
+// interpret the numbers later (GOMAXPROCS, NumCPU, go version, git
+// SHA). Compare diffs two such directories and reports every tracked
+// metric that regressed beyond a tolerance — the arithmetic every CI
+// regression gate in this repo shares (see Regressed).
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Grid is the parsed experiment-grid spec. Repeats/Warmup/CellSeconds
+// are defaults every cell inherits unless it overrides them.
+type Grid struct {
+	// Name labels the results directory (`<name>-<timestamp>`).
+	Name string `json:"name"`
+	// Repeats is the number of measured samples per cell, after the
+	// warmup discards. Must be >= 2 so std is defined.
+	Repeats int `json:"repeats"`
+	// Warmup runs execute exactly like measured ones but are discarded:
+	// they absorb the first-touch costs (binary page-in, disk cache
+	// population) that would otherwise pollute sample 0.
+	Warmup int `json:"warmup"`
+	// CellSeconds is the measurement budget handed to each subprocess
+	// run for throughput-style cells (e23/e25/e27 loops).
+	CellSeconds float64 `json:"cell_seconds"`
+	// Cells are the axis specs, expanded by Expand.
+	Cells []CellSpec `json:"cells"`
+}
+
+// CellSpec is one line of the grid: an experiment swept over the cross
+// product of its N and Workers axes.
+type CellSpec struct {
+	Experiment string `json:"experiment"`
+	N          []int  `json:"n"`
+	Workers    []int  `json:"workers"`
+	Repeats    int    `json:"repeats,omitempty"`
+	Warmup     *int   `json:"warmup,omitempty"`
+}
+
+// Cell is one fully expanded grid point.
+type Cell struct {
+	Experiment string  `json:"experiment"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Repeats    int     `json:"repeats"`
+	Warmup     int     `json:"warmup"`
+	Seconds    float64 `json:"seconds,omitempty"`
+}
+
+// Key identifies a cell across runs — compare matches on it.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/n%d/w%d", c.Experiment, c.N, c.Workers)
+}
+
+// Experiments the runner knows how to execute in a cell subprocess.
+// These are the measured (wall-clock) experiments; e1–e22 are
+// table/model reproductions with no timing content to track.
+var knownExperiments = map[string]bool{
+	"e23": true, "e24": true, "e25": true, "e26": true, "e27": true,
+}
+
+// LoadGrid reads and validates a grid spec file.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := g.validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &g, nil
+}
+
+func (g *Grid) validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("grid has no name")
+	}
+	if g.Repeats == 0 {
+		g.Repeats = 3
+	}
+	if g.Repeats < 2 {
+		return fmt.Errorf("repeats %d < 2: std needs at least two samples", g.Repeats)
+	}
+	if g.Warmup < 0 {
+		return fmt.Errorf("negative warmup %d", g.Warmup)
+	}
+	if g.CellSeconds == 0 {
+		g.CellSeconds = 0.5
+	}
+	if g.CellSeconds < 0 {
+		return fmt.Errorf("negative cell_seconds %g", g.CellSeconds)
+	}
+	if len(g.Cells) == 0 {
+		return fmt.Errorf("grid has no cells")
+	}
+	for i, cs := range g.Cells {
+		if !knownExperiments[cs.Experiment] {
+			return fmt.Errorf("cell %d: unknown experiment %q (want e23..e27)", i, cs.Experiment)
+		}
+		if len(cs.N) == 0 {
+			return fmt.Errorf("cell %d (%s): empty n axis", i, cs.Experiment)
+		}
+		for _, n := range cs.N {
+			if n < 1 {
+				return fmt.Errorf("cell %d (%s): bad n %d", i, cs.Experiment, n)
+			}
+		}
+		for _, w := range cs.Workers {
+			if w < 1 {
+				return fmt.Errorf("cell %d (%s): bad workers %d", i, cs.Experiment, w)
+			}
+		}
+		if cs.Repeats == 1 {
+			return fmt.Errorf("cell %d (%s): repeats 1 < 2", i, cs.Experiment)
+		}
+	}
+	return nil
+}
+
+// Expand flattens the grid into its cells: the cross product of each
+// spec's N and Workers axes, with per-spec repeat/warmup overrides
+// applied. An empty workers axis means workers=1.
+func (g *Grid) Expand() []Cell {
+	var cells []Cell
+	for _, cs := range g.Cells {
+		workers := cs.Workers
+		if len(workers) == 0 {
+			workers = []int{1}
+		}
+		repeats := g.Repeats
+		if cs.Repeats > 0 {
+			repeats = cs.Repeats
+		}
+		warmup := g.Warmup
+		if cs.Warmup != nil {
+			warmup = *cs.Warmup
+		}
+		for _, n := range cs.N {
+			for _, w := range workers {
+				cells = append(cells, Cell{
+					Experiment: cs.Experiment, N: n, Workers: w,
+					Repeats: repeats, Warmup: warmup, Seconds: g.CellSeconds,
+				})
+			}
+		}
+	}
+	return cells
+}

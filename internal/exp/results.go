@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Machine records the environment a results directory was measured on —
+// the metadata without which a wall-clock number is uninterpretable
+// across PRs (a 1-core container and a 4-core hosted runner disagree on
+// every parallel row for reasons that have nothing to do with the code).
+type Machine struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GitSHA     string `json:"git_sha"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// CurrentMachine captures the running process's environment.
+func CurrentMachine() Machine {
+	return Machine{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GitSHA:     GitSHA(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+var (
+	gitSHAOnce sync.Once
+	gitSHAVal  string
+)
+
+// GitSHA returns the current commit hash, or "unknown" outside a git
+// checkout (an extracted release tarball, a stripped CI cache). The
+// value is cached: the answer cannot change within one process.
+func GitSHA() string {
+	gitSHAOnce.Do(func() {
+		out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+		sha := strings.TrimSpace(string(out))
+		if err != nil || !gitSHARe.MatchString(sha) {
+			gitSHAVal = "unknown"
+			return
+		}
+		gitSHAVal = sha
+	})
+	return gitSHAVal
+}
+
+var gitSHARe = regexp.MustCompile(`^[0-9a-f]{7,40}$`)
+
+// WellFormedSHA reports whether s looks like a git object name (or the
+// explicit "unknown" marker GitSHA degrades to). Schema tests use it.
+func WellFormedSHA(s string) bool {
+	return s == "unknown" || gitSHARe.MatchString(s)
+}
+
+// Metric is one aggregated measurement: Stats over the post-warmup
+// samples, with the samples themselves kept so a later reader can
+// re-derive any other statistic.
+type Metric struct {
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
+	Min     float64   `json:"min"`
+	Samples []float64 `json:"samples"`
+}
+
+// CellResult is one grid point's aggregated metrics.
+type CellResult struct {
+	Experiment string            `json:"experiment"`
+	N          int               `json:"n"`
+	Workers    int               `json:"workers"`
+	Repeats    int               `json:"repeats"`
+	Warmup     int               `json:"warmup"`
+	Metrics    map[string]Metric `json:"metrics"`
+}
+
+// Key matches CellResults across runs; it mirrors Cell.Key.
+func (c CellResult) Key() string {
+	return fmt.Sprintf("%s/n%d/w%d", c.Experiment, c.N, c.Workers)
+}
+
+// Results is the content of one results directory (results.json).
+type Results struct {
+	Name    string       `json:"name"`
+	Started string       `json:"started"` // RFC 3339
+	Grid    string       `json:"grid"`    // path of the grid spec this ran
+	Machine Machine      `json:"machine"`
+	Cells   []CellResult `json:"cells"`
+}
+
+const resultsFile = "results.json"
+
+// WriteDir materializes the results as a timestamped directory
+// `<name>-<stamp>` under parent — results.json (machine-read: compare,
+// schema tests), results.md (paste into EXPERIMENTS.md), results.csv
+// (spreadsheets, trend plots) — and repoints the `latest` symlink at
+// it, so scripts can address "the run that just happened" without
+// parsing timestamps. Returns the directory path.
+func (r *Results) WriteDir(parent string, now time.Time) (string, error) {
+	stamp := now.UTC().Format("20060102-150405")
+	dir := filepath.Join(parent, fmt.Sprintf("%s-%s", r.Name, stamp))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, resultsFile), append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results.md"), []byte(r.Markdown()), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results.csv"), []byte(r.CSV()), 0o644); err != nil {
+		return "", err
+	}
+	latest := filepath.Join(parent, "latest")
+	_ = os.Remove(latest)
+	// Relative target so the parent directory can be moved or archived
+	// wholesale; a failed symlink (exotic filesystems) is not fatal.
+	_ = os.Symlink(filepath.Base(dir), latest)
+	return dir, nil
+}
+
+// LoadResults reads a results directory (or a results.json path
+// directly, or a `latest` symlink to either).
+func LoadResults(path string) (*Results, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		path = filepath.Join(path, resultsFile)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}

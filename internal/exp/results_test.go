@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeRunner returns deterministic metrics whose value encodes the
+// per-cell run index, so tests can see exactly which runs were kept.
+// Run 0 of every cell reports a poisoned 1000.0 — if warmup discard
+// breaks, the samples (and the min) give it away immediately.
+type fakeRunner struct {
+	calls map[string]int
+}
+
+func (f *fakeRunner) RunCell(_ context.Context, c Cell) (map[string]float64, error) {
+	if f.calls == nil {
+		f.calls = make(map[string]int)
+	}
+	run := f.calls[c.Key()]
+	f.calls[c.Key()]++
+	v := 1000.0 // the warmup run: cold-start pollution a real cell would show
+	if run > 0 {
+		v = 1.0 + 0.1*float64(run)
+	}
+	return map[string]float64{
+		"build_sec": v,
+		"rps":       100 * float64(c.Workers),
+	}, nil
+}
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g := &Grid{
+		Name: "schema", Repeats: 3, Warmup: 1, CellSeconds: 0.1,
+		Cells: []CellSpec{
+			{Experiment: "e24", N: []int{8}, Workers: []int{1, 2}},
+		},
+	}
+	if err := g.validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestResultsDirSchema is the results-directory contract: a grid run
+// written with WriteDir and read back with LoadResults has >= 2 repeats
+// per cell, a std and full sample list for every metric, non-empty
+// machine metadata, and a well-formed git SHA.
+func TestResultsDirSchema(t *testing.T) {
+	g := testGrid(t)
+	res, err := Run(context.Background(), g, "grid.json", &fakeRunner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parent := t.TempDir()
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	dir, err := res.WriteDir(parent, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(parent, "schema-20260807-120000"); dir != want {
+		t.Errorf("results dir %q, want %q", dir, want)
+	}
+	for _, name := range []string{"results.json", "results.md", "results.csv"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Errorf("%s: missing or empty (err=%v)", name, err)
+		}
+	}
+
+	got, err := LoadResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "schema" || got.Grid != "grid.json" {
+		t.Errorf("round trip lost identity: name=%q grid=%q", got.Name, got.Grid)
+	}
+	if _, err := time.Parse(time.RFC3339, got.Started); err != nil {
+		t.Errorf("started %q is not RFC 3339: %v", got.Started, err)
+	}
+
+	m := got.Machine
+	if m.GoMaxProcs < 1 || m.NumCPU < 1 || m.GoVersion == "" || m.OS == "" || m.Arch == "" {
+		t.Errorf("machine metadata incomplete: %+v", m)
+	}
+	if !WellFormedSHA(m.GitSHA) {
+		t.Errorf("machine git SHA %q is not well-formed", m.GitSHA)
+	}
+
+	if len(got.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(got.Cells))
+	}
+	for _, c := range got.Cells {
+		if c.Repeats < 2 {
+			t.Errorf("cell %s: repeats %d < 2 (std undefined)", c.Key(), c.Repeats)
+		}
+		if len(c.Metrics) == 0 {
+			t.Errorf("cell %s: no metrics", c.Key())
+		}
+		for name, met := range c.Metrics {
+			if len(met.Samples) != c.Repeats {
+				t.Errorf("cell %s metric %s: %d samples, want %d (one per measured repeat)",
+					c.Key(), name, len(met.Samples), c.Repeats)
+			}
+			for _, s := range met.Samples {
+				if s >= 1000 {
+					t.Errorf("cell %s metric %s: warmup sample %g leaked into the measured set",
+						c.Key(), name, s)
+				}
+			}
+			mean, std, min := Stats(met.Samples)
+			if met.Mean != mean || met.Std != std || met.Min != min {
+				t.Errorf("cell %s metric %s: stored (%g, %g, %g) != Stats(samples) (%g, %g, %g)",
+					c.Key(), name, met.Mean, met.Std, met.Min, mean, std, min)
+			}
+		}
+	}
+}
+
+// TestLatestSymlink: WriteDir repoints `latest` at the newest run, and
+// LoadResults follows it.
+func TestLatestSymlink(t *testing.T) {
+	g := testGrid(t)
+	res, err := Run(context.Background(), g, "grid.json", &fakeRunner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := t.TempDir()
+	if _, err := res.WriteDir(parent, time.Date(2026, 8, 7, 11, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	dir2, err := res.WriteDir(parent, time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := os.Readlink(filepath.Join(parent, "latest"))
+	if err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if target != filepath.Base(dir2) {
+		t.Errorf("latest -> %q, want %q", target, filepath.Base(dir2))
+	}
+	if _, err := LoadResults(filepath.Join(parent, "latest")); err != nil {
+		t.Errorf("LoadResults(latest): %v", err)
+	}
+}
+
+// TestRunMissingMetric: a cell whose runs disagree on the metric set is
+// an error, not a silent short sample list.
+func TestRunMissingMetric(t *testing.T) {
+	g := testGrid(t)
+	r := &flakyMetricsRunner{}
+	if _, err := Run(context.Background(), g, "grid.json", r, nil); err == nil {
+		t.Error("Run accepted a metric present in only some runs")
+	}
+}
+
+type flakyMetricsRunner struct{ n int }
+
+func (f *flakyMetricsRunner) RunCell(_ context.Context, c Cell) (map[string]float64, error) {
+	f.n++
+	m := map[string]float64{"build_sec": 1}
+	if f.n%2 == 0 {
+		m["rps"] = 100 // appears in half the runs only
+	}
+	return m, nil
+}

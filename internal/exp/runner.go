@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// A Runner executes one cell sample and returns its scalar metrics.
+// The production implementation is SubprocessRunner; tests inject
+// deterministic fakes.
+type Runner interface {
+	RunCell(ctx context.Context, c Cell) (map[string]float64, error)
+}
+
+// SubprocessRunner executes each sample as `<Bin> -cell <json>` in a
+// fresh process. Process-per-sample is the point of the design: every
+// sample starts from a cold allocator, an empty page-cache footprint
+// and an unscheduled runtime, so the std column measures the machine,
+// not the accumulated state of sample i-1.
+type SubprocessRunner struct {
+	Bin string // tcbench binary (see BuildTCBench)
+	Dir string // working directory for the subprocess
+	// Log, when non-nil, receives the subprocess's stderr (progress
+	// chatter); stdout is reserved for the JSON result line.
+	Log func(string)
+}
+
+// RunCell runs one sample. The subprocess prints exactly one JSON
+// object on stdout: {"metrics": {...}}.
+func (r *SubprocessRunner) RunCell(ctx context.Context, c Cell) (map[string]float64, error) {
+	spec, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, r.Bin, "-cell", string(spec))
+	cmd.Dir = r.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("cell %s: %v\nstderr:\n%s", c.Key(), err, stderr.String())
+	}
+	if r.Log != nil && stderr.Len() > 0 {
+		sc := bufio.NewScanner(&stderr)
+		for sc.Scan() {
+			r.Log("  " + sc.Text())
+		}
+	}
+	var out struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		return nil, fmt.Errorf("cell %s: bad subprocess output %q: %v", c.Key(), stdout.String(), err)
+	}
+	if len(out.Metrics) == 0 {
+		return nil, fmt.Errorf("cell %s: subprocess returned no metrics", c.Key())
+	}
+	return out.Metrics, nil
+}
+
+// BuildTCBench compiles cmd/tcbench once into dir and returns the
+// binary path — one compile amortized over every cell sample, instead
+// of `go run`'s per-invocation link-and-copy.
+func BuildTCBench(ctx context.Context, repoRoot, dir string) (string, error) {
+	bin := filepath.Join(dir, "tcbench")
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/tcbench")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build ./cmd/tcbench: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// Run executes every cell of the grid — warmup discards first, then
+// the measured repeats — and aggregates per-metric Stats. Progress
+// lines go through log (may be nil).
+func Run(ctx context.Context, g *Grid, gridPath string, r Runner, log func(string)) (*Results, error) {
+	if log == nil {
+		log = func(string) {}
+	}
+	cells := g.Expand()
+	res := &Results{
+		Name:    g.Name,
+		Started: time.Now().UTC().Format(time.RFC3339),
+		Grid:    gridPath,
+		Machine: CurrentMachine(),
+	}
+	for i, cell := range cells {
+		log(fmt.Sprintf("[%d/%d] %s: %d warmup + %d measured runs",
+			i+1, len(cells), cell.Key(), cell.Warmup, cell.Repeats))
+		samples := make(map[string][]float64)
+		for run := 0; run < cell.Warmup+cell.Repeats; run++ {
+			m, err := r.RunCell(ctx, cell)
+			if err != nil {
+				return nil, err
+			}
+			if run < cell.Warmup {
+				continue
+			}
+			for k, v := range m {
+				samples[k] = append(samples[k], v)
+			}
+		}
+		metrics := make(map[string]Metric, len(samples))
+		for k, vs := range samples {
+			if len(vs) != cell.Repeats {
+				return nil, fmt.Errorf("cell %s: metric %q present in %d/%d runs",
+					cell.Key(), k, len(vs), cell.Repeats)
+			}
+			mean, std, min := Stats(vs)
+			metrics[k] = Metric{Mean: mean, Std: std, Min: min, Samples: vs}
+		}
+		res.Cells = append(res.Cells, CellResult{
+			Experiment: cell.Experiment, N: cell.N, Workers: cell.Workers,
+			Repeats: cell.Repeats, Warmup: cell.Warmup, Metrics: metrics,
+		})
+	}
+	return res, nil
+}
+
+// metricNames returns a cell's metric names, sorted, so every emitter
+// and comparison walks them in one deterministic order.
+func metricNames(m map[string]Metric) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// repoRootFromWd walks up from the working directory to the go.mod
+// root, so tcexp works from any subdirectory of the checkout.
+func RepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,31 @@
+package exp
+
+import "math"
+
+// Stats reduces one metric's samples to the three figures every table
+// in this repo reports: mean (the headline), std (the spread — sample
+// standard deviation, n-1 denominator), and min (the contention-free
+// figure, the best the hardware did). A single sample has std 0.
+func Stats(samples []float64) (mean, std, min float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	min = samples[0]
+	for _, s := range samples {
+		mean += s
+		if s < min {
+			min = s
+		}
+	}
+	mean /= float64(len(samples))
+	if len(samples) < 2 {
+		return mean, 0, min
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(samples)-1))
+	return mean, std, min
+}

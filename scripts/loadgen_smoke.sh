@@ -8,15 +8,26 @@
 #
 # Usage: scripts/loadgen_smoke.sh [min-rps-frac]
 # Runs from the repo root (where BENCH_serve.json lives).
+#
+# TCSERVE_PORT overrides the listen port (default 18719), so parallel
+# CI jobs or a developer with something bound there can move it. The
+# health probe is `tcload -probe` — the binary is built here anyway, so
+# the script needs no curl/wget on minimal runners.
 set -eu
 
 MIN_FRAC="${1:-0.5}"
-ADDR="127.0.0.1:18719"
+PORT="${TCSERVE_PORT:-18719}"
+ADDR="127.0.0.1:$PORT"
 BIN_DIR="$(mktemp -d)"
 SERVE_PID=""
 
 cleanup() {
-    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    if [ -n "$SERVE_PID" ]; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        # Reap the process before returning: without this, back-to-back
+        # runs can race a still-bound port while the old tcserve drains.
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
     rm -rf "$BIN_DIR"
 }
 trap cleanup EXIT INT TERM
@@ -30,7 +41,7 @@ SERVE_PID=$!
 # Wait for the server to come up (it builds nothing at startup, so this
 # is quick; 10s is a generous bound for a loaded runner).
 i=0
-until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+until "$BIN_DIR/tcload" -probe -url "http://$ADDR"; do
     i=$((i + 1))
     if [ "$i" -ge 100 ]; then
         echo "loadgen_smoke: tcserve did not become healthy" >&2
