@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check ci fmt-check fuzz-smoke bench-smoke loadgen-smoke bench-compare bench-baseline build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
+.PHONY: all check ci fmt-check fuzz-smoke bench-smoke loadgen-smoke bench-compare bench-baseline vuln build test test-short vet cover race bench bench-build bench-serve bench-store experiments fuzz verify serve-test clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ check: build vet test-short race serve-test verify
 
 # Mirrors .github/workflows/ci.yml job for job, so a green local `make
 # ci` predicts a green CI run (module download aside).
-ci: fmt-check check fuzz-smoke bench-smoke loadgen-smoke bench-compare
+ci: fmt-check check fuzz-smoke bench-smoke loadgen-smoke bench-compare vuln
 
 # The CI formatting gate: gofmt must have nothing to say.
 fmt-check:
@@ -25,11 +25,14 @@ fmt-check:
 	fi
 
 # The CI fuzz gate: a brief seed-corpus + 30s mutation pass over the
-# batched evaluator and the TCS2 store decoder — the two surfaces that
-# parse adversarial bytes (the full `make fuzz` rotates every target).
+# surfaces that parse adversarial bytes — the batched evaluator, the
+# TCS2 store decoder, and the TCG1 graph-frame codec (the full `make
+# fuzz` rotates every target). CI runs this target rather than its own
+# step list, so adding a decoder here arms it everywhere at once.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEvalBatch -fuzztime 30s ./internal/circuit/
 	$(GO) test -run '^$$' -fuzz FuzzTCS2 -fuzztime 30s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzGraphFrame -fuzztime 30s ./internal/stream/
 
 # The CI parallel-build regression gate: the sharded builder at N=8 must
 # stay within 20% of sequential wall clock (min over repeats); exits
@@ -65,10 +68,11 @@ bench-baseline:
 loadgen-smoke:
 	scripts/loadgen_smoke.sh
 
-# The coalescing evaluation service is dispatcher-goroutine heavy, so
-# its suite always runs under the race detector.
+# The coalescing evaluation service and the streaming session layer on
+# top of it are dispatcher-goroutine heavy, so their suites always run
+# under the race detector.
 serve-test:
-	$(GO) test -race ./internal/serve
+	$(GO) test -race ./internal/serve ./internal/stream
 
 # Certification: the theorem-bound/differential/metamorphic suite, vet,
 # and the race detector over the packages the verifier drives.
@@ -134,6 +138,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzSumBits -fuzztime=30s ./internal/arith/
 	$(GO) test -fuzz=FuzzEncodeSigned -fuzztime=30s ./internal/arith/
 	$(GO) test -fuzz=FuzzTCS2 -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzGraphFrame -fuzztime=30s ./internal/stream/
+
+# The CI known-vulnerability gate: govulncheck's call-graph analysis
+# over every package. Needs network access to fetch the tool and the
+# vulnerability database, so it is CI-first; offline boxes can skip it
+# (the rest of `make ci` is self-contained).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 clean:
 	$(GO) clean ./...

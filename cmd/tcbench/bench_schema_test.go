@@ -24,7 +24,7 @@ func loadRows(t *testing.T, path string, dst any) {
 	}
 	if os.IsNotExist(err) {
 		t.Skipf("%s not present; run `go run ./cmd/tcbench %s` first", path, map[string]string{
-			"BENCH_build.json": "e24", "BENCH_serve.json": "e25 e27", "BENCH_store.json": "e26",
+			"BENCH_build.json": "e24", "BENCH_serve.json": "e25 e27 e28", "BENCH_store.json": "e26",
 		}[path])
 	}
 	if err != nil {
@@ -136,6 +136,51 @@ func TestBenchServeSchema(t *testing.T) {
 	for _, mode := range []string{"http-sharded", "http-sharded-frame", "http-zipf-open"} {
 		if !e27Modes[mode] {
 			t.Errorf("BENCH_serve.json missing e27 mode %q", mode)
+		}
+	}
+
+	// E28: the streaming service. The ≥4x batched-re-screen bar is a
+	// bit-slicing win (64 graphs per machine word), not a parallelism
+	// win, so it is armed regardless of GoMaxProcs; the sequential and
+	// batched energy totals must agree exactly — popcount accounting
+	// over bit planes ≡ per-sample firing counts. An absent e28 section
+	// only means the row hasn't been generated yet (omitempty), but a
+	// present one must be complete.
+	if len(file.E28) > 0 {
+		e28Rows := make(map[string]e28Row)
+		for i, r := range file.E28 {
+			e28Rows[r.Mode] = r
+			if r.Tenants <= 0 || r.N <= 0 || r.Requests <= 0 || r.Seconds <= 0 ||
+				r.RPS <= 0 || r.EnergyGates <= 0 || r.GoMaxProcs <= 0 {
+				t.Errorf("e28 row %d malformed: %+v", i, r)
+			}
+			if !r.Identical {
+				t.Errorf("e28 row %d (%s): screened counts not bit-identical to the scalar recount oracle", i, r.Mode)
+			}
+		}
+		for _, mode := range []string{"update-screen-http", "screen-sequential", "screen-batch64"} {
+			if _, ok := e28Rows[mode]; !ok {
+				t.Errorf("BENCH_serve.json missing e28 mode %q", mode)
+			}
+		}
+		httpRow, seq, batch := e28Rows["update-screen-http"], e28Rows["screen-sequential"], e28Rows["screen-batch64"]
+		if !(0 < httpRow.P50us && httpRow.P50us <= httpRow.P99us) {
+			t.Errorf("e28 http row: quantiles not ordered: p50=%d p99=%d", httpRow.P50us, httpRow.P99us)
+		}
+		if httpRow.UpdateBatch <= 0 {
+			t.Errorf("e28 http row missing update_batch: %+v", httpRow)
+		}
+		if batch.SpeedupVsSequential < 4 {
+			t.Errorf("e28 batched re-screen speedup %.2fx below the 4x acceptance bar",
+				batch.SpeedupVsSequential)
+		}
+		if seq.Requests != batch.Requests {
+			t.Errorf("e28 re-screen modes screened different request counts: %d vs %d",
+				seq.Requests, batch.Requests)
+		}
+		if seq.EnergyGates != batch.EnergyGates {
+			t.Errorf("e28 energy totals diverge: sequential %d vs batched %d",
+				seq.EnergyGates, batch.EnergyGates)
 		}
 	}
 }

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// e28: the streaming triangle-monitoring service (internal/stream)
+// under load — update throughput, screening latency, and the batched
+// re-screen speedup, all with per-screen energy accounting. Three
+// modes land in the "e28" section of BENCH_serve.json:
+//
+//   - update-screen-http: 64 tenant sessions behind /v1/graph, a
+//     closed-loop harness posting TCG1 edge-update frames that each
+//     demand an immediate screen with energy. Every screened response
+//     is checked against the generator's shadow bitset recount
+//     (Identical), and latency quantiles come from internal/load.
+//   - screen-sequential: the per-tenant sequential path — the frozen
+//     end-of-run graphs re-screened one session at a time through a
+//     MaxBatch=1/no-linger server (e25's per-request-eval precedent),
+//     one scalar evaluation per screen.
+//   - screen-batch64: the same frozen graphs re-screened by
+//     Manager.ScreenDirty, which packs the 64 dirty sessions into one
+//     bit-sliced TrianglesEnergyBatch pass (64 graphs per machine
+//     word).
+//
+// Acceptance (pinned by the schema test): every row bit-identical to
+// the scalar Bitset.Triangles() oracle, the batched re-screen at
+// least 4x the sequential path — a bit-slicing win, so it is armed
+// even on one core — and the two re-screen modes' energy totals
+// exactly equal (popcount accounting ≡ per-sample firing count).
+func e28() {
+	const (
+		tenants  = 64
+		n        = 16
+		tau      = int64(3)
+		updBatch = 8
+		clients  = 32
+		runFor   = 2 * time.Second
+		rounds   = 10
+	)
+	gmp := runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+
+	// Phase 1: live update+screen traffic over HTTP. Streams circulate
+	// through a channel so each tenant's updates stay strictly ordered
+	// (the version check in Check depends on it).
+	srv := serve.New(serve.Config{MaxBatch: 64})
+	defer srv.Close()
+	m := stream.NewManager(stream.Config{Server: srv, MaxSessions: tenants})
+	defer m.Close()
+	ts := httptest.NewServer(stream.Mux(srv, m))
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = clients
+
+	fmt.Printf("building count n=%d and streaming %d tenant sessions ...\n", n, tenants)
+	streams := make([]*load.GraphStream, tenants)
+	pool := make(chan *load.GraphStream, tenants)
+	for i := range streams {
+		gs := load.NewGraphStream(fmt.Sprintf("tenant-%03d", i), n, tau, int64(2800+7*i))
+		gs.Energy = true
+		if _, err := load.PostGraph(client, ts.URL, gs.CreateRequest()); err != nil {
+			panic(err)
+		}
+		streams[i] = gs
+		pool <- gs
+	}
+	var ident atomic.Bool
+	ident.Store(true)
+	res, err := load.Run(ctx, load.Options{
+		Workers: clients, Duration: runFor, Seed: 28,
+	}, func(ctx context.Context, rng *rand.Rand) error {
+		gs := <-pool
+		defer func() { pool <- gs }()
+		resp, perr := load.PostGraph(client, ts.URL, gs.NextUpdate(updBatch))
+		if perr != nil {
+			return perr
+		}
+		if cerr := gs.Check(resp); cerr != nil {
+			ident.Store(false)
+			fmt.Fprintf(os.Stderr, "e28: %v\n", cerr)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if res.Err != nil {
+		panic(fmt.Sprintf("e28 update-screen-http: %v", res.Err))
+	}
+	httpRow := e28Row{
+		Mode: "update-screen-http", Tenants: tenants, N: n, Tau: tau,
+		UpdateBatch: updBatch,
+		Requests:    res.OK, Seconds: res.Elapsed.Seconds(), RPS: res.RPS,
+		P50us: res.Latency.Quantile(0.50), P99us: res.Latency.Quantile(0.99),
+		Identical: ident.Load(), EnergyGates: m.Stats().EnergyGates, GoMaxProcs: gmp,
+	}
+
+	// Freeze the end-of-run graphs: these exact adjacencies are what
+	// both re-screen modes evaluate, so their energies must agree.
+	frozen := make(map[string]*graph.Bitset, tenants)
+	names := make([]string, tenants)
+	for i, gs := range streams {
+		names[i] = gs.Tenant
+		frozen[gs.Tenant] = gs.Graph()
+	}
+	edgeOps := func(b *graph.Bitset) []stream.EdgeOp {
+		var ops []stream.EdgeOp
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if b.Has(u, v) {
+					ops = append(ops, stream.EdgeOp{U: u, V: v})
+				}
+			}
+		}
+		return ops
+	}
+	// dirtyToggle marks a session dirty without changing its graph: an
+	// insert/delete pair on one vertex pair, ordered by whether the
+	// edge exists (both ops flip state, so the session dirties; the
+	// net graph is unchanged).
+	dirtyToggle := func(mm *stream.Manager, tenant string, b *graph.Bitset) {
+		ops := []stream.EdgeOp{{U: 0, V: 1}, {U: 0, V: 1, Delete: true}}
+		if b.Has(0, 1) {
+			ops[0], ops[1] = ops[1], ops[0]
+		}
+		if _, err := mm.Update(ctx, tenant, ops, false, false); err != nil {
+			panic(err)
+		}
+	}
+	loadFrozen := func(mm *stream.Manager) {
+		for _, name := range names {
+			if _, err := mm.Create(ctx, name, n, tau); err != nil {
+				panic(err)
+			}
+			if ops := edgeOps(frozen[name]); len(ops) > 0 {
+				if _, err := mm.Update(ctx, name, ops, false, false); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+
+	// Phase 2: per-tenant sequential re-screen — MaxBatch=1, no
+	// linger, one scalar evaluation per screen (the e25 baseline
+	// configuration).
+	srvSeq := serve.New(serve.Config{MaxBatch: 1, Linger: -1})
+	defer srvSeq.Close()
+	mSeq := stream.NewManager(stream.Config{Server: srvSeq, MaxSessions: tenants})
+	defer mSeq.Close()
+	loadFrozen(mSeq)
+	if _, err := mSeq.Screen(ctx, names[0], false); err != nil { // warm the path, untimed
+		panic(err)
+	}
+	seqIdent := true
+	var seqEnergy, seqScreens int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			sres, err := mSeq.Screen(ctx, name, true)
+			if err != nil {
+				panic(err)
+			}
+			if sres.Count != frozen[name].Triangles() {
+				seqIdent = false
+			}
+			seqEnergy += sres.Energy
+			seqScreens++
+		}
+	}
+	seqSecs := time.Since(start).Seconds()
+	seqRow := e28Row{
+		Mode: "screen-sequential", Tenants: tenants, N: n, Tau: tau, Rounds: rounds,
+		Requests: seqScreens, Seconds: seqSecs, RPS: float64(seqScreens) / seqSecs,
+		Identical: seqIdent, EnergyGates: seqEnergy, GoMaxProcs: gmp,
+	}
+
+	// Phase 3: the batched maintenance sweep — ScreenDirty packs the
+	// 64 dirty sessions into bit-sliced chunks. Sessions are re-dirtied
+	// between rounds (untimed); one warmup sweep clears the load-time
+	// dirtiness so every timed round screens exactly `tenants` sessions.
+	srvB := serve.New(serve.Config{})
+	defer srvB.Close()
+	mB := stream.NewManager(stream.Config{Server: srvB, MaxSessions: tenants})
+	defer mB.Close()
+	loadFrozen(mB)
+	if _, err := mB.ScreenDirty(ctx, false); err != nil {
+		panic(err)
+	}
+	batchIdent := true
+	var batchEnergy, batchScreens int64
+	var batchElapsed time.Duration
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			dirtyToggle(mB, name, frozen[name])
+		}
+		t0 := time.Now()
+		bres, err := mB.ScreenDirty(ctx, true)
+		batchElapsed += time.Since(t0)
+		if err != nil {
+			panic(err)
+		}
+		if len(bres) != tenants {
+			panic(fmt.Sprintf("e28: sweep round %d screened %d sessions, want %d", r, len(bres), tenants))
+		}
+		for _, sres := range bres {
+			if sres.Count != frozen[sres.Tenant].Triangles() {
+				batchIdent = false
+			}
+			batchEnergy += sres.Energy
+			batchScreens++
+		}
+	}
+	batchSecs := batchElapsed.Seconds()
+	batchRow := e28Row{
+		Mode: "screen-batch64", Tenants: tenants, N: n, Tau: tau, Rounds: rounds,
+		Requests: batchScreens, Seconds: batchSecs, RPS: float64(batchScreens) / batchSecs,
+		SpeedupVsSequential: (float64(batchScreens) / batchSecs) / seqRow.RPS,
+		Identical:           batchIdent, EnergyGates: batchEnergy, GoMaxProcs: gmp,
+	}
+
+	rows := []e28Row{httpRow, seqRow, batchRow}
+	fmt.Printf("%-20s %8s %9s %9s %9s %8s %8s %14s\n",
+		"mode", "requests", "rps", "p50_us", "p99_us", "ident", "vs-seq", "energy_gates")
+	for _, r := range rows {
+		fmt.Printf("%-20s %8d %9.0f %9d %9d %8v %7.2fx %14d\n",
+			r.Mode, r.Requests, r.RPS, r.P50us, r.P99us, r.Identical,
+			r.SpeedupVsSequential, r.EnergyGates)
+	}
+	if seqEnergy != batchEnergy {
+		panic(fmt.Sprintf("e28: energy accounting diverged: sequential %d vs batched %d", seqEnergy, batchEnergy))
+	}
+	fmt.Printf("energy check: sequential and batched re-screens both fired %d gates (exact match)\n", seqEnergy)
+
+	file := loadServeBench() // re-read: keep e25/e27 rows exactly as on disk
+	file.E28 = rows
+	file.save()
+}

@@ -1,5 +1,5 @@
 // Command tcbench regenerates every experiment table in EXPERIMENTS.md
-// (E1–E27 in DESIGN.md): the paper’s figures, worked constants, and the
+// (E1–E28 in DESIGN.md): the paper’s figures, worked constants, and the
 // quantitative content of its lemmas and theorems, measured on circuits
 // this library actually builds plus the analytic model at paper-scale N.
 //
@@ -60,9 +60,10 @@ var experiments = map[string]struct {
 	"e25": {"Serving: request coalescing vs one-request-per-Eval", e25},
 	"e26": {"Store: cache-load vs cold parallel build", e26},
 	"e27": {"Serving: sharded per-core dispatch under open-loop Zipf load", e27},
+	"e28": {"Streaming: per-tenant graph sessions, batched re-screens, energy accounting", e28},
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28"}
 
 var withN32 = flag.Bool("n32", false,
 	"include the N=32 build+eval+certify rows in e24 (minutes of wall clock)")

@@ -18,6 +18,7 @@ type serveBenchFile struct {
 	GitSHA string   `json:"git_sha"`
 	E25    []e25Row `json:"e25"`
 	E27    []e27Row `json:"e27"`
+	E28    []e28Row `json:"e28,omitempty"`
 }
 
 type e25Row struct {
@@ -55,6 +56,30 @@ type e27Row struct {
 	Identical        bool    `json:"identical"`
 	GoMaxProcs       int     `json:"gomaxprocs"`
 	SpeedupVsE25HTTP float64 `json:"speedup_vs_e25_http,omitempty"`
+}
+
+// e28Row is one streaming-service measurement (internal/stream). The
+// HTTP mode carries load-harness latency quantiles and an update batch
+// size; the two re-screen modes carry a round count and, on the
+// batched row, the speedup over the sequential path. EnergyGates is
+// the mode's total Uchizawa energy (gates fired) across every screen —
+// the sequential and batched re-screen totals must match exactly.
+type e28Row struct {
+	Mode                string  `json:"mode"`
+	Tenants             int     `json:"tenants"`
+	N                   int     `json:"n"`
+	Tau                 int64   `json:"tau"`
+	UpdateBatch         int     `json:"update_batch,omitempty"` // HTTP mode: edge ops per frame
+	Rounds              int     `json:"rounds,omitempty"`       // re-screen modes: sweeps over frozen graphs
+	Requests            int64   `json:"requests"`
+	Seconds             float64 `json:"seconds"`
+	RPS                 float64 `json:"rps"`
+	P50us               int64   `json:"p50_us,omitempty"`
+	P99us               int64   `json:"p99_us,omitempty"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	Identical           bool    `json:"identical"`
+	EnergyGates         int64   `json:"energy_gates"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
 }
 
 const serveBenchPath = "BENCH_serve.json"

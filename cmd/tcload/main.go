@@ -3,8 +3,12 @@
 //
 //	tcload -url http://localhost:8714 -rate 2000 -duration 30s
 //	tcload -url http://localhost:8714 -workers 64 -frame=false   # closed-loop JSON
+//	tcload -graph -graph-tenants 64 -url http://localhost:8714   # streaming /v1/graph updates
 //	tcload -smoke -url http://localhost:8714                     # CI regression gate
 //	tcload -probe -url http://localhost:8714                     # exit 0 iff /healthz is 200
+//
+// The default -url honors TCSERVE_PORT, the same variable tcserve and
+// the smoke scripts read, so a non-default port needs setting once.
 //
 // Shape popularity is Zipf-distributed over the rank-ordered -shapes
 // list (rank 0 most popular), the arrival process is Poisson at -rate
@@ -39,13 +43,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/load"
+	"repro/internal/stream"
 )
 
 func main() { os.Exit(run()) }
 
+// defaultURL derives the default -url from TCSERVE_PORT so tcload,
+// tcserve and the smoke scripts agree on the port from one variable.
+func defaultURL() string {
+	if port := os.Getenv("TCSERVE_PORT"); port != "" {
+		return "http://localhost:" + port
+	}
+	return "http://localhost:8714"
+}
+
 func run() int {
 	var (
-		url      = flag.String("url", "http://localhost:8714", "tcserve base URL")
+		url      = flag.String("url", defaultURL(), "tcserve base URL (default honors TCSERVE_PORT)")
 		workers  = flag.Int("workers", 64, "concurrent request workers")
 		rate     = flag.Float64("rate", 0, "target arrivals/sec, Poisson (0 = closed loop)")
 		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -requests is set)")
@@ -65,11 +79,27 @@ func run() int {
 			"-smoke fails below this fraction of the baseline e27 frame-mode rps")
 		probe = flag.Bool("probe", false,
 			"GET -url/healthz once and exit 0/1 — a curl-free readiness probe for scripts")
+		graphMode = flag.Bool("graph", false,
+			"streaming mode: per-tenant /v1/graph edge updates with shadow-oracle recount checks")
+		graphTenants = flag.Int("graph-tenants", 16, "-graph: concurrent tenant sessions")
+		graphN       = flag.Int("graph-n", 8, "-graph: vertices per tenant graph (power of two)")
+		graphTau     = flag.Int64("graph-tau", 3, "-graph: triangle-screening threshold")
+		graphBatch   = flag.Int("graph-batch", 8, "-graph: edge ops per update frame")
+		graphEnergy  = flag.Bool("graph-energy", true, "-graph: request per-screen energy accounting")
 	)
 	flag.Parse()
 
 	if *probe {
 		return probeHealth(*url)
+	}
+
+	if *graphMode {
+		return graphRun(*url, graphOptions{
+			tenants: *graphTenants, n: *graphN, tau: *graphTau,
+			batch: *graphBatch, energy: *graphEnergy, check: *check,
+			workers: *workers, rate: *rate, duration: *duration,
+			requests: *requests, seed: *seed, jsonOut: *jsonOut,
+		})
 	}
 
 	if *smoke {
@@ -183,6 +213,103 @@ func run() int {
 	}
 	if *smoke {
 		return smokeVerdict(*baseline, *minFrac, res.RPS)
+	}
+	return 0
+}
+
+type graphOptions struct {
+	tenants, n, batch, workers int
+	tau, requests, seed        int64
+	rate                       float64
+	duration                   time.Duration
+	energy, check, jsonOut     bool
+}
+
+// graphRun drives the streaming /v1/graph endpoint: each tenant session
+// is owned by a GraphStream whose shadow bitset is the ground-truth
+// triangle recount, and (with -check) every screened response must
+// match it bit for bit. Streams circulate through a channel so a
+// tenant's updates stay strictly ordered while any worker may carry
+// any tenant — the same per-tenant serialization the service enforces.
+func graphRun(url string, o graphOptions) int {
+	if o.tenants < 1 || o.batch < 1 {
+		fmt.Fprintf(os.Stderr, "tcload: -graph-tenants and -graph-batch must be >= 1\n")
+		return 2
+	}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: o.workers, MaxIdleConns: o.workers},
+		Timeout:   60 * time.Second,
+	}
+
+	pool := make(chan *load.GraphStream, o.tenants)
+	for i := 0; i < o.tenants; i++ {
+		gs := load.NewGraphStream(fmt.Sprintf("tenant-%03d", i), o.n, o.tau, o.seed+int64(1000*i))
+		gs.Energy = o.energy
+		if _, err := load.PostGraph(client, url, gs.CreateRequest()); err != nil {
+			fmt.Fprintf(os.Stderr, "tcload: create %s: %v\n", gs.Tenant, err)
+			return 2
+		}
+		pool <- gs
+	}
+
+	var mismatches atomic.Int64
+	res, err := load.Run(context.Background(), load.Options{
+		Workers: o.workers, Rate: o.rate, Duration: o.duration, Count: o.requests, Seed: o.seed,
+	}, func(ctx context.Context, rng *rand.Rand) error {
+		gs := <-pool
+		defer func() { pool <- gs }()
+		resp, perr := load.PostGraph(client, url, gs.NextUpdate(o.batch))
+		if perr != nil {
+			// The shadow already applied this batch; resync the session
+			// from scratch so later checks stay meaningful.
+			load.PostGraph(client, url, stream.GraphRequest{Op: stream.OpClose, Tenant: gs.Tenant})
+			gs.Reset()
+			load.PostGraph(client, url, gs.CreateRequest())
+			return perr
+		}
+		if o.check {
+			if cerr := gs.Check(resp); cerr != nil {
+				mismatches.Add(1)
+				fmt.Fprintf(os.Stderr, "tcload: %v\n", cerr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcload: %v\n", err)
+		return 2
+	}
+
+	identical := mismatches.Load() == 0
+	if o.jsonOut {
+		out, _ := json.Marshal(map[string]any{
+			"sent": res.Sent, "ok": res.OK, "failed": res.Failed,
+			"seconds": res.Elapsed.Seconds(), "rps": res.RPS,
+			"p50_us": res.Latency.Quantile(0.50), "p99_us": res.Latency.Quantile(0.99),
+			"p999_us": res.Latency.Quantile(0.999), "max_us": res.Latency.Max(),
+			"identical": identical, "tenants": o.tenants, "batch": o.batch,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		})
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("tcload: graph mode, %d tenants (n=%d τ=%d), batch %d, %d workers\n",
+			o.tenants, o.n, o.tau, o.batch, o.workers)
+		fmt.Printf("  sent %d  ok %d  failed %d  in %.2fs  =>  %.0f rps\n",
+			res.Sent, res.OK, res.Failed, res.Elapsed.Seconds(), res.RPS)
+		fmt.Printf("  latency µs: p50 %d  p99 %d  p999 %d  max %d\n",
+			res.Latency.Quantile(0.50), res.Latency.Quantile(0.99),
+			res.Latency.Quantile(0.999), res.Latency.Max())
+		if o.check {
+			fmt.Printf("  identical: %v\n", identical)
+		}
+	}
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "tcload: %d requests failed (first: %v)\n", res.Failed, res.Err)
+		return 1
+	}
+	if o.check && !identical {
+		fmt.Fprintf(os.Stderr, "tcload: %d screened responses differ from the shadow recount\n", mismatches.Load())
+		return 1
 	}
 	return 0
 }

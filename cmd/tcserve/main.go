@@ -10,8 +10,13 @@
 //
 //	POST /v1/matmul    POST /v1/trace    POST /v1/triangles
 //	POST /v1/eval      (binary TCF1 frames, application/x-tcframe)
+//	POST /v1/graph     (binary TCG1 frames: per-tenant streaming edge
+//	                    updates + triangle screening, internal/stream)
 //	GET  /v1/stats     GET  /healthz
 //	GET  /debug/vars   GET  /debug/pprof/...
+//
+// The default -addr honors TCSERVE_PORT (":$TCSERVE_PORT"), the same
+// variable tcload and the smoke scripts read.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight HTTP requests finish, and every cached
@@ -34,11 +39,21 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
+
+// defaultAddr derives the default listen address from TCSERVE_PORT so
+// the server, tcload and the smoke scripts agree on one variable.
+func defaultAddr() string {
+	if port := os.Getenv("TCSERVE_PORT"); port != "" {
+		return ":" + port
+	}
+	return ":8714"
+}
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8714", "listen address")
+		addr        = flag.String("addr", defaultAddr(), "listen address (default honors TCSERVE_PORT)")
 		maxCircuits = flag.Int("max-circuits", 8, "LRU cache size (built circuits)")
 		maxBatch    = flag.Int("max-batch", 64, "max samples coalesced per evaluation")
 		linger      = flag.Duration("linger", 200*time.Microsecond, "batching linger after the first request (0 = none)")
@@ -51,6 +66,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "content-addressed circuit store; LRU misses warm-start from disk (empty = build-only)")
 		cacheFmt    = flag.String("cache-format", "tcs2", "store envelope format: tcs2 (compact, mmap warm-start) or tcs1 (legacy)")
 		cacheNoMap  = flag.Bool("cache-no-map", false, "decode artifacts onto the heap instead of mmap (debugging)")
+		maxSessions = flag.Int("stream-max-sessions", 1024, "graph-session LRU bound (oldest sessions retire)")
+		maxStreamN  = flag.Int("stream-max-n", 64, "largest per-tenant graph accepted on /v1/graph")
 	)
 	flag.Parse()
 
@@ -89,9 +106,15 @@ func main() {
 		log.Printf("tcserve: circuit store at %s (%s)", cache.Dir(), *cacheFmt)
 	}
 	s := serve.New(cfg)
+	m := stream.NewManager(stream.Config{
+		Server:         s,
+		MaxSessions:    *maxSessions,
+		MaxN:           *maxStreamN,
+		RequestTimeout: *reqTimeout,
+	})
 
 	mux := http.NewServeMux()
-	mux.Handle("/", s.Handler())
+	mux.Handle("/", stream.Mux(s, m))
 	// Diagnostics live beside the API on the same listener. The expvar
 	// and pprof packages register on http.DefaultServeMux as an import
 	// side effect; mounting them explicitly keeps this mux the only one
@@ -133,6 +156,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("tcserve: shutdown: %v", err)
 	}
+	m.Close()
 	s.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("tcserve: serve: %v", err)

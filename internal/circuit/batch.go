@@ -229,6 +229,40 @@ func (c *Circuit) EnergyBatch(p *Planes) []int64 {
 	return p.CountTrue(Wire(c.numInputs), Wire(c.numInputs+c.Size()))
 }
 
+// EnergyLevelsBatch returns the per-sample firing-gate counts at each
+// level 1..Depth — the batched form of EnergyByLevel, and the
+// firing-count hook behind the serving layer's energy-budget mode.
+// out[l][s] is the number of level-(l+1) gates firing for sample s;
+// summing a sample's column reproduces EnergyBatch exactly (both are
+// popcounts over the same gate planes, so batched and per-sample energy
+// accounting can never disagree).
+func (c *Circuit) EnergyLevelsBatch(p *Planes) [][]int64 {
+	if p.numWires != c.numInputs+c.Size() {
+		panic(fmt.Sprintf("circuit: planes hold %d wires, circuit has %d", p.numWires, c.numInputs+c.Size()))
+	}
+	out := make([][]int64, c.depth)
+	for l := range out {
+		out[l] = make([]int64, p.batch)
+	}
+	nblk := planeBlocks(p.batch)
+	for gi := range c.groups {
+		gr := &c.groups[gi]
+		lvl := out[gr.level-1]
+		lo := c.numInputs + int(gr.gateStart)
+		hi := lo + int(gr.gateCount)
+		for blk := 0; blk < nblk; blk++ {
+			src := p.words[blk*p.numWires:]
+			base := blk * 64
+			for w := lo; w < hi; w++ {
+				for x := src[w]; x != 0; x &= x - 1 {
+					lvl[base+bits.TrailingZeros64(x)]++ // tail bits are zero-masked
+				}
+			}
+		}
+	}
+	return out
+}
+
 // poolTask is one unit of work for the persistent pool: fn receives the
 // executing worker's id so it can use per-worker scratch.
 type poolTask struct {

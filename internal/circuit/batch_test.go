@@ -184,6 +184,43 @@ func TestEvalPlanesPipeline(t *testing.T) {
 	}
 }
 
+// The per-level firing-count hook: EnergyLevelsBatch must match the
+// scalar EnergyByLevel on every sample, and its per-sample column sums
+// must reproduce EnergyBatch exactly — the equality the serving layer's
+// energy-budget mode relies on. Ragged batches straddle the word
+// boundary.
+func TestEnergyLevelsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := randomCircuit(rng)
+	e := NewEvaluator(c, 2)
+	defer e.Close()
+	for _, batch := range []int{1, 63, 64, 65} {
+		inputs := randomBatch(rng, c, batch)
+		p := e.EvalPlanes(PackBools(inputs))
+		byLevel := c.EnergyLevelsBatch(p)
+		if len(byLevel) != c.Depth() {
+			t.Fatalf("batch %d: %d levels, want depth %d", batch, len(byLevel), c.Depth())
+		}
+		totals := c.EnergyBatch(p)
+		for s, in := range inputs {
+			vals := c.Eval(in)
+			want := c.EnergyByLevel(vals)
+			var sum int64
+			for l := range byLevel {
+				if byLevel[l][s] != want[l] {
+					t.Fatalf("batch %d sample %d level %d: EnergyLevelsBatch=%d EnergyByLevel=%d",
+						batch, s, l+1, byLevel[l][s], want[l])
+				}
+				sum += byLevel[l][s]
+			}
+			if sum != totals[s] || sum != c.Energy(vals) {
+				t.Fatalf("batch %d sample %d: level sum %d vs EnergyBatch %d vs Energy %d",
+					batch, s, sum, totals[s], c.Energy(vals))
+			}
+		}
+	}
+}
+
 // An evaluator is reusable across batches of different sizes, and the
 // arena-borrowing contract (result invalidated by the next call) is
 // honored by Clone.

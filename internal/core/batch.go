@@ -134,3 +134,36 @@ func (cc *CountCircuit) TrianglesBatch(adjs []*matrix.Matrix) ([]int64, error) {
 	}
 	return out, nil
 }
+
+// TrianglesEnergyBatch counts triangles AND tallies Uchizawa energy
+// (firing gates) for every adjacency matrix from a single batched
+// evaluation pass — the serving layer's energy-budget mode pays one
+// EvalPlanes for both answers. The energy of sample s is identical to
+// what the scalar Energy path reports for the same assignment: both
+// are popcounts over the same gate values.
+func (cc *CountCircuit) TrianglesEnergyBatch(adjs []*matrix.Matrix) (counts, energy []int64, err error) {
+	inputs := make([][]bool, len(adjs))
+	for i, a := range adjs {
+		in, err := cc.Assign(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		inputs[i] = in
+	}
+	if len(inputs) == 0 {
+		return nil, nil, nil
+	}
+	p := cc.BatchEvaluator().EvalPlanes(circuit.PackBools(inputs))
+	energy = cc.Circuit.EnergyBatch(p)
+	counts = make([]int64, len(adjs))
+	var scratch []bool
+	for s := range counts {
+		scratch = p.Assignment(s, scratch)
+		half := cc.halfTrace.Value(scratch)
+		if half < 0 || half%3 != 0 {
+			return nil, nil, fmt.Errorf("core: half-trace %d of batch sample %d is not a triangle multiple", half, s)
+		}
+		counts[s] = half / 3
+	}
+	return counts, energy, nil
+}

@@ -168,6 +168,49 @@ func TestTrianglesBatch(t *testing.T) {
 	}
 }
 
+// TrianglesEnergyBatch must agree with TrianglesBatch on counts and
+// with the scalar Energy path on per-sample firing-gate totals — the
+// exact-equality contract the serving layer's energy accounting
+// depends on. Ragged batch sizes straddle the word boundary.
+func TestTrianglesEnergyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	cc, err := BuildCount(8, Options{Alg: bilinear.Strassen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 63, 64, 65} {
+		adjs := make([]*matrix.Matrix, batch)
+		want := make([]int64, batch)
+		for i := range adjs {
+			g := graph.ErdosRenyi(rng, 8, 0.4)
+			adjs[i] = g.Adjacency()
+			want[i] = g.Triangles()
+		}
+		counts, energy, err := cc.TrianglesEnergyBatch(adjs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(counts) != batch || len(energy) != batch {
+			t.Fatalf("batch %d: got %d counts, %d energies", batch, len(counts), len(energy))
+		}
+		for i := range counts {
+			if counts[i] != want[i] {
+				t.Fatalf("batch %d graph %d: counted %d triangles, want %d", batch, i, counts[i], want[i])
+			}
+			in, err := cc.Assign(adjs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scalar := cc.Circuit.Energy(cc.Circuit.Eval(in)); energy[i] != scalar {
+				t.Fatalf("batch %d graph %d: batched energy %d, scalar energy %d", batch, i, energy[i], scalar)
+			}
+		}
+	}
+	if c, e, err := cc.TrianglesEnergyBatch(nil); err != nil || c != nil || e != nil {
+		t.Fatalf("empty batch: %v %v %v", c, e, err)
+	}
+}
+
 // permuteMatrix returns P·A·Pᵀ: entry (i, j) moves to (perm[i], perm[j]).
 func permuteMatrix(a *matrix.Matrix, perm []int) *matrix.Matrix {
 	out := matrix.New(a.Rows, a.Cols)

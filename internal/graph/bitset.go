@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/matrix"
+)
+
+// Bitset is a mutable adjacency bitset for one simple undirected graph
+// on vertices 0..N-1: row u is a []uint64 bit plane of u's neighbors.
+// It is the per-tenant session state of the streaming service and —
+// via its popcount Triangles — the scalar recount oracle the circuit
+// path is differentially checked against. Word-level AND+popcount
+// makes the oracle O(N²·N/64), cheap enough to run on every screen.
+//
+// Bitset does no locking; the caller serializes access.
+type Bitset struct {
+	n     int
+	words int      // words per row: ceil(n/64)
+	rows  []uint64 // n*words, row-major
+}
+
+// NewBitset returns an empty graph on n vertices.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	w := (n + 63) / 64
+	return &Bitset{n: n, words: w, rows: make([]uint64, n*w)}
+}
+
+// N returns the vertex count.
+func (b *Bitset) N() int { return b.n }
+
+// Set sets the undirected edge {u, v} present (on=true) or absent and
+// reports whether the graph changed. Self-loops and out-of-range
+// vertices are rejected with an error, never a panic: edges arrive
+// from untrusted network frames.
+func (b *Bitset) Set(u, v int, on bool) (changed bool, err error) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false, fmt.Errorf("graph: edge {%d,%d} out of range for n=%d", u, v, b.n)
+	}
+	if u == v {
+		return false, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	wu, mu := u*b.words+v/64, uint64(1)<<(v%64)
+	wv, mv := v*b.words+u/64, uint64(1)<<(u%64)
+	if on {
+		changed = b.rows[wu]&mu == 0
+		b.rows[wu] |= mu
+		b.rows[wv] |= mv
+	} else {
+		changed = b.rows[wu]&mu != 0
+		b.rows[wu] &^= mu
+		b.rows[wv] &^= mv
+	}
+	return changed, nil
+}
+
+// Has reports whether {u, v} is an edge.
+func (b *Bitset) Has(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n || u == v {
+		return false
+	}
+	return b.rows[u*b.words+v/64]&(1<<(v%64)) != 0
+}
+
+// Edges returns |E|.
+func (b *Bitset) Edges() int64 {
+	var total int
+	for _, w := range b.rows {
+		total += bits.OnesCount64(w)
+	}
+	return int64(total / 2)
+}
+
+// Triangles counts triangles exactly: for each edge {u,v} with u<v,
+// the common neighbors are popcount(row[u] AND row[v]); every triangle
+// is counted once per edge, i.e. three times in total.
+func (b *Bitset) Triangles() int64 {
+	var triple int64
+	for u := 0; u < b.n; u++ {
+		ru := b.rows[u*b.words : (u+1)*b.words]
+		for vw, w := range ru {
+			for x := w; x != 0; x &= x - 1 {
+				v := vw*64 + bits.TrailingZeros64(x)
+				if v <= u {
+					continue
+				}
+				rv := b.rows[v*b.words : (v+1)*b.words]
+				for k := range ru {
+					triple += int64(bits.OnesCount64(ru[k] & rv[k]))
+				}
+			}
+		}
+	}
+	return triple / 3
+}
+
+// Matrix materializes the adjacency as the symmetric 0/1 matrix the
+// count circuit's Assign expects.
+func (b *Bitset) Matrix() *matrix.Matrix {
+	m := matrix.New(b.n, b.n)
+	for u := 0; u < b.n; u++ {
+		row := b.rows[u*b.words : (u+1)*b.words]
+		for vw, w := range row {
+			for x := w; x != 0; x &= x - 1 {
+				m.Set(u, vw*64+bits.TrailingZeros64(x), 1)
+			}
+		}
+	}
+	return m
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{n: b.n, words: b.words, rows: make([]uint64, len(b.rows))}
+	copy(c.rows, b.rows)
+	return c
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A Bitset built by random insert/delete churn must agree with the
+// enumeration Graph on edges, membership, and triangle count — the
+// oracle-vs-oracle check that lets Bitset.Triangles serve as the
+// recount oracle for the streaming service.
+func TestBitsetMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 8, 63, 64, 65, 70} {
+		b := NewBitset(n)
+		g := New(n)
+		ops := 4 * n * n
+		for i := 0; i < ops; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				if _, err := b.Set(u, v, true); err == nil {
+					t.Fatalf("n=%d: self-loop {%d,%d} accepted", n, u, v)
+				}
+				continue
+			}
+			on := rng.Intn(3) != 0 // bias toward insertion
+			changed, err := b.Set(u, v, on)
+			if err != nil {
+				t.Fatalf("n=%d: Set(%d,%d,%v): %v", n, u, v, on, err)
+			}
+			if changed != (g.HasEdge(u, v) != on) {
+				t.Fatalf("n=%d: Set(%d,%d,%v) changed=%v, graph had edge=%v",
+					n, u, v, on, changed, g.HasEdge(u, v))
+			}
+			if on {
+				g.AddEdge(u, v)
+			} else {
+				g.RemoveEdge(u, v)
+			}
+		}
+		if b.Edges() != g.NumEdges() {
+			t.Fatalf("n=%d: Edges=%d, graph says %d", n, b.Edges(), g.NumEdges())
+		}
+		if bt, gt := b.Triangles(), g.Triangles(); bt != gt {
+			t.Fatalf("n=%d: Triangles=%d, graph says %d", n, bt, gt)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if b.Has(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("n=%d: Has(%d,%d)=%v, graph says %v", n, u, v, b.Has(u, v), g.HasEdge(u, v))
+				}
+			}
+		}
+		fg, err := FromAdjacency(b.Matrix())
+		if err != nil {
+			t.Fatalf("n=%d: Matrix not a valid adjacency: %v", n, err)
+		}
+		if fg.Triangles() != g.Triangles() {
+			t.Fatalf("n=%d: materialized matrix disagrees", n)
+		}
+	}
+}
+
+func TestBitsetBounds(t *testing.T) {
+	b := NewBitset(4)
+	for _, e := range [][2]int{{-1, 0}, {0, 4}, {4, 0}, {2, 2}} {
+		if _, err := b.Set(e[0], e[1], true); err == nil {
+			t.Fatalf("Set(%d,%d) accepted", e[0], e[1])
+		}
+		if b.Has(e[0], e[1]) {
+			t.Fatalf("Has(%d,%d) true", e[0], e[1])
+		}
+	}
+	if b.Edges() != 0 {
+		t.Fatalf("rejected edges mutated the graph: %d edges", b.Edges())
+	}
+	c := b.Clone()
+	if _, err := c.Set(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if b.Has(0, 1) {
+		t.Fatal("Clone aliases the original")
+	}
+}

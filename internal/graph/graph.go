@@ -61,6 +61,15 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj.Set(v, u, 1)
 }
 
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.adj.Set(u, v, 0)
+	g.adj.Set(v, u, 0)
+}
+
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj.At(u, v) == 1 }
 

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// GraphStream is one tenant's update-traffic generator for the
+// /v1/graph streaming endpoint. It draws random edge insert/delete
+// batches and mirrors every accepted batch onto a shadow bitset — the
+// ground-truth triangle recount every screened response is checked
+// against. Not safe for concurrent use: one stream per worker, which
+// matches the per-tenant serialization of the service itself.
+type GraphStream struct {
+	Tenant string
+	N      int
+	Tau    int64
+	Energy bool // request energy accounting on screens
+
+	rng     *rand.Rand
+	shadow  *graph.Bitset
+	version uint64
+}
+
+// NewGraphStream returns a generator for one tenant's session.
+func NewGraphStream(tenant string, n int, tau int64, seed int64) *GraphStream {
+	return &GraphStream{
+		Tenant: tenant, N: n, Tau: tau,
+		rng:    rand.New(rand.NewSource(seed)),
+		shadow: graph.NewBitset(n),
+	}
+}
+
+// CreateRequest is the frame that opens this tenant's session.
+func (g *GraphStream) CreateRequest() stream.GraphRequest {
+	return stream.GraphRequest{Op: stream.OpCreate, Tenant: g.Tenant, N: g.N, Tau: g.Tau}
+}
+
+// NextUpdate draws a batch of random edge mutations, applies them to
+// the shadow, and returns the update+screen frame. Call Check on the
+// response; on a non-OK response (eviction), call Reset and re-create.
+func (g *GraphStream) NextUpdate(batch int) stream.GraphRequest {
+	ops := make([]stream.EdgeOp, 0, batch)
+	for len(ops) < batch {
+		u, v := g.rng.Intn(g.N), g.rng.Intn(g.N)
+		if u == v {
+			continue
+		}
+		op := stream.EdgeOp{U: u, V: v, Delete: g.rng.Intn(4) == 0}
+		if _, err := g.shadow.Set(op.U, op.V, !op.Delete); err != nil {
+			panic(err) // unreachable: ops are drawn in range
+		}
+		ops = append(ops, op)
+	}
+	g.version++
+	return stream.GraphRequest{
+		Op: stream.OpUpdate, Tenant: g.Tenant, Ops: ops,
+		Screen: true, Energy: g.Energy,
+	}
+}
+
+// WantCount is the shadow oracle's current triangle count.
+func (g *GraphStream) WantCount() int64 { return g.shadow.Triangles() }
+
+// Graph is an independent copy of the shadow adjacency — the frozen
+// ground truth benchmarks replay into fresh sessions.
+func (g *GraphStream) Graph() *graph.Bitset { return g.shadow.Clone() }
+
+// Check verifies a screened response against the shadow oracle:
+// triangle count, edge count, version, and the τ decision.
+func (g *GraphStream) Check(resp stream.GraphResponse) error {
+	if !resp.Screened {
+		return fmt.Errorf("load: tenant %s: response not screened", g.Tenant)
+	}
+	if want := g.shadow.Triangles(); resp.Count != want {
+		return fmt.Errorf("load: tenant %s v%d: screened %d triangles, oracle %d",
+			g.Tenant, g.version, resp.Count, want)
+	}
+	if want := g.shadow.Edges(); resp.Edges != want {
+		return fmt.Errorf("load: tenant %s v%d: %d edges, oracle %d",
+			g.Tenant, g.version, resp.Edges, want)
+	}
+	if resp.Version != g.version {
+		return fmt.Errorf("load: tenant %s: version %d, want %d", g.Tenant, resp.Version, g.version)
+	}
+	if resp.Decision != (resp.Count >= g.Tau) {
+		return fmt.Errorf("load: tenant %s: decision %v for count %d, τ=%d",
+			g.Tenant, resp.Decision, resp.Count, g.Tau)
+	}
+	if g.Energy && (!resp.HasEnergy || resp.Energy <= 0) {
+		return fmt.Errorf("load: tenant %s: energy accounting requested but response carries %d (has=%v)",
+			g.Tenant, resp.Energy, resp.HasEnergy)
+	}
+	return nil
+}
+
+// Reset forgets the shadow state (after an eviction) so the tenant can
+// re-create and replay from an empty graph.
+func (g *GraphStream) Reset() {
+	g.shadow = graph.NewBitset(g.N)
+	g.version = 0
+}
+
+// PostGraph sends one /v1/graph frame and decodes the response. A
+// non-200 status is an error carrying the status code in its text.
+func PostGraph(client *http.Client, baseURL string, req stream.GraphRequest) (stream.GraphResponse, error) {
+	frame, err := stream.EncodeGraphRequest(req)
+	if err != nil {
+		return stream.GraphResponse{}, err
+	}
+	resp, err := client.Post(baseURL+"/v1/graph", serve.FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		return stream.GraphResponse{}, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return stream.GraphResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return stream.GraphResponse{}, fmt.Errorf("load: %s %s: status %d: %s",
+			req.Op, baseURL+"/v1/graph", resp.StatusCode, body)
+	}
+	return stream.DecodeGraphResponse(body)
+}

@@ -1,0 +1,92 @@
+package load
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// TestGraphStreamAgainstService drives the real /v1/graph endpoint with
+// the generator and lets Check compare every screened response to the
+// shadow oracle — the same differential the tcload -graph mode applies
+// under load.
+func TestGraphStreamAgainstService(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	m := stream.NewManager(stream.Config{Server: srv})
+	defer m.Close()
+	ts := httptest.NewServer(stream.Mux(srv, m))
+	defer ts.Close()
+	client := ts.Client()
+
+	gs := NewGraphStream("tenant-0", 8, 2, 42)
+	gs.Energy = true
+	if _, err := PostGraph(client, ts.URL, gs.CreateRequest()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for round := 0; round < 10; round++ {
+		resp, err := PostGraph(client, ts.URL, gs.NextUpdate(6))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := gs.Check(resp); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	// Duplicate create surfaces the HTTP status in the error.
+	if _, err := PostGraph(client, ts.URL, gs.CreateRequest()); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+
+	// Reset forgets the shadow; after close + re-create the oracle
+	// tracks the fresh empty session again.
+	if _, err := PostGraph(client, ts.URL, stream.GraphRequest{Op: stream.OpClose, Tenant: gs.Tenant}); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	gs.Reset()
+	if _, err := PostGraph(client, ts.URL, gs.CreateRequest()); err != nil {
+		t.Fatalf("re-create: %v", err)
+	}
+	resp, err := PostGraph(client, ts.URL, gs.NextUpdate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Check(resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Check must reject responses that disagree with the shadow.
+func TestGraphStreamCheckRejects(t *testing.T) {
+	gs := NewGraphStream("t", 8, 1, 7)
+	gs.NextUpdate(5)
+	good := stream.GraphResponse{
+		Screened: true, Version: 1,
+		Edges: gs.shadow.Edges(), Count: gs.shadow.Triangles(),
+	}
+	good.Decision = good.Count >= gs.Tau
+	if err := gs.Check(good); err != nil {
+		t.Fatalf("consistent response rejected: %v", err)
+	}
+	for name, mut := range map[string]func(r *stream.GraphResponse){
+		"unscreened":    func(r *stream.GraphResponse) { r.Screened = false },
+		"wrong count":   func(r *stream.GraphResponse) { r.Count++; r.Decision = r.Count >= gs.Tau },
+		"wrong edges":   func(r *stream.GraphResponse) { r.Edges++ },
+		"wrong version": func(r *stream.GraphResponse) { r.Version++ },
+		"bad decision":  func(r *stream.GraphResponse) { r.Decision = !r.Decision },
+	} {
+		bad := good
+		mut(&bad)
+		if err := gs.Check(bad); err == nil {
+			t.Fatalf("%s: accepted %+v", name, bad)
+		}
+	}
+	// Energy demanded but absent.
+	gs.Energy = true
+	if err := gs.Check(good); err == nil {
+		t.Fatal("missing energy accepted")
+	}
+}

@@ -201,8 +201,14 @@ func (s *Server) serveBatch(e *entry, st *stripe, shard int, batch []*request, i
 		for i, w := range e.outs {
 			o[i] = vals[w]
 		}
+		var gates int64
+		if r.energy {
+			gates = e.built.Circuit().Energy(vals)
+			s.metrics.energyRequests.Add(1)
+			s.metrics.energyGates.Add(gates)
+		}
 		s.metrics.evalLatency.observeSince(start)
-		r.reply <- reply{out: o}
+		r.reply <- reply{out: o, energy: gates}
 		return out, row
 	}
 
@@ -215,6 +221,17 @@ func (s *Server) serveBatch(e *entry, st *stripe, shard int, batch []*request, i
 		in.SetRow(i, r.in)
 	}
 	planes := st.ev.EvalPlanes(in)
+	// Energy accounting rides the same plane pass: one popcount over
+	// the gate planes yields every requester's firing count, so the
+	// batched figure is bit-identical to the scalar Energy path. The
+	// sweep is skipped entirely when no request in the batch asked.
+	var energies []int64
+	for _, r := range live {
+		if r.energy {
+			energies = e.built.Circuit().EnergyBatch(planes)
+			break
+		}
+	}
 	// Fan-out: gather only the marked-output planes (a few hundred bits
 	// per sample) instead of materializing every wire.
 	out = planes.GatherInto(out, e.outs)
@@ -223,7 +240,13 @@ func (s *Server) serveBatch(e *entry, st *stripe, shard int, batch []*request, i
 		row = out.Assignment(i, row)
 		o := make([]bool, len(row))
 		copy(o, row)
-		r.reply <- reply{out: o}
+		var gates int64
+		if r.energy {
+			gates = energies[i]
+			s.metrics.energyRequests.Add(1)
+			s.metrics.energyGates.Add(gates)
+		}
+		r.reply <- reply{out: o, energy: gates}
 	}
 	return out, row
 }

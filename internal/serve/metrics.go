@@ -29,6 +29,9 @@ type metrics struct {
 	diskHits   atomic.Int64 // LRU misses warm-started from the disk store
 	diskSaves  atomic.Int64 // builds persisted to the disk store
 
+	energyRequests atomic.Int64 // requests served with energy accounting
+	energyGates    atomic.Int64 // total firing gates tallied for them
+
 	evalLatency  histogram // per-batch evaluation wall time
 	totalLatency histogram // per-request accept→reply wall time
 	batchSize    histogram // samples per dispatched batch
@@ -118,6 +121,11 @@ type Snapshot struct {
 	DiskHits  int64 `json:"disk_hits"`
 	DiskSaves int64 `json:"disk_saves"`
 
+	// Energy-budget mode: requests that asked for Uchizawa energy
+	// accounting, and the total firing-gate count tallied for them.
+	EnergyRequests int64 `json:"energy_requests"`
+	EnergyGates    int64 `json:"energy_gates"`
+
 	// Store, when a disk cache is configured, is its own counter
 	// snapshot (including corrupt-artifact detections).
 	Store *store.Stats `json:"store,omitempty"`
@@ -153,6 +161,9 @@ func (s *Server) Snapshot() Snapshot {
 		Singletons: m.singletons.Load(),
 		Retries:    m.retries.Load(),
 		Steals:     m.steals.Load(),
+
+		EnergyRequests: m.energyRequests.Load(),
+		EnergyGates:    m.energyGates.Load(),
 
 		EvalLatencyUS:  m.evalLatency.snapshot(),
 		TotalLatencyUS: m.totalLatency.snapshot(),

@@ -216,15 +216,17 @@ type stripe struct {
 
 // request is one queued evaluation.
 type request struct {
-	ctx   context.Context
-	in    []bool
-	start time.Time
-	reply chan reply // buffered (1): the dispatcher never blocks on it
+	ctx    context.Context
+	in     []bool
+	energy bool // tally firing gates for this sample (energy-budget mode)
+	start  time.Time
+	reply  chan reply // buffered (1): the dispatcher never blocks on it
 }
 
 type reply struct {
-	out []bool
-	err error
+	out    []bool
+	energy int64 // firing-gate count; meaningful only when requested
+	err    error
 }
 
 // getEntry resolves shape to a cached entry, building (and possibly
@@ -339,12 +341,26 @@ func (s *Server) Built(ctx context.Context, shape core.Shape) (*core.Built, erro
 // identical to a direct Circuit.Eval. The call coalesces with
 // concurrent Do calls for the same shape into one bit-sliced batch.
 func (s *Server) Do(ctx context.Context, shape core.Shape, in []bool) ([]bool, error) {
+	out, _, err := s.doRetry(ctx, shape, in, false)
+	return out, err
+}
+
+// DoEnergy is Do plus per-request Uchizawa energy accounting: it also
+// returns the number of gates that fired evaluating this sample. The
+// count is identical whether the request is served by the singleton
+// scalar path or coalesced into a bit-sliced batch (both are popcounts
+// over the same gate values).
+func (s *Server) DoEnergy(ctx context.Context, shape core.Shape, in []bool) ([]bool, int64, error) {
+	return s.doRetry(ctx, shape, in, true)
+}
+
+func (s *Server) doRetry(ctx context.Context, shape core.Shape, in []bool, energy bool) ([]bool, int64, error) {
 	// An enqueue can race an eviction's final drain; the dead-channel
 	// protocol makes that loss observable, so a couple of retries
 	// (against the freshly rebuilt entry) make Do lossless. Three
 	// attempts bound the pathological build-evict-build loop.
 	for attempt := 0; ; attempt++ {
-		out, err := s.tryDo(ctx, shape, in)
+		out, gates, err := s.tryDo(ctx, shape, in, energy)
 		if err == errRetry && attempt < 2 {
 			s.metrics.retries.Add(1)
 			continue
@@ -352,23 +368,23 @@ func (s *Server) Do(ctx context.Context, shape core.Shape, in []bool) ([]bool, e
 		if err == errRetry {
 			err = ErrBusy
 		}
-		return out, err
+		return out, gates, err
 	}
 }
 
-func (s *Server) tryDo(ctx context.Context, shape core.Shape, in []bool) ([]bool, error) {
+func (s *Server) tryDo(ctx context.Context, shape core.Shape, in []bool, energy bool) ([]bool, int64, error) {
 	e, err := s.getEntry(ctx, shape)
 	if err != nil {
 		if err != ErrClosed && ctx.Err() == nil {
 			s.metrics.errors.Add(1)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	if want := e.built.Circuit().NumInputs(); len(in) != want {
 		s.metrics.errors.Add(1)
-		return nil, fmt.Errorf("serve: %d input bits for %s, want %d", len(in), shape.Key(), want)
+		return nil, 0, fmt.Errorf("serve: %d input bits for %s, want %d", len(in), shape.Key(), want)
 	}
-	req := &request{ctx: ctx, in: in, start: time.Now(), reply: make(chan reply, 1)}
+	req := &request{ctx: ctx, in: in, energy: energy, start: time.Now(), reply: make(chan reply, 1)}
 	// Striped enqueue: try the round-robin home stripe first, then every
 	// sibling — one busy stripe must not reject while others have room.
 	accepted := false
@@ -391,34 +407,34 @@ func (s *Server) tryDo(ctx context.Context, shape core.Shape, in []bool) ([]bool
 	} else {
 		select {
 		case <-e.dead:
-			return nil, errRetry
+			return nil, 0, errRetry
 		case <-ctx.Done():
 			s.metrics.cancelled.Add(1)
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		default:
 			s.metrics.rejected.Add(1)
-			return nil, ErrBusy
+			return nil, 0, ErrBusy
 		}
 	}
 	select {
 	case r := <-req.reply:
 		s.metrics.totalLatency.observeSince(req.start)
-		return r.out, r.err
+		return r.out, r.energy, r.err
 	case <-ctx.Done():
 		// The dispatcher still owns the request: it will observe the
 		// cancelled context and drop it, or finish the in-flight batch
 		// and send into the buffered reply channel (collected by GC).
 		s.metrics.cancelled.Add(1)
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	case <-e.dead:
 		// The dispatcher retired after we enqueued. Per the dead
 		// protocol the reply is either already buffered or never coming.
 		select {
 		case r := <-req.reply:
 			s.metrics.totalLatency.observeSince(req.start)
-			return r.out, r.err
+			return r.out, r.energy, r.err
 		default:
-			return nil, errRetry
+			return nil, 0, errRetry
 		}
 	}
 }

@@ -218,6 +218,108 @@ func TestServeCoalesces(t *testing.T) {
 	}
 }
 
+// DoEnergy must report the same firing-gate count whether the request
+// is served as a singleton through the scalar engine or coalesced into
+// a bit-sliced batch — and both must equal a direct Circuit.Energy.
+func TestServeDoEnergyBothPaths(t *testing.T) {
+	s := New(Config{Shards: 1})
+	s.holdBatch = make(chan struct{})
+	defer s.Close()
+	ctx := context.Background()
+	shape := countShape(4)
+	bt, err := s.Built(ctx, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Complete(4).Adjacency()
+	in, err := bt.Count.Assign(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bt.Circuit()
+	want := c.Energy(c.Eval(in))
+	if want == 0 {
+		t.Fatal("test graph fires no gates; energy equality would be vacuous")
+	}
+
+	// Singleton path: the only queued request evaluates via st.ev.Eval.
+	type res struct {
+		out    []bool
+		energy int64
+		err    error
+	}
+	results := make(chan res, 32)
+	post := func() {
+		out, gates, err := s.DoEnergy(ctx, shape, in)
+		results <- res{out, gates, err}
+	}
+	go post()
+	<-s.holdBatch // batch #1 (the singleton) held
+	s.holdBatch <- struct{}{}
+	r := <-results
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.energy != want {
+		t.Fatalf("singleton path energy %d, want %d", r.energy, want)
+	}
+
+	// Batched path: pile requests behind a held batch so they coalesce.
+	hold := make(chan struct{})
+	go func() {
+		_, _, err := s.DoEnergy(ctx, shape, in)
+		hold <- struct{}{}
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-s.holdBatch // holder's singleton batch announced
+	const piled = 8
+	for i := 0; i < piled; i++ {
+		go post()
+	}
+	for s.metrics.requests.Load() < piled+2 {
+		time.Sleep(time.Millisecond)
+	}
+	s.holdBatch <- struct{}{} // release the holder
+	<-s.holdBatch             // the piled batch announced
+	s.holdBatch <- struct{}{} // release it
+	<-hold
+	for i := 0; i < piled; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.energy != want {
+			t.Fatalf("batched request %d: energy %d, want %d", i, r.energy, want)
+		}
+		if tri, err := bt.Count.DecodeTriangles(r.out); err != nil || tri != 4 {
+			t.Fatalf("batched request %d: triangles %d (%v), want 4", i, tri, err)
+		}
+	}
+	snap := s.Snapshot()
+	if wantReq := int64(piled + 2); snap.EnergyRequests != wantReq {
+		t.Errorf("energy_requests %d, want %d", snap.EnergyRequests, wantReq)
+	}
+	if wantGates := int64(piled+2) * want; snap.EnergyGates != wantGates {
+		t.Errorf("energy_gates %d, want %d", snap.EnergyGates, wantGates)
+	}
+	// Plain Do requests must not pay the energy sweep or the counters.
+	plain := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, shape, in)
+		plain <- err
+	}()
+	<-s.holdBatch // its batch announced
+	s.holdBatch <- struct{}{}
+	if err := <-plain; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot().EnergyRequests; got != int64(piled+2) {
+		t.Errorf("plain Do incremented energy_requests to %d", got)
+	}
+}
+
 // A request cancelled while queued must return the context error, and
 // the dispatcher must drop it rather than evaluate it.
 func TestServeCancellationMidQueue(t *testing.T) {

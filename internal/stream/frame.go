@@ -1,0 +1,296 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary frame codec for POST /v1/graph, following the TCF1 codec's
+// conventions (strict magic/flag/trailing-byte rejection, varint
+// fields, hostile-header allocation caps).
+//
+// Request frame ("TCG1"):
+//
+//	magic[4] op[1] flags[1]
+//	uvarint len(tenant), tenant bytes
+//	op=create: uvarint n, varint tau
+//	op=update: uvarint nops, then per op kind[1] uvarint u uvarint v
+//	op=screen, op=close: no payload
+//
+// flags: bit0 = screen after applying (create/update; implied for the
+// screen op), bit1 = energy accounting. kind: 0 insert, 1 delete.
+//
+// Response frame ("TCGR"):
+//
+//	magic[4] flags[1]
+//	uvarint version, uvarint edges, varint count, varint energy
+//
+// flags: bit0 = screened (count/decision meaningful), bit1 = decision
+// (≥ τ), bit2 = energy meaningful.
+//
+// Both sides reject unknown op/flag bits, truncated payloads and
+// trailing bytes.
+
+// GraphOp selects the session operation a request frame carries.
+type GraphOp byte
+
+const (
+	OpCreate GraphOp = 1
+	OpUpdate GraphOp = 2
+	OpScreen GraphOp = 3
+	OpClose  GraphOp = 4
+)
+
+func (op GraphOp) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpUpdate:
+		return "update"
+	case OpScreen:
+		return "screen"
+	case OpClose:
+		return "close"
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+var (
+	graphMagic     = [4]byte{'T', 'C', 'G', '1'}
+	graphRespMagic = [4]byte{'T', 'C', 'G', 'R'}
+)
+
+// maxFrameOps bounds the declared edge-op count so a hostile header
+// cannot force a huge allocation (1M ops is far beyond any sane batch
+// for n ≤ 64 vertices).
+const maxFrameOps = 1 << 20
+
+// maxFrameVertex bounds encoded vertex ids and n; real validation
+// against the session's n happens in the manager.
+const maxFrameVertex = 1 << 20
+
+// GraphRequest is the decoded form of one /v1/graph request frame.
+type GraphRequest struct {
+	Op     GraphOp
+	Tenant string
+	N      int   // create only
+	Tau    int64 // create only
+	Ops    []EdgeOp
+	Screen bool
+	Energy bool
+}
+
+// GraphResponse is the decoded form of one /v1/graph response frame.
+type GraphResponse struct {
+	Screened  bool
+	Decision  bool
+	HasEnergy bool
+	Version   uint64
+	Edges     int64
+	Count     int64
+	Energy    int64
+}
+
+// EncodeGraphRequest serializes one request frame.
+func EncodeGraphRequest(req GraphRequest) ([]byte, error) {
+	switch req.Op {
+	case OpCreate, OpUpdate, OpScreen, OpClose:
+	default:
+		return nil, fmt.Errorf("stream: frame: unknown op %d", req.Op)
+	}
+	if err := checkTenant(req.Tenant); err != nil {
+		return nil, err
+	}
+	var flags byte
+	if req.Screen {
+		flags |= 1
+	}
+	if req.Energy {
+		flags |= 2
+	}
+	b := make([]byte, 0, 16+len(req.Tenant)+4*len(req.Ops))
+	b = append(b, graphMagic[:]...)
+	b = append(b, byte(req.Op), flags)
+	b = binary.AppendUvarint(b, uint64(len(req.Tenant)))
+	b = append(b, req.Tenant...)
+	switch req.Op {
+	case OpCreate:
+		if req.N < 0 || req.N > maxFrameVertex {
+			return nil, fmt.Errorf("stream: frame: n %d out of range", req.N)
+		}
+		b = binary.AppendUvarint(b, uint64(req.N))
+		b = binary.AppendVarint(b, req.Tau)
+	case OpUpdate:
+		if len(req.Ops) > maxFrameOps {
+			return nil, fmt.Errorf("stream: frame: %d ops exceeds cap %d", len(req.Ops), maxFrameOps)
+		}
+		b = binary.AppendUvarint(b, uint64(len(req.Ops)))
+		for _, op := range req.Ops {
+			if op.U < 0 || op.U > maxFrameVertex || op.V < 0 || op.V > maxFrameVertex {
+				return nil, fmt.Errorf("stream: frame: vertex in {%d,%d} out of range", op.U, op.V)
+			}
+			kind := byte(0)
+			if op.Delete {
+				kind = 1
+			}
+			b = append(b, kind)
+			b = binary.AppendUvarint(b, uint64(op.U))
+			b = binary.AppendUvarint(b, uint64(op.V))
+		}
+	}
+	return b, nil
+}
+
+// DecodeGraphRequest parses one request frame, rejecting malformed,
+// truncated or trailing-padded input.
+func DecodeGraphRequest(b []byte) (GraphRequest, error) {
+	var req GraphRequest
+	if len(b) < len(graphMagic)+2 {
+		return req, fmt.Errorf("stream: frame: %d bytes is shorter than the header", len(b))
+	}
+	if [4]byte(b[:4]) != graphMagic {
+		return req, fmt.Errorf("stream: frame: bad magic %q", b[:4])
+	}
+	opCode, flags := b[4], b[5]
+	b = b[6:]
+	switch GraphOp(opCode) {
+	case OpCreate, OpUpdate, OpScreen, OpClose:
+		req.Op = GraphOp(opCode)
+	default:
+		return req, fmt.Errorf("stream: frame: unknown op code %d", opCode)
+	}
+	if flags > 3 {
+		return req, fmt.Errorf("stream: frame: unknown flag bits %#x", flags)
+	}
+	req.Screen = flags&1 != 0
+	req.Energy = flags&2 != 0
+	tn, k := binary.Uvarint(b)
+	if k <= 0 || tn > maxTenantLen {
+		return req, fmt.Errorf("stream: frame: bad tenant length")
+	}
+	b = b[k:]
+	if len(b) < int(tn) {
+		return req, fmt.Errorf("stream: frame: truncated tenant")
+	}
+	req.Tenant = string(b[:tn])
+	b = b[tn:]
+	if err := checkTenant(req.Tenant); err != nil {
+		return req, err
+	}
+	switch req.Op {
+	case OpCreate:
+		n, k := binary.Uvarint(b)
+		if k <= 0 || n > maxFrameVertex {
+			return req, fmt.Errorf("stream: frame: bad n varint")
+		}
+		b = b[k:]
+		req.N = int(n)
+		tau, k := binary.Varint(b)
+		if k <= 0 {
+			return req, fmt.Errorf("stream: frame: bad tau varint")
+		}
+		b = b[k:]
+		req.Tau = tau
+	case OpUpdate:
+		nops, k := binary.Uvarint(b)
+		if k <= 0 || nops > maxFrameOps {
+			return req, fmt.Errorf("stream: frame: bad op count")
+		}
+		b = b[k:]
+		req.Ops = make([]EdgeOp, nops)
+		for i := range req.Ops {
+			if len(b) < 1 {
+				return req, fmt.Errorf("stream: frame: truncated op %d", i)
+			}
+			kind := b[0]
+			if kind > 1 {
+				return req, fmt.Errorf("stream: frame: unknown op kind %d", kind)
+			}
+			b = b[1:]
+			u, k := binary.Uvarint(b)
+			if k <= 0 || u > maxFrameVertex {
+				return req, fmt.Errorf("stream: frame: bad vertex in op %d", i)
+			}
+			b = b[k:]
+			v, k := binary.Uvarint(b)
+			if k <= 0 || v > maxFrameVertex {
+				return req, fmt.Errorf("stream: frame: bad vertex in op %d", i)
+			}
+			b = b[k:]
+			req.Ops[i] = EdgeOp{U: int(u), V: int(v), Delete: kind == 1}
+		}
+	}
+	if len(b) != 0 {
+		return req, fmt.Errorf("stream: frame: %d trailing bytes", len(b))
+	}
+	return req, nil
+}
+
+// EncodeGraphResponse serializes one response frame.
+func EncodeGraphResponse(resp GraphResponse) []byte {
+	var flags byte
+	if resp.Screened {
+		flags |= 1
+	}
+	if resp.Decision {
+		flags |= 2
+	}
+	if resp.HasEnergy {
+		flags |= 4
+	}
+	b := make([]byte, 0, 32)
+	b = append(b, graphRespMagic[:]...)
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, resp.Version)
+	b = binary.AppendUvarint(b, uint64(resp.Edges))
+	b = binary.AppendVarint(b, resp.Count)
+	b = binary.AppendVarint(b, resp.Energy)
+	return b
+}
+
+// DecodeGraphResponse parses a response frame.
+func DecodeGraphResponse(b []byte) (GraphResponse, error) {
+	var resp GraphResponse
+	if len(b) < len(graphRespMagic)+1 {
+		return resp, fmt.Errorf("stream: frame: response shorter than header")
+	}
+	if [4]byte(b[:4]) != graphRespMagic {
+		return resp, fmt.Errorf("stream: frame: bad response magic %q", b[:4])
+	}
+	flags := b[4]
+	if flags > 7 {
+		return resp, fmt.Errorf("stream: frame: unknown response flag bits %#x", flags)
+	}
+	resp.Screened = flags&1 != 0
+	resp.Decision = flags&2 != 0
+	resp.HasEnergy = flags&4 != 0
+	b = b[5:]
+	ver, k := binary.Uvarint(b)
+	if k <= 0 {
+		return resp, fmt.Errorf("stream: frame: bad version varint")
+	}
+	b = b[k:]
+	resp.Version = ver
+	edges, k := binary.Uvarint(b)
+	if k <= 0 || edges > 1<<62 {
+		return resp, fmt.Errorf("stream: frame: bad edge count varint")
+	}
+	b = b[k:]
+	resp.Edges = int64(edges)
+	count, k := binary.Varint(b)
+	if k <= 0 {
+		return resp, fmt.Errorf("stream: frame: bad count varint")
+	}
+	b = b[k:]
+	resp.Count = count
+	energy, k := binary.Varint(b)
+	if k <= 0 {
+		return resp, fmt.Errorf("stream: frame: bad energy varint")
+	}
+	b = b[k:]
+	resp.Energy = energy
+	if len(b) != 0 {
+		return resp, fmt.Errorf("stream: frame: %d trailing response bytes", len(b))
+	}
+	return resp, nil
+}

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestGraphRequestRoundTrip(t *testing.T) {
+	cases := []GraphRequest{
+		{Op: OpCreate, Tenant: "acme", N: 8, Tau: 3},
+		{Op: OpCreate, Tenant: "t", N: 64, Tau: -7, Screen: true, Energy: true},
+		{Op: OpUpdate, Tenant: "acme", Ops: []EdgeOp{{U: 0, V: 1}, {U: 5, V: 2, Delete: true}}, Screen: true},
+		{Op: OpUpdate, Tenant: "acme", Ops: []EdgeOp{}, Energy: true},
+		{Op: OpScreen, Tenant: "acme", Screen: true, Energy: true},
+		{Op: OpClose, Tenant: "bye"},
+	}
+	for i, req := range cases {
+		b, err := EncodeGraphRequest(req)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodeGraphRequest(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Encoding an empty op list decodes as an empty (non-nil) list.
+		if req.Ops == nil && got.Ops != nil && len(got.Ops) == 0 {
+			got.Ops = nil
+		}
+		if req.Ops != nil && len(req.Ops) == 0 && len(got.Ops) == 0 {
+			got.Ops = req.Ops
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, req, got)
+		}
+	}
+}
+
+func TestGraphResponseRoundTrip(t *testing.T) {
+	cases := []GraphResponse{
+		{},
+		{Screened: true, Decision: true, HasEnergy: true, Version: 12, Edges: 9, Count: 4, Energy: 1234},
+		{Screened: true, Count: -1, Energy: -5, Version: 1 << 40},
+	}
+	for i, resp := range cases {
+		got, err := DecodeGraphResponse(EncodeGraphResponse(resp))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != resp {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, resp, got)
+		}
+	}
+}
+
+// Strictness: malformed, truncated and trailing-padded frames must all
+// reject.
+func TestGraphFrameRejects(t *testing.T) {
+	valid, err := EncodeGraphRequest(GraphRequest{
+		Op: OpUpdate, Tenant: "acme",
+		Ops: []EdgeOp{{U: 1, V: 2}}, Screen: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGraphRequest(valid); err != nil {
+		t.Fatal(err)
+	}
+	reject := func(name string, b []byte) {
+		t.Helper()
+		if _, err := DecodeGraphRequest(b); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	reject("empty", nil)
+	reject("bad magic", append([]byte("TCF1"), valid[4:]...))
+	reject("trailing byte", append(bytes.Clone(valid), 0))
+	for cut := 1; cut < len(valid); cut++ {
+		reject("truncation", valid[:cut])
+	}
+	bad := bytes.Clone(valid)
+	bad[4] = 9 // unknown op
+	reject("unknown op", bad)
+	bad = bytes.Clone(valid)
+	bad[5] = 0x80 // unknown flag
+	reject("unknown flags", bad)
+	// Unknown edge-op kind: kind byte follows magic+op+flags+len+tenant+nops.
+	bad = bytes.Clone(valid)
+	bad[len(graphMagic)+2+1+len("acme")+1] = 2
+	reject("unknown kind", bad)
+	// Oversized declared tenant length must not allocate or accept.
+	huge := append([]byte("TCG1"), 2, 0)
+	huge = append(huge, 0xFF, 0xFF, 0x7F) // uvarint ~2M
+	reject("huge tenant", huge)
+
+	vresp := EncodeGraphResponse(GraphResponse{Screened: true, Count: 7})
+	if _, err := DecodeGraphResponse(vresp); err != nil {
+		t.Fatal(err)
+	}
+	rejectResp := func(name string, b []byte) {
+		t.Helper()
+		if _, err := DecodeGraphResponse(b); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	rejectResp("empty", nil)
+	rejectResp("bad magic", append([]byte("TCR1"), vresp[4:]...))
+	rejectResp("trailing", append(bytes.Clone(vresp), 0))
+	for cut := 1; cut < len(vresp); cut++ {
+		rejectResp("truncation", vresp[:cut])
+	}
+	bad = bytes.Clone(vresp)
+	bad[4] = 0x10
+	rejectResp("unknown flags", bad)
+}

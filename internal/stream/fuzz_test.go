@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGraphFrame drives both TCG1 decoders with arbitrary bytes: they
+// must never panic, and anything they accept must re-encode to a frame
+// that decodes back to the same value (the input bytes themselves may
+// differ — fuzzed varints need not be minimal).
+func FuzzGraphFrame(f *testing.F) {
+	seed := []GraphRequest{
+		{Op: OpCreate, Tenant: "acme", N: 8, Tau: 3, Screen: true, Energy: true},
+		{Op: OpUpdate, Tenant: "t", Ops: []EdgeOp{{U: 0, V: 1}, {U: 3, V: 2, Delete: true}}},
+		{Op: OpScreen, Tenant: "s", Energy: true},
+		{Op: OpClose, Tenant: "bye"},
+	}
+	for _, req := range seed {
+		b, err := EncodeGraphRequest(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add(EncodeGraphResponse(GraphResponse{Screened: true, Decision: true, HasEnergy: true, Version: 5, Edges: 3, Count: 2, Energy: 99}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if req, err := DecodeGraphRequest(b); err == nil {
+			enc, err := EncodeGraphRequest(req)
+			if err != nil {
+				t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+			}
+			got, err := DecodeGraphRequest(enc)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %+v: %v", req, err)
+			}
+			if len(req.Ops) == 0 && len(got.Ops) == 0 {
+				got.Ops = req.Ops
+			}
+			if !reflect.DeepEqual(req, got) {
+				t.Fatalf("request round trip drifted: %+v -> %+v", req, got)
+			}
+		}
+		if resp, err := DecodeGraphResponse(b); err == nil {
+			got, err := DecodeGraphResponse(EncodeGraphResponse(resp))
+			if err != nil || got != resp {
+				t.Fatalf("response round trip drifted: %+v -> %+v (%v)", resp, got, err)
+			}
+		}
+	})
+}

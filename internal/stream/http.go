@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Mux composes the serving stack's HTTP surface with the streaming
+// layer: every serve.Server route plus
+//
+//	POST /v1/graph  binary TCG1 frame (see frame.go) -> TCGR frame
+//	GET  /v1/stats  serve Snapshot with a nested "graph" section
+//
+// The /v1/stats override embeds the server snapshot, so existing
+// consumers keep their fields and gain the per-tenant graph counters.
+func Mux(s *serve.Server, m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.HandleFunc("/v1/graph", m.handleGraph)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			serve.Snapshot
+			Graph Stats `json:"graph"`
+		}{s.Snapshot(), m.Stats()})
+	})
+	return mux
+}
+
+// Handler returns just the /v1/graph endpoint (for callers composing
+// their own mux).
+func (m *Manager) Handler() http.Handler {
+	return http.HandlerFunc(m.handleGraph)
+}
+
+func (m *Manager) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := DecodeGraphRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), m.cfg.RequestTimeout)
+	defer cancel()
+
+	var res Result
+	switch req.Op {
+	case OpCreate:
+		res, err = m.Create(ctx, req.Tenant, req.N, req.Tau)
+		if err == nil && req.Screen {
+			res, err = m.Screen(ctx, req.Tenant, req.Energy)
+		}
+	case OpUpdate:
+		res, err = m.Update(ctx, req.Tenant, req.Ops, req.Screen, req.Energy)
+	case OpScreen:
+		res, err = m.Screen(ctx, req.Tenant, req.Energy)
+	case OpClose:
+		err = m.CloseTenant(req.Tenant)
+	}
+	if err != nil {
+		m.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", serve.FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(EncodeGraphResponse(GraphResponse{
+		Screened:  res.Screened,
+		Decision:  res.Decision,
+		HasEnergy: res.Screened && req.Energy,
+		Version:   res.Version,
+		Edges:     res.Edges,
+		Count:     res.Count,
+		Energy:    res.Energy,
+	}))
+}
+
+// writeError maps streaming errors onto the serving layer's HTTP
+// conventions, adding the session-lifecycle statuses: no session 404,
+// duplicate create 409, retired mid-call 410.
+func (m *Manager) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNoSession):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrRetired):
+		status = http.StatusGone
+	case errors.Is(err, serve.ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed), errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func postGraph(t *testing.T, client *http.Client, url string, req GraphRequest) (*http.Response, []byte) {
+	t.Helper()
+	frame, err := EncodeGraphRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/graph", serve.FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// End-to-end over HTTP: create, update+screen with energy, plain
+// screen, stats merge, close — every screened count checked against a
+// shadow oracle, every error path checked against its status code.
+func TestGraphHTTP(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	m := NewManager(Config{Server: srv})
+	defer m.Close()
+	ts := httptest.NewServer(Mux(srv, m))
+	defer ts.Close()
+	client := ts.Client()
+
+	const n, tau = 8, 2
+	resp, _ := postGraph(t, client, ts.URL, GraphRequest{Op: OpCreate, Tenant: "acme", N: n, Tau: tau})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	// Duplicate create: 409.
+	resp, _ = postGraph(t, client, ts.URL, GraphRequest{Op: OpCreate, Tenant: "acme", N: n, Tau: tau})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", resp.StatusCode)
+	}
+
+	shadow := graph.NewBitset(n)
+	ops := []EdgeOp{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5}}
+	apply(t, shadow, ops)
+	resp, body := postGraph(t, client, ts.URL, GraphRequest{Op: OpUpdate, Tenant: "acme", Ops: ops, Screen: true, Energy: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != serve.FrameContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	gr, err := DecodeGraphResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.Screened || !gr.HasEnergy || gr.Count != shadow.Triangles() || gr.Count != 2 {
+		t.Fatalf("update response %+v, oracle count %d", gr, shadow.Triangles())
+	}
+	if !gr.Decision || gr.Energy <= 0 || gr.Version != 1 || gr.Edges != shadow.Edges() {
+		t.Fatalf("update response %+v", gr)
+	}
+
+	// Delete one triangle edge and re-screen without energy.
+	del := []EdgeOp{{U: 0, V: 2, Delete: true}}
+	apply(t, shadow, del)
+	resp, body = postGraph(t, client, ts.URL, GraphRequest{Op: OpUpdate, Tenant: "acme", Ops: del, Screen: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	gr, err = DecodeGraphResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Count != 1 || gr.Decision || gr.HasEnergy || gr.Energy != 0 {
+		t.Fatalf("after delete: %+v", gr)
+	}
+
+	// Standalone screen op.
+	resp, body = postGraph(t, client, ts.URL, GraphRequest{Op: OpScreen, Tenant: "acme", Energy: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("screen: %d", resp.StatusCode)
+	}
+	if gr, err = DecodeGraphResponse(body); err != nil || gr.Count != shadow.Triangles() {
+		t.Fatalf("screen: %+v (%v)", gr, err)
+	}
+
+	// Merged /v1/stats: serve fields and the nested graph section.
+	sresp, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests int64 `json:"requests"`
+		Energy   int64 `json:"energy_gates"`
+		Graph    struct {
+			Sessions int64 `json:"sessions"`
+			Screens  int64 `json:"screens"`
+			Tenants  []struct {
+				Tenant string `json:"tenant"`
+				Energy int64  `json:"energy"`
+			} `json:"tenants"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Graph.Sessions != 1 || stats.Graph.Screens != 3 || len(stats.Graph.Tenants) != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Graph.Tenants[0].Energy == 0 || stats.Energy == 0 || stats.Requests == 0 {
+		t.Fatalf("stats missing energy/serve sections: %+v", stats)
+	}
+
+	// Ops on a missing tenant: 404. Close: 200, then 404.
+	resp, _ = postGraph(t, client, ts.URL, GraphRequest{Op: OpScreen, Tenant: "ghost"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost screen: %d", resp.StatusCode)
+	}
+	resp, _ = postGraph(t, client, ts.URL, GraphRequest{Op: OpClose, Tenant: "acme"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close: %d", resp.StatusCode)
+	}
+	resp, _ = postGraph(t, client, ts.URL, GraphRequest{Op: OpClose, Tenant: "acme"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double close: %d", resp.StatusCode)
+	}
+
+	// Malformed frame: 400. Bad method: 405. Serve routes still mounted.
+	r, err := client.Post(ts.URL+"/v1/graph", serve.FrameContentType, bytes.NewReader([]byte("nonsense")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed frame: %d", r.StatusCode)
+	}
+	r, err = client.Get(ts.URL + "/v1/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/graph: %d", r.StatusCode)
+	}
+	r, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz through Mux: %d", r.StatusCode)
+	}
+}

@@ -1,0 +1,72 @@
+package stream
+
+// TenantStats is one session's aggregate view in /v1/stats.
+type TenantStats struct {
+	Tenant  string `json:"tenant"`
+	N       int    `json:"n"`
+	Tau     int64  `json:"tau"`
+	Version uint64 `json:"version"`
+	Edges   int64  `json:"edges"`
+	Updates int64  `json:"updates"`
+	EdgeOps int64  `json:"edge_ops"`
+	Screens int64  `json:"screens"`
+	// Energy is the session's aggregate Uchizawa energy: the total
+	// firing-gate count across every energy-accounted screen.
+	Energy       int64 `json:"energy"`
+	Dirty        bool  `json:"dirty"`
+	LastCount    int64 `json:"last_count"`
+	LastDecision bool  `json:"last_decision"`
+	HasScreened  bool  `json:"has_screened"`
+}
+
+// Stats is the manager's counter snapshot, nested under "graph" in the
+// merged /v1/stats payload.
+type Stats struct {
+	Sessions    int   `json:"sessions"`
+	Creates     int64 `json:"creates"`
+	Updates     int64 `json:"updates"`
+	EdgeOps     int64 `json:"edge_ops"`
+	Screens     int64 `json:"screens"`
+	Retirements int64 `json:"retirements"`
+	EnergyGates int64 `json:"energy_gates"`
+
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// Stats returns a point-in-time snapshot: global counters plus one row
+// per live session, in LRU order (most recently used first). Each
+// session row is internally consistent (taken under the session lock);
+// cross-session skew is acceptable for metrics.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		Creates:     m.creates.Load(),
+		Updates:     m.updates.Load(),
+		EdgeOps:     m.edgeOps.Load(),
+		Screens:     m.screens.Load(),
+		Retirements: m.retirements.Load(),
+		EnergyGates: m.energyGates.Load(),
+	}
+	m.mu.Lock()
+	st.Sessions = m.lru.Len()
+	sessions := make([]*session, 0, m.lru.Len())
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		sessions = append(sessions, el.Value.(*session))
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		row := TenantStats{
+			Tenant: s.tenant, N: s.n, Tau: s.tau,
+			Version: s.version, Edges: s.adj.Edges(),
+			Updates: s.updates, EdgeOps: s.edgeOps,
+			Screens: s.screens, Energy: s.energy, Dirty: s.dirty,
+			LastCount: s.lastCnt, LastDecision: s.lastDec, HasScreened: s.lastOK,
+		}
+		retired := s.retired
+		s.mu.Unlock()
+		if !retired {
+			st.Tenants = append(st.Tenants, row)
+		}
+	}
+	return st
+}

@@ -1,0 +1,512 @@
+// Package stream is the stateful streaming layer over the serving
+// stack: per-tenant graph sessions behind tcserve. Each session holds
+// one client graph as an adjacency bitset, accepts batched edge
+// insert/delete updates over the binary /v1/graph frame op, and
+// re-screens the paper's headline decision — "does G have ≥ τ
+// triangles?" — through the existing count circuits.
+//
+// Two screening paths share the same circuit:
+//
+//   - the request path hands each session's assignment to the sharded
+//     dispatcher (serve.Server.Do/DoEnergy), where concurrent tenants'
+//     screens coalesce into bit-sliced batches — up to 64 tenant
+//     graphs per machine word;
+//   - ScreenDirty is the direct maintenance sweep: it freezes up to 64
+//     dirty sessions per chunk and pays one TrianglesEnergyBatch pass
+//     for all of them.
+//
+// Both are bit-identical to the scalar recount oracle
+// (graph.Bitset.Triangles), and both can tally Uchizawa energy — the
+// number of gates that fired screening this request — per response and
+// aggregated per tenant in /v1/stats.
+//
+// Sessions live in a bounded LRU. Eviction is lossless in the
+// explicit-failure sense that mirrors the circuit dispatcher's
+// done/dead protocol: retirement takes the session lock, so an
+// in-flight update or screen always completes against live state, and
+// every later call observes retired and fails with ErrRetired (HTTP
+// 410) rather than mutating a zombie — no update is silently dropped,
+// no screen reports a detached graph.
+package stream
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+var (
+	// ErrNoSession reports an operation on a tenant with no live
+	// session (never created, closed, or evicted) — HTTP 404.
+	ErrNoSession = errors.New("stream: no such session")
+	// ErrExists reports Create on a tenant that already has a live
+	// session — HTTP 409.
+	ErrExists = errors.New("stream: session already exists")
+	// ErrRetired reports that the session was evicted or closed while
+	// the call was in flight; the tenant must re-create and replay —
+	// HTTP 410.
+	ErrRetired = errors.New("stream: session retired")
+	// ErrClosed reports that the manager has shut down — HTTP 503.
+	ErrClosed = errors.New("stream: manager closed")
+)
+
+// maxTenantLen bounds tenant identifiers (they travel in every frame).
+const maxTenantLen = 128
+
+// Config tunes a Manager. Server is required; everything else
+// defaults.
+type Config struct {
+	// Server evaluates the screens: sessions share its circuit LRU and
+	// sharded dispatch.
+	Server *serve.Server
+	// MaxSessions bounds the session LRU (default 1024). Creating past
+	// the bound retires the least-recently-used session.
+	MaxSessions int
+	// MaxN bounds per-session graph size (default 64): sessions are
+	// cheap, circuits are not, and every distinct N is one circuit.
+	MaxN int
+	// Alg selects the bilinear algorithm for the count circuits
+	// (default "strassen").
+	Alg string
+	// RequestTimeout caps each HTTP graph request (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 64
+	}
+	if c.Alg == "" {
+		c.Alg = "strassen"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// EdgeOp is one edge mutation in an update batch.
+type EdgeOp struct {
+	U, V   int
+	Delete bool
+}
+
+// Result is the outcome of a session operation. Count, Decision and
+// Energy are meaningful only when Screened is true (and Energy only
+// when the request asked for energy accounting).
+type Result struct {
+	Tenant   string
+	Version  uint64 // update batches accepted so far
+	Edges    int64
+	Screened bool
+	Count    int64 // triangles at this version
+	Decision bool  // Count >= τ
+	Energy   int64 // gates fired by this screen
+}
+
+// session is one tenant's graph state. All fields behind mu; the
+// manager never holds its own lock while taking a session lock.
+type session struct {
+	tenant string
+	n      int
+	tau    int64
+	shape  core.Shape // count shape; τ-independent, so tenants share circuits
+
+	mu      sync.Mutex
+	retired bool
+	adj     *graph.Bitset
+	version uint64
+	dirty   bool // edges changed since the last screen
+	screens int64
+	energy  int64 // aggregate gates across this session's screens
+	lastOK  bool  // a screen has completed
+	lastCnt int64
+	lastDec bool
+	updates int64
+	edgeOps int64
+}
+
+// Manager owns the session table. Safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	lru      *list.List // of *session, front = most recently used
+	byTenant map[string]*list.Element
+	closed   bool
+
+	// screenMu serializes ScreenDirty sweeps: the CountCircuit's cached
+	// batch evaluator is not safe for concurrent use (the request path
+	// is unaffected — it runs on the dispatcher's private evaluators).
+	screenMu sync.Mutex
+
+	creates     atomic.Int64
+	updates     atomic.Int64
+	edgeOps     atomic.Int64
+	screens     atomic.Int64
+	retirements atomic.Int64
+	energyGates atomic.Int64
+}
+
+// NewManager returns a ready Manager over the given server.
+func NewManager(cfg Config) *Manager {
+	if cfg.Server == nil {
+		panic("stream: Config.Server is required")
+	}
+	return &Manager{
+		cfg:      cfg.withDefaults(),
+		lru:      list.New(),
+		byTenant: make(map[string]*list.Element),
+	}
+}
+
+// Create opens a session for tenant: an empty graph on n vertices
+// screened against τ. The count circuit is resolved eagerly (building
+// or warm-starting through the server's cache), so a bad n fails here
+// rather than on first screen. Creating past MaxSessions retires the
+// least-recently-used session.
+func (m *Manager) Create(ctx context.Context, tenant string, n int, tau int64) (Result, error) {
+	if err := checkTenant(tenant); err != nil {
+		return Result{}, err
+	}
+	if n < 1 || n > m.cfg.MaxN {
+		return Result{}, fmt.Errorf("stream: n=%d out of range [1, %d]", n, m.cfg.MaxN)
+	}
+	shape := core.Shape{Op: core.OpCount, N: n, Alg: m.cfg.Alg}
+	if _, err := m.cfg.Server.Built(ctx, shape); err != nil {
+		return Result{}, fmt.Errorf("stream: no count circuit for n=%d: %w", n, err)
+	}
+	s := &session{tenant: tenant, n: n, tau: tau, shape: shape, adj: graph.NewBitset(n)}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	if _, ok := m.byTenant[tenant]; ok {
+		m.mu.Unlock()
+		return Result{}, fmt.Errorf("stream: tenant %q: %w", tenant, ErrExists)
+	}
+	m.byTenant[tenant] = m.lru.PushFront(s)
+	var evicted *session
+	if m.lru.Len() > m.cfg.MaxSessions {
+		back := m.lru.Back()
+		evicted = back.Value.(*session)
+		m.lru.Remove(back)
+		delete(m.byTenant, evicted.tenant)
+	}
+	m.mu.Unlock()
+	if evicted != nil {
+		m.retire(evicted)
+	}
+	m.creates.Add(1)
+	return Result{Tenant: tenant}, nil
+}
+
+// retire marks a session dead. Taking the session lock is what makes
+// eviction lossless: an in-flight update or screen holds it, so the
+// retirement waits for that call to complete against live state, and
+// every subsequent call fails with ErrRetired instead of mutating a
+// detached graph.
+func (m *Manager) retire(s *session) {
+	s.mu.Lock()
+	s.retired = true
+	s.mu.Unlock()
+	m.retirements.Add(1)
+}
+
+// lookup resolves tenant to its live session, refreshing LRU order.
+func (m *Manager) lookup(tenant string) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	el, ok := m.byTenant[tenant]
+	if !ok {
+		return nil, fmt.Errorf("stream: tenant %q: %w", tenant, ErrNoSession)
+	}
+	m.lru.MoveToFront(el)
+	return el.Value.(*session), nil
+}
+
+// Update applies one batch of edge mutations to tenant's graph and,
+// when screen is set, re-screens "≥ τ triangles" through the sharded
+// dispatcher in the same critical section — the screened count is
+// exactly the count at the returned version. The batch is atomic:
+// every op is validated against the session's vertex range before any
+// is applied, so a bad op rejects the whole batch untouched.
+func (m *Manager) Update(ctx context.Context, tenant string, ops []EdgeOp, screen, energy bool) (Result, error) {
+	s, err := m.lookup(tenant)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return Result{}, fmt.Errorf("stream: tenant %q: %w", tenant, ErrRetired)
+	}
+	for i, op := range ops {
+		if op.U < 0 || op.U >= s.n || op.V < 0 || op.V >= s.n || op.U == op.V {
+			return Result{}, fmt.Errorf("stream: op %d: edge {%d,%d} invalid for n=%d", i, op.U, op.V, s.n)
+		}
+	}
+	changed := false
+	for _, op := range ops {
+		ch, err := s.adj.Set(op.U, op.V, !op.Delete)
+		if err != nil {
+			// Unreachable after validation; fail loudly if it ever isn't.
+			return Result{}, fmt.Errorf("stream: tenant %q: %v", tenant, err)
+		}
+		changed = changed || ch
+	}
+	if len(ops) > 0 {
+		s.version++
+		s.updates++
+		m.updates.Add(1)
+		m.edgeOps.Add(int64(len(ops)))
+		s.edgeOps += int64(len(ops))
+		if changed {
+			s.dirty = true
+		}
+	}
+	res := Result{Tenant: tenant, Version: s.version, Edges: s.adj.Edges()}
+	if !screen {
+		return res, nil
+	}
+	return m.screenLocked(ctx, s, res, energy)
+}
+
+// Screen re-screens tenant's current graph without mutating it.
+func (m *Manager) Screen(ctx context.Context, tenant string, energy bool) (Result, error) {
+	s, err := m.lookup(tenant)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return Result{}, fmt.Errorf("stream: tenant %q: %w", tenant, ErrRetired)
+	}
+	res := Result{Tenant: tenant, Version: s.version, Edges: s.adj.Edges()}
+	return m.screenLocked(ctx, s, res, energy)
+}
+
+// screenLocked evaluates one screen through the sharded dispatcher.
+// Called with s.mu held: concurrent tenants' screens coalesce into the
+// dispatcher's bit-sliced batches while each session's own stream
+// stays serialized.
+func (m *Manager) screenLocked(ctx context.Context, s *session, res Result, energy bool) (Result, error) {
+	bt, err := m.cfg.Server.Built(ctx, s.shape)
+	if err != nil {
+		return Result{}, err
+	}
+	in, err := bt.Count.Assign(s.adj.Matrix())
+	if err != nil {
+		return Result{}, err
+	}
+	var out []bool
+	var gates int64
+	if energy {
+		out, gates, err = m.cfg.Server.DoEnergy(ctx, s.shape, in)
+	} else {
+		out, err = m.cfg.Server.Do(ctx, s.shape, in)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	count, err := bt.Count.DecodeTriangles(out)
+	if err != nil {
+		return Result{}, err
+	}
+	s.dirty = false
+	s.screens++
+	s.energy += gates
+	s.lastOK, s.lastCnt, s.lastDec = true, count, count >= s.tau
+	m.screens.Add(1)
+	m.energyGates.Add(gates)
+	res.Screened, res.Count, res.Decision, res.Energy = true, count, count >= s.tau, gates
+	return res, nil
+}
+
+// CloseTenant retires tenant's session and forgets it.
+func (m *Manager) CloseTenant(tenant string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	el, ok := m.byTenant[tenant]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("stream: tenant %q: %w", tenant, ErrNoSession)
+	}
+	m.lru.Remove(el)
+	delete(m.byTenant, tenant)
+	m.mu.Unlock()
+	m.retire(el.Value.(*session))
+	return nil
+}
+
+// ScreenDirty is the maintenance sweep: it screens every session whose
+// graph changed since its last screen, packing up to 64 frozen tenant
+// graphs per chunk into one TrianglesEnergyBatch plane pass. Sessions
+// are grouped by shape (all same-N tenants share one circuit — τ lives
+// outside the circuit), each chunk's session locks are held across its
+// evaluation so the recorded count is exactly the count at the
+// recorded version, and results come back in tenant order.
+func (m *Manager) ScreenDirty(ctx context.Context, energy bool) ([]Result, error) {
+	m.screenMu.Lock()
+	defer m.screenMu.Unlock()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sessions := make([]*session, 0, m.lru.Len())
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		sessions = append(sessions, el.Value.(*session))
+	}
+	m.mu.Unlock()
+
+	// Stable grouping by shape, tenant order within a group. The sort
+	// also fixes the multi-lock order; Update/Screen only ever hold one
+	// session lock, so no cycle is possible.
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].shape != sessions[j].shape {
+			return sessions[i].shape.Key() < sessions[j].shape.Key()
+		}
+		return sessions[i].tenant < sessions[j].tenant
+	})
+
+	var results []Result
+	for lo := 0; lo < len(sessions); {
+		hi := lo + 1
+		for hi < len(sessions) && sessions[hi].shape == sessions[lo].shape {
+			hi++
+		}
+		group := sessions[lo:hi]
+		lo = hi
+		bt, err := m.cfg.Server.Built(ctx, group[0].shape)
+		if err != nil {
+			return results, err
+		}
+		for chunk := 0; chunk < len(group); chunk += 64 {
+			end := chunk + 64
+			if end > len(group) {
+				end = len(group)
+			}
+			if err := m.screenChunk(bt, group[chunk:end], energy, &results); err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// screenChunk freezes one chunk of sessions (locks held for the whole
+// evaluation), screens the dirty ones in a single batched pass, and
+// records the results against the frozen versions.
+func (m *Manager) screenChunk(bt *core.Built, group []*session, energy bool, results *[]Result) error {
+	live := make([]*session, 0, len(group))
+	for _, s := range group {
+		s.mu.Lock()
+		if s.retired || !s.dirty {
+			s.mu.Unlock()
+			continue
+		}
+		live = append(live, s)
+	}
+	defer func() {
+		for _, s := range live {
+			s.mu.Unlock()
+		}
+	}()
+	if len(live) == 0 {
+		return nil
+	}
+	adjs := make([]*matrix.Matrix, len(live))
+	for i, s := range live {
+		adjs[i] = s.adj.Matrix()
+	}
+	var counts, gates []int64
+	var err error
+	if energy {
+		counts, gates, err = bt.Count.TrianglesEnergyBatch(adjs)
+	} else {
+		counts, err = bt.Count.TrianglesBatch(adjs)
+	}
+	if err != nil {
+		return err
+	}
+	for i, s := range live {
+		var g int64
+		if energy {
+			g = gates[i]
+		}
+		s.dirty = false
+		s.screens++
+		s.energy += g
+		s.lastOK, s.lastCnt, s.lastDec = true, counts[i], counts[i] >= s.tau
+		m.screens.Add(1)
+		m.energyGates.Add(g)
+		*results = append(*results, Result{
+			Tenant: s.tenant, Version: s.version, Edges: s.adj.Edges(),
+			Screened: true, Count: counts[i], Decision: counts[i] >= s.tau, Energy: g,
+		})
+	}
+	return nil
+}
+
+// Close shuts the manager down: every session is retired and
+// subsequent operations fail with ErrClosed. The underlying
+// serve.Server is not closed — the manager does not own it.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sessions := make([]*session, 0, m.lru.Len())
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		sessions = append(sessions, el.Value.(*session))
+	}
+	m.lru.Init()
+	m.byTenant = make(map[string]*list.Element)
+	m.mu.Unlock()
+	for _, s := range sessions {
+		m.retire(s)
+	}
+}
+
+// Sessions returns the number of live sessions.
+func (m *Manager) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+func checkTenant(tenant string) error {
+	if tenant == "" {
+		return errors.New("stream: empty tenant id")
+	}
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("stream: tenant id %d bytes long, max %d", len(tenant), maxTenantLen)
+	}
+	return nil
+}

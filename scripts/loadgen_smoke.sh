@@ -4,20 +4,25 @@
 # and fail on an rps regression against the committed BENCH_serve.json
 # e27 baseline. tcload itself skips (exit 0) when GOMAXPROCS < 2 — the
 # sharded-dispatch comparison needs real parallelism — so this script is
-# safe on single-core machines too.
+# safe on single-core machines too. A second, shorter burst then drives
+# the streaming /v1/graph endpoint (per-tenant edge updates, each
+# screened response checked against the generator's shadow recount);
+# that phase is a correctness gate, not a throughput gate, so it runs
+# on any core count.
 #
 # Usage: scripts/loadgen_smoke.sh [min-rps-frac]
 # Runs from the repo root (where BENCH_serve.json lives).
 #
-# TCSERVE_PORT overrides the listen port (default 18719), so parallel
-# CI jobs or a developer with something bound there can move it. The
-# health probe is `tcload -probe` — the binary is built here anyway, so
-# the script needs no curl/wget on minimal runners.
+# Port/env handling is shared with every other server script via
+# scripts/serve_env.sh: set TCSERVE_PORT to move the port (default
+# 18719), and the same variable steers tcserve's and tcload's own
+# defaults. The health probe is `tcload -probe` — the binary is built
+# here anyway, so the script needs no curl/wget on minimal runners.
 set -eu
 
+. "$(dirname "$0")/serve_env.sh"
+
 MIN_FRAC="${1:-0.5}"
-PORT="${TCSERVE_PORT:-18719}"
-ADDR="127.0.0.1:$PORT"
 BIN_DIR="$(mktemp -d)"
 SERVE_PID=""
 
@@ -35,13 +40,13 @@ trap cleanup EXIT INT TERM
 go build -o "$BIN_DIR/tcserve" ./cmd/tcserve
 go build -o "$BIN_DIR/tcload" ./cmd/tcload
 
-"$BIN_DIR/tcserve" -addr "$ADDR" &
+"$BIN_DIR/tcserve" -addr "$TCSERVE_ADDR" &
 SERVE_PID=$!
 
 # Wait for the server to come up (it builds nothing at startup, so this
 # is quick; 10s is a generous bound for a loaded runner).
 i=0
-until "$BIN_DIR/tcload" -probe -url "http://$ADDR"; do
+until "$BIN_DIR/tcload" -probe -url "$TCSERVE_URL"; do
     i=$((i + 1))
     if [ "$i" -ge 100 ]; then
         echo "loadgen_smoke: tcserve did not become healthy" >&2
@@ -54,4 +59,9 @@ until "$BIN_DIR/tcload" -probe -url "http://$ADDR"; do
     sleep 0.1
 done
 
-"$BIN_DIR/tcload" -smoke -url "http://$ADDR" -min-rps-frac "$MIN_FRAC"
+"$BIN_DIR/tcload" -smoke -url "$TCSERVE_URL" -min-rps-frac "$MIN_FRAC"
+
+# Streaming endpoint: a short verified burst of per-tenant edge-update
+# frames. Exit 1 from tcload here means a screened triangle count
+# disagreed with the shadow recount (or a request failed outright).
+"$BIN_DIR/tcload" -graph -graph-tenants 8 -workers 8 -requests 500 -url "$TCSERVE_URL"

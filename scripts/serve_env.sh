@@ -1,0 +1,16 @@
+# Shared tcserve port/env handling, sourced (`. scripts/serve_env.sh`)
+# by any script that starts a server. One variable controls the port
+# everywhere: TCSERVE_PORT is also the override read by tcserve's
+# default -addr and tcload's default -url, so scripts, binaries and CI
+# jobs can never disagree about where the server lives.
+#
+# Exports/sets:
+#   TCSERVE_PORT  the port (default 18719 — scripts deliberately avoid
+#                 tcserve's interactive default 8714 so a smoke run
+#                 never collides with a developer's live server)
+#   TCSERVE_ADDR  127.0.0.1:$TCSERVE_PORT (for tcserve -addr)
+#   TCSERVE_URL   http://$TCSERVE_ADDR    (for tcload -url)
+TCSERVE_PORT="${TCSERVE_PORT:-18719}"
+TCSERVE_ADDR="127.0.0.1:$TCSERVE_PORT"
+TCSERVE_URL="http://$TCSERVE_ADDR"
+export TCSERVE_PORT
